@@ -1,0 +1,39 @@
+// llvm-as assembles textual IR (.ll) into the compact bytecode form (.bc),
+// verifying the module first.
+//
+// Usage: llvm-as [-o out.bc] input.ll
+package main
+
+import (
+	"flag"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tooling"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: input with .bc suffix, or - for stdout)")
+	noverify := flag.Bool("disable-verify", false, "skip the module verifier")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		tooling.Fatalf("usage: llvm-as [-o out.bc] input.ll")
+	}
+	in := flag.Arg(0)
+	m, err := tooling.LoadModule(in)
+	if err != nil {
+		tooling.Fatalf("llvm-as: %v", err)
+	}
+	if !*noverify {
+		if err := core.Verify(m); err != nil {
+			tooling.Fatalf("llvm-as: %v", err)
+		}
+	}
+	dest := *out
+	if dest == "" {
+		dest = strings.TrimSuffix(in, ".ll") + ".bc"
+	}
+	if err := tooling.SaveModule(dest, m, true); err != nil {
+		tooling.Fatalf("llvm-as: %v", err)
+	}
+}

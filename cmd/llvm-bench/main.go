@@ -1,0 +1,48 @@
+// llvm-bench regenerates the paper's evaluation over the synthetic SPEC
+// CPU2000 analogues: Table 1 (provably-typed memory accesses), Table 2
+// (interprocedural optimization timings vs a baseline compile), and
+// Figure 5 (executable sizes: LLVM bytecode vs CISC vs RISC images).
+//
+// Usage: llvm-bench [-table1] [-table2] [-fig5] [-v]   (no flags = all)
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/tooling"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "Table 1: typed memory accesses")
+	t2 := flag.Bool("table2", false, "Table 2: interprocedural optimization timings")
+	f5 := flag.Bool("fig5", false, "Figure 5: executable sizes")
+	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
+	flag.Parse()
+	all := !*t1 && !*t2 && !*f5
+
+	if *t1 || all {
+		rows, err := experiments.Table1()
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+		os.Stdout.WriteString("\n")
+	}
+	if *t2 || all {
+		rows, err := experiments.Table2()
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		experiments.PrintTable2(os.Stdout, rows, *verbose)
+		os.Stdout.WriteString("\n")
+	}
+	if *f5 || all {
+		rows, err := experiments.Figure5()
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		experiments.PrintFigure5(os.Stdout, rows)
+	}
+}

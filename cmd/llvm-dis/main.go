@@ -1,0 +1,32 @@
+// llvm-dis disassembles bytecode (.bc) back into textual IR (.ll),
+// demonstrating the lossless round trip between the representations (§2.5).
+//
+// Usage: llvm-dis [-o out.ll] input.bc
+package main
+
+import (
+	"flag"
+	"strings"
+
+	"repro/internal/tooling"
+)
+
+func main() {
+	out := flag.String("o", "-", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		tooling.Fatalf("usage: llvm-dis [-o out.ll] input.bc")
+	}
+	in := flag.Arg(0)
+	m, err := tooling.LoadModule(in)
+	if err != nil {
+		tooling.Fatalf("llvm-dis: %v", err)
+	}
+	dest := *out
+	if dest == "-" && strings.HasSuffix(in, ".bc") {
+		// Still stdout by default, mirroring the original tool.
+	}
+	if err := tooling.SaveModule(dest, m, false); err != nil {
+		tooling.Fatalf("llvm-dis: %v", err)
+	}
+}

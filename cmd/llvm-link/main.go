@@ -1,0 +1,46 @@
+// llvm-link merges IR modules into one whole-program module (Figure 4's
+// linker stage), resolving declarations against definitions and renaming
+// clashing internal symbols.
+//
+// Usage: llvm-link [-o out] [-internalize] a.bc b.ll ...
+package main
+
+import (
+	"flag"
+
+	"repro/internal/core"
+	"repro/internal/linker"
+	"repro/internal/passes"
+	"repro/internal/tooling"
+)
+
+func main() {
+	out := flag.String("o", "-", "output file")
+	binary := flag.Bool("b", false, "write bytecode instead of text")
+	internalize := flag.Bool("internalize", false, "give non-main symbols internal linkage after linking")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		tooling.Fatalf("usage: llvm-link [-o out] inputs...")
+	}
+	var mods []*core.Module
+	for _, path := range flag.Args() {
+		m, err := tooling.LoadModule(path)
+		if err != nil {
+			tooling.Fatalf("llvm-link: %s: %v", path, err)
+		}
+		mods = append(mods, m)
+	}
+	linked, err := linker.Link("linked", mods...)
+	if err != nil {
+		tooling.Fatalf("llvm-link: %v", err)
+	}
+	if *internalize {
+		passes.NewInternalize().RunOnModule(linked)
+	}
+	if err := core.Verify(linked); err != nil {
+		tooling.Fatalf("llvm-link: result invalid: %v", err)
+	}
+	if err := tooling.SaveModule(*out, linked, *binary); err != nil {
+		tooling.Fatalf("llvm-link: %v", err)
+	}
+}

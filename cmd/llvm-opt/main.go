@@ -1,0 +1,70 @@
+// llvm-opt runs optimization passes over a module (text or bytecode).
+//
+// Usage:
+//
+//	llvm-opt [-std] [-linktime] [-passes mem2reg,dge,...] [-time] [-o out] input
+//
+// -std runs the standard per-function clean-up pipeline (§3.2); -linktime
+// runs the link-time interprocedural pipeline (§3.3); -passes selects
+// individual passes by name. Passes run in the order given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/passes"
+	"repro/internal/tooling"
+)
+
+func main() {
+	std := flag.Bool("std", false, "run the standard scalar pipeline")
+	linktime := flag.Bool("linktime", false, "run the link-time interprocedural pipeline")
+	passList := flag.String("passes", "", "comma-separated pass names")
+	timing := flag.Bool("time", false, "report per-pass timings and change counts")
+	binary := flag.Bool("b", false, "write bytecode instead of text")
+	out := flag.String("o", "-", "output file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		tooling.Fatalf("usage: llvm-opt [flags] input")
+	}
+	m, err := tooling.LoadModule(flag.Arg(0))
+	if err != nil {
+		tooling.Fatalf("llvm-opt: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		tooling.Fatalf("llvm-opt: input invalid: %v", err)
+	}
+
+	pm := passes.NewPassManager()
+	pm.VerifyEach = true
+	if *std {
+		pm.AddStandardPipeline()
+	}
+	if *linktime {
+		pm.AddLinkTimePipeline()
+	}
+	if *passList != "" {
+		for _, name := range strings.Split(*passList, ",") {
+			p, ok := tooling.PassByName(strings.TrimSpace(name))
+			if !ok {
+				tooling.Fatalf("llvm-opt: unknown pass %q", name)
+			}
+			pm.Add(p)
+		}
+	}
+	if _, err := pm.Run(m); err != nil {
+		tooling.Fatalf("llvm-opt: %v", err)
+	}
+	if *timing {
+		for _, r := range pm.Results {
+			fmt.Fprintf(os.Stderr, "%-16s %6d changes  %12v\n", r.Pass, r.Changed, r.Duration)
+		}
+	}
+	if err := tooling.SaveModule(*out, m, *binary); err != nil {
+		tooling.Fatalf("llvm-opt: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+// llvm-run executes a module's main function in the execution engine
+// (§3.4's portable interpreter), optionally printing execution statistics.
+//
+// Usage: llvm-run [-stats] [-max-steps N] input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/tooling"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	maxSteps := flag.Int64("max-steps", interp.DefaultMaxSteps, "instruction budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		tooling.Fatalf("usage: llvm-run [flags] input")
+	}
+	m, err := tooling.LoadModule(flag.Arg(0))
+	if err != nil {
+		tooling.Fatalf("llvm-run: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		tooling.Fatalf("llvm-run: module invalid: %v", err)
+	}
+	mc, err := interp.NewMachine(m, os.Stdout)
+	if err != nil {
+		tooling.Fatalf("llvm-run: %v", err)
+	}
+	mc.MaxSteps = *maxSteps
+	code, err := mc.RunMain()
+	if err != nil {
+		if ee, ok := err.(*interp.ExitError); ok {
+			code = ee.Code
+		} else {
+			tooling.Fatalf("llvm-run: %v", err)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "steps: %d\n", mc.Steps)
+		fmt.Fprintf(os.Stderr, "heap: %d allocations, %d bytes\n", mc.NumMallocs, mc.MallocBytes)
+		for op := 0; op < core.NumOpcodes; op++ {
+			if mc.OpCounts[op] > 0 {
+				fmt.Fprintf(os.Stderr, "  %-16s %d\n", core.Opcode(op), mc.OpCounts[op])
+			}
+		}
+	}
+	os.Exit(int(code & 0xFF))
+}

@@ -1,0 +1,71 @@
+// minicc is the MiniC front-end (Figure 4's "Compiler FE"): it translates
+// a C-subset source file into IR, optionally running the compile-time
+// optimization pipeline.
+//
+// Usage: minicc [-O] [-b] [-o out] input.c
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/frontend/minic"
+	"repro/internal/passes"
+	"repro/internal/summary"
+	"repro/internal/tooling"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "run the standard scalar optimization pipeline")
+	withSummary := flag.Bool("summary", false, "also write the interprocedural summary sidecar (.sum)")
+	binary := flag.Bool("b", false, "write bytecode instead of text")
+	out := flag.String("o", "", "output file (default: input with .ll/.bc suffix)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		tooling.Fatalf("usage: minicc [-O] [-b] [-o out] input.c")
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		tooling.Fatalf("minicc: %v", err)
+	}
+	name := strings.TrimSuffix(in, ".c")
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	m, err := minic.Compile(name, string(src))
+	if err != nil {
+		tooling.Fatalf("minicc: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		tooling.Fatalf("minicc: front-end produced invalid IR: %v", err)
+	}
+	if *optimize {
+		pm := passes.NewPassManager()
+		pm.VerifyEach = true
+		pm.AddStandardPipeline()
+		if _, err := pm.Run(m); err != nil {
+			tooling.Fatalf("minicc: %v", err)
+		}
+	}
+	dest := *out
+	if dest == "" {
+		suffix := ".ll"
+		if *binary {
+			suffix = ".bc"
+		}
+		dest = strings.TrimSuffix(in, ".c") + suffix
+	}
+	if err := tooling.SaveModule(dest, m, *binary); err != nil {
+		tooling.Fatalf("minicc: %v", err)
+	}
+	if *withSummary {
+		blob := summary.Encode(summary.Compute(m))
+		sumPath := strings.TrimSuffix(in, ".c") + ".sum"
+		if err := os.WriteFile(sumPath, blob, 0o644); err != nil {
+			tooling.Fatalf("minicc: %v", err)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "LLVM: A Compilation
+// Framework for Lifelong Program Analysis & Transformation" (Lattner &
+// Adve, CGO 2004): the LLVM 1.x typed SSA representation, its textual and
+// binary forms, the link-time interprocedural optimizer, Data Structure
+// Analysis, the execution engine with invoke/unwind exceptions, native
+// code-size back-ends, runtime profiling with idle-time reoptimization, a
+// C-subset front-end, and the benchmark harness that regenerates the
+// paper's Table 1, Table 2, and Figure 5. See README.md and DESIGN.md.
+package repro

@@ -1,0 +1,124 @@
+// Linktime: the paper's whole workflow (Figure 4). Three translation units
+// are compiled separately by the MiniC front-end, linked at the IR level,
+// internalized, and then transformed by the link-time interprocedural
+// optimizer — which deletes dead globals and functions across unit
+// boundaries, removes dead arguments, propagates constants between units,
+// and inlines across files, none of which a per-unit compiler could do.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/frontend/minic"
+	"repro/internal/interp"
+	"repro/internal/linker"
+	"repro/internal/passes"
+)
+
+var units = map[string]string{
+	"math.c": `
+/* A library unit: only scale() is actually used by the program. */
+int scale_factor = 3;
+static int legacy_table[64];           /* dead across the whole program */
+
+int scale(int x, int debug_mode) {     /* debug_mode is dead everywhere */
+	return x * scale_factor;
+}
+int unused_entry(int x) {              /* dead once internalized */
+	legacy_table[0] = x;
+	return legacy_table[0];
+}
+`,
+	"data.c": `
+extern int scale(int x, int debug_mode);
+
+int process(int *data, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		s += scale(data[i], 0);
+	}
+	return s;
+}
+`,
+	"main.c": `
+extern int printf(char *fmt, ...);
+extern int process(int *data, int n);
+
+int main() {
+	int values[6] = {1, 2, 3, 4, 5, 6};
+	int r = process(values, 6);
+	printf("result=%d\n", r);
+	return r;
+}
+`,
+}
+
+func main() {
+	// Compile each unit separately (with compile-time scalar opts).
+	var mods []*core.Module
+	for _, name := range []string{"math.c", "data.c", "main.c"} {
+		m, err := minic.Compile(name, units[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, name, err)
+			os.Exit(1)
+		}
+		pm := passes.NewPassManager()
+		pm.AddStandardPipeline()
+		pm.Run(m)
+		fmt.Printf("compiled %-8s %3d instructions, %d functions, %d globals\n",
+			name, m.NumInstructions(), len(m.Funcs), len(m.Globals))
+		mods = append(mods, m)
+	}
+
+	// Link.
+	prog, err := linker.Link("program", mods...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "link:", err)
+		os.Exit(1)
+	}
+	before := prog.NumInstructions()
+	fnBefore, gBefore := len(prog.Funcs), len(prog.Globals)
+
+	// Baseline run.
+	mc, _ := interp.NewMachine(prog, os.Stdout)
+	want, err := mc.RunMain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	stepsBefore := mc.Steps
+
+	// Link-time interprocedural optimization.
+	pm := passes.NewPassManager()
+	pm.VerifyEach = true
+	pm.Add(passes.NewInternalize())
+	pm.AddLinkTimePipeline()
+	if _, err := pm.Run(prog); err != nil {
+		fmt.Fprintln(os.Stderr, "optimize:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nlink-time interprocedural passes:")
+	for _, r := range pm.Results {
+		if r.Changed > 0 {
+			fmt.Printf("  %-14s %4d changes  %v\n", r.Pass, r.Changed, r.Duration)
+		}
+	}
+
+	mc2, _ := interp.NewMachine(prog, os.Stdout)
+	got, err := mc2.RunMain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimized run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwhole program: %d -> %d instructions, %d -> %d functions, %d -> %d globals\n",
+		before, prog.NumInstructions(), fnBefore, len(prog.Funcs), gBefore, len(prog.Globals))
+	fmt.Printf("interpreter steps: %d -> %d\n", stepsBefore, mc2.Steps)
+	if got != want {
+		fmt.Fprintf(os.Stderr, "MISMATCH: %d vs %d\n", got, want)
+		os.Exit(1)
+	}
+	fmt.Printf("result unchanged: %d\n", got)
+}

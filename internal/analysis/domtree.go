@@ -1,0 +1,240 @@
+// Package analysis provides the CFG analyses the optimizer builds on:
+// dominator trees and dominance frontiers (Cooper-Harvey-Kennedy), natural
+// loop detection, reverse postorder, and call-graph construction. These are
+// the "explicit CFG" facilities the paper credits for fast transformations
+// (§2.1, §4.1.4).
+package analysis
+
+import (
+	"repro/internal/core"
+)
+
+// DomTree is the dominator tree of a function. Unreachable blocks have no
+// entry (Idom returns nil and Dominates returns false for them).
+type DomTree struct {
+	fn       *core.Function
+	idom     map[*core.BasicBlock]*core.BasicBlock
+	children map[*core.BasicBlock][]*core.BasicBlock
+	// Pre/post numbering of the dominator tree for O(1) Dominates queries.
+	pre, post map[*core.BasicBlock]int
+	rpo       []*core.BasicBlock
+}
+
+// NewDomTree computes the dominator tree with the iterative
+// Cooper-Harvey-Kennedy algorithm over reverse postorder.
+func NewDomTree(f *core.Function) *DomTree {
+	dt := &DomTree{
+		fn:       f,
+		idom:     map[*core.BasicBlock]*core.BasicBlock{},
+		children: map[*core.BasicBlock][]*core.BasicBlock{},
+		pre:      map[*core.BasicBlock]int{},
+		post:     map[*core.BasicBlock]int{},
+	}
+	if len(f.Blocks) == 0 {
+		return dt
+	}
+	entry := f.Entry()
+	dt.rpo = ReversePostorder(f)
+	num := map[*core.BasicBlock]int{}
+	for i, b := range dt.rpo {
+		num[b] = i
+	}
+
+	dt.idom[entry] = entry
+	intersect := func(a, b *core.BasicBlock) *core.BasicBlock {
+		for a != b {
+			for num[a] > num[b] {
+				a = dt.idom[a]
+			}
+			for num[b] > num[a] {
+				b = dt.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range dt.rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *core.BasicBlock
+			for _, p := range b.Preds() {
+				if dt.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && dt.idom[b] != newIdom {
+				dt.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Children lists and Euler numbering for Dominates queries.
+	for _, b := range dt.rpo {
+		if b == entry {
+			continue
+		}
+		if id := dt.idom[b]; id != nil {
+			dt.children[id] = append(dt.children[id], b)
+		}
+	}
+	counter := 0
+	var dfs func(b *core.BasicBlock)
+	dfs = func(b *core.BasicBlock) {
+		counter++
+		dt.pre[b] = counter
+		for _, c := range dt.children[b] {
+			dfs(c)
+		}
+		counter++
+		dt.post[b] = counter
+	}
+	dfs(entry)
+	return dt
+}
+
+// Function returns the function the tree was built for.
+func (dt *DomTree) Function() *core.Function { return dt.fn }
+
+// Idom returns the immediate dominator of b (nil for the entry block and
+// for unreachable blocks).
+func (dt *DomTree) Idom(b *core.BasicBlock) *core.BasicBlock {
+	id := dt.idom[b]
+	if id == b {
+		return nil
+	}
+	return id
+}
+
+// Reachable reports whether b is reachable from the entry block.
+func (dt *DomTree) Reachable(b *core.BasicBlock) bool {
+	_, ok := dt.idom[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (every block dominates itself).
+func (dt *DomTree) Dominates(a, b *core.BasicBlock) bool {
+	pa, oka := dt.pre[a]
+	pb, okb := dt.pre[b]
+	if !oka || !okb {
+		return false
+	}
+	return pa <= pb && dt.post[a] >= dt.post[b]
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (dt *DomTree) StrictlyDominates(a, b *core.BasicBlock) bool {
+	return a != b && dt.Dominates(a, b)
+}
+
+// Children returns the dominator-tree children of b.
+func (dt *DomTree) Children(b *core.BasicBlock) []*core.BasicBlock { return dt.children[b] }
+
+// RPO returns the reachable blocks in reverse postorder.
+func (dt *DomTree) RPO() []*core.BasicBlock { return dt.rpo }
+
+// DominatesValueUse reports whether the definition of v dominates the use
+// (user, opIdx), handling phi uses (which must dominate the incoming edge's
+// predecessor terminator) and non-instruction definitions (constants,
+// arguments, globals dominate everything).
+func (dt *DomTree) DominatesValueUse(v core.Value, user core.Instruction, opIdx int) bool {
+	def, ok := v.(core.Instruction)
+	if !ok {
+		return true
+	}
+	db := def.Parent()
+	if phi, isPhi := user.(*core.PhiInst); isPhi {
+		// Operand layout: value at even index, block at odd.
+		pred, okBlk := phi.Operand(opIdx + 1).(*core.BasicBlock)
+		if !okBlk {
+			return false
+		}
+		return dt.Dominates(db, pred)
+	}
+	ub := user.Parent()
+	if db == ub {
+		return db.IndexOf(def) < ub.IndexOf(user)
+	}
+	return dt.Dominates(db, ub)
+}
+
+// DomFrontier maps each block to its dominance frontier, the set used for
+// φ placement in SSA construction (Cytron et al.).
+type DomFrontier map[*core.BasicBlock][]*core.BasicBlock
+
+// NewDomFrontier computes dominance frontiers from the dominator tree.
+func NewDomFrontier(dt *DomTree) DomFrontier {
+	df := DomFrontier{}
+	for _, b := range dt.rpo {
+		preds := b.Preds()
+		if len(preds) < 2 {
+			continue
+		}
+		for _, p := range preds {
+			if !dt.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != dt.idom[b] {
+				if !containsBlock(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+				if dt.idom[runner] == runner {
+					break // entry
+				}
+				runner = dt.idom[runner]
+			}
+		}
+	}
+	return df
+}
+
+func containsBlock(s []*core.BasicBlock, b *core.BasicBlock) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// ReversePostorder returns the blocks reachable from entry in reverse
+// postorder (a topological order ignoring back edges).
+func ReversePostorder(f *core.Function) []*core.BasicBlock {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	var post []*core.BasicBlock
+	seen := map[*core.BasicBlock]bool{}
+	var dfs func(b *core.BasicBlock)
+	dfs = func(b *core.BasicBlock) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// ReachableBlocks returns the set of blocks reachable from entry.
+func ReachableBlocks(f *core.Function) map[*core.BasicBlock]bool {
+	out := map[*core.BasicBlock]bool{}
+	for _, b := range ReversePostorder(f) {
+		out[b] = true
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"repro/internal/core"
+)
+
+// ModRefInfo summarizes which memory a function may read or write — the
+// Mod/Ref analysis the paper lists among LLVM's link-time interprocedural
+// analyses (§3.3). Globals are tracked individually; everything else
+// (pointer arguments, heap objects, unknown code) collapses into the
+// ModAny/RefAny bits.
+type ModRefInfo struct {
+	// Mod and Ref are the global variables the function (transitively)
+	// may write / read.
+	Mod map[*core.GlobalVariable]bool
+	Ref map[*core.GlobalVariable]bool
+	// ModAny/RefAny: the function may write/read memory we cannot name
+	// (through pointer arguments, heap pointers, external callees,
+	// indirect calls).
+	ModAny bool
+	RefAny bool
+}
+
+// Writes reports whether the function may modify g.
+func (i *ModRefInfo) Writes(g *core.GlobalVariable) bool { return i.ModAny || i.Mod[g] }
+
+// Reads reports whether the function may read g.
+func (i *ModRefInfo) Reads(g *core.GlobalVariable) bool { return i.RefAny || i.Ref[g] }
+
+// Pure reports whether the function provably has no memory effects at all.
+func (i *ModRefInfo) Pure() bool {
+	return !i.ModAny && !i.RefAny && len(i.Mod) == 0 && len(i.Ref) == 0
+}
+
+// ModRef computes Mod/Ref summaries for every function, bottom-up over the
+// call graph to a fixed point.
+func ModRef(m *core.Module, cg *CallGraph) map[*core.Function]*ModRefInfo {
+	info := map[*core.Function]*ModRefInfo{}
+	for _, f := range m.Funcs {
+		mi := &ModRefInfo{Mod: map[*core.GlobalVariable]bool{}, Ref: map[*core.GlobalVariable]bool{}}
+		if f.IsDeclaration() {
+			mi.ModAny, mi.RefAny = true, true
+		}
+		info[f] = mi
+	}
+
+	// Local effects.
+	for _, f := range m.Funcs {
+		if f.IsDeclaration() {
+			continue
+		}
+		mi := info[f]
+		f.ForEachInst(func(inst core.Instruction) bool {
+			switch i := inst.(type) {
+			case *core.LoadInst:
+				g, exact := TraceToGlobal(i.Ptr())
+				if exact {
+					mi.Ref[g] = true
+				} else if g == nil && !PointsToLocalFrame(i.Ptr()) {
+					mi.RefAny = true
+				}
+			case *core.StoreInst:
+				g, exact := TraceToGlobal(i.Ptr())
+				if exact {
+					mi.Mod[g] = true
+				} else if g == nil && !PointsToLocalFrame(i.Ptr()) {
+					mi.ModAny = true
+				}
+			case *core.FreeInst:
+				mi.ModAny = true
+			case *core.CallInst:
+				if i.CalledFunction() == nil {
+					mi.ModAny, mi.RefAny = true, true
+				}
+			case *core.InvokeInst:
+				if _, direct := i.Callee().(*core.Function); !direct {
+					mi.ModAny, mi.RefAny = true, true
+				}
+			}
+			return true
+		})
+	}
+
+	// Transitive closure over direct call edges.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			mi := info[f]
+			for _, callee := range cg.Nodes[f].Callees {
+				ci := info[callee]
+				if ci.ModAny && !mi.ModAny {
+					mi.ModAny = true
+					changed = true
+				}
+				if ci.RefAny && !mi.RefAny {
+					mi.RefAny = true
+					changed = true
+				}
+				for g := range ci.Mod {
+					if !mi.Mod[g] {
+						mi.Mod[g] = true
+						changed = true
+					}
+				}
+				for g := range ci.Ref {
+					if !mi.Ref[g] {
+						mi.Ref[g] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return info
+}
+
+// TraceToGlobal walks GEP/cast chains back to the base object. It returns
+// (global, true) when the pointer provably addresses that global, and
+// (nil, false) otherwise. The second result is false also when the base is
+// a local alloca (check PointsToLocalFrame for that case).
+func TraceToGlobal(p core.Value) (*core.GlobalVariable, bool) {
+	for {
+		switch v := p.(type) {
+		case *core.GlobalVariable:
+			return v, true
+		case *core.GetElementPtrInst:
+			p = v.Base()
+		case *core.CastInst:
+			if v.Val().Type().Kind() != core.PointerKind {
+				return nil, false
+			}
+			p = v.Val()
+		case *core.ConstantExpr:
+			if v.Op == core.OpGetElementPtr || v.Op == core.OpCast {
+				p = v.Operand(0)
+				continue
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// PointsToLocalFrame reports whether the pointer provably addresses the
+// current frame (an alloca that never escapes tracing through GEPs/casts);
+// such accesses are invisible to callers and excluded from Mod/Ref.
+func PointsToLocalFrame(p core.Value) bool {
+	for {
+		switch v := p.(type) {
+		case *core.AllocaInst:
+			return true
+		case *core.GetElementPtrInst:
+			p = v.Base()
+		case *core.CastInst:
+			if v.Val().Type().Kind() != core.PointerKind {
+				return false
+			}
+			p = v.Val()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestModRefBasic(t *testing.T) {
+	m := parse(t, `
+%g1 = global int 0
+%g2 = global int 0
+
+internal void %writer() {
+entry:
+	store int 1, int* %g1
+	ret void
+}
+
+internal int %reader() {
+entry:
+	%v = load int* %g2
+	ret int %v
+}
+
+internal int %both() {
+entry:
+	call void %writer()
+	%v = call int %reader()
+	ret int %v
+}
+
+internal int %pure(int %x) {
+entry:
+	%y = mul int %x, %x
+	ret int %y
+}
+
+internal void %localonly() {
+entry:
+	%p = alloca int
+	store int 5, int* %p
+	%v = load int* %p
+	ret void
+}
+`)
+	cg := NewCallGraph(m)
+	mr := ModRef(m, cg)
+	g1, g2 := m.Global("g1"), m.Global("g2")
+
+	w := mr[m.Func("writer")]
+	if !w.Writes(g1) || w.Writes(g2) || w.Reads(g1) {
+		t.Errorf("writer mod/ref wrong: %+v", w)
+	}
+	r := mr[m.Func("reader")]
+	if !r.Reads(g2) || r.Writes(g2) || r.Reads(g1) {
+		t.Errorf("reader mod/ref wrong: %+v", r)
+	}
+	bo := mr[m.Func("both")]
+	if !bo.Writes(g1) || !bo.Reads(g2) {
+		t.Error("transitive mod/ref not propagated")
+	}
+	if bo.Writes(g2) || bo.Reads(g1) {
+		t.Error("mod/ref over-approximates named globals")
+	}
+	if !mr[m.Func("pure")].Pure() {
+		t.Error("pure function not recognized")
+	}
+	if !mr[m.Func("localonly")].Pure() {
+		t.Error("frame-local accesses should not appear in mod/ref")
+	}
+}
+
+func TestModRefUnknownMemory(t *testing.T) {
+	m := parse(t, `
+declare void %external()
+
+internal void %throughArg(int* %p) {
+entry:
+	store int 1, int* %p
+	ret void
+}
+
+internal void %callsExternal() {
+entry:
+	call void %external()
+	ret void
+}
+`)
+	cg := NewCallGraph(m)
+	mr := ModRef(m, cg)
+	if !mr[m.Func("throughArg")].ModAny {
+		t.Error("store through argument must set ModAny")
+	}
+	ce := mr[m.Func("callsExternal")]
+	if !ce.ModAny || !ce.RefAny {
+		t.Error("external call must poison mod/ref")
+	}
+}
+
+func TestModRefThroughGEPAndCast(t *testing.T) {
+	m := parse(t, `
+%arr = global [4 x int] zeroinitializer
+
+internal void %f() {
+entry:
+	%p = getelementptr [4 x int]* %arr, long 0, long 2
+	store int 9, int* %p
+	%c = cast [4 x int]* %arr to int*
+	%v = load int* %c
+	ret void
+}
+`)
+	cg := NewCallGraph(m)
+	mr := ModRef(m, cg)
+	fi := mr[m.Func("f")]
+	arr := m.Global("arr")
+	if !fi.Writes(arr) || !fi.Reads(arr) {
+		t.Error("GEP/cast access not traced to its global")
+	}
+	if fi.ModAny || fi.RefAny {
+		t.Error("precisely-traced accesses should not poison Any bits")
+	}
+}

@@ -1,0 +1,452 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// parseOK parses src and fails the test on error or verifier rejection.
+func parseOK(t *testing.T, src string) *core.Module {
+	t.Helper()
+	m, err := ParseModule("test", src)
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify error: %v\nsource:\n%s", err, src)
+	}
+	return m
+}
+
+// roundTrip checks parse → print → parse → print reaches a fixed point.
+func roundTrip(t *testing.T, src string) *core.Module {
+	t.Helper()
+	m1 := parseOK(t, src)
+	out1 := m1.String()
+	m2 := parseOK(t, out1)
+	out2 := m2.String()
+	if out1 != out2 {
+		t.Fatalf("round trip not stable:\n--- first print ---\n%s\n--- second print ---\n%s", out1, out2)
+	}
+	return m1
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	m := roundTrip(t, `
+int %add1(int %x) {
+entry:
+	%y = add int %x, 1
+	ret int %y
+}
+`)
+	f := m.Func("add1")
+	if f == nil || f.NumInstructions() != 2 {
+		t.Fatal("function not parsed correctly")
+	}
+}
+
+func TestParseLoopWithPhi(t *testing.T) {
+	m := roundTrip(t, `
+int %sum(int %n) {
+entry:
+	br label %loop
+loop:
+	%i = phi int [ 0, %entry ], [ %i2, %loop ]
+	%s = phi int [ 0, %entry ], [ %s2, %loop ]
+	%s2 = add int %s, %i
+	%i2 = add int %i, 1
+	%c = setlt int %i2, %n
+	br bool %c, label %loop, label %exit
+exit:
+	ret int %s2
+}
+`)
+	f := m.Func("sum")
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	phis := f.Blocks[1].Phis()
+	if len(phis) != 2 || phis[0].NumIncoming() != 2 {
+		t.Fatal("phis not parsed")
+	}
+}
+
+func TestParseGlobalsAndTypes(t *testing.T) {
+	m := roundTrip(t, `
+%pair = type { int, float }
+%counter = global int 0
+%table = internal constant [3 x int] [ int 1, int 2, int 3 ]
+%ext = external global double
+%p = global %pair { int 4, float 2.5 }
+
+int %get() {
+entry:
+	%v = load int* %counter
+	ret int %v
+}
+`)
+	pt, ok := m.NamedType("pair")
+	if !ok || pt.Kind() != core.StructKind {
+		t.Fatal("named type missing")
+	}
+	if m.Global("ext") == nil || !m.Global("ext").IsDeclaration() {
+		t.Fatal("external global wrong")
+	}
+	tab := m.Global("table")
+	if tab == nil || !tab.IsConst || tab.Linkage != core.InternalLinkage {
+		t.Fatal("constant table wrong")
+	}
+	arr, ok := tab.Init.(*core.ConstantArray)
+	if !ok || len(arr.Elems) != 3 {
+		t.Fatal("array initializer wrong")
+	}
+}
+
+func TestParseRecursiveType(t *testing.T) {
+	m := roundTrip(t, `
+%list = type { int, %list* }
+
+int %head(%list* %l) {
+entry:
+	%p = getelementptr %list* %l, long 0, ubyte 0
+	%v = load int* %p
+	ret int %v
+}
+`)
+	lt, _ := m.NamedType("list")
+	st := lt.(*core.StructType)
+	if len(st.Fields) != 2 {
+		t.Fatal("recursive struct fields wrong")
+	}
+	inner := st.Fields[1].(*core.PointerType)
+	if inner.Elem != core.Type(st) {
+		t.Fatal("recursion not knotted")
+	}
+}
+
+func TestParseForwardTypeReference(t *testing.T) {
+	// %node referenced before its definition line.
+	m := roundTrip(t, `
+%tree = type { %node*, %node* }
+%node = type { int, %tree }
+
+int %zero(%node* %n) {
+entry:
+	ret int 0
+}
+`)
+	nt, ok := m.NamedType("node")
+	if !ok {
+		t.Fatal("node type missing")
+	}
+	st := nt.(*core.StructType)
+	if len(st.Fields) != 2 {
+		t.Fatalf("node fields = %d", len(st.Fields))
+	}
+}
+
+func TestParseCallsAndDeclarations(t *testing.T) {
+	m := roundTrip(t, `
+declare int %printf(sbyte*, ...)
+%fmt = internal constant [4 x sbyte] c"%d\0A\00"
+
+int %main() {
+entry:
+	%s = getelementptr [4 x sbyte]* %fmt, long 0, long 0
+	%r = call int (sbyte*, ...)* %printf(sbyte* %s, int 42)
+	ret int %r
+}
+`)
+	pf := m.Func("printf")
+	if pf == nil || !pf.IsDeclaration() || !pf.Sig.Variadic {
+		t.Fatal("printf declaration wrong")
+	}
+	if len(pf.Callers()) != 1 {
+		t.Fatal("call site not linked to declaration")
+	}
+}
+
+func TestParseForwardFunctionReference(t *testing.T) {
+	m := roundTrip(t, `
+int %caller() {
+entry:
+	%r = call int %callee(int 7)
+	ret int %r
+}
+
+int %callee(int %x) {
+entry:
+	ret int %x
+}
+`)
+	callee := m.Func("callee")
+	if len(callee.Callers()) != 1 {
+		t.Fatal("forward call not resolved")
+	}
+}
+
+func TestParseInvokeUnwind(t *testing.T) {
+	m := roundTrip(t, `
+declare void %mayThrow()
+declare void %cleanup()
+
+void %tryIt() {
+entry:
+	invoke void %mayThrow() to label %ok unwind to label %ex
+ok:
+	ret void
+ex:
+	call void %cleanup()
+	unwind
+}
+`)
+	f := m.Func("tryIt")
+	inv, ok := f.Entry().Terminator().(*core.InvokeInst)
+	if !ok {
+		t.Fatal("invoke not parsed")
+	}
+	if inv.NormalDest().Name() != "ok" || inv.UnwindDest().Name() != "ex" {
+		t.Fatal("invoke destinations wrong")
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	m := roundTrip(t, `
+int %classify(int %x) {
+entry:
+	switch int %x, label %other [
+		int 0, label %zero
+		int 1, label %one ]
+zero:
+	ret int 100
+one:
+	ret int 200
+other:
+	ret int 300
+}
+`)
+	sw := m.Func("classify").Entry().Terminator().(*core.SwitchInst)
+	if sw.NumCases() != 2 {
+		t.Fatalf("cases = %d", sw.NumCases())
+	}
+	v, d := sw.Case(1)
+	if v.SExt() != 1 || d.Name() != "one" {
+		t.Fatal("case 1 wrong")
+	}
+}
+
+func TestParseMemoryOps(t *testing.T) {
+	m := roundTrip(t, `
+%xty = type { int, float, [4 x short] }
+
+void %memops(long %i) {
+entry:
+	%heap = malloc %xty, uint 10
+	%stack = alloca int
+	store int 5, int* %stack
+	%p = getelementptr %xty* %heap, long %i, ubyte 2, long 1
+	store short 7, short* %p
+	free %xty* %heap
+	ret void
+}
+`)
+	f := m.Func("memops")
+	var sawMalloc, sawGEP, sawFree bool
+	f.ForEachInst(func(inst core.Instruction) bool {
+		switch inst.Opcode() {
+		case core.OpMalloc:
+			sawMalloc = true
+		case core.OpGetElementPtr:
+			sawGEP = true
+		case core.OpFree:
+			sawFree = true
+		}
+		return true
+	})
+	if !sawMalloc || !sawGEP || !sawFree {
+		t.Fatal("memory instructions missing")
+	}
+}
+
+func TestParseCastAndShift(t *testing.T) {
+	roundTrip(t, `
+ulong %bits(int %x) {
+entry:
+	%u = cast int %x to uint
+	%w = cast uint %u to ulong
+	%s = shl ulong %w, ubyte 3
+	%s2 = shr ulong %s, ubyte 1
+	ret ulong %s2
+}
+`)
+}
+
+func TestParseVarArgFunctionDef(t *testing.T) {
+	m := roundTrip(t, `
+int %sumall(int %n, ...) {
+entry:
+	ret int %n
+}
+`)
+	if !m.Func("sumall").Sig.Variadic {
+		t.Fatal("variadic flag lost")
+	}
+}
+
+func TestParseVAArgInst(t *testing.T) {
+	roundTrip(t, `
+int %nextarg(sbyte** %ap) {
+entry:
+	%v = vaarg sbyte** %ap, int
+	ret int %v
+}
+`)
+}
+
+func TestParseConstantExprInitializer(t *testing.T) {
+	m := roundTrip(t, `
+%str = internal constant [6 x sbyte] c"hello\00"
+%strp = global sbyte* getelementptr ([6 x sbyte]* %str, long 0, long 0)
+`)
+	g := m.Global("strp")
+	ce, ok := g.Init.(*core.ConstantExpr)
+	if !ok || ce.Op != core.OpGetElementPtr {
+		t.Fatalf("constant GEP not parsed: %T", g.Init)
+	}
+}
+
+func TestParseFunctionPointerTable(t *testing.T) {
+	// Virtual-function-table style global referencing functions defined later.
+	m := roundTrip(t, `
+%vtable = internal constant [2 x int (int)*] [ int (int)* %m1, int (int)* %m2 ]
+
+int %m1(int %x) {
+entry:
+	ret int %x
+}
+int %m2(int %x) {
+entry:
+	%y = mul int %x, 2
+	ret int %y
+}
+`)
+	vt := m.Global("vtable")
+	arr := vt.Init.(*core.ConstantArray)
+	if arr.Elems[0] != core.Constant(m.Func("m1")) || arr.Elems[1] != core.Constant(m.Func("m2")) {
+		t.Fatal("vtable entries not resolved to functions")
+	}
+}
+
+func TestParseInternalFunction(t *testing.T) {
+	m := roundTrip(t, `
+internal int %helper() {
+entry:
+	ret int 1
+}
+`)
+	if m.Func("helper").Linkage != core.InternalLinkage {
+		t.Fatal("internal linkage lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"unknown opcode", "void %f() {\nentry:\n\tfrob int 1\n\tret void\n}", "unknown opcode"},
+		{"undefined symbol", "void %f() {\nentry:\n\tcall void %nothere()\n\tret void\n}", "undefined symbol"},
+		{"bad type", "void %f(badtype %x) {\nentry:\n\tret void\n}", "unknown type"},
+		{"redefined local", "int %f() {\nentry:\n\t%x = add int 1, 2\n\t%x = add int 3, 4\n\tret int %x\n}", "redefinition"},
+		{"redefined function", "void %f() {\nentry:\n\tret void\n}\nvoid %f() {\nentry:\n\tret void\n}", "redefinition"},
+		{"unterminated", "void %f() {\nentry:\n\tret void\n", "end of input"},
+		{"null for int", "%g = global int null", "non-pointer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseModule("bad", c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got none", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// The C++ exception-handling example from Figure 2 of the paper
+	// (types adapted to this module's declarations).
+	roundTrip(t, `
+%AClass = type { int }
+
+declare void %AClass_ctor(%AClass*)
+declare void %AClass_dtor(%AClass*)
+declare void %func()
+
+void %example() {
+entry:
+	%Obj = alloca %AClass
+	call void %AClass_ctor(%AClass* %Obj)
+	invoke void %func() to label %OkLabel unwind to label %ExceptionLabel
+OkLabel:
+	call void %AClass_dtor(%AClass* %Obj)
+	ret void
+ExceptionLabel:
+	call void %AClass_dtor(%AClass* %Obj)
+	unwind
+}
+`)
+}
+
+func TestParseNumericNamesAndAutoSlots(t *testing.T) {
+	// Values and blocks with numeric (slot) names, as the printer emits for
+	// unnamed values.
+	roundTrip(t, `
+int %f(int %0) {
+1:
+	%2 = add int %0, 1
+	br label %3
+3:
+	ret int %2
+}
+`)
+}
+
+func TestParseStoreThroughGEPExample(t *testing.T) {
+	// The paper's X[i].a = 1 example (§2.2) with field number 2.
+	m := roundTrip(t, `
+%xty = type { double, double, int }
+
+void %setA(%xty* %X, long %i) {
+entry:
+	%p = getelementptr %xty* %X, long %i, ubyte 2
+	store int 1, int* %p
+	ret void
+}
+`)
+	f := m.Func("setA")
+	gep := f.Entry().Instrs[0].(*core.GetElementPtrInst)
+	if gep.Type().String() != "int*" {
+		t.Fatalf("GEP type = %s", gep.Type())
+	}
+}
+
+func TestRoundTripPreservesSemanticsOfBoolOps(t *testing.T) {
+	roundTrip(t, `
+bool %logic(bool %a, bool %b) {
+entry:
+	%x = and bool %a, %b
+	%y = or bool %x, %a
+	%z = xor bool %y, true
+	ret bool %z
+}
+`)
+}
+
+func TestParseRejectsInfiniteSizeType(t *testing.T) {
+	_, err := ParseModule("bad", "%inf = type { int, %inf }\n")
+	if err == nil || !strings.Contains(err.Error(), "contains itself") {
+		t.Fatalf("self-containing struct not rejected: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Golden test: a module exercising every syntactic construct must print to
+// exactly this text (and that text must re-parse to the same fixed point).
+// Guards the printer's stability — the offline representation is a
+// first-class language (§2.5), so its spelling is part of the contract.
+const goldenSource = `; ModuleID = 'golden'
+
+%pair = type { int, float }
+%list = type { int, %list* }
+
+%counter = global int 0
+%table = internal constant [3 x int] [ int 1, int 2, int 3 ]
+%msg = internal constant [6 x sbyte] c"hello\00"
+%msgp = global sbyte* getelementptr ([6 x sbyte]* %msg, long 0, long 0)
+%ext = external global double
+%fp = global int (int)* %work
+
+declare int %printf(sbyte*, ...)
+
+internal int %work(int %x) {
+entry:
+	%p = alloca %pair
+	%f0 = getelementptr %pair* %p, long 0, ubyte 0
+	store int %x, int* %f0
+	%v = load int* %f0
+	%d = cast int %v to double
+	%d2 = mul double %d, 2.5
+	%w = cast double %d2 to int
+	%c = setgt int %w, 10
+	br bool %c, label %big, label %small
+
+big:
+	%n = malloc %list
+	%hd = getelementptr %list* %n, long 0, ubyte 0
+	store int %w, int* %hd
+	free %list* %n
+	ret int %w
+
+small:
+	switch int %w, label %other [
+		int 0, label %zero
+		int 1, label %other ]
+
+zero:
+	%z = phi int [ 5, %small ]
+	ret int %z
+
+other:
+	%sh = shl int %w, 2
+	ret int %sh
+}
+
+int %main() {
+entry:
+	%h = load int (int)** %fp
+	invoke void %thrower() to label %ok unwind to label %ex
+
+ok:
+	%r = call int %h(int 7)
+	%s = getelementptr [6 x sbyte]* %msg, long 0, long 0
+	%0 = call int (sbyte*, ...)* %printf(sbyte* %s, int %r)
+	ret int %r
+
+ex:
+	ret int -1
+}
+
+internal void %thrower() {
+entry:
+	unwind
+}
+`
+
+func TestGoldenPrintStability(t *testing.T) {
+	m, err := ParseModule("golden", goldenSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("golden module invalid: %v", err)
+	}
+	out := m.String()
+	if out != goldenSource {
+		t.Fatalf("printer output drifted from golden text:\n--- got ---\n%s\n--- want ---\n%s", out, goldenSource)
+	}
+}

@@ -1,0 +1,208 @@
+// Package asm parses the textual LLVM 1.x assembly syntax produced by
+// internal/core's printer back into an in-memory Module. Together with the
+// printer and internal/bytecode it realizes the paper's first-class
+// representation property (§2.5): equivalent textual, binary, and in-memory
+// forms with no information loss.
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF      tokKind = iota
+	tokWord             // bare identifier / keyword / opcode
+	tokLocal            // %name or %123
+	tokInt              // integer literal
+	tokFloat            // floating literal
+	tokString           // c"..." constant
+	tokPunct            // single punctuation: = , ( ) [ ] { } * :
+	tokEllipsis         // ...
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokWord:
+		return "word"
+	case tokLocal:
+		return "%name"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokPunct:
+		return "punctuation"
+	case tokEllipsis:
+		return "..."
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string // for %name, the name without the sigil; for strings, decoded bytes
+	line int
+}
+
+// lexer tokenizes assembly text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == ';':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+scan:
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '%':
+		lx.pos++
+		for lx.pos < len(lx.src) && isNameChar(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		if lx.pos == start+1 {
+			return token{}, lx.errf("empty %% name")
+		}
+		return token{kind: tokLocal, text: lx.src[start+1 : lx.pos], line: lx.line}, nil
+
+	case c == 'c' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '"':
+		lx.pos += 2
+		return lx.scanString()
+
+	case isDigit(c) || (c == '-' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1])):
+		return lx.scanNumber()
+
+	case isNameStart(c):
+		for lx.pos < len(lx.src) && isNameChar(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tokWord, text: lx.src[start:lx.pos], line: lx.line}, nil
+
+	case c == '.':
+		if strings.HasPrefix(lx.src[lx.pos:], "...") {
+			lx.pos += 3
+			return token{kind: tokEllipsis, text: "...", line: lx.line}, nil
+		}
+		return token{}, lx.errf("unexpected '.'")
+
+	case strings.IndexByte("=,()[]{}*:", c) >= 0:
+		lx.pos++
+		return token{kind: tokPunct, text: string(c), line: lx.line}, nil
+	}
+	return token{}, lx.errf("unexpected character %q", c)
+}
+
+func (lx *lexer) scanString() (token, error) {
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '"' {
+			lx.pos++
+			return token{kind: tokString, text: b.String(), line: lx.line}, nil
+		}
+		if c == '\\' {
+			if lx.pos+2 >= len(lx.src) {
+				return token{}, lx.errf("truncated escape in string")
+			}
+			hi, lo := hexVal(lx.src[lx.pos+1]), hexVal(lx.src[lx.pos+2])
+			if hi < 0 || lo < 0 {
+				return token{}, lx.errf("bad \\%c%c escape", lx.src[lx.pos+1], lx.src[lx.pos+2])
+			}
+			b.WriteByte(byte(hi<<4 | lo))
+			lx.pos += 3
+			continue
+		}
+		if c == '\n' {
+			return token{}, lx.errf("newline in string")
+		}
+		b.WriteByte(c)
+		lx.pos++
+	}
+	return token{}, lx.errf("unterminated string")
+}
+
+func (lx *lexer) scanNumber() (token, error) {
+	start := lx.pos
+	if lx.src[lx.pos] == '-' {
+		lx.pos++
+	}
+	for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	isFloat := false
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' && !strings.HasPrefix(lx.src[lx.pos:], "...") {
+		isFloat = true
+		lx.pos++
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+	}
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		isFloat = true
+		lx.pos++
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.pos++
+		}
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	return token{kind: kind, text: lx.src[start:lx.pos], line: lx.line}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool { return isNameStart(c) || isDigit(c) || c == '.' }
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

@@ -1,0 +1,362 @@
+package bytecode
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Decode parses a bytecode image back into a Module.
+func Decode(data []byte) (*core.Module, error) {
+	r := &reader{buf: data}
+	var magic [4]byte
+	for i := range magic {
+		b, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		magic[i] = b
+	}
+	if !bytes.Equal(magic[:], Magic[:]) {
+		return nil, fmt.Errorf("bytecode: bad magic %q", magic)
+	}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("bytecode: unsupported version %d", ver)
+	}
+
+	d := &decoder{r: r}
+	return d.run()
+}
+
+type decoder struct {
+	r     *reader
+	strs  []string
+	types []core.Type
+	m     *core.Module
+	// Module-level values: functions then globals, by encoder order.
+	modValues []core.Value
+}
+
+func (d *decoder) run() (*core.Module, error) {
+	// String table.
+	n, err := d.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.r.remaining()) {
+		return nil, ErrTruncated
+	}
+	d.strs = make([]string, n)
+	for i := range d.strs {
+		if d.strs[i], err = d.r.str(); err != nil {
+			return nil, err
+		}
+	}
+	modName, err := d.r.str()
+	if err != nil {
+		return nil, err
+	}
+	d.m = core.NewModule(modName)
+
+	// Types.
+	if d.types, err = readTypeTable(d.r, d.strs); err != nil {
+		return nil, err
+	}
+
+	// Named module types.
+	nNamed, err := d.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nNamed; i++ {
+		nameID, err := d.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		typeID, err := d.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		name, err := lookupString(d.strs, nameID)
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.typeByID(typeID)
+		if err != nil {
+			return nil, err
+		}
+		d.m.AddTypeName(name, t)
+	}
+
+	// Global headers.
+	nGlobals, err := d.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	type gHdr struct {
+		g       *core.GlobalVariable
+		hasInit bool
+	}
+	gHdrs := make([]gHdr, 0, nGlobals)
+	for i := uint64(0); i < nGlobals; i++ {
+		nameID, err := d.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		typeID, err := d.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := d.r.u8()
+		if err != nil {
+			return nil, err
+		}
+		name, err := lookupString(d.strs, nameID)
+		if err != nil {
+			return nil, err
+		}
+		vt, err := d.typeByID(typeID)
+		if err != nil {
+			return nil, err
+		}
+		g := core.NewGlobal(name, vt, nil)
+		g.IsConst = flags&flagConst != 0
+		if flags&flagInternal != 0 {
+			g.Linkage = core.InternalLinkage
+		}
+		gHdrs = append(gHdrs, gHdr{g, flags&flagHasInit != 0})
+	}
+
+	// Function headers.
+	nFuncs, err := d.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	type fHdr struct {
+		f       *core.Function
+		hasBody bool
+	}
+	fHdrs := make([]fHdr, 0, nFuncs)
+	for i := uint64(0); i < nFuncs; i++ {
+		nameID, err := d.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		typeID, err := d.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := d.r.u8()
+		if err != nil {
+			return nil, err
+		}
+		name, err := lookupString(d.strs, nameID)
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.typeByID(typeID)
+		if err != nil {
+			return nil, err
+		}
+		sig, ok := t.(*core.FunctionType)
+		if !ok {
+			return nil, fmt.Errorf("bytecode: function %q has non-function type %s", name, t)
+		}
+		f := core.NewFunction(name, sig)
+		if flags&flagInternal != 0 {
+			f.Linkage = core.InternalLinkage
+		}
+		fHdrs = append(fHdrs, fHdr{f, flags&flagHasInit != 0})
+	}
+
+	// Register module values in encoder order: functions then globals.
+	for _, fh := range fHdrs {
+		d.m.AddFunc(fh.f)
+		d.modValues = append(d.modValues, fh.f)
+	}
+	for _, gh := range gHdrs {
+		d.m.AddGlobal(gh.g)
+	}
+	for _, gh := range gHdrs {
+		d.modValues = append(d.modValues, gh.g)
+	}
+
+	// Global initializers.
+	for _, gh := range gHdrs {
+		if gh.hasInit {
+			c, err := d.readConstant()
+			if err != nil {
+				return nil, err
+			}
+			gh.g.Init = c
+		}
+	}
+
+	// Function bodies.
+	for _, fh := range fHdrs {
+		if fh.hasBody {
+			if err := d.readFunctionBody(fh.f); err != nil {
+				return nil, fmt.Errorf("function %%%s: %w", fh.f.Name(), err)
+			}
+		}
+	}
+	return d.m, nil
+}
+
+func (d *decoder) typeByID(id uint64) (core.Type, error) {
+	if id >= uint64(len(d.types)) {
+		return nil, fmt.Errorf("bytecode: type id %d out of range", id)
+	}
+	return d.types[id], nil
+}
+
+func (d *decoder) readConstant() (core.Constant, error) {
+	kind, err := d.r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case ckModRef:
+		id, err := d.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id >= uint64(len(d.modValues)) {
+			return nil, fmt.Errorf("bytecode: module value id %d out of range", id)
+		}
+		return d.modValues[id].(core.Constant), nil
+	case ckInt:
+		t, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.r.svarint()
+		if err != nil {
+			return nil, err
+		}
+		if !core.IsInteger(t) {
+			return nil, fmt.Errorf("bytecode: int constant of type %s", t)
+		}
+		return core.NewInt(t, v), nil
+	case ckFloat:
+		t, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.r.f64()
+		if err != nil {
+			return nil, err
+		}
+		if !core.IsFloatingPoint(t) {
+			return nil, fmt.Errorf("bytecode: float constant of type %s", t)
+		}
+		return core.NewFloat(t, v), nil
+	case ckBool:
+		b, err := d.r.u8()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBool(b != 0), nil
+	case ckNull:
+		t, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		pt, ok := t.(*core.PointerType)
+		if !ok {
+			return nil, fmt.Errorf("bytecode: null constant of type %s", t)
+		}
+		return core.NewNull(pt), nil
+	case ckUndef:
+		t, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewUndef(t), nil
+	case ckZero:
+		t, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewZero(t), nil
+	case ckArray:
+		t, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		at, ok := t.(*core.ArrayType)
+		if !ok {
+			return nil, fmt.Errorf("bytecode: array constant of type %s", t)
+		}
+		elems := make([]core.Constant, at.Len)
+		for i := range elems {
+			if elems[i], err = d.readConstant(); err != nil {
+				return nil, err
+			}
+		}
+		return core.NewArrayConst(at.Elem, elems), nil
+	case ckStruct:
+		t, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		st, ok := t.(*core.StructType)
+		if !ok {
+			return nil, fmt.Errorf("bytecode: struct constant of type %s", t)
+		}
+		fields := make([]core.Constant, len(st.Fields))
+		for i := range fields {
+			if fields[i], err = d.readConstant(); err != nil {
+				return nil, err
+			}
+		}
+		return core.NewStructConst(st, fields), nil
+	case ckExprCast:
+		t, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.readConstant()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewConstCast(v, t), nil
+	case ckExprGEP:
+		n, err := d.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		base, err := d.readConstant()
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]core.Constant, n)
+		for i := range idx {
+			if idx[i], err = d.readConstant(); err != nil {
+				return nil, err
+			}
+		}
+		ivals := make([]core.Value, len(idx))
+		for i, x := range idx {
+			ivals[i] = x
+		}
+		if _, err := core.GEPResultType(base.Type(), ivals); err != nil {
+			return nil, fmt.Errorf("bytecode: %w", err)
+		}
+		return core.NewConstGEP(base, idx...), nil
+	}
+	return nil, fmt.Errorf("bytecode: bad constant kind %d", kind)
+}
+
+func (d *decoder) readType() (core.Type, error) {
+	id, err := d.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return d.typeByID(id)
+}

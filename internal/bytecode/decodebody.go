@@ -1,0 +1,580 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// bodyDecoder holds per-function decode state.
+type bodyDecoder struct {
+	d      *decoder
+	f      *core.Function
+	blocks []*core.BasicBlock
+	values []core.Value
+	fwd    map[uint64]*core.Placeholder
+}
+
+func (d *decoder) readFunctionBody(f *core.Function) error {
+	bd := &bodyDecoder{d: d, f: f, fwd: map[uint64]*core.Placeholder{}}
+
+	nBlocks, err := d.r.uvarint()
+	if err != nil {
+		return err
+	}
+	if nBlocks > uint64(d.r.remaining())+1 {
+		return ErrTruncated
+	}
+	bd.blocks = make([]*core.BasicBlock, nBlocks)
+	for i := range bd.blocks {
+		bd.blocks[i] = core.NewBlock("")
+		f.AddBlock(bd.blocks[i])
+	}
+
+	// Constant pool.
+	nPool, err := d.r.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nPool; i++ {
+		c, err := d.readConstant()
+		if err != nil {
+			return err
+		}
+		bd.values = append(bd.values, c)
+	}
+	for _, a := range f.Args {
+		bd.values = append(bd.values, a)
+	}
+
+	// Block instruction counts.
+	counts := make([]uint64, nBlocks)
+	for i := range counts {
+		if counts[i], err = d.r.uvarint(); err != nil {
+			return err
+		}
+	}
+
+	// Instructions.
+	for bi, blk := range bd.blocks {
+		for k := uint64(0); k < counts[bi]; k++ {
+			inst, err := bd.readInstruction()
+			if err != nil {
+				return err
+			}
+			blk.Append(inst)
+			bd.values = append(bd.values, inst)
+		}
+	}
+
+	// Resolve forward references.
+	for id, ph := range bd.fwd {
+		if id >= uint64(len(bd.values)) {
+			return fmt.Errorf("bytecode: forward value id %d never defined", id)
+		}
+		core.ReplaceAllUses(ph, bd.values[id])
+	}
+
+	// Symbol tables.
+	nNamed, err := d.r.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nNamed; i++ {
+		vid, err := d.r.uvarint()
+		if err != nil {
+			return err
+		}
+		sid, err := d.r.uvarint()
+		if err != nil {
+			return err
+		}
+		name, err := lookupString(d.strs, sid)
+		if err != nil {
+			return err
+		}
+		if vid >= uint64(len(bd.values)) {
+			return fmt.Errorf("bytecode: symbol value id %d out of range", vid)
+		}
+		bd.values[vid].SetName(name)
+	}
+	nNamedBlocks, err := d.r.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nNamedBlocks; i++ {
+		bid, err := d.r.uvarint()
+		if err != nil {
+			return err
+		}
+		sid, err := d.r.uvarint()
+		if err != nil {
+			return err
+		}
+		name, err := lookupString(d.strs, sid)
+		if err != nil {
+			return err
+		}
+		if bid >= uint64(len(bd.blocks)) {
+			return fmt.Errorf("bytecode: symbol block id %d out of range", bid)
+		}
+		bd.blocks[bid].SetName(name)
+	}
+	return nil
+}
+
+// value resolves a value id, creating a typed placeholder for forward refs.
+func (bd *bodyDecoder) value(id uint64, t core.Type) (core.Value, error) {
+	if id < uint64(len(bd.values)) {
+		return bd.values[id], nil
+	}
+	if ph, ok := bd.fwd[id]; ok {
+		return ph, nil
+	}
+	if t == nil {
+		return nil, fmt.Errorf("bytecode: untyped forward reference to value %d", id)
+	}
+	ph := core.NewPlaceholder(fmt.Sprintf("fwd.%d", id), t)
+	bd.fwd[id] = ph
+	return ph, nil
+}
+
+// definedValue resolves a value id that must already be defined (compact
+// encoding guarantees backward references).
+func (bd *bodyDecoder) definedValue(id uint64) (core.Value, error) {
+	if id >= uint64(len(bd.values)) {
+		return nil, fmt.Errorf("bytecode: compact operand %d is a forward reference", id)
+	}
+	return bd.values[id], nil
+}
+
+func (bd *bodyDecoder) block(id uint64) (*core.BasicBlock, error) {
+	if id >= uint64(len(bd.blocks)) {
+		return nil, fmt.Errorf("bytecode: block id %d out of range", id)
+	}
+	return bd.blocks[id], nil
+}
+
+// typedOperand reads (type id, value id).
+func (bd *bodyDecoder) typedOperand() (core.Value, error) {
+	t, err := bd.d.readType()
+	if err != nil {
+		return nil, err
+	}
+	id, err := bd.d.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return bd.value(id, t)
+}
+
+func (bd *bodyDecoder) readInstruction() (core.Instruction, error) {
+	first, err := bd.d.r.peek()
+	if err != nil {
+		return nil, err
+	}
+	if first&0x80 != 0 {
+		return bd.readEscape()
+	}
+	return bd.readCompact()
+}
+
+func (bd *bodyDecoder) readCompact() (core.Instruction, error) {
+	word, err := bd.d.r.u32()
+	if err != nil {
+		return nil, err
+	}
+	op := core.Opcode(word >> 26)
+	typeID := uint64(word >> 17 & 0x1FF)
+	op1 := uint64(word >> 9 & 0xFF)
+	op2 := uint64(word & 0x1FF)
+
+	t, err := bd.d.typeByID(typeID)
+	if err != nil {
+		return nil, err
+	}
+	getOp := func(id uint64) (core.Value, error) { return bd.definedValue(id) }
+
+	switch op {
+	case core.OpRet:
+		if op1 == noOp1 {
+			return core.NewRet(nil), nil
+		}
+		v, err := getOp(op1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewRet(v), nil
+	case core.OpBr:
+		blk, err := bd.block(op1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBr(blk), nil
+	case core.OpUnwind:
+		return core.NewUnwind(), nil
+	case core.OpMalloc, core.OpAlloca:
+		var n core.Value
+		if op1 != noOp1 {
+			if n, err = getOp(op1); err != nil {
+				return nil, err
+			}
+		}
+		if op == core.OpMalloc {
+			return core.NewMalloc(t, n), nil
+		}
+		return core.NewAlloca(t, n), nil
+	case core.OpFree:
+		p, err := getOp(op1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFree(p), nil
+	case core.OpLoad:
+		p, err := getOp(op1)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type().Kind() != core.PointerKind {
+			return nil, fmt.Errorf("bytecode: load of non-pointer")
+		}
+		return core.NewLoad(p), nil
+	case core.OpStore:
+		v, err := getOp(op1)
+		if err != nil {
+			return nil, err
+		}
+		p, err := getOp(op2)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewStore(v, p), nil
+	case core.OpCast:
+		v, err := getOp(op1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCast(v, t), nil
+	case core.OpVAArg:
+		v, err := getOp(op1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewVAArg(v, t), nil
+	}
+	if core.IsBinaryOp(op) || core.IsComparisonOp(op) {
+		lhs, err := getOp(op1)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := getOp(op2)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBinary(op, lhs, rhs), nil
+	}
+	return nil, fmt.Errorf("bytecode: opcode %s not valid in compact form", op)
+}
+
+func (bd *bodyDecoder) readEscape() (core.Instruction, error) {
+	b, err := bd.d.r.u8()
+	if err != nil {
+		return nil, err
+	}
+	op := core.Opcode(b & 0x7F)
+	r := bd.d.r
+
+	switch {
+	case op == core.OpRet:
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if has == 0 {
+			return core.NewRet(nil), nil
+		}
+		v, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewRet(v), nil
+
+	case op == core.OpBr:
+		cond, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if cond == 0 {
+			bid, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			blk, err := bd.block(bid)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewBr(blk), nil
+		}
+		c, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		tid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		fid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		tb, err := bd.block(tid)
+		if err != nil {
+			return nil, err
+		}
+		fb, err := bd.block(fid)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCondBr(c, tb, fb), nil
+
+	case op == core.OpSwitch:
+		v, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		defID, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		def, err := bd.block(defID)
+		if err != nil {
+			return nil, err
+		}
+		sw := core.NewSwitch(v, def)
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			cid, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			bidv, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			cv, err := bd.definedValue(cid)
+			if err != nil {
+				return nil, err
+			}
+			ci, ok := cv.(*core.ConstantInt)
+			if !ok {
+				return nil, fmt.Errorf("bytecode: switch case is not an integer constant")
+			}
+			blk, err := bd.block(bidv)
+			if err != nil {
+				return nil, err
+			}
+			sw.AddCase(ci, blk)
+		}
+		return sw, nil
+
+	case op == core.OpInvoke, op == core.OpCall:
+		callee, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		if core.CalleeFunctionType(callee) == nil {
+			return nil, fmt.Errorf("bytecode: callee is not a function pointer")
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.remaining())+1 {
+			return nil, ErrTruncated
+		}
+		args := make([]core.Value, n)
+		for i := range args {
+			if args[i], err = bd.typedOperand(); err != nil {
+				return nil, err
+			}
+		}
+		if op == core.OpCall {
+			return core.NewCall(callee, args...), nil
+		}
+		nid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		uid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nb, err := bd.block(nid)
+		if err != nil {
+			return nil, err
+		}
+		ub, err := bd.block(uid)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewInvoke(callee, args, nb, ub), nil
+
+	case op == core.OpUnwind:
+		return core.NewUnwind(), nil
+
+	case core.IsBinaryOp(op) || core.IsComparisonOp(op):
+		t, err := bd.d.readType()
+		if err != nil {
+			return nil, err
+		}
+		lid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rid, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		lhs, err := bd.value(lid, t)
+		if err != nil {
+			return nil, err
+		}
+		rt := t
+		if op == core.OpShl || op == core.OpShr {
+			rt = core.UByteType
+		}
+		rhs, err := bd.value(rid, rt)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBinary(op, lhs, rhs), nil
+
+	case op == core.OpMalloc, op == core.OpAlloca:
+		t, err := bd.d.readType()
+		if err != nil {
+			return nil, err
+		}
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		var n core.Value
+		if has != 0 {
+			if n, err = bd.typedOperand(); err != nil {
+				return nil, err
+			}
+		}
+		if op == core.OpMalloc {
+			return core.NewMalloc(t, n), nil
+		}
+		return core.NewAlloca(t, n), nil
+
+	case op == core.OpFree:
+		p, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFree(p), nil
+
+	case op == core.OpLoad:
+		p, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		if p.Type().Kind() != core.PointerKind {
+			return nil, fmt.Errorf("bytecode: load of non-pointer")
+		}
+		return core.NewLoad(p), nil
+
+	case op == core.OpStore:
+		v, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		p, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewStore(v, p), nil
+
+	case op == core.OpGetElementPtr:
+		base, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.remaining())+1 {
+			return nil, ErrTruncated
+		}
+		idx := make([]core.Value, n)
+		for i := range idx {
+			if idx[i], err = bd.typedOperand(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := core.GEPResultType(base.Type(), idx); err != nil {
+			return nil, fmt.Errorf("bytecode: %w", err)
+		}
+		return core.NewGEP(base, idx...), nil
+
+	case op == core.OpPhi:
+		t, err := bd.d.readType()
+		if err != nil {
+			return nil, err
+		}
+		phi := core.NewPhi(t)
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			vid, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			bid, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			v, err := bd.value(vid, t)
+			if err != nil {
+				return nil, err
+			}
+			blk, err := bd.block(bid)
+			if err != nil {
+				return nil, err
+			}
+			phi.AddIncoming(v, blk)
+		}
+		return phi, nil
+
+	case op == core.OpCast:
+		t, err := bd.d.readType()
+		if err != nil {
+			return nil, err
+		}
+		v, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCast(v, t), nil
+
+	case op == core.OpVAArg:
+		t, err := bd.d.readType()
+		if err != nil {
+			return nil, err
+		}
+		v, err := bd.typedOperand()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewVAArg(v, t), nil
+	}
+	return nil, fmt.Errorf("bytecode: bad escape opcode %d", op)
+}

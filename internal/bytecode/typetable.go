@@ -1,0 +1,301 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Primitive types occupy fixed slots 0..12 in every type table; derived
+// types are numbered from firstDerivedType in order of first use.
+const firstDerivedType = 13
+
+var primBySlot = []core.Type{
+	core.VoidType, core.BoolType,
+	core.SByteType, core.UByteType, core.ShortType, core.UShortType,
+	core.IntType, core.UIntType, core.LongType, core.ULongType,
+	core.FloatType, core.DoubleType, core.LabelType,
+}
+
+// Derived-type record kinds.
+const (
+	tkPointer byte = iota
+	tkArray
+	tkStruct
+	tkFunction
+	tkOpaque
+)
+
+// typeTable assigns dense ids to every type reachable from a module.
+type typeTable struct {
+	ids     map[core.Type]uint64
+	derived []core.Type
+}
+
+func newTypeTable() *typeTable {
+	tt := &typeTable{ids: map[core.Type]uint64{}}
+	for i, t := range primBySlot {
+		tt.ids[t] = uint64(i)
+	}
+	return tt
+}
+
+// id returns the id for t, registering it (and its components) on first use.
+func (tt *typeTable) id(t core.Type) uint64 {
+	if id, ok := tt.ids[t]; ok {
+		return id
+	}
+	if pt, ok := t.(*core.PrimitiveType); ok {
+		// Distinct pointer instances of primitives can't occur (singletons),
+		// but guard against hand-built ones.
+		for i, p := range primBySlot {
+			if p.Kind() == pt.Kind() {
+				return uint64(i)
+			}
+		}
+	}
+	// Register the shell first so recursive types terminate.
+	id := uint64(firstDerivedType + len(tt.derived))
+	tt.ids[t] = id
+	tt.derived = append(tt.derived, t)
+	// Force registration of components.
+	switch tp := t.(type) {
+	case *core.PointerType:
+		tt.id(tp.Elem)
+	case *core.ArrayType:
+		tt.id(tp.Elem)
+	case *core.StructType:
+		for _, f := range tp.Fields {
+			tt.id(f)
+		}
+	case *core.FunctionType:
+		tt.id(tp.Ret)
+		for _, p := range tp.Params {
+			tt.id(p)
+		}
+	}
+	return id
+}
+
+// write emits the derived-type records. Component references use type ids,
+// which may point forward (recursive types); the decoder patches in a
+// second pass.
+func (tt *typeTable) write(w *writer, strs *stringTable) {
+	w.uvarint(uint64(len(tt.derived)))
+	for _, t := range tt.derived {
+		switch tp := t.(type) {
+		case *core.PointerType:
+			w.u8(tkPointer)
+			w.uvarint(tt.ids[tp.Elem])
+		case *core.ArrayType:
+			w.u8(tkArray)
+			w.uvarint(uint64(tp.Len))
+			w.uvarint(tt.ids[tp.Elem])
+		case *core.StructType:
+			w.u8(tkStruct)
+			w.uvarint(strs.id(tp.Name))
+			w.uvarint(uint64(len(tp.Fields)))
+			for _, f := range tp.Fields {
+				w.uvarint(tt.ids[f])
+			}
+		case *core.FunctionType:
+			w.u8(tkFunction)
+			w.uvarint(tt.ids[tp.Ret])
+			w.uvarint(uint64(len(tp.Params)))
+			for _, pr := range tp.Params {
+				w.uvarint(tt.ids[pr])
+			}
+			if tp.Variadic {
+				w.u8(1)
+			} else {
+				w.u8(0)
+			}
+		case *core.OpaqueType:
+			w.u8(tkOpaque)
+			w.uvarint(strs.id(tp.Name))
+		default:
+			panic(fmt.Sprintf("bytecode: cannot encode type %T", t))
+		}
+	}
+}
+
+// readTypeTable decodes the derived types in two passes: shells first so
+// recursive references resolve, then payloads.
+func readTypeTable(r *reader, strs []string) ([]core.Type, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, ErrTruncated
+	}
+	types := make([]core.Type, firstDerivedType+int(n))
+	copy(types, primBySlot)
+
+	type rawType struct {
+		kind   byte
+		name   string
+		length uint64
+		refs   []uint64
+		vararg bool
+	}
+	raws := make([]rawType, n)
+	for i := range raws {
+		k, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		raws[i].kind = k
+		switch k {
+		case tkPointer:
+			e, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			raws[i].refs = []uint64{e}
+			types[firstDerivedType+i] = &core.PointerType{}
+		case tkArray:
+			l, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			raws[i].length = l
+			raws[i].refs = []uint64{e}
+			types[firstDerivedType+i] = &core.ArrayType{Len: int(l)}
+		case tkStruct:
+			nameID, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			nf, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if nf > uint64(r.remaining())+1 {
+				return nil, ErrTruncated
+			}
+			refs := make([]uint64, nf)
+			for j := range refs {
+				if refs[j], err = r.uvarint(); err != nil {
+					return nil, err
+				}
+			}
+			name, err := lookupString(strs, nameID)
+			if err != nil {
+				return nil, err
+			}
+			raws[i].name = name
+			raws[i].refs = refs
+			types[firstDerivedType+i] = &core.StructType{Name: name}
+		case tkFunction:
+			ret, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			np, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if np > uint64(r.remaining())+1 {
+				return nil, ErrTruncated
+			}
+			refs := make([]uint64, 0, np+1)
+			refs = append(refs, ret)
+			for j := uint64(0); j < np; j++ {
+				p, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				refs = append(refs, p)
+			}
+			va, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			raws[i].refs = refs
+			raws[i].vararg = va != 0
+			types[firstDerivedType+i] = &core.FunctionType{Variadic: va != 0}
+		case tkOpaque:
+			nameID, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			name, err := lookupString(strs, nameID)
+			if err != nil {
+				return nil, err
+			}
+			types[firstDerivedType+i] = &core.OpaqueType{Name: name}
+		default:
+			return nil, fmt.Errorf("bytecode: bad type kind %d", k)
+		}
+	}
+	// Second pass: patch component references.
+	lookup := func(id uint64) (core.Type, error) {
+		if id >= uint64(len(types)) {
+			return nil, fmt.Errorf("bytecode: type id %d out of range", id)
+		}
+		return types[id], nil
+	}
+	for i, raw := range raws {
+		t := types[firstDerivedType+i]
+		switch raw.kind {
+		case tkPointer:
+			e, err := lookup(raw.refs[0])
+			if err != nil {
+				return nil, err
+			}
+			t.(*core.PointerType).Elem = e
+		case tkArray:
+			e, err := lookup(raw.refs[0])
+			if err != nil {
+				return nil, err
+			}
+			t.(*core.ArrayType).Elem = e
+		case tkStruct:
+			st := t.(*core.StructType)
+			st.Fields = make([]core.Type, len(raw.refs))
+			for j, ref := range raw.refs {
+				f, err := lookup(ref)
+				if err != nil {
+					return nil, err
+				}
+				st.Fields[j] = f
+			}
+		case tkFunction:
+			ft := t.(*core.FunctionType)
+			ret, err := lookup(raw.refs[0])
+			if err != nil {
+				return nil, err
+			}
+			ft.Ret = ret
+			ft.Params = make([]core.Type, len(raw.refs)-1)
+			for j, ref := range raw.refs[1:] {
+				p, err := lookup(ref)
+				if err != nil {
+					return nil, err
+				}
+				ft.Params[j] = p
+			}
+		}
+	}
+	// Reject malformed graphs (self-referential function types, pointer
+	// cycles without a named struct, infinite-size structs): they would
+	// hang printing or layout computation downstream.
+	for i := firstDerivedType; i < len(types); i++ {
+		if err := core.ValidateTypeGraph(types[i]); err != nil {
+			return nil, fmt.Errorf("bytecode: %w", err)
+		}
+	}
+	return types, nil
+}
+
+func lookupString(strs []string, id uint64) (string, error) {
+	if id >= uint64(len(strs)) {
+		return "", fmt.Errorf("bytecode: string id %d out of range", id)
+	}
+	return strs[id], nil
+}

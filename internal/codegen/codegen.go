@@ -1,0 +1,151 @@
+package codegen
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Image is a generated executable: header, symbol table, code, and data,
+// mirroring what the paper measures as on-disk executable size (Figure 5).
+type Image struct {
+	Target    string
+	Code      []byte
+	Data      []byte
+	FuncSizes map[string]int
+	symBytes  int
+}
+
+// imageHeaderSize approximates the fixed object-format overhead.
+const imageHeaderSize = 64
+
+// Size returns the total image size in bytes.
+func (im *Image) Size() int {
+	return imageHeaderSize + im.symBytes + len(im.Code) + len(im.Data)
+}
+
+// Bytes returns a flattened byte image (header zeroes + code + data); the
+// symbol table is accounted in Size but carried implicitly.
+func (im *Image) Bytes() []byte {
+	out := make([]byte, 0, im.Size())
+	out = append(out, make([]byte, imageHeaderSize)...)
+	out = append(out, im.Code...)
+	out = append(out, im.Data...)
+	return out
+}
+
+// CompileFunction lowers, register-allocates, and encodes one function.
+func CompileFunction(f *core.Function, t Target) []byte {
+	mf := LowerFunction(f)
+	Allocate(mf, t.NumRegs())
+	var out []byte
+	out = append(out, t.Prologue(mf.FrameSize)...)
+	for _, b := range mf.Blocks {
+		for _, in := range b.Instrs {
+			out = append(out, t.Encode(in)...)
+		}
+	}
+	out = append(out, t.Epilogue()...)
+	return out
+}
+
+// CompileModule produces a whole-program image for the target.
+func CompileModule(m *core.Module, t Target) *Image {
+	im := &Image{Target: t.Name(), FuncSizes: map[string]int{}}
+	// Deterministic order.
+	funcs := append([]*core.Function(nil), m.Funcs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Name() < funcs[j].Name() })
+	for _, f := range funcs {
+		if f.IsDeclaration() {
+			im.symBytes += len(f.Name()) + 13 // undefined-symbol entry
+			continue
+		}
+		code := CompileFunction(f, t)
+		im.FuncSizes[f.Name()] = len(code)
+		im.Code = append(im.Code, code...)
+		im.symBytes += len(f.Name()) + 13
+	}
+	for _, g := range m.Globals {
+		im.symBytes += len(g.Name()) + 13
+		if g.IsDeclaration() {
+			continue
+		}
+		// Zero-initialized objects live in .bss and occupy no file bytes,
+		// as in a real object format.
+		if isAllZero(g.Init) {
+			continue
+		}
+		size := core.SizeOf(g.ValueType)
+		buf := make([]byte, size)
+		fillConstant(buf, g.Init, g.ValueType)
+		im.Data = append(im.Data, buf...)
+	}
+	return im
+}
+
+// isAllZero reports whether a constant is entirely zero bits.
+func isAllZero(c core.Constant) bool {
+	switch cc := c.(type) {
+	case nil:
+		return true
+	case *core.ConstantZero, *core.ConstantUndef, *core.ConstantNull:
+		return true
+	case *core.ConstantInt:
+		return cc.Val == 0
+	case *core.ConstantFloat:
+		return cc.Val == 0
+	case *core.ConstantBool:
+		return !cc.Val
+	case *core.ConstantArray:
+		for _, e := range cc.Elems {
+			if !isAllZero(e) {
+				return false
+			}
+		}
+		return true
+	case *core.ConstantStruct:
+		for _, f := range cc.Fields {
+			if !isAllZero(f) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// fillConstant serializes a constant into buf (best-effort; relocated
+// pointers render as zero words, as in a real object file before fixups).
+func fillConstant(buf []byte, c core.Constant, t core.Type) {
+	if c == nil {
+		return
+	}
+	switch cc := c.(type) {
+	case *core.ConstantInt:
+		putLE(buf, cc.Val, core.SizeOf(t))
+	case *core.ConstantFloat:
+		putLE(buf, uint64(int64(cc.Val)), core.SizeOf(t))
+	case *core.ConstantBool:
+		if cc.Val {
+			buf[0] = 1
+		}
+	case *core.ConstantArray:
+		at := t.(*core.ArrayType)
+		esz := core.SizeOf(at.Elem)
+		for i, e := range cc.Elems {
+			fillConstant(buf[i*esz:], e, at.Elem)
+		}
+	case *core.ConstantStruct:
+		st := t.(*core.StructType)
+		for i, f := range cc.Fields {
+			off := core.FieldOffset(st, i)
+			fillConstant(buf[off:], f, st.Fields[i])
+		}
+	}
+}
+
+func putLE(buf []byte, v uint64, n int) {
+	for i := 0; i < n && i < len(buf); i++ {
+		buf[i] = byte(v >> (8 * uint(i)))
+	}
+}

@@ -1,0 +1,392 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// lowerer translates one IR function to machine IR with virtual registers.
+type lowerer struct {
+	fn       *core.Function
+	mf       *MFunction
+	blockIdx map[*core.BasicBlock]int
+	vregs    map[core.Value]VReg
+	cur      *MBlock
+	frameOff int
+}
+
+// LowerFunction produces the machine IR for f (virtual registers, no
+// register allocation yet).
+func LowerFunction(f *core.Function) *MFunction {
+	lo := &lowerer{
+		fn:       f,
+		mf:       &MFunction{Name: f.Name()},
+		blockIdx: map[*core.BasicBlock]int{},
+		vregs:    map[core.Value]VReg{},
+	}
+	for i, b := range f.Blocks {
+		lo.blockIdx[b] = i
+		lo.mf.Blocks = append(lo.mf.Blocks, &MBlock{})
+	}
+	// Arguments arrive in registers/stack; materialize as vregs.
+	lo.cur = lo.mf.Blocks[0]
+	for i, a := range f.Args {
+		r := lo.vregFor(a)
+		lo.emit(MInstr{Op: MArgIn, Dst: r, Imm: int64(i)})
+	}
+
+	// Bodies (without terminators).
+	for i, b := range f.Blocks {
+		lo.cur = lo.mf.Blocks[i]
+		for _, inst := range b.Instrs {
+			if inst.IsTerminator() {
+				continue
+			}
+			lo.lowerInst(inst)
+		}
+	}
+	// Phi copies at the end of predecessors.
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			dst := lo.vregFor(phi)
+			for n := 0; n < phi.NumIncoming(); n++ {
+				v, pred := phi.Incoming(n)
+				lo.cur = lo.mf.Blocks[lo.blockIdx[pred]]
+				src := lo.useValue(v)
+				lo.emit(MInstr{Op: MMov, Dst: dst, Src1: src, Float: core.IsFloatingPoint(phi.Type())})
+			}
+		}
+	}
+	// Terminators.
+	for i, b := range f.Blocks {
+		lo.cur = lo.mf.Blocks[i]
+		lo.lowerTerminator(b.Terminator())
+	}
+	lo.mf.FrameSize = lo.frameOff
+	return lo.mf
+}
+
+// MArgIn is declared here to keep the MOp list in mir.go focused; it moves
+// the Imm'th incoming argument into Dst.
+const MArgIn MOp = 100
+
+func (lo *lowerer) emit(i MInstr) { lo.cur.Instrs = append(lo.cur.Instrs, i) }
+
+func (lo *lowerer) newVReg() VReg {
+	r := VReg(lo.mf.NumVRegs)
+	lo.mf.NumVRegs++
+	return r
+}
+
+func (lo *lowerer) vregFor(v core.Value) VReg {
+	if r, ok := lo.vregs[v]; ok {
+		return r
+	}
+	r := lo.newVReg()
+	lo.vregs[v] = r
+	return r
+}
+
+// useValue returns a vreg holding v, materializing constants.
+func (lo *lowerer) useValue(v core.Value) VReg {
+	switch c := v.(type) {
+	case *core.ConstantInt:
+		r := lo.newVReg()
+		lo.emit(MInstr{Op: MImm, Dst: r, Imm: c.SExt()})
+		return r
+	case *core.ConstantBool:
+		r := lo.newVReg()
+		imm := int64(0)
+		if c.Val {
+			imm = 1
+		}
+		lo.emit(MInstr{Op: MImm, Dst: r, Imm: imm})
+		return r
+	case *core.ConstantFloat:
+		r := lo.newVReg()
+		lo.emit(MInstr{Op: MImm, Dst: r, Imm: int64(floatImmBits(c)), Float: true})
+		return r
+	case *core.ConstantNull, *core.ConstantUndef, *core.ConstantZero:
+		r := lo.newVReg()
+		lo.emit(MInstr{Op: MImm, Dst: r, Imm: 0})
+		return r
+	case *core.GlobalVariable:
+		r := lo.newVReg()
+		lo.emit(MInstr{Op: MLea, Dst: r, Sym: c.Name()})
+		return r
+	case *core.Function:
+		r := lo.newVReg()
+		lo.emit(MInstr{Op: MLea, Dst: r, Sym: c.Name()})
+		return r
+	case *core.ConstantExpr:
+		return lo.lowerConstExpr(c)
+	default:
+		return lo.vregFor(v)
+	}
+}
+
+func floatImmBits(c *core.ConstantFloat) uint64 {
+	// Encoders only need the payload width; pass the IEEE bits.
+	return uint64(int64(c.Val)) // representative bits; size driven by type
+}
+
+func (lo *lowerer) lowerConstExpr(c *core.ConstantExpr) VReg {
+	switch c.Op {
+	case core.OpCast:
+		return lo.useValue(c.Operand(0))
+	case core.OpGetElementPtr:
+		base := lo.useValue(c.Operand(0))
+		return lo.lowerGEPPath(base, c.Operand(0).Type(), c.Operands()[1:])
+	}
+	r := lo.newVReg()
+	lo.emit(MInstr{Op: MImm, Dst: r, Imm: 0})
+	return r
+}
+
+// lowerGEPPath emits address arithmetic for a GEP index path.
+func (lo *lowerer) lowerGEPPath(base VReg, baseType core.Type, indices []core.Value) VReg {
+	cur := baseType.(*core.PointerType).Elem
+	addr := base
+	constOff := int64(0)
+	addConst := func(n int64) { constOff += n }
+	addScaled := func(idx core.Value, scale int64) {
+		iv := lo.useValue(idx)
+		sc := lo.newVReg()
+		lo.emit(MInstr{Op: MImm, Dst: sc, Imm: scale})
+		prod := lo.newVReg()
+		lo.emit(MInstr{Op: MALU, Dst: prod, Src1: iv, Src2: sc, ALU: AMul})
+		next := lo.newVReg()
+		lo.emit(MInstr{Op: MALU, Dst: next, Src1: addr, Src2: prod, ALU: AAdd})
+		addr = next
+	}
+	for k, idx := range indices {
+		if k == 0 {
+			sz := int64(core.SizeOf(cur))
+			if ci, ok := idx.(*core.ConstantInt); ok {
+				addConst(ci.SExt() * sz)
+			} else {
+				addScaled(idx, sz)
+			}
+			continue
+		}
+		switch ct := cur.(type) {
+		case *core.StructType:
+			f := int(idx.(*core.ConstantInt).SExt())
+			addConst(int64(core.FieldOffset(ct, f)))
+			cur = ct.Fields[f]
+		case *core.ArrayType:
+			sz := int64(core.SizeOf(ct.Elem))
+			if ci, ok := idx.(*core.ConstantInt); ok {
+				addConst(ci.SExt() * sz)
+			} else {
+				addScaled(idx, sz)
+			}
+			cur = ct.Elem
+		}
+	}
+	if constOff != 0 {
+		co := lo.newVReg()
+		lo.emit(MInstr{Op: MImm, Dst: co, Imm: constOff})
+		next := lo.newVReg()
+		lo.emit(MInstr{Op: MALU, Dst: next, Src1: addr, Src2: co, ALU: AAdd})
+		addr = next
+	}
+	return addr
+}
+
+var aluFor = map[core.Opcode]ALUOp{
+	core.OpAdd: AAdd, core.OpSub: ASub, core.OpMul: AMul,
+	core.OpDiv: ADiv, core.OpRem: ARem,
+	core.OpAnd: AAnd, core.OpOr: AOr, core.OpXor: AXor,
+	core.OpShl: AShl,
+}
+
+func condFor(op core.Opcode, signed bool) Cond {
+	switch op {
+	case core.OpSetEQ:
+		return CEq
+	case core.OpSetNE:
+		return CNe
+	case core.OpSetLT:
+		if signed {
+			return CLt
+		}
+		return CULt
+	case core.OpSetGT:
+		if signed {
+			return CGt
+		}
+		return CUGt
+	case core.OpSetLE:
+		if signed {
+			return CLe
+		}
+		return CULe
+	default:
+		if signed {
+			return CGe
+		}
+		return CUGe
+	}
+}
+
+func (lo *lowerer) lowerInst(inst core.Instruction) {
+	switch i := inst.(type) {
+	case *core.PhiInst:
+		// Handled by the phi-copy phase; ensure the vreg exists.
+		lo.vregFor(i)
+
+	case *core.BinaryInst:
+		t := i.LHS().Type()
+		a, b := lo.useValue(i.LHS()), lo.useValue(i.RHS())
+		dst := lo.vregFor(i)
+		if core.IsComparisonOp(i.Opcode()) {
+			lo.emit(MInstr{Op: MCmp, Dst: dst, Src1: a, Src2: b,
+				Cond: condFor(i.Opcode(), core.IsSigned(t)), Float: core.IsFloatingPoint(t)})
+			return
+		}
+		alu := aluFor[i.Opcode()]
+		if i.Opcode() == core.OpShr {
+			if core.IsSigned(t) {
+				alu = AShrA
+			} else {
+				alu = AShrL
+			}
+		}
+		lo.emit(MInstr{Op: MALU, Dst: dst, Src1: a, Src2: b, ALU: alu, Float: core.IsFloatingPoint(t)})
+
+	case *core.MallocInst:
+		size := lo.allocSizeVReg(i.AllocType, i.NumElems())
+		lo.emit(MInstr{Op: MArg, Src1: size, Imm: 0})
+		lo.emit(MInstr{Op: MCall, Dst: lo.vregFor(i), Sym: "malloc", Imm: 1})
+
+	case *core.FreeInst:
+		p := lo.useValue(i.Ptr())
+		lo.emit(MInstr{Op: MArg, Src1: p, Imm: 0})
+		lo.emit(MInstr{Op: MCall, Dst: NoReg, Sym: "free", Imm: 1})
+
+	case *core.AllocaInst:
+		if i.NumElems() == nil {
+			// Static alloca: a fixed frame slot.
+			sz := core.SizeOf(i.AllocType)
+			lo.frameOff = align8(lo.frameOff) + align8(sz)
+			lo.emit(MInstr{Op: MFrame, Dst: lo.vregFor(i), Imm: int64(-lo.frameOff)})
+			return
+		}
+		size := lo.allocSizeVReg(i.AllocType, i.NumElems())
+		lo.emit(MInstr{Op: MAllocaOp, Dst: lo.vregFor(i), Src1: size})
+
+	case *core.LoadInst:
+		p := lo.useValue(i.Ptr())
+		lo.emit(MInstr{Op: MLoad, Dst: lo.vregFor(i), Src1: p,
+			Size: core.SizeOf(i.Type()), Float: core.IsFloatingPoint(i.Type())})
+
+	case *core.StoreInst:
+		v := lo.useValue(i.Val())
+		p := lo.useValue(i.Ptr())
+		lo.emit(MInstr{Op: MStore, Src1: v, Src2: p,
+			Size: core.SizeOf(i.Val().Type()), Float: core.IsFloatingPoint(i.Val().Type())})
+
+	case *core.GetElementPtrInst:
+		base := lo.useValue(i.Base())
+		addr := lo.lowerGEPPath(base, i.Base().Type(), i.Indices())
+		// Bind the GEP's vreg to the computed address via a move (keeps
+		// one-def-per-vreg for the simple allocator).
+		lo.emit(MInstr{Op: MMov, Dst: lo.vregFor(i), Src1: addr})
+
+	case *core.CastInst:
+		src := lo.useValue(i.Val())
+		dst := lo.vregFor(i)
+		// Same-size integer/pointer casts are free moves; width changes
+		// and int<->float conversions are a conversion-flavored move the
+		// encoders charge appropriately.
+		lo.emit(MInstr{Op: MMov, Dst: dst, Src1: src,
+			Float: core.IsFloatingPoint(i.Type()) != core.IsFloatingPoint(i.Val().Type()),
+			Size:  core.SizeOf(i.Type())})
+
+	case *core.CallInst:
+		lo.lowerCall(i, i.Callee(), i.Args())
+
+	case *core.VAArgInst:
+		// va_arg loads through the list pointer and bumps it.
+		p := lo.useValue(i.List())
+		lo.emit(MInstr{Op: MLoad, Dst: lo.vregFor(i), Src1: p, Size: 8})
+
+	default:
+		panic(fmt.Sprintf("codegen: cannot lower %s", inst.Opcode()))
+	}
+}
+
+func (lo *lowerer) allocSizeVReg(t core.Type, numElems core.Value) VReg {
+	szReg := lo.newVReg()
+	lo.emit(MInstr{Op: MImm, Dst: szReg, Imm: int64(core.SizeOf(t))})
+	if numElems == nil {
+		return szReg
+	}
+	n := lo.useValue(numElems)
+	total := lo.newVReg()
+	lo.emit(MInstr{Op: MALU, Dst: total, Src1: szReg, Src2: n, ALU: AMul})
+	return total
+}
+
+func (lo *lowerer) lowerCall(result core.Instruction, callee core.Value, args []core.Value) {
+	for k, a := range args {
+		v := lo.useValue(a)
+		lo.emit(MInstr{Op: MArg, Src1: v, Imm: int64(k)})
+	}
+	dst := NoReg
+	if result.Type() != core.VoidType {
+		dst = lo.vregFor(result)
+	}
+	if f, ok := callee.(*core.Function); ok {
+		lo.emit(MInstr{Op: MCall, Dst: dst, Sym: f.Name(), Imm: int64(len(args))})
+		return
+	}
+	c := lo.useValue(callee)
+	lo.emit(MInstr{Op: MCallInd, Dst: dst, Src1: c, Imm: int64(len(args))})
+}
+
+func (lo *lowerer) lowerTerminator(inst core.Instruction) {
+	switch i := inst.(type) {
+	case *core.RetInst:
+		if i.Value() == nil {
+			lo.emit(MInstr{Op: MRet, Src1: NoReg})
+		} else {
+			v := lo.useValue(i.Value())
+			lo.emit(MInstr{Op: MRet, Src1: v})
+		}
+	case *core.BranchInst:
+		if !i.IsConditional() {
+			lo.emit(MInstr{Op: MJmp, Target: lo.blockIdx[i.TrueDest()]})
+			return
+		}
+		c := lo.useValue(i.Cond())
+		lo.emit(MInstr{Op: MBr, Src1: c,
+			Target: lo.blockIdx[i.TrueDest()], Target2: lo.blockIdx[i.FalseDest()]})
+	case *core.SwitchInst:
+		// Compare-and-branch chain.
+		v := lo.useValue(i.Value())
+		for n := 0; n < i.NumCases(); n++ {
+			cv, dest := i.Case(n)
+			cr := lo.newVReg()
+			lo.emit(MInstr{Op: MImm, Dst: cr, Imm: cv.SExt()})
+			fl := lo.newVReg()
+			lo.emit(MInstr{Op: MCmp, Dst: fl, Src1: v, Src2: cr, Cond: CEq})
+			// Branch-taken to the case, fall through to the next test.
+			lo.emit(MInstr{Op: MBr, Src1: fl, Target: lo.blockIdx[dest], Target2: -1})
+		}
+		lo.emit(MInstr{Op: MJmp, Target: lo.blockIdx[i.Default()]})
+	case *core.InvokeInst:
+		lo.emit(MInstr{Op: MEHPush, Target: lo.blockIdx[i.UnwindDest()]})
+		lo.lowerCall(i, i.Callee(), i.Args())
+		lo.emit(MInstr{Op: MEHPop})
+		lo.emit(MInstr{Op: MJmp, Target: lo.blockIdx[i.NormalDest()]})
+	case *core.UnwindInst:
+		lo.emit(MInstr{Op: MUnwind})
+	default:
+		panic(fmt.Sprintf("codegen: bad terminator %v", inst))
+	}
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }

@@ -1,0 +1,126 @@
+// Package codegen translates IR modules to native code images for two
+// synthetic targets that stand in for the paper's X86 and SPARC back-ends
+// (Figure 5): CISC-86, a variable-length two-address machine with 8
+// registers and memory operands, and RISC-V9, a fixed 32-bit-word
+// load/store machine with 32 registers whose large constants take
+// multi-instruction sequences. Lowering, phi elimination, and local
+// register allocation are shared; only the binary encoders differ, so size
+// comparisons reflect the instruction-set mechanics the paper measures.
+package codegen
+
+import "fmt"
+
+// VReg is a virtual register number (assigned during lowering); after
+// register allocation operands carry physical register numbers.
+type VReg int
+
+// NoReg marks an absent operand.
+const NoReg VReg = -1
+
+// MOp enumerates machine-IR operations.
+type MOp int
+
+// Machine-IR opcodes.
+const (
+	MNop      MOp = iota
+	MImm          // dst <- Imm
+	MMov          // dst <- src1
+	MALU          // dst <- src1 op src2 (ALUOp; float if Float)
+	MCmp          // dst <- (src1 cond src2) ? 1 : 0
+	MLoad         // dst <- [src1 + Imm] (Size bytes)
+	MStore        // [src2 + Imm] <- src1 (Size bytes)
+	MLea          // dst <- address of Sym
+	MFrame        // dst <- frame pointer + Imm (spill slots, allocas)
+	MArg          // pass src1 as argument #Imm
+	MCall         // direct call Sym; dst <- result (if any)
+	MCallInd      // indirect call through src1
+	MRet          // return src1 (or nothing if src1 == NoReg)
+	MJmp          // jump Target
+	MBr           // branch on src1: true -> Target, false -> Target2
+	MEHPush       // install unwind handler Target (invoke prologue)
+	MEHPop        // remove unwind handler (normal path of invoke)
+	MUnwind       // unwind the stack
+	MAllocaOp     // dst <- allocate src1 bytes in frame (dynamic)
+)
+
+// ALUOp distinguishes MALU operations.
+type ALUOp int
+
+// ALU operations (shift right has separate arithmetic/logical forms).
+const (
+	AAdd ALUOp = iota
+	ASub
+	AMul
+	ADiv
+	ARem
+	AAnd
+	AOr
+	AXor
+	AShl
+	AShrA // arithmetic
+	AShrL // logical
+)
+
+// Cond is a comparison condition.
+type Cond int
+
+// Comparison conditions; unsigned forms are separate so encoders can pick
+// the correct condition codes.
+const (
+	CEq Cond = iota
+	CNe
+	CLt
+	CGt
+	CLe
+	CGe
+	CULt
+	CUGt
+	CULe
+	CUGe
+)
+
+// MInstr is one machine instruction (before or after register allocation).
+type MInstr struct {
+	Op      MOp
+	Dst     VReg
+	Src1    VReg
+	Src2    VReg
+	Imm     int64
+	Size    int // memory access size in bytes
+	Float   bool
+	ALU     ALUOp
+	Cond    Cond
+	Sym     string
+	Target  int // block index
+	Target2 int
+}
+
+func (i MInstr) String() string {
+	return fmt.Sprintf("{%d dst=%d s1=%d s2=%d imm=%d sym=%q t=%d}", i.Op, i.Dst, i.Src1, i.Src2, i.Imm, i.Sym, i.Target)
+}
+
+// MBlock is a machine basic block.
+type MBlock struct {
+	Instrs []MInstr
+}
+
+// MFunction is a lowered function.
+type MFunction struct {
+	Name      string
+	Blocks    []*MBlock
+	NumVRegs  int
+	FrameSize int // bytes of fixed frame (allocas + spill slots)
+}
+
+// Target is a binary encoder for one machine.
+type Target interface {
+	Name() string
+	// NumRegs is the number of allocatable registers.
+	NumRegs() int
+	// Encode returns the instruction's machine-code bytes. Operands hold
+	// physical register numbers after allocation.
+	Encode(i MInstr) []byte
+	// Prologue and Epilogue bytes for a function with the given frame size.
+	Prologue(frameSize int) []byte
+	Epilogue() []byte
+}

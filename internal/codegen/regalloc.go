@@ -1,0 +1,265 @@
+package codegen
+
+// Local (per-block) register allocation with LRU eviction. Every virtual
+// register owns an 8-byte frame slot assigned lazily; values live in
+// physical registers inside a block and are flushed to their slots at block
+// boundaries and around calls (a caller-saved world). Fewer physical
+// registers therefore cost extra spill loads and stores — the mechanism
+// that differentiates the 8-register CISC target from the 32-register RISC
+// target in code size.
+
+// Allocate rewrites mf in place, replacing virtual register numbers with
+// physical ones (0..K-1) and inserting spill code. It updates FrameSize.
+func Allocate(mf *MFunction, numRegs int) {
+	a := &allocator{
+		mf:    mf,
+		k:     numRegs,
+		slot:  map[VReg]int{},
+		inReg: map[VReg]int{},
+		uses:  map[VReg]int{},
+	}
+	// Use counts and block-locality: a dirty register holding a purely
+	// block-local value (all uses in its defining block) with no remaining
+	// uses never needs to be spilled. Values visible to other blocks must
+	// always reach their slot (they may be re-read around the loop).
+	defBlock := map[VReg]int{}
+	local := map[VReg]bool{}
+	for bi, b := range mf.Blocks {
+		for _, in := range b.Instrs {
+			if definesDst(in.Op) && in.Dst != NoReg {
+				defBlock[in.Dst] = bi
+				local[in.Dst] = true
+			}
+		}
+	}
+	for bi, b := range mf.Blocks {
+		for _, in := range b.Instrs {
+			note := func(v VReg) {
+				a.uses[v]++
+				if db, ok := defBlock[v]; !ok || db != bi {
+					local[v] = false
+				}
+			}
+			if usesSrc1(in.Op) && in.Src1 != NoReg && in.Src1 != framePtr {
+				note(in.Src1)
+			}
+			if usesSrc2(in.Op) && in.Src2 != NoReg {
+				note(in.Src2)
+			}
+		}
+	}
+	a.local = local
+	for _, b := range mf.Blocks {
+		a.runBlock(b)
+	}
+	mf.FrameSize = a.frameOff
+}
+
+type allocator struct {
+	mf       *MFunction
+	k        int
+	frameOff int
+	slot     map[VReg]int  // vreg -> frame offset (negative)
+	uses     map[VReg]int  // remaining use count per vreg
+	local    map[VReg]bool // all uses in the defining block
+
+	// Per-block state.
+	regVal  []VReg       // physical reg -> vreg (NoReg if free)
+	inReg   map[VReg]int // vreg -> physical reg
+	dirty   []bool
+	lastUse []int64
+	clock   int64
+	out     []MInstr
+}
+
+func (a *allocator) slotOf(v VReg) int {
+	if off, ok := a.slot[v]; ok {
+		return off
+	}
+	a.frameOff = align8(a.frameOff) + 8
+	// Spill slots sit below the fixed frame allocated during lowering.
+	off := -(a.mf.FrameSize + a.frameOff)
+	a.slot[v] = off
+	return off
+}
+
+func (a *allocator) resetBlock() {
+	a.regVal = make([]VReg, a.k)
+	for i := range a.regVal {
+		a.regVal[i] = NoReg
+	}
+	a.dirty = make([]bool, a.k)
+	a.lastUse = make([]int64, a.k)
+	a.inReg = map[VReg]int{}
+	a.out = nil
+}
+
+// touch refreshes the LRU stamp.
+func (a *allocator) touch(phys int) {
+	a.clock++
+	a.lastUse[phys] = a.clock
+}
+
+// evict frees one physical register, spilling if dirty.
+func (a *allocator) evict(except map[int]bool) int {
+	best, bestT := -1, int64(1<<62)
+	for p := 0; p < a.k; p++ {
+		if except[p] {
+			continue
+		}
+		if a.regVal[p] == NoReg {
+			return p
+		}
+		if a.lastUse[p] < bestT {
+			best, bestT = p, a.lastUse[p]
+		}
+	}
+	a.spill(best)
+	return best
+}
+
+func (a *allocator) spill(p int) {
+	v := a.regVal[p]
+	if v != NoReg {
+		if a.dirty[p] && (a.uses[v] > 0 || !a.local[v]) {
+			a.out = append(a.out, MInstr{Op: MStore, Src1: VReg(p), Src2: framePtr, Imm: int64(a.slotOf(v)), Size: 8})
+		}
+		delete(a.inReg, v)
+		a.regVal[p] = NoReg
+		a.dirty[p] = false
+	}
+}
+
+// framePtr is a pseudo register operand meaning "the frame pointer"; the
+// encoders special-case it.
+const framePtr VReg = -2
+
+// use brings a vreg into a physical register (loading from its slot if it
+// is not resident) and returns the physical number.
+func (a *allocator) use(v VReg, except map[int]bool) int {
+	if p, ok := a.inReg[v]; ok {
+		a.touch(p)
+		return p
+	}
+	p := a.evict(except)
+	a.out = append(a.out, MInstr{Op: MLoad, Dst: VReg(p), Src1: framePtr, Imm: int64(a.slotOf(v)), Size: 8})
+	a.regVal[p] = v
+	a.inReg[v] = p
+	a.dirty[p] = false
+	a.touch(p)
+	return p
+}
+
+// def allocates a physical register for a fresh definition.
+func (a *allocator) def(v VReg, except map[int]bool) int {
+	if p, ok := a.inReg[v]; ok {
+		a.dirty[p] = true
+		a.touch(p)
+		return p
+	}
+	p := a.evict(except)
+	a.regVal[p] = v
+	a.inReg[v] = p
+	a.dirty[p] = true
+	a.touch(p)
+	return p
+}
+
+// flushAll spills every dirty register (block boundaries, calls).
+func (a *allocator) flushAll() {
+	for p := 0; p < a.k; p++ {
+		a.spill(p)
+	}
+}
+
+func isTerminatorM(op MOp) bool {
+	switch op {
+	case MJmp, MBr, MRet, MUnwind:
+		return true
+	}
+	return false
+}
+
+func (a *allocator) runBlock(b *MBlock) {
+	a.resetBlock()
+	for _, in := range b.Instrs {
+		except := map[int]bool{}
+		ni := in
+
+		// Sources first.
+		if in.Src1 != NoReg && in.Src1 != framePtr && usesSrc1(in.Op) {
+			p := a.use(in.Src1, except)
+			except[p] = true
+			ni.Src1 = VReg(p)
+			a.uses[in.Src1]--
+		}
+		if in.Src2 != NoReg && usesSrc2(in.Op) {
+			p := a.use(in.Src2, except)
+			except[p] = true
+			ni.Src2 = VReg(p)
+			a.uses[in.Src2]--
+		}
+
+		// Calls clobber everything: flush before, so live values survive
+		// in their slots; the result is defined after.
+		if in.Op == MCall || in.Op == MCallInd {
+			a.flushAll()
+			// Re-pin the indirect callee (flushed above): reload.
+			if in.Op == MCallInd {
+				p := a.use(in.Src1, map[int]bool{})
+				ni.Src1 = VReg(p)
+			}
+		}
+
+		// Terminators end the block: flush dirty registers first so other
+		// blocks can reload from slots.
+		if isTerminatorM(in.Op) {
+			// Keep the branch condition / return value register pinned.
+			keep := -1
+			if ni.Src1 != NoReg && usesSrc1(in.Op) {
+				keep = int(ni.Src1)
+			}
+			for p := 0; p < a.k; p++ {
+				if p != keep {
+					a.spill(p)
+				}
+			}
+			a.out = append(a.out, ni)
+			continue
+		}
+
+		// Destination.
+		if in.Dst != NoReg && definesDst(in.Op) {
+			p := a.def(in.Dst, except)
+			ni.Dst = VReg(p)
+		}
+		a.out = append(a.out, ni)
+	}
+	// Blocks that end without an explicit terminator (cannot happen for
+	// verified IR) would still flush here.
+	b.Instrs = a.out
+}
+
+func usesSrc1(op MOp) bool {
+	switch op {
+	case MMov, MALU, MCmp, MLoad, MStore, MArg, MCallInd, MRet, MBr, MAllocaOp:
+		return true
+	}
+	return false
+}
+
+func usesSrc2(op MOp) bool {
+	switch op {
+	case MALU, MCmp, MStore:
+		return true
+	}
+	return false
+}
+
+func definesDst(op MOp) bool {
+	switch op {
+	case MImm, MMov, MALU, MCmp, MLoad, MLea, MFrame, MCall, MCallInd, MAllocaOp, MArgIn:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package core
+
+import "fmt"
+
+// CloneBlocks deep-copies the body of src. vmap seeds the value remapping
+// (typically src arguments to replacement values); it is extended with
+// every cloned block and instruction, so the caller can look up the clone
+// of any original value afterwards. The returned blocks are detached; the
+// caller inserts them into a function.
+//
+// Operands not present in vmap and not defined inside src (constants,
+// globals, functions) are shared, not copied.
+func CloneBlocks(src *Function, vmap map[Value]Value) []*BasicBlock {
+	clones := make([]*BasicBlock, len(src.Blocks))
+	for i, b := range src.Blocks {
+		nb := NewBlock(b.Name())
+		clones[i] = nb
+		vmap[b] = nb
+	}
+	// Forward references (phis, and branches to later blocks are already
+	// mapped) are patched through placeholders.
+	pending := map[Value]*Placeholder{}
+	lookup := func(v Value) Value {
+		if v == nil {
+			return nil
+		}
+		if mv, ok := vmap[v]; ok {
+			return mv
+		}
+		// Values defined inside src must be remapped; placeholders cover
+		// instructions not yet cloned.
+		if inst, ok := v.(Instruction); ok && inst.Parent() != nil && inst.Parent().Parent() == src {
+			if ph, ok := pending[v]; ok {
+				return ph
+			}
+			ph := NewPlaceholder(v.Name(), v.Type())
+			pending[v] = ph
+			return ph
+		}
+		return v // constant, global, argument of another function, ...
+	}
+
+	for i, b := range src.Blocks {
+		nb := clones[i]
+		for _, inst := range b.Instrs {
+			ni := cloneInstruction(inst, lookup)
+			ni.SetName(inst.Name())
+			nb.Append(ni)
+			vmap[inst] = ni
+		}
+	}
+	// Resolve placeholders now that every instruction has a clone.
+	for orig, ph := range pending {
+		ReplaceAllUses(ph, vmap[orig])
+	}
+	return clones
+}
+
+// cloneInstruction copies one instruction, remapping operands with lookup.
+func cloneInstruction(inst Instruction, lookup func(Value) Value) Instruction {
+	switch i := inst.(type) {
+	case *RetInst:
+		return NewRet(lookup(i.Value()))
+	case *BranchInst:
+		if i.IsConditional() {
+			return NewCondBr(lookup(i.Cond()), lookup(i.TrueDest()).(*BasicBlock), lookup(i.FalseDest()).(*BasicBlock))
+		}
+		return NewBr(lookup(i.TrueDest()).(*BasicBlock))
+	case *SwitchInst:
+		sw := NewSwitch(lookup(i.Value()), lookup(i.Default()).(*BasicBlock))
+		for n := 0; n < i.NumCases(); n++ {
+			v, d := i.Case(n)
+			sw.AddCase(v, lookup(d).(*BasicBlock))
+		}
+		return sw
+	case *InvokeInst:
+		args := make([]Value, len(i.Args()))
+		for k, a := range i.Args() {
+			args[k] = lookup(a)
+		}
+		return NewInvoke(lookup(i.Callee()), args, lookup(i.NormalDest()).(*BasicBlock), lookup(i.UnwindDest()).(*BasicBlock))
+	case *UnwindInst:
+		return NewUnwind()
+	case *BinaryInst:
+		return NewBinary(i.Opcode(), lookup(i.LHS()), lookup(i.RHS()))
+	case *MallocInst:
+		return NewMalloc(i.AllocType, lookup(i.NumElems()))
+	case *AllocaInst:
+		return NewAlloca(i.AllocType, lookup(i.NumElems()))
+	case *FreeInst:
+		return NewFree(lookup(i.Ptr()))
+	case *LoadInst:
+		return NewLoad(lookup(i.Ptr()))
+	case *StoreInst:
+		return NewStore(lookup(i.Val()), lookup(i.Ptr()))
+	case *GetElementPtrInst:
+		idx := make([]Value, len(i.Indices()))
+		for k, ix := range i.Indices() {
+			idx[k] = lookup(ix)
+		}
+		return NewGEP(lookup(i.Base()), idx...)
+	case *PhiInst:
+		phi := NewPhi(i.Type())
+		for n := 0; n < i.NumIncoming(); n++ {
+			v, b := i.Incoming(n)
+			phi.AddIncoming(lookup(v), lookup(b).(*BasicBlock))
+		}
+		return phi
+	case *CastInst:
+		return NewCast(lookup(i.Val()), i.Type())
+	case *CallInst:
+		args := make([]Value, len(i.Args()))
+		for k, a := range i.Args() {
+			args[k] = lookup(a)
+		}
+		return NewCall(lookup(i.Callee()), args...)
+	case *VAArgInst:
+		return NewVAArg(lookup(i.List()), i.Type())
+	}
+	panic(fmt.Sprintf("core.CloneBlocks: unhandled instruction %T", inst))
+}
+
+// CloneFunction returns a complete copy of f (same signature) named name.
+// The clone is detached from any module.
+func CloneFunction(f *Function, name string) *Function {
+	nf := NewFunction(name, f.Sig)
+	nf.Linkage = f.Linkage
+	vmap := map[Value]Value{}
+	for i, a := range f.Args {
+		nf.Args[i].SetName(a.Name())
+		vmap[a] = nf.Args[i]
+	}
+	for _, b := range CloneBlocks(f, vmap) {
+		nf.AddBlock(b)
+	}
+	return nf
+}

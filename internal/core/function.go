@@ -1,0 +1,211 @@
+package core
+
+// Linkage describes symbol visibility at link time. Internal symbols can be
+// eliminated or transformed aggressively by the link-time optimizer because
+// no other module can reference them.
+type Linkage int
+
+// Linkage kinds.
+const (
+	ExternalLinkage Linkage = iota
+	InternalLinkage
+)
+
+// String returns the assembly keyword for the linkage ("" for external).
+func (l Linkage) String() string {
+	if l == InternalLinkage {
+		return "internal"
+	}
+	return ""
+}
+
+// Argument is a formal parameter of a Function.
+type Argument struct {
+	valueBase
+	parent *Function
+	index  int
+}
+
+// Parent returns the function owning the argument.
+func (a *Argument) Parent() *Function { return a.parent }
+
+// Index returns the argument's position.
+func (a *Argument) Index() int { return a.index }
+
+// Function is a global function: a signature plus (for definitions) a list
+// of basic blocks, the first of which is the entry block. A Function value
+// has pointer-to-function type, so it can be used directly as a call or
+// invoke callee and stored in memory like any other pointer.
+type Function struct {
+	valueBase
+	parent  *Module
+	Sig     *FunctionType
+	Linkage Linkage
+	Args    []*Argument
+	Blocks  []*BasicBlock
+}
+
+// NewFunction creates a detached function with the given name and
+// signature; arguments are created unnamed.
+func NewFunction(name string, sig *FunctionType) *Function {
+	f := &Function{Sig: sig}
+	f.name = name
+	f.typ = NewPointer(sig)
+	for i := range sig.Params {
+		a := &Argument{parent: f, index: i}
+		a.typ = sig.Params[i]
+		f.Args = append(f.Args, a)
+	}
+	return f
+}
+
+// Parent returns the module containing the function, or nil.
+func (f *Function) Parent() *Module { return f.parent }
+
+// IsDeclaration reports whether the function has no body (an external
+// declaration to be resolved at link time).
+func (f *Function) IsDeclaration() bool { return len(f.Blocks) == 0 }
+
+// Entry returns the entry basic block, or nil for declarations.
+func (f *Function) Entry() *BasicBlock {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// AddBlock appends a block to the function.
+func (f *Function) AddBlock(b *BasicBlock) {
+	b.parent = f
+	f.Blocks = append(f.Blocks, b)
+}
+
+// InsertBlockAfter inserts nb immediately after mark.
+func (f *Function) InsertBlockAfter(nb, mark *BasicBlock) {
+	nb.parent = f
+	for i, b := range f.Blocks {
+		if b == mark {
+			f.Blocks = append(f.Blocks, nil)
+			copy(f.Blocks[i+2:], f.Blocks[i+1:])
+			f.Blocks[i+1] = nb
+			return
+		}
+	}
+	panic("core.InsertBlockAfter: mark not in function")
+}
+
+// RemoveBlock unlinks b from the function. The caller is responsible for
+// fixing any dangling references (phis, branches).
+func (f *Function) RemoveBlock(b *BasicBlock) {
+	for i, x := range f.Blocks {
+		if x == b {
+			copy(f.Blocks[i:], f.Blocks[i+1:])
+			f.Blocks = f.Blocks[:len(f.Blocks)-1]
+			b.parent = nil
+			return
+		}
+	}
+}
+
+// EraseBlock unlinks b and drops all operand uses of its instructions.
+func (f *Function) EraseBlock(b *BasicBlock) {
+	for _, inst := range b.Instrs {
+		DropOperands(inst)
+	}
+	b.Instrs = nil
+	f.RemoveBlock(b)
+}
+
+// NumInstructions returns the total instruction count across all blocks.
+func (f *Function) NumInstructions() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// ForEachInst invokes fn on every instruction in block order; if fn returns
+// false iteration stops.
+func (f *Function) ForEachInst(fn func(Instruction) bool) {
+	for _, b := range f.Blocks {
+		for _, inst := range b.Instrs {
+			if !fn(inst) {
+				return
+			}
+		}
+	}
+}
+
+// HasAddressTaken reports whether the function's address escapes: it is
+// referenced by something other than the callee slot of a direct call or
+// invoke. Functions whose address is taken can be called indirectly, so
+// interprocedural transforms must be conservative about them.
+func (f *Function) HasAddressTaken() bool {
+	for _, u := range f.uses {
+		switch inst := u.User.(type) {
+		case *CallInst:
+			if u.Index != 0 {
+				return true
+			}
+			_ = inst
+		case *InvokeInst:
+			if u.Index != 0 {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Callers returns the direct call/invoke sites targeting f.
+func (f *Function) Callers() []Instruction {
+	var out []Instruction
+	for _, u := range f.uses {
+		switch inst := u.User.(type) {
+		case *CallInst:
+			if u.Index == 0 {
+				out = append(out, inst)
+			}
+		case *InvokeInst:
+			if u.Index == 0 {
+				out = append(out, inst)
+			}
+		}
+	}
+	return out
+}
+
+// GlobalVariable is a module-level memory object. Per the paper's unified
+// memory model (§2.3), the global's *symbol* denotes the address of the
+// object, so the value's type is a pointer to ValueType.
+type GlobalVariable struct {
+	valueBase
+	parent    *Module
+	ValueType Type
+	Init      Constant // nil for external declarations
+	IsConst   bool
+	Linkage   Linkage
+}
+
+// NewGlobal creates a detached global variable definition.
+func NewGlobal(name string, valueType Type, init Constant) *GlobalVariable {
+	g := &GlobalVariable{ValueType: valueType, Init: init}
+	g.name = name
+	g.typ = NewPointer(valueType)
+	return g
+}
+
+// Parent returns the module containing the global, or nil.
+func (g *GlobalVariable) Parent() *Module { return g.parent }
+
+// IsDeclaration reports whether the global has no initializer.
+func (g *GlobalVariable) IsDeclaration() bool { return g.Init == nil }
+
+// Functions and global variables are constants: their value is a
+// compile-time-known address, so they may appear in global initializers and
+// constant expressions (like LLVM's GlobalValue).
+func (f *Function) isConstant()       {}
+func (g *GlobalVariable) isConstant() {}

@@ -1,0 +1,174 @@
+package core
+
+import "fmt"
+
+// Module is a translation unit: named types, global variables, and
+// functions. Modules are the unit of separate compilation; the linker
+// merges them (preserving the representation for later stages, per the
+// paper's lifelong-compilation model).
+type Module struct {
+	Name string
+
+	// TypeNames maps %name to its type, in declaration order for printing.
+	typeNames    map[string]Type
+	typeOrder    []string
+	Globals      []*GlobalVariable
+	Funcs        []*Function
+	globalByName map[string]*GlobalVariable
+	funcByName   map[string]*Function
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:         name,
+		typeNames:    map[string]Type{},
+		globalByName: map[string]*GlobalVariable{},
+		funcByName:   map[string]*Function{},
+	}
+}
+
+// AddTypeName registers "%name = type ..." in the module's symbol table.
+// If the type is an unnamed struct it becomes named.
+func (m *Module) AddTypeName(name string, t Type) {
+	if _, dup := m.typeNames[name]; !dup {
+		m.typeOrder = append(m.typeOrder, name)
+	}
+	m.typeNames[name] = t
+	if st, ok := t.(*StructType); ok && st.Name == "" {
+		st.Name = name
+	}
+}
+
+// NamedType looks up a type by name.
+func (m *Module) NamedType(name string) (Type, bool) {
+	t, ok := m.typeNames[name]
+	return t, ok
+}
+
+// TypeNames returns the registered type names in declaration order.
+func (m *Module) TypeNames() []string { return m.typeOrder }
+
+// RemoveTypeName deletes a named type entry (dead type elimination).
+func (m *Module) RemoveTypeName(name string) {
+	if _, ok := m.typeNames[name]; !ok {
+		return
+	}
+	delete(m.typeNames, name)
+	for i, n := range m.typeOrder {
+		if n == name {
+			m.typeOrder = append(m.typeOrder[:i], m.typeOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// AddGlobal inserts g into the module. The name must be unique among
+// globals and functions.
+func (m *Module) AddGlobal(g *GlobalVariable) {
+	if m.globalByName[g.Name()] != nil || m.funcByName[g.Name()] != nil {
+		panic(fmt.Sprintf("core: duplicate global symbol %%%s", g.Name()))
+	}
+	g.parent = m
+	m.Globals = append(m.Globals, g)
+	m.globalByName[g.Name()] = g
+}
+
+// AddFunc inserts f into the module. The name must be unique among globals
+// and functions.
+func (m *Module) AddFunc(f *Function) {
+	if m.globalByName[f.Name()] != nil || m.funcByName[f.Name()] != nil {
+		panic(fmt.Sprintf("core: duplicate function symbol %%%s", f.Name()))
+	}
+	f.parent = m
+	m.Funcs = append(m.Funcs, f)
+	m.funcByName[f.Name()] = f
+}
+
+// Global looks up a global variable by name.
+func (m *Module) Global(name string) *GlobalVariable { return m.globalByName[name] }
+
+// Func looks up a function by name.
+func (m *Module) Func(name string) *Function { return m.funcByName[name] }
+
+// RemoveGlobal unlinks g from the module; its uses must already be gone.
+func (m *Module) RemoveGlobal(g *GlobalVariable) {
+	for i, x := range m.Globals {
+		if x == g {
+			m.Globals = append(m.Globals[:i], m.Globals[i+1:]...)
+			delete(m.globalByName, g.Name())
+			g.parent = nil
+			return
+		}
+	}
+}
+
+// RemoveFunc unlinks f from the module; its uses must already be gone.
+func (m *Module) RemoveFunc(f *Function) {
+	for i, x := range m.Funcs {
+		if x == f {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			delete(m.funcByName, f.Name())
+			f.parent = nil
+			return
+		}
+	}
+}
+
+// RenameFunc changes a function's symbol name, keeping lookup maps
+// consistent. The new name must be free.
+func (m *Module) RenameFunc(f *Function, newName string) {
+	if m.funcByName[newName] != nil || m.globalByName[newName] != nil {
+		panic("core.RenameFunc: symbol already exists: " + newName)
+	}
+	delete(m.funcByName, f.Name())
+	f.SetName(newName)
+	m.funcByName[newName] = f
+}
+
+// UniqueSymbol returns base if it is unused, else base.N for the smallest
+// free N. Useful when the linker must rename internal symbols.
+func (m *Module) UniqueSymbol(base string) string {
+	if m.funcByName[base] == nil && m.globalByName[base] == nil {
+		return base
+	}
+	for i := 1; ; i++ {
+		cand := fmt.Sprintf("%s.%d", base, i)
+		if m.funcByName[cand] == nil && m.globalByName[cand] == nil {
+			return cand
+		}
+	}
+}
+
+// NumInstructions returns the total instruction count of the module.
+func (m *Module) NumInstructions() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstructions()
+	}
+	return n
+}
+
+// GetOrInsertFunction returns the function named name, creating an external
+// declaration with the given signature if absent.
+func (m *Module) GetOrInsertFunction(name string, sig *FunctionType) *Function {
+	if f := m.funcByName[name]; f != nil {
+		return f
+	}
+	f := NewFunction(name, sig)
+	m.AddFunc(f)
+	return f
+}
+
+// MoveTypeNameToEnd reorders a named type to the end of the declaration
+// order; parsers use it so printing reflects declaration order even when a
+// type was first seen as a forward reference.
+func (m *Module) MoveTypeNameToEnd(name string) {
+	for i, n := range m.typeOrder {
+		if n == name {
+			m.typeOrder = append(m.typeOrder[:i], m.typeOrder[i+1:]...)
+			m.typeOrder = append(m.typeOrder, name)
+			return
+		}
+	}
+}

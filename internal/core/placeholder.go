@@ -1,0 +1,24 @@
+package core
+
+// Placeholder is a temporary stand-in value used by parsers and decoders
+// for forward references: a value may be used before the instruction or
+// global defining it has been seen. Once the real value is known, resolve
+// the placeholder with ReplaceAllUses. Placeholders must never survive into
+// a finished module; the verifier does not accept them.
+//
+// Placeholder implements Constant so it can also stand in inside aggregate
+// constant initializers.
+type Placeholder struct{ valueBase }
+
+// NewPlaceholder creates a placeholder with the given name and type.
+func NewPlaceholder(name string, t Type) *Placeholder {
+	p := &Placeholder{}
+	p.name = name
+	p.typ = t
+	return p
+}
+
+func (p *Placeholder) isConstant() {}
+
+// String identifies the placeholder in diagnostics.
+func (p *Placeholder) String() string { return "<forward ref %" + p.name + ">" }

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) over the core data structures:
+// arithmetic evaluation, type layout, constant folding vs. direct
+// evaluation, and use-list bookkeeping under random edits.
+
+var intTypes = []Type{SByteType, UByteType, ShortType, UShortType, IntType, UIntType, LongType, ULongType}
+
+// randIntType picks an integer type from a quick-generated index.
+func randIntType(sel uint8) Type { return intTypes[int(sel)%len(intTypes)] }
+
+func TestPropIntArithmeticMatchesGo(t *testing.T) {
+	// For 32-bit signed int, EvalIntBinary must agree with Go's int32
+	// arithmetic for every operator.
+	f := func(a, b int32) bool {
+		ops := map[Opcode]func(x, y int32) int32{
+			OpAdd: func(x, y int32) int32 { return x + y },
+			OpSub: func(x, y int32) int32 { return x - y },
+			OpMul: func(x, y int32) int32 { return x * y },
+			OpAnd: func(x, y int32) int32 { return x & y },
+			OpOr:  func(x, y int32) int32 { return x | y },
+			OpXor: func(x, y int32) int32 { return x ^ y },
+		}
+		for op, ref := range ops {
+			got, ok := EvalIntBinary(op, IntType, uint64(uint32(a)), uint64(uint32(b)))
+			if !ok || uint32(got) != uint32(ref(a, b)) {
+				return false
+			}
+		}
+		if b != 0 {
+			got, ok := EvalIntBinary(OpDiv, IntType, uint64(uint32(a)), uint64(uint32(b)))
+			if a == math.MinInt32 && b == -1 {
+				// Go would panic; we wrap. Just require a result.
+				if !ok {
+					return false
+				}
+			} else if !ok || int32(uint32(got)) != a/b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnsignedDivision(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if b == 0 {
+			_, ok := EvalIntBinary(OpDiv, UIntType, uint64(a), uint64(b))
+			return !ok // division by zero must be rejected, not folded
+		}
+		got, ok := EvalIntBinary(OpDiv, UIntType, uint64(a), uint64(b))
+		return ok && uint32(got) == a/b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareTotalOrder(t *testing.T) {
+	// For any type and values: exactly one of <, ==, > holds; <= is
+	// (< or ==); != is !(==).
+	f := func(sel uint8, a, b uint64) bool {
+		ty := randIntType(sel)
+		lt, _ := EvalIntCompare(OpSetLT, ty, a, b)
+		gt, _ := EvalIntCompare(OpSetGT, ty, a, b)
+		eq, _ := EvalIntCompare(OpSetEQ, ty, a, b)
+		le, _ := EvalIntCompare(OpSetLE, ty, a, b)
+		ne, _ := EvalIntCompare(OpSetNE, ty, a, b)
+		count := 0
+		for _, v := range []bool{lt, gt, eq} {
+			if v {
+				count++
+			}
+		}
+		return count == 1 && le == (lt || eq) && ne == !eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCastRoundTripWidening(t *testing.T) {
+	// Widening then narrowing an integer returns the original truncated
+	// value; widening is value-preserving for the source width.
+	f := func(sel uint8, v uint64) bool {
+		from := randIntType(sel)
+		bits := BitWidth(from)
+		v = truncToWidth(v, bits)
+		wide := EvalIntCast(from, LongType, v)
+		back := EvalIntCast(LongType, from, wide)
+		return back == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFoldBinaryAgreesWithEval(t *testing.T) {
+	// The constant folder and the raw evaluator must agree (they feed the
+	// optimizer and the interpreter respectively).
+	ops := []Opcode{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSetEQ, OpSetLT, OpSetGE}
+	f := func(sel uint8, opSel uint8, a, b int64) bool {
+		ty := randIntType(sel)
+		op := ops[int(opSel)%len(ops)]
+		ca, cb := NewInt(ty, a), NewInt(ty, b)
+		folded := FoldBinary(op, ca, cb)
+		if folded == nil {
+			return false
+		}
+		if IsComparisonOp(op) {
+			want, _ := EvalIntCompare(op, ty, ca.Val, cb.Val)
+			return folded.(*ConstantBool).Val == want
+		}
+		want, _ := EvalIntBinary(op, ty, ca.Val, cb.Val)
+		return folded.(*ConstantInt).Val == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropStructLayoutInvariants(t *testing.T) {
+	// For random field lists: offsets are non-decreasing, each offset is
+	// aligned for its field, fields do not overlap, and the struct size
+	// is a multiple of its alignment and contains every field.
+	f := func(sels []uint8) bool {
+		if len(sels) == 0 || len(sels) > 12 {
+			return true
+		}
+		fieldPool := []Type{SByteType, ShortType, IntType, LongType, DoubleType,
+			NewPointer(IntType), NewArray(SByteType, 3), NewStruct(IntType, SByteType)}
+		var fields []Type
+		for _, s := range sels {
+			fields = append(fields, fieldPool[int(s)%len(fieldPool)])
+		}
+		st := NewStruct(fields...)
+		size, align := SizeOf(st), AlignOf(st)
+		if size%align != 0 {
+			return false
+		}
+		prevEnd := 0
+		for i, ft := range fields {
+			off := FieldOffset(st, i)
+			if off < prevEnd {
+				return false // overlap
+			}
+			if off%AlignOf(ft) != 0 {
+				return false // misaligned
+			}
+			prevEnd = off + SizeOf(ft)
+		}
+		return prevEnd <= size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUseListsConsistentUnderRandomEdits(t *testing.T) {
+	// Random sequences of SetOperand/RAUW edits must keep the use-def
+	// graph consistent: every operand edge has a matching use edge and
+	// vice versa.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// A pool of constants and instructions.
+		pool := []Value{NewInt(IntType, 1), NewInt(IntType, 2), NewInt(IntType, 3)}
+		var instrs []*BinaryInst
+		for i := 0; i < 8; i++ {
+			a := pool[r.Intn(len(pool))]
+			bb := pool[r.Intn(len(pool))]
+			in := NewBinary(OpAdd, a, bb)
+			instrs = append(instrs, in)
+			pool = append(pool, in)
+		}
+		for step := 0; step < 30; step++ {
+			in := instrs[r.Intn(len(instrs))]
+			v := pool[r.Intn(len(pool))]
+			// Avoid self-cycles for sanity.
+			if v == Value(in) {
+				continue
+			}
+			switch r.Intn(3) {
+			case 0:
+				in.SetOperand(r.Intn(2), v)
+			case 1:
+				old := pool[r.Intn(len(pool))]
+				if old != v {
+					ReplaceAllUses(old, v)
+				}
+			default:
+				// no-op step
+			}
+		}
+		// Check consistency both directions.
+		for _, in := range instrs {
+			for idx, op := range in.Operands() {
+				if op == nil {
+					continue
+				}
+				found := false
+				for _, u := range op.Uses() {
+					if u.User == User(in) && u.Index == idx {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		for _, v := range pool {
+			for _, u := range v.Uses() {
+				if u.Index >= u.User.NumOperands() || u.User.Operand(u.Index) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(r.Int63())
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFloatCastRoundTrip(t *testing.T) {
+	// int -> double -> int is exact for 32-bit values (double has 53
+	// mantissa bits).
+	f := func(v int32) bool {
+		d := EvalIntToFloat(IntType, DoubleType, uint64(uint32(v)))
+		back := EvalFloatToInt(IntType, d)
+		return int32(uint32(back)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropShiftBounds(t *testing.T) {
+	// Shifts by >= width yield 0 (logical) and never panic; arithmetic
+	// right shift of negatives saturates to -1.
+	f := func(v uint32, amt uint8) bool {
+		got, ok := EvalIntBinary(OpShl, UIntType, uint64(v), uint64(amt))
+		if !ok {
+			return false
+		}
+		if amt >= 32 && got != 0 {
+			return false
+		}
+		gotR, ok := EvalIntBinary(OpShr, IntType, uint64(0xFFFFFFFF), uint64(amt))
+		if !ok {
+			return false
+		}
+		// -1 >> anything (arithmetic) is -1.
+		return uint32(gotR) == 0xFFFFFFFF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

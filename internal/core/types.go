@@ -1,0 +1,450 @@
+// Package core implements the LLVM 1.x-style intermediate representation
+// described in "LLVM: A Compilation Framework for Lifelong Program Analysis &
+// Transformation" (CGO 2004): a typed, SSA-based, low-level instruction set
+// with exactly 31 opcodes, a language-independent type system, explicit
+// memory allocation, and invoke/unwind exception primitives.
+//
+// The package provides the in-memory representation (Module, Function,
+// BasicBlock, the Instruction hierarchy), the textual printer for the
+// assembly syntax used by the paper, an IRBuilder for constructing code, and
+// a Verifier that enforces the type and SSA rules.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind discriminates the concrete implementations of Type.
+type TypeKind int
+
+// The kinds of types in the LLVM 1.x type system: primitive types with
+// predefined sizes, plus exactly four derived types (pointer, array,
+// struct, function). Label is the type of basic blocks; Opaque stands for
+// a named type whose definition is not (yet) known.
+const (
+	VoidKind TypeKind = iota
+	BoolKind
+	SByteKind  // signed 8-bit
+	UByteKind  // unsigned 8-bit
+	ShortKind  // signed 16-bit
+	UShortKind // unsigned 16-bit
+	IntKind    // signed 32-bit
+	UIntKind   // unsigned 32-bit
+	LongKind   // signed 64-bit
+	ULongKind  // unsigned 64-bit
+	FloatKind  // IEEE single
+	DoubleKind // IEEE double
+	LabelKind
+	PointerKind
+	ArrayKind
+	StructKind
+	FunctionKind
+	OpaqueKind
+)
+
+// Type is the interface implemented by every type in the IR. Types are
+// immutable after construction except for named struct bodies, which may be
+// filled in once to form recursive types.
+type Type interface {
+	Kind() TypeKind
+	String() string
+}
+
+// PrimitiveType is one of the predefined-size primitive types (and label).
+type PrimitiveType struct{ kind TypeKind }
+
+// Kind returns the type's kind.
+func (t *PrimitiveType) Kind() TypeKind { return t.kind }
+
+// String returns the assembly spelling of the type.
+func (t *PrimitiveType) String() string {
+	switch t.kind {
+	case VoidKind:
+		return "void"
+	case BoolKind:
+		return "bool"
+	case SByteKind:
+		return "sbyte"
+	case UByteKind:
+		return "ubyte"
+	case ShortKind:
+		return "short"
+	case UShortKind:
+		return "ushort"
+	case IntKind:
+		return "int"
+	case UIntKind:
+		return "uint"
+	case LongKind:
+		return "long"
+	case ULongKind:
+		return "ulong"
+	case FloatKind:
+		return "float"
+	case DoubleKind:
+		return "double"
+	case LabelKind:
+		return "label"
+	}
+	return "<badprim>"
+}
+
+// Singleton instances of the primitive types. All IR construction shares
+// these; comparing primitive types by pointer identity is valid.
+var (
+	VoidType   = &PrimitiveType{VoidKind}
+	BoolType   = &PrimitiveType{BoolKind}
+	SByteType  = &PrimitiveType{SByteKind}
+	UByteType  = &PrimitiveType{UByteKind}
+	ShortType  = &PrimitiveType{ShortKind}
+	UShortType = &PrimitiveType{UShortKind}
+	IntType    = &PrimitiveType{IntKind}
+	UIntType   = &PrimitiveType{UIntKind}
+	LongType   = &PrimitiveType{LongKind}
+	ULongType  = &PrimitiveType{ULongKind}
+	FloatType  = &PrimitiveType{FloatKind}
+	DoubleType = &PrimitiveType{DoubleKind}
+	LabelType  = &PrimitiveType{LabelKind}
+)
+
+// PointerType is a typed pointer to Elem.
+type PointerType struct{ Elem Type }
+
+// NewPointer returns the pointer type *elem.
+func NewPointer(elem Type) *PointerType { return &PointerType{Elem: elem} }
+
+// Kind returns PointerKind.
+func (t *PointerType) Kind() TypeKind { return PointerKind }
+
+// String returns the assembly spelling, e.g. "int*".
+func (t *PointerType) String() string { return t.Elem.String() + "*" }
+
+// ArrayType is a fixed-size array [Len x Elem].
+type ArrayType struct {
+	Elem Type
+	Len  int
+}
+
+// NewArray returns the array type [n x elem].
+func NewArray(elem Type, n int) *ArrayType { return &ArrayType{Elem: elem, Len: n} }
+
+// Kind returns ArrayKind.
+func (t *ArrayType) Kind() TypeKind { return ArrayKind }
+
+// String returns the assembly spelling, e.g. "[10 x int]".
+func (t *ArrayType) String() string { return fmt.Sprintf("[%d x %s]", t.Len, t.Elem) }
+
+// StructType is a structure with an ordered field list. A StructType may be
+// named (registered in a Module's type table); named structs may be
+// recursive, in which case identity (pointer) equality is used.
+type StructType struct {
+	Name   string // optional; "" for literal struct types
+	Fields []Type
+}
+
+// NewStruct returns a literal (unnamed) struct type with the given fields.
+func NewStruct(fields ...Type) *StructType { return &StructType{Fields: fields} }
+
+// Kind returns StructKind.
+func (t *StructType) Kind() TypeKind { return StructKind }
+
+// String returns the struct's name if it has one, else its literal spelling.
+func (t *StructType) String() string {
+	if t.Name != "" {
+		return "%" + t.Name
+	}
+	return t.LiteralString()
+}
+
+// LiteralString returns the literal spelling "{ f1, f2, ... }" regardless of
+// whether the struct is named. Recursive named structs must not call this on
+// themselves via their fields.
+func (t *StructType) LiteralString() string {
+	var b strings.Builder
+	b.WriteString("{ ")
+	for i, f := range t.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// FunctionType is a function signature.
+type FunctionType struct {
+	Ret      Type
+	Params   []Type
+	Variadic bool
+}
+
+// NewFunctionType returns the function type ret(params...).
+func NewFunctionType(ret Type, params ...Type) *FunctionType {
+	return &FunctionType{Ret: ret, Params: params}
+}
+
+// Kind returns FunctionKind.
+func (t *FunctionType) Kind() TypeKind { return FunctionKind }
+
+// String returns the assembly spelling, e.g. "int (int, sbyte*)".
+func (t *FunctionType) String() string {
+	var b strings.Builder
+	b.WriteString(t.Ret.String())
+	b.WriteString(" (")
+	for i, p := range t.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	if t.Variadic {
+		if len(t.Params) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("...")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// OpaqueType is a named type with an unknown body, used while parsing
+// forward references; it should not appear in verified modules except
+// behind a pointer.
+type OpaqueType struct{ Name string }
+
+// Kind returns OpaqueKind.
+func (t *OpaqueType) Kind() TypeKind { return OpaqueKind }
+
+// String returns the opaque type's spelling.
+func (t *OpaqueType) String() string {
+	if t.Name != "" {
+		return "%" + t.Name
+	}
+	return "opaque"
+}
+
+// IsInteger reports whether t is one of the eight integer types.
+func IsInteger(t Type) bool {
+	switch t.Kind() {
+	case SByteKind, UByteKind, ShortKind, UShortKind, IntKind, UIntKind, LongKind, ULongKind:
+		return true
+	}
+	return false
+}
+
+// IsSigned reports whether t is a signed integer type.
+func IsSigned(t Type) bool {
+	switch t.Kind() {
+	case SByteKind, ShortKind, IntKind, LongKind:
+		return true
+	}
+	return false
+}
+
+// IsUnsigned reports whether t is an unsigned integer type.
+func IsUnsigned(t Type) bool {
+	switch t.Kind() {
+	case UByteKind, UShortKind, UIntKind, ULongKind:
+		return true
+	}
+	return false
+}
+
+// IsFloatingPoint reports whether t is float or double.
+func IsFloatingPoint(t Type) bool {
+	k := t.Kind()
+	return k == FloatKind || k == DoubleKind
+}
+
+// IsArithmetic reports whether t supports the arithmetic binary operators.
+func IsArithmetic(t Type) bool { return IsInteger(t) || IsFloatingPoint(t) }
+
+// IsFirstClass reports whether values of type t can live in virtual
+// registers: bool, the integers, the floats, and pointers.
+func IsFirstClass(t Type) bool {
+	return t.Kind() == BoolKind || IsInteger(t) || IsFloatingPoint(t) || t.Kind() == PointerKind
+}
+
+// BitWidth returns the width in bits of a primitive first-class type
+// (pointers report 64). It returns 0 for aggregate and void types.
+func BitWidth(t Type) int {
+	switch t.Kind() {
+	case BoolKind:
+		return 1
+	case SByteKind, UByteKind:
+		return 8
+	case ShortKind, UShortKind:
+		return 16
+	case IntKind, UIntKind:
+		return 32
+	case LongKind, ULongKind, PointerKind:
+		return 64
+	case FloatKind:
+		return 32
+	case DoubleKind:
+		return 64
+	}
+	return 0
+}
+
+// SizeOf returns the size in bytes a value of type t occupies in the
+// abstract memory model (pointers are 8 bytes). Aggregates are laid out
+// with natural alignment.
+func SizeOf(t Type) int {
+	switch tt := t.(type) {
+	case *PrimitiveType:
+		switch tt.kind {
+		case BoolKind, SByteKind, UByteKind:
+			return 1
+		case ShortKind, UShortKind:
+			return 2
+		case IntKind, UIntKind, FloatKind:
+			return 4
+		case LongKind, ULongKind, DoubleKind:
+			return 8
+		}
+		return 0
+	case *PointerType:
+		return 8
+	case *ArrayType:
+		return tt.Len * SizeOf(tt.Elem)
+	case *StructType:
+		size := 0
+		for _, f := range tt.Fields {
+			a := AlignOf(f)
+			size = alignUp(size, a)
+			size += SizeOf(f)
+		}
+		return alignUp(size, AlignOf(tt))
+	}
+	return 0
+}
+
+// AlignOf returns the natural alignment in bytes of type t.
+func AlignOf(t Type) int {
+	switch tt := t.(type) {
+	case *PrimitiveType:
+		s := SizeOf(t)
+		if s == 0 {
+			return 1
+		}
+		return s
+	case *PointerType:
+		return 8
+	case *ArrayType:
+		return AlignOf(tt.Elem)
+	case *StructType:
+		a := 1
+		for _, f := range tt.Fields {
+			if fa := AlignOf(f); fa > a {
+				a = fa
+			}
+		}
+		return a
+	}
+	return 1
+}
+
+// FieldOffset returns the byte offset of field i within struct type st.
+func FieldOffset(st *StructType, i int) int {
+	off := 0
+	for j := 0; j <= i; j++ {
+		f := st.Fields[j]
+		off = alignUp(off, AlignOf(f))
+		if j == i {
+			return off
+		}
+		off += SizeOf(f)
+	}
+	return off
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// TypesEqual reports structural equality of two types. Struct types —
+// including named, possibly recursive ones — compare structurally, using
+// coinductive assumptions so recursion terminates; structurally identical
+// types from different modules therefore unify at link time.
+func TypesEqual(a, b Type) bool {
+	return typesEq(a, b, nil)
+}
+
+type typePair struct{ a, b Type }
+
+func typesEq(a, b Type, assume map[typePair]bool) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch at := a.(type) {
+	case *PrimitiveType:
+		return at.Kind() == b.Kind()
+	case *PointerType:
+		return typesEq(at.Elem, b.(*PointerType).Elem, assume)
+	case *ArrayType:
+		bt := b.(*ArrayType)
+		return at.Len == bt.Len && typesEq(at.Elem, bt.Elem, assume)
+	case *StructType:
+		bt := b.(*StructType)
+		if len(at.Fields) != len(bt.Fields) {
+			return false
+		}
+		pair := typePair{a, b}
+		if assume[pair] {
+			return true // coinductive hypothesis for recursive types
+		}
+		if assume == nil {
+			assume = map[typePair]bool{}
+		}
+		assume[pair] = true
+		for i := range at.Fields {
+			if !typesEq(at.Fields[i], bt.Fields[i], assume) {
+				return false
+			}
+		}
+		return true
+	case *FunctionType:
+		bt := b.(*FunctionType)
+		if at.Variadic != bt.Variadic || len(at.Params) != len(bt.Params) || !typesEq(at.Ret, bt.Ret, assume) {
+			return false
+		}
+		for i := range at.Params {
+			if !typesEq(at.Params[i], bt.Params[i], assume) {
+				return false
+			}
+		}
+		return true
+	case *OpaqueType:
+		return a == b
+	}
+	return false
+}
+
+// IsLosslesslyConvertible reports whether a cast from 'from' to 'to' cannot
+// lose information (same bit width integers, pointer-to-pointer, etc.).
+// This mirrors the "physical subtyping" casts the paper distinguishes from
+// reinterpreting casts.
+func IsLosslesslyConvertible(from, to Type) bool {
+	if TypesEqual(from, to) {
+		return true
+	}
+	if IsInteger(from) && IsInteger(to) {
+		return BitWidth(to) >= BitWidth(from)
+	}
+	if from.Kind() == PointerKind && to.Kind() == PointerKind {
+		return true
+	}
+	return false
+}

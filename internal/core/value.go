@@ -1,0 +1,155 @@
+package core
+
+// Value is anything that can be used as an operand: instructions, constants,
+// function arguments, basic blocks (as branch targets), global variables,
+// and functions. Every value has a type; SSA virtual registers are simply
+// instructions whose type is first-class.
+type Value interface {
+	// Name returns the value's name without the leading sigil. Unnamed
+	// values get printed with slot numbers by the printer.
+	Name() string
+	// SetName renames the value.
+	SetName(string)
+	// Type returns the value's type.
+	Type() Type
+	// Uses returns the list of (user, operand-index) pairs referencing
+	// this value. The returned slice must not be mutated.
+	Uses() []Use
+
+	addUse(u Use)
+	removeUse(u Use)
+}
+
+// Use records a single reference to a value: the using instruction (or
+// other User) and the operand index within it.
+type Use struct {
+	User  User
+	Index int
+}
+
+// User is a Value that references other values as operands.
+type User interface {
+	Value
+	// Operands returns the operand list. The returned slice must not be
+	// mutated directly; use SetOperand.
+	Operands() []Value
+	// Operand returns the i'th operand.
+	Operand(i int) Value
+	// NumOperands returns the operand count.
+	NumOperands() int
+	// SetOperand replaces the i'th operand, maintaining use lists.
+	SetOperand(i int, v Value)
+}
+
+// valueBase supplies the common Value bookkeeping; concrete values embed it.
+type valueBase struct {
+	name string
+	typ  Type
+	uses []Use
+}
+
+func (v *valueBase) Name() string        { return v.name }
+func (v *valueBase) SetName(name string) { v.name = name }
+func (v *valueBase) Type() Type          { return v.typ }
+func (v *valueBase) Uses() []Use         { return v.uses }
+
+func (v *valueBase) addUse(u Use) { v.uses = append(v.uses, u) }
+
+func (v *valueBase) removeUse(u Use) {
+	for i, x := range v.uses {
+		if x.User == u.User && x.Index == u.Index {
+			last := len(v.uses) - 1
+			v.uses[i] = v.uses[last]
+			v.uses = v.uses[:last]
+			return
+		}
+	}
+}
+
+// NumUses returns the number of uses of v.
+func NumUses(v Value) int { return len(v.Uses()) }
+
+// HasUses reports whether v has at least one use.
+func HasUses(v Value) bool { return len(v.Uses()) > 0 }
+
+// ReplaceAllUses rewrites every use of old to refer to new instead
+// (LLVM's replaceAllUsesWith). The two values should have equal types.
+func ReplaceAllUses(old, new Value) {
+	if old == new {
+		return
+	}
+	// Copy because SetOperand mutates the use list.
+	uses := append([]Use(nil), old.Uses()...)
+	for _, u := range uses {
+		u.User.SetOperand(u.Index, new)
+	}
+}
+
+// userBase supplies operand bookkeeping for Users. The embedding value must
+// call initOperands (or appendOperand) so use lists stay consistent, and
+// dropOperands before being discarded.
+type userBase struct {
+	valueBase
+	ops []Value
+}
+
+func (u *userBase) Operands() []Value   { return u.ops }
+func (u *userBase) Operand(i int) Value { return u.ops[i] }
+func (u *userBase) NumOperands() int    { return len(u.ops) }
+
+// setOperands installs the initial operand list for user 'self' (the
+// concrete value embedding this base), registering uses.
+func (u *userBase) setOperands(self User, ops []Value) {
+	u.ops = make([]Value, len(ops))
+	for i, v := range ops {
+		u.ops[i] = v
+		if v != nil {
+			v.addUse(Use{User: self, Index: i})
+		}
+	}
+}
+
+// appendOperand adds one operand to the end of the list.
+func (u *userBase) appendOperand(self User, v Value) {
+	idx := len(u.ops)
+	u.ops = append(u.ops, v)
+	if v != nil {
+		v.addUse(Use{User: self, Index: idx})
+	}
+}
+
+// setOperandAt implements SetOperand for the concrete user 'self'.
+func (u *userBase) setOperandAt(self User, i int, v Value) {
+	old := u.ops[i]
+	if old == v {
+		return
+	}
+	if old != nil {
+		old.removeUse(Use{User: self, Index: i})
+	}
+	u.ops[i] = v
+	if v != nil {
+		v.addUse(Use{User: self, Index: i})
+	}
+}
+
+// dropOperandsFrom removes all operand uses; call before deleting the user.
+func (u *userBase) dropOperandsFrom(self User) {
+	for i, v := range u.ops {
+		if v != nil {
+			v.removeUse(Use{User: self, Index: i})
+		}
+	}
+	u.ops = nil
+}
+
+// truncateOperands removes operands [n:] from the list (used by phi and
+// switch editing), maintaining use lists.
+func (u *userBase) truncateOperands(self User, n int) {
+	for i := n; i < len(u.ops); i++ {
+		if u.ops[i] != nil {
+			u.ops[i].removeUse(Use{User: self, Index: i})
+		}
+	}
+	u.ops = u.ops[:n]
+}

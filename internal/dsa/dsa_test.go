@@ -1,0 +1,364 @@
+package dsa
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	m, err := asm.ParseModule("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return Analyze(m)
+}
+
+func TestDisciplinedCodeFullyTyped(t *testing.T) {
+	// Clean, type-safe code: every access should be provably typed, as
+	// the paper reports for Olden/Ptrdist-style programs (~100%).
+	r := analyze(t, `
+%node = type { int, %node* }
+
+internal int %sumList(%node* %l0) {
+entry:
+	%l = alloca %node*
+	store %node* %l0, %node** %l
+	br label %loop
+loop:
+	%cur = load %node** %l
+	%isnull = seteq %node* %cur, null
+	br bool %isnull, label %done, label %body
+body:
+	%vp = getelementptr %node* %cur, long 0, ubyte 0
+	%v = load int* %vp
+	%np = getelementptr %node* %cur, long 0, ubyte 1
+	%n = load %node** %np
+	store %node* %n, %node** %l
+	br label %loop
+done:
+	ret int 0
+}
+
+int %main() {
+entry:
+	%n1 = malloc %node
+	%vp = getelementptr %node* %n1, long 0, ubyte 0
+	store int 1, int* %vp
+	%np = getelementptr %node* %n1, long 0, ubyte 1
+	store %node* null, %node** %np
+	%s = call int %sumList(%node* %n1)
+	ret int %s
+}
+`)
+	if r.Untyped() != 0 {
+		t.Fatalf("disciplined code has %d untyped accesses (typed=%d)", r.Untyped(), r.Typed())
+	}
+	if r.TypedPercent() != 100.0 {
+		t.Fatalf("percent = %f", r.TypedPercent())
+	}
+}
+
+func TestCustomAllocatorLosesTypes(t *testing.T) {
+	// A pool allocator handing out sbyte* chunks that get cast to
+	// different struct types: the paper names custom allocators as the
+	// leading cause of lost type information (197.parser, 254.gap,
+	// 255.vortex).
+	r := analyze(t, `
+%objA = type { int, int }
+%objB = type { double }
+
+%pool = global sbyte* null
+
+internal sbyte* %pool_alloc(uint %n) {
+entry:
+	%raw = malloc sbyte, uint %n
+	ret sbyte* %raw
+}
+
+int %main() {
+entry:
+	%ra = call sbyte* %pool_alloc(uint 8)
+	%a = cast sbyte* %ra to %objA*
+	%af = getelementptr %objA* %a, long 0, ubyte 0
+	store int 1, int* %af
+
+	%rb = call sbyte* %pool_alloc(uint 8)
+	%b = cast sbyte* %rb to %objB*
+	%bf = getelementptr %objB* %b, long 0, ubyte 0
+	store double 2.0, double* %bf
+	ret int 0
+}
+`)
+	// Both stores go through the same pool_alloc return node, which sees
+	// two incompatible types; both accesses become untyped.
+	if r.Untyped() == 0 {
+		t.Fatalf("custom allocator punning not detected (typed=%d untyped=%d)", r.Typed(), r.Untyped())
+	}
+}
+
+func TestVoidStarRoundTripKeepsTypes(t *testing.T) {
+	// T* -> sbyte* -> T* with a consistent T stays typed (DSA "can often
+	// extract type information for objects stored into and loaded out of
+	// generic void* data structures", footnote 8).
+	r := analyze(t, `
+%obj = type { int, int }
+
+int %main() {
+entry:
+	%o = malloc %obj
+	%v = cast %obj* %o to sbyte*
+	%back = cast sbyte* %v to %obj*
+	%f = getelementptr %obj* %back, long 0, ubyte 0
+	store int 5, int* %f
+	%r = load int* %f
+	ret int %r
+}
+`)
+	if r.Untyped() != 0 {
+		t.Fatalf("consistent void* round trip lost types: untyped=%d", r.Untyped())
+	}
+}
+
+func TestIncompatibleStructCastCollapses(t *testing.T) {
+	// "Using different structure types for the same objects" (176.gcc,
+	// 253.perlbmk, 254.gap per the paper).
+	r := analyze(t, `
+%A = type { int, int }
+%B = type { double, double }
+
+int %main() {
+entry:
+	%a = malloc %A
+	%b = cast %A* %a to %B*
+	%bf = getelementptr %B* %b, long 0, ubyte 0
+	store double 1.0, double* %bf
+	%af = getelementptr %A* %a, long 0, ubyte 0
+	%v = load int* %af
+	ret int %v
+}
+`)
+	if r.Typed() != 0 {
+		t.Fatalf("incompatible cast not collapsed: typed=%d", r.Typed())
+	}
+}
+
+func TestPhysicalSubtypingAllowed(t *testing.T) {
+	// Casting derived* to base* (leading prefix) is physical subtyping:
+	// C++ base-class layout per §4.1.2; it must not collapse the node.
+	r := analyze(t, `
+%base = type { int }
+%derived = type { %base, double }
+
+int %main() {
+entry:
+	%d = malloc %derived
+	%b = cast %derived* %d to %base*
+	%f = getelementptr %base* %b, long 0, ubyte 0
+	store int 3, int* %f
+	%v = load int* %f
+	ret int %v
+}
+`)
+	if r.Untyped() != 0 {
+		t.Fatalf("prefix cast collapsed node: untyped=%d", r.Untyped())
+	}
+}
+
+func TestIntToPointerUntyped(t *testing.T) {
+	r := analyze(t, `
+int %main(long %addr) {
+entry:
+	%p = cast long %addr to int*
+	%v = load int* %p
+	ret int %v
+}
+`)
+	if r.Typed() != 0 {
+		t.Fatalf("int-to-pointer access counted as typed")
+	}
+}
+
+func TestExternalCallCollapsesArgument(t *testing.T) {
+	r := analyze(t, `
+declare void %mystery(int*)
+
+int %main() {
+entry:
+	%p = malloc int
+	store int 1, int* %p
+	call void %mystery(int* %p)
+	%v = load int* %p
+	ret int %v
+}
+`)
+	// Both the store before and the load after are to an object that
+	// escaped to unknown code; flow-insensitive DSA marks all of them.
+	if r.Typed() != 0 {
+		t.Fatalf("escaped object still typed: typed=%d untyped=%d", r.Typed(), r.Untyped())
+	}
+}
+
+func TestInterproceduralUnification(t *testing.T) {
+	// A helper stores through a pointer parameter; the caller passes two
+	// distinct same-typed objects: everything stays typed.
+	r := analyze(t, `
+internal void %set(int* %p, int %v) {
+entry:
+	store int %v, int* %p
+	ret void
+}
+
+int %main() {
+entry:
+	%a = malloc int
+	%b = malloc int
+	call void %set(int* %a, int 1)
+	call void %set(int* %b, int 2)
+	%va = load int* %a
+	%vb = load int* %b
+	%s = add int %va, %vb
+	ret int %s
+}
+`)
+	if r.Untyped() != 0 {
+		t.Fatalf("interprocedural same-type flow lost types: untyped=%d", r.Untyped())
+	}
+}
+
+func TestInterproceduralConflictCollapses(t *testing.T) {
+	// The same helper receives sbyte* pointers to objects of two
+	// different types: unification discovers the conflict.
+	r := analyze(t, `
+%A = type { int }
+%B = type { double }
+
+internal void %touch(sbyte* %p) {
+entry:
+	%q = cast sbyte* %p to int*
+	%v = load int* %q
+	ret void
+}
+
+int %main() {
+entry:
+	%a = malloc %A
+	%ap = cast %A* %a to sbyte*
+	%b = malloc %B
+	%bp = cast %B* %b to sbyte*
+	call void %touch(sbyte* %ap)
+	call void %touch(sbyte* %bp)
+	ret int 0
+}
+`)
+	if r.Untyped() == 0 {
+		t.Fatalf("conflicting interprocedural flow not detected")
+	}
+}
+
+func TestStoredPointerGraph(t *testing.T) {
+	// Pointers stored into a struct field and loaded back keep their
+	// pointee's type (the points-to edge survives the memory round trip).
+	r := analyze(t, `
+%holder = type { int*, int }
+
+int %main() {
+entry:
+	%h = malloc %holder
+	%obj = malloc int
+	store int 42, int* %obj
+	%slot = getelementptr %holder* %h, long 0, ubyte 0
+	store int* %obj, int** %slot
+	%p = load int** %slot
+	%v = load int* %p
+	ret int %v
+}
+`)
+	if r.Untyped() != 0 {
+		t.Fatalf("pointer round trip through memory lost types: untyped=%d", r.Untyped())
+	}
+}
+
+func TestNodeForExposesObjects(t *testing.T) {
+	m, err := asm.ParseModule("t", `
+int %main() {
+entry:
+	%p = malloc int
+	%q = getelementptr int* %p, long 0
+	%v = load int* %q
+	ret int %v
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(m)
+	f := m.Func("main")
+	malloc := f.Entry().Instrs[0]
+	gep := f.Entry().Instrs[1]
+	n1, n2 := r.NodeFor(malloc), r.NodeFor(gep)
+	if n1 == nil || n1 != n2 {
+		t.Fatal("GEP does not alias its base object")
+	}
+	if !n1.Heap || n1.Collapsed {
+		t.Fatal("heap object flags wrong")
+	}
+	if n1.Ty != core.Type(core.IntType) {
+		t.Fatalf("object type = %v", n1.Ty)
+	}
+}
+
+func TestAddressTakenFunctionArgsUnknown(t *testing.T) {
+	r := analyze(t, `
+%fp = global void (int*)* %cb
+
+internal void %cb(int* %p) {
+entry:
+	%v = load int* %p
+	ret void
+}
+`)
+	// cb is address-taken; its argument may come from anywhere.
+	if r.Typed() != 0 {
+		t.Fatalf("address-taken callee's arg counted typed")
+	}
+}
+
+func TestMixedProgramPartialTyping(t *testing.T) {
+	// A program mixing clean and dirty accesses lands strictly between
+	// 0% and 100% — the shape of most SPEC rows in Table 1.
+	r := analyze(t, `
+%clean = type { int, int }
+
+int %main(long %bits) {
+entry:
+	%c = malloc %clean
+	%f0 = getelementptr %clean* %c, long 0, ubyte 0
+	store int 1, int* %f0
+	%f1 = getelementptr %clean* %c, long 0, ubyte 1
+	store int 2, int* %f1
+	%v0 = load int* %f0
+	%v1 = load int* %f1
+
+	%dirty = cast long %bits to int*
+	%dv = load int* %dirty
+	store int %dv, int* %dirty
+
+	%s1 = add int %v0, %v1
+	%s2 = add int %s1, %dv
+	ret int %s2
+}
+`)
+	pct := r.TypedPercent()
+	if pct <= 0 || pct >= 100 {
+		t.Fatalf("mixed program percent = %f (typed=%d untyped=%d)", pct, r.Typed(), r.Untyped())
+	}
+	if r.Typed() != 4 || r.Untyped() != 2 {
+		t.Fatalf("typed=%d untyped=%d, want 4/2", r.Typed(), r.Untyped())
+	}
+}

@@ -1,0 +1,208 @@
+package minic
+
+// TypeExpr is a syntactic type: a base name (primitive or struct), pointer
+// depth, optional array dimensions, or a function-pointer shape.
+type TypeExpr struct {
+	Base     string // "int", "char", ..., or struct tag
+	IsStruct bool
+	Unsigned bool
+	Ptr      int   // number of '*'
+	ArrayLen []int // outermost-first array dimensions
+	// Function pointer: Ret(params...)*
+	IsFuncPtr bool
+	Ret       *TypeExpr
+	Params    []*TypeExpr
+	Variadic  bool
+}
+
+// Param is a named parameter or struct field.
+type Param struct {
+	Name string
+	Type *TypeExpr
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ isDecl() }
+
+// StructDecl declares "struct Name { fields };".
+type StructDecl struct {
+	Name   string
+	Fields []Param
+}
+
+// VarDecl declares a global variable.
+type VarDecl struct {
+	Name     string
+	Type     *TypeExpr
+	Init     Expr   // may be nil
+	InitList []Expr // array/struct initializer { ... }
+	Extern   bool
+	Static   bool
+	Const    bool
+}
+
+// FuncDecl declares or defines a function.
+type FuncDecl struct {
+	Name     string
+	Ret      *TypeExpr
+	Params   []Param
+	Variadic bool
+	Body     *BlockStmt // nil for declarations
+	Extern   bool
+	Static   bool
+}
+
+func (*StructDecl) isDecl() {}
+func (*VarDecl) isDecl()    {}
+func (*FuncDecl) isDecl()   {}
+
+// Stmt is a statement.
+type Stmt interface{ isStmt() }
+
+// BlockStmt is "{ ... }".
+type BlockStmt struct{ Stmts []Stmt }
+
+// LocalDecl declares a local variable.
+type LocalDecl struct {
+	Name     string
+	Type     *TypeExpr
+	Init     Expr
+	InitList []Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is a for loop; any clause may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns (Value may be nil).
+type ReturnStmt struct{ Value Expr }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// BreakStmt and ContinueStmt.
+type BreakStmt struct{}
+type ContinueStmt struct{}
+
+// SwitchStmt with C fallthrough semantics.
+type SwitchStmt struct {
+	Value   Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil if absent
+	// DefaultPos is the index in Cases before which default appears
+	// (len(Cases) if it is last / absent).
+	DefaultPos int
+}
+
+// SwitchCase is one "case N:" arm.
+type SwitchCase struct {
+	Value int64
+	Body  []Stmt
+}
+
+func (*BlockStmt) isStmt()    {}
+func (*LocalDecl) isStmt()    {}
+func (*IfStmt) isStmt()       {}
+func (*WhileStmt) isStmt()    {}
+func (*DoWhileStmt) isStmt()  {}
+func (*ForStmt) isStmt()      {}
+func (*ReturnStmt) isStmt()   {}
+func (*ExprStmt) isStmt()     {}
+func (*BreakStmt) isStmt()    {}
+func (*ContinueStmt) isStmt() {}
+func (*SwitchStmt) isStmt()   {}
+
+// Expr is an expression.
+type Expr interface{ isExpr() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// FloatLit is a floating literal.
+type FloatLit struct{ Val float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+// Ident names a variable or function.
+type Ident struct{ Name string }
+
+// Unary is -x, !x, ~x, *p, &x, ++x, --x (and postfix forms via Postfix).
+type Unary struct {
+	Op      string
+	X       Expr
+	Postfix bool // x++ / x--
+}
+
+// Binary is a binary operator (arith, compare, logic, shifts).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Assign is L = R or compound (op is "", "+", "-", ...).
+type Assign struct {
+	Op   string
+	L, R Expr
+}
+
+// Call is fun(args...).
+type Call struct {
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is x[i].
+type Index struct{ X, I Expr }
+
+// Member is x.name or x->name.
+type Member struct {
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// CastExpr is (type)x.
+type CastExpr struct {
+	Type *TypeExpr
+	X    Expr
+}
+
+// SizeOf is sizeof(type).
+type SizeOf struct{ Type *TypeExpr }
+
+func (*IntLit) isExpr()   {}
+func (*FloatLit) isExpr() {}
+func (*StrLit) isExpr()   {}
+func (*Ident) isExpr()    {}
+func (*Unary) isExpr()    {}
+func (*Binary) isExpr()   {}
+func (*Assign) isExpr()   {}
+func (*Call) isExpr()     {}
+func (*Index) isExpr()    {}
+func (*Member) isExpr()   {}
+func (*CastExpr) isExpr() {}
+func (*SizeOf) isExpr()   {}

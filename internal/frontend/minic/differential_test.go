@@ -1,0 +1,265 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/passes"
+)
+
+// A deterministic random-program generator for differential testing: every
+// generated program must produce the same exit value before and after the
+// full optimization pipeline, after a bytecode round trip, and after a
+// text round trip. This is the harness that catches miscompiles the
+// hand-written tests miss.
+
+type pgen struct {
+	s   uint64
+	buf strings.Builder
+	// vars in scope (all int for simplicity of generation).
+	vars   []string
+	nextID int
+	depth  int
+}
+
+func (g *pgen) rnd(n int) int {
+	g.s = g.s*6364136223846793005 + 1442695040888963407
+	return int((g.s >> 33) % uint64(n))
+}
+
+func (g *pgen) newVar() string {
+	g.nextID++
+	return fmt.Sprintf("v%d", g.nextID)
+}
+
+// expr emits a random int expression from the in-scope variables.
+func (g *pgen) expr(depth int) string {
+	if depth <= 0 || g.rnd(3) == 0 {
+		switch g.rnd(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rnd(100)-50)
+		default:
+			if len(g.vars) == 0 {
+				return fmt.Sprintf("%d", g.rnd(10))
+			}
+			return g.vars[g.rnd(len(g.vars))]
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<", ">", "==", "!="}
+	op := ops[g.rnd(len(ops))]
+	l, r := g.expr(depth-1), g.expr(depth-1)
+	if op == "/" || op == "%" {
+		// Avoid division by zero entirely.
+		return fmt.Sprintf("(%s %s (1 + ((%s) & 7)))", l, op, r)
+	}
+	return fmt.Sprintf("(%s %s %s)", l, op, r)
+}
+
+// stmt emits a random statement.
+func (g *pgen) stmt(depth int) {
+	switch g.rnd(6) {
+	case 0: // declaration
+		v := g.newVar()
+		fmt.Fprintf(&g.buf, "int %s = %s;\n", v, g.expr(2))
+		g.vars = append(g.vars, v)
+	case 1: // assignment
+		if len(g.vars) == 0 {
+			g.stmt(depth)
+			return
+		}
+		v := g.vars[g.rnd(len(g.vars))]
+		fmt.Fprintf(&g.buf, "%s = %s;\n", v, g.expr(2))
+	case 2: // if/else
+		if depth <= 0 {
+			g.stmt(0)
+			return
+		}
+		fmt.Fprintf(&g.buf, "if (%s) {\n", g.expr(1))
+		g.block(depth-1, 2)
+		if g.rnd(2) == 0 {
+			g.buf.WriteString("} else {\n")
+			g.block(depth-1, 2)
+		}
+		g.buf.WriteString("}\n")
+	case 3: // bounded loop
+		if depth <= 0 {
+			g.stmt(0)
+			return
+		}
+		i := g.newVar()
+		acc := ""
+		if len(g.vars) > 0 {
+			acc = g.vars[g.rnd(len(g.vars))]
+		}
+		// The induction variable is deliberately NOT exposed to nested
+		// statements: a generated assignment to it could loop forever.
+		fmt.Fprintf(&g.buf, "{ int %s;\nfor (%s = 0; %s < %d; %s++) {\n", i, i, i, 2+g.rnd(8), i)
+		g.block(depth-1, 2)
+		if acc != "" {
+			fmt.Fprintf(&g.buf, "%s += %s;\n", acc, i)
+		}
+		g.buf.WriteString("} }\n")
+	case 4: // array traffic
+		a := g.newVar()
+		fmt.Fprintf(&g.buf, "{ int %s[4];\n%s[0] = %s;\n%s[1] = %s[0] + 1;\n%s[2] = %s[1] * 2;\n%s[3] = %s[2] - %s[0];\n",
+			a, a, g.expr(1), a, a, a, a, a, a, a)
+		if len(g.vars) > 0 {
+			fmt.Fprintf(&g.buf, "%s += %s[3];\n", g.vars[g.rnd(len(g.vars))], a)
+		}
+		g.buf.WriteString("}\n")
+	default: // switch
+		if depth <= 0 || len(g.vars) == 0 {
+			g.stmt(0)
+			return
+		}
+		v := g.vars[g.rnd(len(g.vars))]
+		fmt.Fprintf(&g.buf, "switch ((%s) & 3) {\n", v)
+		for c := 0; c < 3; c++ {
+			fmt.Fprintf(&g.buf, "case %d: %s = %s; break;\n", c, v, g.expr(1))
+		}
+		fmt.Fprintf(&g.buf, "default: %s = %s + 1;\n}\n", v, v)
+	}
+}
+
+func (g *pgen) block(depth, n int) {
+	mark := len(g.vars)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+	g.vars = g.vars[:mark]
+}
+
+// genProgram builds a whole program with a couple of helper functions.
+func genProgram(seed uint64) string {
+	g := &pgen{s: seed}
+	var out strings.Builder
+
+	// Helper functions with 1-2 int parameters.
+	nHelpers := 1 + g.rnd(3)
+	var helperSigs []struct {
+		name  string
+		nargs int
+	}
+	for h := 0; h < nHelpers; h++ {
+		name := fmt.Sprintf("helper%d", h)
+		nargs := 1 + g.rnd(2)
+		helperSigs = append(helperSigs, struct {
+			name  string
+			nargs int
+		}{name, nargs})
+		params := "int a0"
+		g.vars = []string{"a0"}
+		if nargs == 2 {
+			params += ", int a1"
+			g.vars = append(g.vars, "a1")
+		}
+		g.buf.Reset()
+		g.block(2, 3)
+		fmt.Fprintf(&out, "static int %s(%s) {\n%sreturn %s;\n}\n",
+			name, params, g.buf.String(), g.expr(2))
+	}
+
+	// main: locals, statements, helper calls, checksum return.
+	g.buf.Reset()
+	g.vars = nil
+	g.nextID = 1000
+	var body strings.Builder
+	body.WriteString("int acc = 1;\n")
+	g.vars = append(g.vars, "acc")
+	for s := 0; s < 4; s++ {
+		g.buf.Reset()
+		g.block(3, 2)
+		body.WriteString(g.buf.String())
+		h := helperSigs[g.rnd(len(helperSigs))]
+		args := g.expr(1)
+		if h.nargs == 2 {
+			args += ", " + g.expr(1)
+		}
+		fmt.Fprintf(&body, "acc = acc * 31 + %s(%s);\n", h.name, args)
+	}
+	fmt.Fprintf(&out, "int main() {\n%sreturn acc & 255;\n}\n", body.String())
+	return out.String()
+}
+
+func runModule(t *testing.T, m *core.Module, what string) int64 {
+	t.Helper()
+	mc, err := interp.NewMachine(m, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	mc.MaxSteps = 20_000_000
+	v, err := mc.RunMain()
+	if err != nil {
+		t.Fatalf("%s run: %v\n%s", what, err, m)
+	}
+	return v
+}
+
+func TestDifferentialOptimization(t *testing.T) {
+	const trials = 60
+	for seed := uint64(1); seed <= trials; seed++ {
+		src := genProgram(seed * 7919)
+		m1, err := Compile("ref", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\nsource:\n%s", seed, err, src)
+		}
+		if err := core.Verify(m1); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+		want := runModule(t, m1, "reference")
+
+		// Full optimization.
+		m2, _ := Compile("opt", src)
+		pm := passes.NewPassManager()
+		pm.VerifyEach = true
+		pm.Add(passes.NewInternalize())
+		pm.AddLinkTimePipeline()
+		if _, err := pm.Run(m2); err != nil {
+			t.Fatalf("seed %d: optimize: %v\nsource:\n%s", seed, err, src)
+		}
+		if got := runModule(t, m2, "optimized"); got != want {
+			t.Fatalf("seed %d: optimization miscompile: %d vs %d\nsource:\n%s\nIR:\n%s",
+				seed, got, want, src, m2)
+		}
+
+		// JIT execution of the optimized module.
+		{
+			mc, err := interp.NewMachine(m2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc.MaxSteps = 20_000_000
+			mc.EnableJIT()
+			got, err := mc.RunMain()
+			if err != nil {
+				t.Fatalf("seed %d: jit run: %v", seed, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d: JIT divergence: %d vs %d", seed, got, want)
+			}
+		}
+
+		// Bytecode round trip of the optimized module.
+		m3, err := bytecode.Decode(bytecode.Encode(m2))
+		if err != nil {
+			t.Fatalf("seed %d: bytecode: %v", seed, err)
+		}
+		if got := runModule(t, m3, "bytecode"); got != want {
+			t.Fatalf("seed %d: bytecode round trip changed behavior: %d vs %d", seed, got, want)
+		}
+
+		// Text round trip of the unoptimized module.
+		m4, err := asm.ParseModule("text", m1.String())
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if got := runModule(t, m4, "text"); got != want {
+			t.Fatalf("seed %d: text round trip changed behavior: %d vs %d", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package minic is a front-end for a C subset ("MiniC") that compiles to
+// the IR, playing the role of the paper's C front-end (Figure 4): it
+// performs no optimization and builds no SSA — locals live on the stack via
+// alloca and are promoted later by the optimizer's stack-promotion pass
+// (§3.2). It supports the C features the synthetic benchmark suite needs:
+// structs, pointers, fixed arrays, function pointers, casts, sizeof,
+// short-circuit logic, loops, switch, string literals, and variadic extern
+// declarations. A small "raise allocations" step turns
+// (T*)malloc(sizeof(T)...) into typed malloc instructions, as llvm-gcc did.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tStr
+	tChar
+	tPunct
+	tKeyword
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "unsigned": true, "signed": true,
+	"struct": true, "if": true, "else": true, "while": true, "for": true,
+	"do": true, "return": true, "break": true, "continue": true,
+	"switch": true, "case": true, "default": true, "sizeof": true,
+	"extern": true, "static": true, "const": true,
+}
+
+var punct2 = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+	"<<": true, ">>": true, "->": true, "++": true, "--": true,
+	"+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []tok
+}
+
+func lex(src string) ([]tok, error) {
+	lx := &lexer{src: src, line: 1}
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, t)
+		if t.kind == tEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("minic: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (tok, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				lx.pos++
+			}
+			if lx.pos+1 >= len(lx.src) {
+				return tok{}, lx.errf("unterminated block comment")
+			}
+			lx.pos += 2
+		case c == '#':
+			// Preprocessor lines are ignored (the tests feed plain code).
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return tok{kind: tEOF, line: lx.line}, nil
+
+scan:
+	c := lx.src[lx.pos]
+	start := lx.pos
+	switch {
+	case isAlpha(c):
+		for lx.pos < len(lx.src) && isAlnum(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		if keywords[text] {
+			return tok{kind: tKeyword, text: text, line: lx.line}, nil
+		}
+		return tok{kind: tIdent, text: text, line: lx.line}, nil
+
+	case isDigit(c):
+		isFloat := false
+		for lx.pos < len(lx.src) && (isDigit(lx.src[lx.pos]) ||
+			lx.src[lx.pos] == '.' || lx.src[lx.pos] == 'x' || lx.src[lx.pos] == 'X' ||
+			isHexDigit(lx.src[lx.pos])) {
+			if lx.src[lx.pos] == '.' {
+				isFloat = true
+			}
+			lx.pos++
+		}
+		// Suffixes (L, U, UL) are accepted and dropped.
+		for lx.pos < len(lx.src) && (lx.src[lx.pos] == 'l' || lx.src[lx.pos] == 'L' ||
+			lx.src[lx.pos] == 'u' || lx.src[lx.pos] == 'U') {
+			lx.pos++
+		}
+		text := strings.TrimRight(lx.src[start:lx.pos], "lLuU")
+		if isFloat {
+			return tok{kind: tFloat, text: text, line: lx.line}, nil
+		}
+		return tok{kind: tInt, text: text, line: lx.line}, nil
+
+	case c == '"':
+		lx.pos++
+		var b strings.Builder
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+			ch, err := lx.escChar()
+			if err != nil {
+				return tok{}, err
+			}
+			b.WriteByte(ch)
+		}
+		if lx.pos >= len(lx.src) {
+			return tok{}, lx.errf("unterminated string")
+		}
+		lx.pos++
+		return tok{kind: tStr, text: b.String(), line: lx.line}, nil
+
+	case c == '\'':
+		lx.pos++
+		ch, err := lx.escChar()
+		if err != nil {
+			return tok{}, err
+		}
+		if lx.pos >= len(lx.src) || lx.src[lx.pos] != '\'' {
+			return tok{}, lx.errf("unterminated char literal")
+		}
+		lx.pos++
+		return tok{kind: tChar, text: string(ch), line: lx.line}, nil
+
+	default:
+		if lx.pos+1 < len(lx.src) {
+			two := lx.src[lx.pos : lx.pos+2]
+			if punct2[two] {
+				lx.pos += 2
+				return tok{kind: tPunct, text: two, line: lx.line}, nil
+			}
+		}
+		if strings.IndexByte("+-*/%<>=!&|^~()[]{};,.?:", c) >= 0 {
+			lx.pos++
+			return tok{kind: tPunct, text: string(c), line: lx.line}, nil
+		}
+		return tok{}, lx.errf("unexpected character %q", c)
+	}
+}
+
+func (lx *lexer) escChar() (byte, error) {
+	c := lx.src[lx.pos]
+	if c != '\\' {
+		if c == '\n' {
+			return 0, lx.errf("newline in literal")
+		}
+		lx.pos++
+		return c, nil
+	}
+	lx.pos++
+	if lx.pos >= len(lx.src) {
+		return 0, lx.errf("truncated escape")
+	}
+	e := lx.src[lx.pos]
+	lx.pos++
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, lx.errf("bad escape \\%c", e)
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+func isHexDigit(c byte) bool {
+	return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,529 @@
+package minic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/passes"
+)
+
+// compileRun compiles MiniC source, verifies the module, runs main, and
+// returns (exit value, output).
+func compileRun(t *testing.T, src string) (int64, string, *core.Module) {
+	t.Helper()
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m)
+	}
+	var out bytes.Buffer
+	mc, err := interp.NewMachine(m, &out)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	v, err := mc.RunMain()
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s\nmodule:\n%s", err, out.String(), m)
+	}
+	return v, out.String(), m
+}
+
+func TestReturnConstant(t *testing.T) {
+	v, _, _ := compileRun(t, "int main() { return 42; }")
+	if v != 42 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestArithmeticAndLocals(t *testing.T) {
+	v, _, _ := compileRun(t, `
+int main() {
+	int a = 6;
+	int b = 7;
+	int c = a * b + 10 / 2 - 5;
+	return c;
+}`)
+	if v != 42 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	v, _, _ := compileRun(t, `
+int main() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) s = s + i;
+	}
+	while (s > 25) s--;
+	do { s++; } while (s < 26);
+	return s;
+}`)
+	// evens 0+2+4+6+8 = 20; while skipped (20<=25); do-while: to 26.
+	if v != 26 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	v, _, _ := compileRun(t, `
+static int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main() { return fib(15); }`)
+	if v != 610 {
+		t.Fatalf("fib(15) = %d", v)
+	}
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	v, _, _ := compileRun(t, `
+int sum(int *a, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) s += a[i];
+	return s;
+}
+int main() {
+	int data[5] = {1, 2, 3, 4, 5};
+	int *p = data;
+	*p = 10;
+	p[1] = 20;
+	*(p + 2) = 30;
+	return sum(data, 5);
+}`)
+	if v != 69 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestStructsAndLinkedList(t *testing.T) {
+	v, _, _ := compileRun(t, `
+struct node {
+	int value;
+	struct node *next;
+};
+
+int main() {
+	struct node *head = 0;
+	int i;
+	for (i = 1; i <= 5; i++) {
+		struct node *n = (struct node*)malloc(sizeof(struct node));
+		n->value = i * i;
+		n->next = head;
+		head = n;
+	}
+	int total = 0;
+	struct node *cur = head;
+	while (cur) {
+		total += cur->value;
+		struct node *dead = cur;
+		cur = cur->next;
+		free(dead);
+	}
+	return total;
+}`)
+	if v != 55 {
+		t.Fatalf("sum of squares = %d", v)
+	}
+}
+
+func TestTypedMallocRaising(t *testing.T) {
+	// (T*)malloc(sizeof(T)) must become a typed malloc instruction.
+	_, _, m := compileRun(t, `
+struct pair { int a; int b; };
+int main() {
+	struct pair *p = (struct pair*)malloc(sizeof(struct pair));
+	p->a = 1;
+	int r = p->a;
+	free(p);
+	return r;
+}`)
+	var typed bool
+	m.Func("main").ForEachInst(func(inst core.Instruction) bool {
+		if mi, ok := inst.(*core.MallocInst); ok {
+			if mi.AllocType.Kind() == core.StructKind {
+				typed = true
+			}
+		}
+		return true
+	})
+	if !typed {
+		t.Fatalf("malloc not raised to typed form:\n%s", m)
+	}
+}
+
+func TestRawMallocStaysBytes(t *testing.T) {
+	_, _, m := compileRun(t, `
+int main() {
+	char *buf = malloc(100);
+	buf[0] = 7;
+	int r = buf[0];
+	free(buf);
+	return r;
+}`)
+	var sawByteMalloc bool
+	m.Func("main").ForEachInst(func(inst core.Instruction) bool {
+		if mi, ok := inst.(*core.MallocInst); ok && mi.AllocType == core.Type(core.SByteType) {
+			sawByteMalloc = true
+		}
+		return true
+	})
+	if !sawByteMalloc {
+		t.Fatalf("raw malloc(100) should be byte allocation:\n%s", m)
+	}
+}
+
+func TestGlobalsAndStrings(t *testing.T) {
+	v, out, _ := compileRun(t, `
+extern int printf(char *fmt, ...);
+int counter = 10;
+int table[4] = {1, 2, 3, 4};
+
+int main() {
+	counter += table[2];
+	printf("counter=%d\n", counter);
+	return counter;
+}`)
+	if v != 13 {
+		t.Fatalf("got %d", v)
+	}
+	if out != "counter=13\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	v, _, _ := compileRun(t, `
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+	int a = 0 && bump();
+	int b = 1 || bump();
+	if (calls != 0) return 100;
+	int c = 1 && bump();
+	int d = 0 || bump();
+	if (calls != 2) return 200;
+	return a * 1000 + b * 100 + c * 10 + d;
+}`)
+	if v != 111 {
+		t.Fatalf("short circuit: got %d", v)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `
+int classify(int x) {
+	int r = 0;
+	switch (x) {
+	case 1:
+		r += 1;
+	case 2:
+		r += 2;
+		break;
+	case 3:
+		r += 100;
+		break;
+	default:
+		r = -1;
+	}
+	return r;
+}
+int main() { return classify(%d); }
+`
+	cases := map[int]int64{1: 3, 2: 2, 3: 100, 9: -1}
+	for in, want := range cases {
+		v, _, _ := compileRun(t, strings.Replace(src, "%d", itoa(in), 1))
+		if v != want {
+			t.Fatalf("classify(%d) = %d, want %d", in, v, want)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestFunctionPointers(t *testing.T) {
+	v, _, _ := compileRun(t, `
+int twice(int x) { return x * 2; }
+int thrice(int x) { return x * 3; }
+int apply(int (*f)(int), int x) { return f(x); }
+int main() {
+	int (*op)(int) = twice;
+	int a = apply(op, 10);
+	op = thrice;
+	int b = op(10);
+	return a + b;
+}`)
+	if v != 50 {
+		t.Fatalf("function pointers: got %d", v)
+	}
+}
+
+func TestCastsAndUnsigned(t *testing.T) {
+	v, _, _ := compileRun(t, `
+int main() {
+	unsigned int u = (unsigned int)-1;
+	u = u >> 24;
+	char c = (char)300;
+	long big = (long)1000000 * 1000000;
+	int lo = (int)(big % 1000);
+	return (int)u + c + lo;
+}`)
+	// u>>24 = 255; (char)300 = 44; big%1000 = 0.
+	if v != 299 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestSizeofAndComments(t *testing.T) {
+	v, _, _ := compileRun(t, `
+// line comment
+/* block
+   comment */
+struct big { double d; int i; char c; };
+int main() {
+	return sizeof(int) + sizeof(char*) + sizeof(struct big);
+}`)
+	// 4 + 8 + 16 = 28 ({double,int,char} pads to 16)
+	if v != 28 {
+		t.Fatalf("sizeof sums = %d", v)
+	}
+}
+
+func TestNestedStructsAndMatrix(t *testing.T) {
+	v, _, _ := compileRun(t, `
+struct point { int x; int y; };
+struct rect { struct point min; struct point max; };
+
+int area(struct rect *r) {
+	return (r->max.x - r->min.x) * (r->max.y - r->min.y);
+}
+
+int main() {
+	struct rect r;
+	r.min.x = 1; r.min.y = 2;
+	r.max.x = 5; r.max.y = 10;
+	int m[3][3];
+	int i; int j;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 3; j++)
+			m[i][j] = i * 3 + j;
+	return area(&r) + m[2][2];
+}`)
+	if v != 40 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	v, _, _ := compileRun(t, `
+double avg(double a, double b) { return (a + b) / 2.0; }
+int main() {
+	double x = avg(3.0, 4.0);
+	float f = (float)x;
+	return (int)(x * 10.0) + (int)f;
+}`)
+	if v != 38 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	v, _, _ := compileRun(t, `
+int main() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 100; i++) {
+		if (i == 10) break;
+		if (i % 2) continue;
+		s += i;
+	}
+	return s;
+}`)
+	if v != 20 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestOptimizedMiniCProgramSameResult(t *testing.T) {
+	src := `
+static int work(int n) {
+	int acc = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		int t = i * i;
+		acc += t - (i * i) + i;
+	}
+	return acc;
+}
+int main() { return work(100); }
+`
+	m1, err := Compile("raw", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Compile("opt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := passes.NewPassManager()
+	pm.VerifyEach = true
+	pm.AddLinkTimePipeline()
+	if _, err := pm.Run(m2); err != nil {
+		t.Fatal(err)
+	}
+	mc1, _ := interp.NewMachine(m1, nil)
+	mc2, _ := interp.NewMachine(m2, nil)
+	v1, err1 := mc1.RunMain()
+	v2, err2 := mc2.RunMain()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%v %v", err1, err2)
+	}
+	if v1 != v2 || v1 != 4950 {
+		t.Fatalf("results differ: %d vs %d", v1, v2)
+	}
+	if mc2.Steps >= mc1.Steps {
+		t.Errorf("optimization did not reduce work: %d vs %d", mc2.Steps, mc1.Steps)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int main( { return 0; }",
+		"int main() { return 0 }",
+		"int main() { undeclared(); return 0; }",
+		"int main() { struct nope *p; return 0; }",
+		"int main() { int x = \"str\" }",
+	}
+	for _, src := range cases {
+		if _, err := Compile("bad", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	v, _, _ := compileRun(t, `
+int main() {
+	int x = 10;
+	x += 5;
+	x -= 3;
+	x *= 2;
+	x /= 4;
+	x %= 5;
+	int y = x++;
+	int z = ++x;
+	return x * 100 + y * 10 + z;
+}`)
+	// x: 10+5=15-3=12*2=24/4=6%5=1; y=1 (x=2); z=3 (x=3) => 313.
+	if v != 313 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestStaticLinkage(t *testing.T) {
+	_, _, m := compileRun(t, `
+static int hidden() { return 1; }
+static int g = 5;
+int main() { return hidden() + g - 6; }`)
+	if m.Func("hidden").Linkage != core.InternalLinkage {
+		t.Error("static function not internal")
+	}
+	if m.Global("g").Linkage != core.InternalLinkage {
+		t.Error("static global not internal")
+	}
+}
+
+func TestArrayIndexingKeepsArrayType(t *testing.T) {
+	// table[i] must index the [N x int] type directly (not decay to int*),
+	// so bounds information survives into the IR (§3.2 "expose arrays").
+	_, _, m := compileRun(t, `
+int table[10];
+int main() {
+	int i;
+	for (i = 0; i < 10; i++) table[i] = i;
+	return table[9];
+}`)
+	sawArrayGEP := false
+	m.Func("main").ForEachInst(func(inst core.Instruction) bool {
+		if gep, ok := inst.(*core.GetElementPtrInst); ok {
+			if pt, ok := gep.Base().Type().(*core.PointerType); ok {
+				if _, isArr := pt.Elem.(*core.ArrayType); isArr && len(gep.Indices()) == 2 {
+					sawArrayGEP = true
+				}
+			}
+		}
+		return true
+	})
+	if !sawArrayGEP {
+		t.Fatalf("array indexing decayed to pointer arithmetic:\n%s", m)
+	}
+}
+
+func TestStructMemberArrayIndexing(t *testing.T) {
+	v, _, _ := compileRun(t, `
+struct buf { int len; int data[8]; };
+int main() {
+	struct buf b;
+	b.len = 3;
+	int i;
+	for (i = 0; i < b.len; i++) b.data[i] = i * 10;
+	return b.data[0] + b.data[1] + b.data[2] + b.len;
+}`)
+	if v != 33 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestPointerToStructArrayArrow(t *testing.T) {
+	v, _, _ := compileRun(t, `
+struct buf { int data[4]; };
+int fill(struct buf *p) {
+	int i;
+	for (i = 0; i < 4; i++) p->data[i] = i + 1;
+	return p->data[3];
+}
+int main() {
+	struct buf b;
+	return fill(&b);
+}`)
+	if v != 4 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestArrayParamStillDecays(t *testing.T) {
+	// Array parameters are pointers in C; indexing them is pointer
+	// arithmetic and must keep working.
+	v, _, _ := compileRun(t, `
+int sum(int a[], int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) s += a[i];
+	return s;
+}
+int main() {
+	int d[3] = {5, 6, 7};
+	return sum(d, 3);
+}`)
+	if v != 18 {
+		t.Fatalf("got %d", v)
+	}
+}

@@ -1,0 +1,893 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse turns MiniC source into an AST.
+func Parse(src string) ([]Decl, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var decls []Decl
+	for !p.atEOF() {
+		d, err := p.parseTopLevel()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			decls = append(decls, d)
+		}
+	}
+	return decls, nil
+}
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) cur() tok    { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tEOF }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("minic: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() tok {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atPunct(s string) bool { return p.cur().kind == tPunct && p.cur().text == s }
+func (p *parser) atKw(s string) bool    { return p.cur().kind == tKeyword && p.cur().text == s }
+
+func (p *parser) eatPunct(s string) bool {
+	if p.atPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKw(s string) bool {
+	if p.atKw(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.eatPunct(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tIdent {
+		return "", p.errf("expected identifier, got %q", p.cur().text)
+	}
+	return p.advance().text, nil
+}
+
+// atTypeStart reports whether the current token can begin a type.
+func (p *parser) atTypeStart() bool {
+	if p.cur().kind != tKeyword {
+		return false
+	}
+	switch p.cur().text {
+	case "void", "char", "short", "int", "long", "float", "double",
+		"unsigned", "signed", "struct", "const":
+		return true
+	}
+	return false
+}
+
+// parseBaseType parses the type-specifier part (no declarator).
+func (p *parser) parseBaseType() (*TypeExpr, error) {
+	p.eatKw("const")
+	te := &TypeExpr{}
+	if p.eatKw("unsigned") {
+		te.Unsigned = true
+	} else if p.eatKw("signed") {
+		// default
+	}
+	switch {
+	case p.eatKw("struct"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		te.Base = name
+		te.IsStruct = true
+	case p.cur().kind == tKeyword:
+		switch p.cur().text {
+		case "void", "char", "short", "int", "long", "float", "double":
+			te.Base = p.advance().text
+			// "long long" and "unsigned long" combinations.
+			if te.Base == "long" && p.atKw("long") {
+				p.advance()
+			}
+			if te.Base == "long" && p.atKw("int") {
+				p.advance()
+			}
+		default:
+			return nil, p.errf("expected type, got %q", p.cur().text)
+		}
+	default:
+		if te.Unsigned {
+			te.Base = "int" // bare "unsigned"
+		} else {
+			return nil, p.errf("expected type, got %q", p.cur().text)
+		}
+	}
+	return te, nil
+}
+
+// parseAbstractType parses a full type with pointers (for casts/sizeof):
+// base '*'*.
+func (p *parser) parseAbstractType() (*TypeExpr, error) {
+	te, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatPunct("*") {
+		te = cloneType(te)
+		te.Ptr++
+	}
+	return te, nil
+}
+
+func cloneType(t *TypeExpr) *TypeExpr {
+	c := *t
+	c.ArrayLen = append([]int(nil), t.ArrayLen...)
+	return &c
+}
+
+// parseDeclarator parses '*'* (name | '(' '*' name ')' '(' params ')')
+// '[' N ']'* against the given base type. Returns the declared name and
+// final type.
+func (p *parser) parseDeclarator(base *TypeExpr) (string, *TypeExpr, error) {
+	t := cloneType(base)
+	for p.eatPunct("*") {
+		t.Ptr++
+	}
+	// Function pointer: ( * name ) ( params )
+	if p.atPunct("(") {
+		save := p.pos
+		p.advance()
+		if p.eatPunct("*") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return "", nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return "", nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return "", nil, err
+			}
+			fp := &TypeExpr{IsFuncPtr: true, Ret: t}
+			for !p.atPunct(")") {
+				if len(fp.Params) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return "", nil, err
+					}
+				}
+				if p.atPunct(".") || p.cur().text == "." {
+					return "", nil, p.errf("unexpected token in parameter list")
+				}
+				if p.cur().kind == tPunct && p.cur().text == "." {
+					break
+				}
+				pt, err := p.parseAbstractType()
+				if err != nil {
+					return "", nil, err
+				}
+				// Parameter name is optional in prototypes.
+				if p.cur().kind == tIdent {
+					p.advance()
+				}
+				fp.Params = append(fp.Params, pt)
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return "", nil, err
+			}
+			return name, fp, nil
+		}
+		p.pos = save
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", nil, err
+	}
+	for p.eatPunct("[") {
+		if p.eatPunct("]") {
+			// Unsized dimension (parameter syntax): decays to a pointer.
+			if len(t.ArrayLen) > 0 || p.atPunct("[") {
+				return "", nil, p.errf("unsized dimension only allowed as the sole dimension")
+			}
+			t.Ptr++
+			return name, t, nil
+		}
+		if p.cur().kind != tInt {
+			return "", nil, p.errf("expected array length")
+		}
+		n, _ := strconv.Atoi(p.advance().text)
+		if err := p.expectPunct("]"); err != nil {
+			return "", nil, err
+		}
+		t.ArrayLen = append(t.ArrayLen, n)
+	}
+	return name, t, nil
+}
+
+func (p *parser) parseTopLevel() (Decl, error) {
+	// struct declaration?
+	if p.atKw("struct") && p.pos+2 < len(p.toks) && p.toks[p.pos+2].text == "{" {
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		sd := &StructDecl{Name: name}
+		for !p.atPunct("}") {
+			base, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				fname, ft, err := p.parseDeclarator(base)
+				if err != nil {
+					return nil, err
+				}
+				sd.Fields = append(sd.Fields, Param{Name: fname, Type: ft})
+				if !p.eatPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+		p.advance() // }
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return sd, nil
+	}
+
+	extern := p.eatKw("extern")
+	static := p.eatKw("static")
+	isConst := p.atKw("const")
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	name, t, err := p.parseDeclarator(base)
+	if err != nil {
+		return nil, err
+	}
+
+	// Function?
+	if p.atPunct("(") && !t.IsFuncPtr {
+		return p.parseFunctionRest(name, t, extern, static)
+	}
+
+	vd := &VarDecl{Name: name, Type: t, Extern: extern, Static: static, Const: isConst}
+	if p.eatPunct("=") {
+		if p.atPunct("{") {
+			p.advance()
+			for !p.atPunct("}") {
+				if len(vd.InitList) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				vd.InitList = append(vd.InitList, e)
+			}
+			p.advance()
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = e
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *parser) parseFunctionRest(name string, ret *TypeExpr, extern, static bool) (Decl, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Name: name, Ret: ret, Extern: extern, Static: static}
+	if p.atKw("void") && p.toks[p.pos+1].text == ")" {
+		p.advance() // f(void)
+	}
+	for !p.atPunct(")") {
+		if len(fd.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		if p.atPunct(".") {
+			// "..." is lexed as three dots.
+			p.advance()
+			if !p.eatPunct(".") || !p.eatPunct(".") {
+				return nil, p.errf("expected '...'")
+			}
+			fd.Variadic = true
+			break
+		}
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		if p.atPunct(")") || p.atPunct(",") {
+			// Unnamed prototype parameter.
+			fd.Params = append(fd.Params, Param{Type: base})
+			continue
+		}
+		pname, pt, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		// Array parameters decay to pointers.
+		if len(pt.ArrayLen) > 0 {
+			pt = cloneType(pt)
+			pt.ArrayLen = pt.ArrayLen[1:]
+			pt.Ptr++
+		}
+		fd.Params = append(fd.Params, Param{Name: pname, Type: pt})
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.eatPunct(";") {
+		return fd, nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.atPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance()
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atPunct("{"):
+		return p.parseBlock()
+	case p.atKw("if"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.eatKw("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.atKw("while"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.atKw("do"):
+		p.advance()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eatKw("while") {
+			return nil, p.errf("expected 'while' after do body")
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond}, nil
+	case p.atKw("for"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{}
+		if !p.atPunct(";") {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.atPunct(";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.atPunct(")") {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case p.atKw("return"):
+		p.advance()
+		st := &ReturnStmt{}
+		if !p.atPunct(";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.atKw("break"):
+		p.advance()
+		return &BreakStmt{}, p.expectPunct(";")
+	case p.atKw("continue"):
+		p.advance()
+		return &ContinueStmt{}, p.expectPunct(";")
+	case p.atKw("switch"):
+		return p.parseSwitch()
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expectPunct(";")
+	}
+}
+
+// parseSimpleStmt parses a local declaration or expression (no ';').
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	if p.atTypeStart() {
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		name, t, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		ld := &LocalDecl{Name: name, Type: t}
+		if p.eatPunct("=") {
+			if p.atPunct("{") {
+				p.advance()
+				for !p.atPunct("}") {
+					if len(ld.InitList) > 0 {
+						if err := p.expectPunct(","); err != nil {
+							return nil, err
+						}
+					}
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					ld.InitList = append(ld.InitList, e)
+				}
+				p.advance()
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ld.Init = e
+			}
+		}
+		return ld, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e}, nil
+}
+
+func (p *parser) parseSwitch() (Stmt, error) {
+	p.advance() // switch
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{Value: v, DefaultPos: -1}
+	for !p.atPunct("}") {
+		switch {
+		case p.eatKw("case"):
+			neg := p.eatPunct("-")
+			if p.cur().kind != tInt && p.cur().kind != tChar {
+				return nil, p.errf("expected case constant")
+			}
+			ct := p.advance()
+			var cv int64
+			if ct.kind == tChar {
+				cv = int64(ct.text[0])
+			} else {
+				cv, _ = strconv.ParseInt(ct.text, 0, 64)
+			}
+			if neg {
+				cv = -cv
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseCaseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Cases = append(st.Cases, SwitchCase{Value: cv, Body: body})
+		case p.eatKw("default"):
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseCaseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Default = body
+			st.DefaultPos = len(st.Cases)
+		default:
+			return nil, p.errf("expected 'case' or 'default' in switch, got %q", p.cur().text)
+		}
+	}
+	p.advance()
+	if st.DefaultPos < 0 {
+		st.DefaultPos = len(st.Cases)
+	}
+	return st, nil
+}
+
+func (p *parser) parseCaseBody() ([]Stmt, error) {
+	var out []Stmt
+	for !p.atKw("case") && !p.atKw("default") && !p.atPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated switch")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^",
+}
+
+func (p *parser) parseAssign() (Expr, error) {
+	l, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.atPunct("=") {
+		p.advance()
+		r, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{L: l, R: r}, nil
+	}
+	if p.cur().kind == tPunct {
+		if base, ok := compoundOps[p.cur().text]; ok {
+			p.advance()
+			r, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Op: base, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+// Binary precedence levels, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range precLevels[level] {
+			if p.atPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: matched, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.atPunct("-") || p.atPunct("!") || p.atPunct("~") || p.atPunct("*") || p.atPunct("&"):
+		op := p.advance().text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	case p.atPunct("++") || p.atPunct("--"):
+		op := p.advance().text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	case p.atKw("sizeof"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		t, err := p.parseAbstractType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &SizeOf{Type: t}, nil
+	case p.atPunct("("):
+		// Cast or parenthesized expression.
+		save := p.pos
+		p.advance()
+		if p.atTypeStart() {
+			t, err := p.parseAbstractType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Type: t, X: x}, nil
+		}
+		p.pos = save
+		return p.parsePostfix()
+	default:
+		return p.parsePostfix()
+	}
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("("):
+			p.advance()
+			call := &Call{Fun: x}
+			for !p.atPunct(")") {
+				if len(call.Args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.advance()
+			x = call
+		case p.atPunct("["):
+			p.advance()
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{X: x, I: i}
+		case p.atPunct("."):
+			p.advance()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{X: x, Name: name}
+		case p.atPunct("->"):
+			p.advance()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{X: x, Name: name, Arrow: true}
+		case p.atPunct("++") || p.atPunct("--"):
+			op := p.advance().text
+			x = &Unary{Op: op, X: x, Postfix: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(t.text, 0, 64)
+			if uerr != nil {
+				return nil, p.errf("bad integer %q", t.text)
+			}
+			v = int64(u)
+		}
+		return &IntLit{Val: v}, nil
+	case tFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return &FloatLit{Val: v}, nil
+	case tStr:
+		p.advance()
+		return &StrLit{Val: t.text}, nil
+	case tChar:
+		p.advance()
+		return &IntLit{Val: int64(t.text[0])}, nil
+	case tIdent:
+		p.advance()
+		return &Ident{Name: t.text}, nil
+	case tPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectPunct(")")
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

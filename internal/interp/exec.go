@@ -1,0 +1,484 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// execResult describes how a function activation ended.
+type execResult int
+
+const (
+	resReturn execResult = iota
+	resUnwind            // an unwind is propagating; caller must dispatch
+)
+
+// frame is one interpreter activation record.
+type frame struct {
+	fn     *core.Function
+	vals   map[core.Value]uint64
+	vaArgs []uint64 // extra args of a variadic call
+	vaCur  int
+	// stackMark is the stack-arena watermark to restore on return.
+	stackMark uint64
+}
+
+// RunFunction executes f with the given raw arguments and returns the raw
+// result. An unwind that escapes f is reported as ErrUncaughtUnwind.
+func (mc *Machine) RunFunction(f *core.Function, args ...uint64) (uint64, error) {
+	v, res, err := mc.call(f, args)
+	if err != nil {
+		return 0, err
+	}
+	if res == resUnwind {
+		return 0, ErrUncaughtUnwind
+	}
+	return v, nil
+}
+
+// RunMain looks up "main" and runs it with no arguments, returning its
+// integer exit value.
+func (mc *Machine) RunMain() (int64, error) {
+	f := mc.Mod.Func("main")
+	if f == nil {
+		return 0, errors.New("interp: no main function")
+	}
+	args := make([]uint64, len(f.Args))
+	v, err := mc.RunFunction(f, args...)
+	if err != nil {
+		return 0, err
+	}
+	if f.Sig.Ret == core.VoidType {
+		return 0, nil
+	}
+	return int64(signExtend(f.Sig.Ret, v)), nil
+}
+
+// call runs one activation of f.
+func (mc *Machine) call(f *core.Function, args []uint64) (uint64, execResult, error) {
+	if f.IsDeclaration() {
+		if b, ok := mc.builtins[f.Name()]; ok {
+			v, err := b(mc, args)
+			return v, resReturn, err
+		}
+		return 0, resReturn, fmt.Errorf("interp: call to undefined external %%%s", f.Name())
+	}
+	if mc.useJIT {
+		jf := mc.jitCache[f]
+		if jf == nil {
+			var err error
+			jf, err = mc.jitCompile(f)
+			if err != nil {
+				return 0, resReturn, err
+			}
+			if mc.jitCache == nil {
+				mc.jitCache = map[*core.Function]*jitFunc{}
+			}
+			mc.jitCache[f] = jf
+		}
+		return mc.jitExec(jf, args)
+	}
+	if mc.depth >= mc.MaxDepth {
+		return 0, resReturn, ErrStackOverflow
+	}
+	mc.depth++
+	defer func() { mc.depth-- }()
+
+	fr := &frame{
+		fn:        f,
+		vals:      make(map[core.Value]uint64, f.NumInstructions()+len(f.Args)),
+		stackMark: mc.stackTop,
+	}
+	defer func() { mc.stackTop = fr.stackMark }()
+	for i, a := range f.Args {
+		if i < len(args) {
+			fr.vals[a] = args[i]
+		}
+	}
+	if f.Sig.Variadic && len(args) > len(f.Args) {
+		fr.vaArgs = args[len(f.Args):]
+	}
+
+	block := f.Entry()
+	var prev *core.BasicBlock
+	for {
+		nextBlock, ret, res, err := mc.execBlock(fr, block, prev)
+		if err != nil {
+			return 0, resReturn, err
+		}
+		if nextBlock == nil {
+			return ret, res, nil
+		}
+		prev, block = block, nextBlock
+	}
+}
+
+// operand fetches the raw bits of an operand in a frame.
+func (mc *Machine) operand(fr *frame, v core.Value) (uint64, error) {
+	switch x := v.(type) {
+	case core.Constant:
+		switch x.(type) {
+		case *core.Function, *core.GlobalVariable:
+			return mc.evalConstant(x)
+		default:
+			return mc.evalConstant(x)
+		}
+	default:
+		val, ok := fr.vals[v]
+		if !ok {
+			// Uninitialized (undef-like); zero is a legal choice.
+			return 0, nil
+		}
+		return val, nil
+	}
+}
+
+// execBlock runs block to its terminator. It returns the next block (nil if
+// the function is done), the return value, and whether an unwind is in
+// progress.
+func (mc *Machine) execBlock(fr *frame, b, prev *core.BasicBlock) (*core.BasicBlock, uint64, execResult, error) {
+	// Phis evaluate simultaneously from the edge's values.
+	phis := b.Phis()
+	if len(phis) > 0 {
+		tmp := make([]uint64, len(phis))
+		for i, phi := range phis {
+			v := phi.IncomingFor(prev)
+			if v == nil {
+				return nil, 0, resReturn, fmt.Errorf("interp: phi %%%s has no entry for predecessor", phi.Name())
+			}
+			val, err := mc.operand(fr, v)
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			tmp[i] = val
+		}
+		for i, phi := range phis {
+			fr.vals[phi] = tmp[i]
+		}
+	}
+
+	for _, inst := range b.Instrs[b.FirstNonPhi():] {
+		mc.Steps++
+		if mc.Steps > mc.MaxSteps {
+			return nil, 0, resReturn, ErrMaxSteps
+		}
+		mc.OpCounts[inst.Opcode()]++
+
+		switch i := inst.(type) {
+		case *core.RetInst:
+			if i.Value() == nil {
+				return nil, 0, resReturn, nil
+			}
+			v, err := mc.operand(fr, i.Value())
+			return nil, v, resReturn, err
+
+		case *core.BranchInst:
+			if !i.IsConditional() {
+				return i.TrueDest(), 0, resReturn, nil
+			}
+			c, err := mc.operand(fr, i.Cond())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			if c != 0 {
+				return i.TrueDest(), 0, resReturn, nil
+			}
+			return i.FalseDest(), 0, resReturn, nil
+
+		case *core.SwitchInst:
+			v, err := mc.operand(fr, i.Value())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			dest := i.Default()
+			for n := 0; n < i.NumCases(); n++ {
+				cv, d := i.Case(n)
+				if cv.Val == v {
+					dest = d
+					break
+				}
+			}
+			return dest, 0, resReturn, nil
+
+		case *core.UnwindInst:
+			return nil, 0, resUnwind, nil
+
+		case *core.CallInst:
+			v, res, err := mc.execCall(fr, i.Callee(), i.Args())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			if res == resUnwind {
+				// A call does not stop unwinding: propagate out of this
+				// frame too.
+				return nil, 0, resUnwind, nil
+			}
+			if i.Type() != core.VoidType {
+				fr.vals[i] = v
+			}
+
+		case *core.InvokeInst:
+			v, res, err := mc.execCall(fr, i.Callee(), i.Args())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			if res == resUnwind {
+				// The invoke catches the unwind: control transfers to the
+				// unwind label (§2.4).
+				return i.UnwindDest(), 0, resReturn, nil
+			}
+			if i.Type() != core.VoidType {
+				fr.vals[i] = v
+			}
+			return i.NormalDest(), 0, resReturn, nil
+
+		case *core.BinaryInst:
+			v, err := mc.execBinary(fr, i)
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			fr.vals[i] = v
+
+		case *core.MallocInst:
+			n := uint64(1)
+			if ne := i.NumElems(); ne != nil {
+				v, err := mc.operand(fr, ne)
+				if err != nil {
+					return nil, 0, resReturn, err
+				}
+				n = v
+			}
+			fr.vals[i] = mc.Malloc(n * uint64(core.SizeOf(i.AllocType)))
+
+		case *core.AllocaInst:
+			n := uint64(1)
+			if ne := i.NumElems(); ne != nil {
+				v, err := mc.operand(fr, ne)
+				if err != nil {
+					return nil, 0, resReturn, err
+				}
+				n = v
+			}
+			addr, err := mc.alloca(n * uint64(core.SizeOf(i.AllocType)))
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			fr.vals[i] = addr
+
+		case *core.FreeInst:
+			p, err := mc.operand(fr, i.Ptr())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			if err := mc.Free(p); err != nil {
+				return nil, 0, resReturn, err
+			}
+
+		case *core.LoadInst:
+			p, err := mc.operand(fr, i.Ptr())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			v, err := mc.loadBits(p, i.Type())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			fr.vals[i] = v
+
+		case *core.StoreInst:
+			v, err := mc.operand(fr, i.Val())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			p, err := mc.operand(fr, i.Ptr())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			if err := mc.storeBits(p, i.Val().Type(), v); err != nil {
+				return nil, 0, resReturn, err
+			}
+
+		case *core.GetElementPtrInst:
+			base, err := mc.operand(fr, i.Base())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			idx := i.Indices()
+			vals := make([]uint64, len(idx))
+			for k, ix := range idx {
+				v, err := mc.operand(fr, ix)
+				if err != nil {
+					return nil, 0, resReturn, err
+				}
+				vals[k] = v
+			}
+			addr, err := gepAddress(i.Base().Type(), base, idx, vals)
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			fr.vals[i] = addr
+
+		case *core.CastInst:
+			v, err := mc.operand(fr, i.Val())
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			fr.vals[i] = castBits(i.Val().Type(), i.Type(), v)
+
+		case *core.VAArgInst:
+			if fr.vaCur < len(fr.vaArgs) {
+				fr.vals[i] = fr.vaArgs[fr.vaCur]
+				fr.vaCur++
+			} else {
+				fr.vals[i] = 0
+			}
+
+		default:
+			return nil, 0, resReturn, fmt.Errorf("interp: unhandled instruction %s", inst.Opcode())
+		}
+	}
+	return nil, 0, resReturn, fmt.Errorf("interp: block %%%s fell off the end", b.Name())
+}
+
+// execCall resolves the callee (direct or via function address) and calls.
+func (mc *Machine) execCall(fr *frame, callee core.Value, argVals []core.Value) (uint64, execResult, error) {
+	args := make([]uint64, len(argVals))
+	for k, a := range argVals {
+		v, err := mc.operand(fr, a)
+		if err != nil {
+			return 0, resReturn, err
+		}
+		args[k] = v
+	}
+	if f, ok := callee.(*core.Function); ok {
+		return mc.call(f, args)
+	}
+	addr, err := mc.operand(fr, callee)
+	if err != nil {
+		return 0, resReturn, err
+	}
+	f, ok := mc.funcAt[addr]
+	if !ok {
+		return 0, resReturn, ErrBadIndirectCall
+	}
+	return mc.call(f, args)
+}
+
+// execBinary evaluates arithmetic, logic, and comparisons.
+func (mc *Machine) execBinary(fr *frame, i *core.BinaryInst) (uint64, error) {
+	a, err := mc.operand(fr, i.LHS())
+	if err != nil {
+		return 0, err
+	}
+	b, err := mc.operand(fr, i.RHS())
+	if err != nil {
+		return 0, err
+	}
+	t := i.LHS().Type()
+	op := i.Opcode()
+
+	if core.IsFloatingPoint(t) {
+		fa, fb := bitsToFloat(t, a), bitsToFloat(t, b)
+		if core.IsComparisonOp(op) {
+			r, ok := core.EvalFloatCompare(op, fa, fb)
+			if !ok {
+				return 0, fmt.Errorf("interp: bad float compare %s", op)
+			}
+			return boolBits(r), nil
+		}
+		r, ok := core.EvalFloatBinary(op, t, fa, fb)
+		if !ok {
+			return 0, fmt.Errorf("interp: bad float op %s", op)
+		}
+		return floatBits(t, r), nil
+	}
+
+	// bool and pointer comparisons / logic use unsigned semantics.
+	et := t
+	if !core.IsInteger(et) {
+		et = core.ULongType
+	}
+	if core.IsComparisonOp(op) {
+		r, ok := core.EvalIntCompare(op, et, a, b)
+		if !ok {
+			return 0, fmt.Errorf("interp: bad compare %s", op)
+		}
+		return boolBits(r), nil
+	}
+	if t.Kind() == core.BoolKind {
+		switch op {
+		case core.OpAnd:
+			return a & b & 1, nil
+		case core.OpOr:
+			return (a | b) & 1, nil
+		case core.OpXor:
+			return (a ^ b) & 1, nil
+		}
+	}
+	r, ok := core.EvalIntBinary(op, et, a, b)
+	if !ok {
+		if op == core.OpDiv || op == core.OpRem {
+			return 0, ErrDivideByZero
+		}
+		return 0, fmt.Errorf("interp: bad int op %s on %s", op, t)
+	}
+	return r, nil
+}
+
+// alloca carves n bytes from the stack arena.
+func (mc *Machine) alloca(n uint64) (uint64, error) {
+	if n == 0 {
+		n = 1
+	}
+	top := (mc.stackTop + 7) &^ 7
+	if top+n > uint64(len(mc.stack)) {
+		return 0, ErrStackOverflow
+	}
+	addr := stackBase + top
+	// Zero the region: prior frames may have left data behind.
+	for i := top; i < top+n; i++ {
+		mc.stack[i] = 0
+	}
+	mc.stackTop = top + n
+	return addr, nil
+}
+
+func boolBits(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// GlobalAddr returns the runtime address of a global, for host harnesses.
+func (mc *Machine) GlobalAddr(g *core.GlobalVariable) uint64 { return mc.globals[g] }
+
+// FunctionAddr returns the runtime descriptor address of a function.
+func (mc *Machine) FunctionAddr(f *core.Function) uint64 { return mc.funcAddrs[f] }
+
+// ReadCString reads a NUL-terminated string at addr (for builtins/tests).
+func (mc *Machine) ReadCString(addr uint64) (string, error) {
+	var out []byte
+	for {
+		b, err := mc.mem(addr, 1)
+		if err != nil {
+			return "", err
+		}
+		if b[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, b[0])
+		addr++
+		if len(out) > 1<<20 {
+			return "", errors.New("interp: unterminated string")
+		}
+	}
+}
+
+// ReadWord reads a 64-bit little-endian word from program memory, for host
+// harnesses that inspect run results (e.g. reading profile counters).
+func (mc *Machine) ReadWord(addr uint64) (uint64, error) {
+	return mc.loadBits(addr, core.LongType)
+}

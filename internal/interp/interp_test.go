@@ -1,0 +1,639 @@
+package interp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/passes"
+)
+
+func run(t *testing.T, src string, args ...uint64) (uint64, *Machine, string) {
+	t.Helper()
+	m, err := asm.ParseModule("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	var out bytes.Buffer
+	mc, err := NewMachine(m, &out)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	f := m.Func("main")
+	if f == nil {
+		t.Fatal("no main")
+	}
+	v, err := mc.RunFunction(f, args...)
+	if err != nil {
+		t.Fatalf("run: %v\noutput so far: %s", err, out.String())
+	}
+	return v, mc, out.String()
+}
+
+func TestArithmetic(t *testing.T) {
+	v, _, _ := run(t, `
+int %main(int %x) {
+entry:
+	%a = add int %x, 10
+	%b = mul int %a, 3
+	%c = sub int %b, 6
+	%d = div int %c, 2
+	%e = rem int %d, 100
+	ret int %e
+}
+`, 4)
+	// ((4+10)*3-6)/2 = 18; 18%100 = 18
+	if int32(v) != 18 {
+		t.Fatalf("got %d, want 18", int32(v))
+	}
+}
+
+func TestSignedVsUnsignedDivision(t *testing.T) {
+	v, _, _ := run(t, `
+int %main() {
+entry:
+	%a = div int -7, 2
+	ret int %a
+}
+`)
+	if int32(v) != -3 {
+		t.Fatalf("signed div: got %d, want -3", int32(v))
+	}
+	v2, _, _ := run(t, `
+uint %main() {
+entry:
+	%big = cast int -7 to uint
+	%a = div uint %big, 2
+	ret uint %a
+}
+`)
+	if uint32(v2) != 2147483644 {
+		t.Fatalf("unsigned div: got %d", uint32(v2))
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	v, _, _ := run(t, `
+int %main() {
+entry:
+	%a = shr int -8, ubyte 1
+	ret int %a
+}
+`)
+	if int32(v) != -4 {
+		t.Fatalf("arithmetic shift: got %d, want -4", int32(v))
+	}
+	v2, _, _ := run(t, `
+uint %main() {
+entry:
+	%m = cast int -8 to uint
+	%a = shr uint %m, ubyte 1
+	ret uint %a
+}
+`)
+	if uint32(v2) != 0x7FFFFFFC {
+		t.Fatalf("logical shift: got %#x", uint32(v2))
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	v, _, _ := run(t, `
+int %main(int %n) {
+entry:
+	br label %loop
+loop:
+	%i = phi int [ 0, %entry ], [ %i2, %loop ]
+	%s = phi int [ 0, %entry ], [ %s2, %loop ]
+	%s2 = add int %s, %i
+	%i2 = add int %i, 1
+	%c = setlt int %i2, %n
+	br bool %c, label %loop, label %exit
+exit:
+	ret int %s2
+}
+`, 10)
+	if int32(v) != 45 {
+		t.Fatalf("sum 0..9 = %d, want 45", int32(v))
+	}
+}
+
+func TestMemoryAndGEP(t *testing.T) {
+	v, _, _ := run(t, `
+%xty = type { int, int, [4 x int] }
+
+int %main() {
+entry:
+	%arr = malloc %xty, uint 10
+	%p = getelementptr %xty* %arr, long 3, ubyte 2, long 1
+	store int 77, int* %p
+	%q = getelementptr %xty* %arr, long 3, ubyte 2, long 1
+	%v = load int* %q
+	free %xty* %arr
+	ret int %v
+}
+`)
+	if int32(v) != 77 {
+		t.Fatalf("GEP store/load: got %d", int32(v))
+	}
+}
+
+func TestTypePunningThroughCast(t *testing.T) {
+	// Store an int through a casted pointer, read back bytes — flat
+	// memory semantics (little-endian).
+	v, _, _ := run(t, `
+int %main() {
+entry:
+	%p = alloca int
+	store int 305419896, int* %p
+	%bp = cast int* %p to ubyte*
+	%b0 = load ubyte* %bp
+	%v = cast ubyte %b0 to int
+	ret int %v
+}
+`)
+	// 305419896 = 0x12345678, low byte 0x78 = 120.
+	if int32(v) != 0x78 {
+		t.Fatalf("punned byte = %#x, want 0x78", v)
+	}
+}
+
+func TestGlobalsAndInitializers(t *testing.T) {
+	v, _, _ := run(t, `
+%counter = global int 5
+%table = constant [3 x int] [ int 10, int 20, int 30 ]
+
+int %main() {
+entry:
+	%c = load int* %counter
+	%p = getelementptr [3 x int]* %table, long 0, long 2
+	%t = load int* %p
+	%s = add int %c, %t
+	store int %s, int* %counter
+	%c2 = load int* %counter
+	ret int %c2
+}
+`)
+	if int32(v) != 35 {
+		t.Fatalf("globals: got %d, want 35", int32(v))
+	}
+}
+
+func TestRecursionFactorial(t *testing.T) {
+	v, _, _ := run(t, `
+internal int %fact(int %n) {
+entry:
+	%c = setle int %n, 1
+	br bool %c, label %base, label %rec
+base:
+	ret int 1
+rec:
+	%n1 = sub int %n, 1
+	%r = call int %fact(int %n1)
+	%p = mul int %n, %r
+	ret int %p
+}
+
+int %main() {
+entry:
+	%r = call int %fact(int 10)
+	ret int %r
+}
+`)
+	if int32(v) != 3628800 {
+		t.Fatalf("10! = %d", int32(v))
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	v, _, _ := run(t, `
+%fp = global int (int)* %triple
+
+internal int %triple(int %x) {
+entry:
+	%r = mul int %x, 3
+	ret int %r
+}
+
+int %main() {
+entry:
+	%f = load int (int)** %fp
+	%r = call int %f(int 14)
+	ret int %r
+}
+`)
+	if int32(v) != 42 {
+		t.Fatalf("indirect call: got %d", int32(v))
+	}
+}
+
+func TestInvokeUnwindBasic(t *testing.T) {
+	v, _, out := run(t, `
+declare int %printf(sbyte*, ...)
+%msg = internal constant [9 x sbyte] c"cleanup\0A\00"
+
+internal void %thrower(bool %doThrow) {
+entry:
+	br bool %doThrow, label %t, label %ok
+t:
+	unwind
+ok:
+	ret void
+}
+
+int %main() {
+entry:
+	invoke void %thrower(bool true) to label %normal unwind to label %handler
+normal:
+	ret int 0
+handler:
+	%s = getelementptr [9 x sbyte]* %msg, long 0, long 0
+	%r = call int (sbyte*, ...)* %printf(sbyte* %s)
+	ret int 99
+}
+`)
+	if int32(v) != 99 {
+		t.Fatalf("unwind not caught: got %d", int32(v))
+	}
+	if out != "cleanup\n" {
+		t.Fatalf("handler output = %q", out)
+	}
+}
+
+func TestUnwindThroughCallFrames(t *testing.T) {
+	// unwind must skip plain call frames and stop at the nearest invoke.
+	v, _, _ := run(t, `
+internal void %deep() {
+entry:
+	unwind
+}
+
+internal void %mid() {
+entry:
+	call void %deep()
+	ret void
+}
+
+int %main() {
+entry:
+	invoke void %mid() to label %normal unwind to label %handler
+normal:
+	ret int 1
+handler:
+	ret int 2
+}
+`)
+	if int32(v) != 2 {
+		t.Fatalf("unwind through frames: got %d, want 2", int32(v))
+	}
+}
+
+func TestPaperFigure2DestructorPattern(t *testing.T) {
+	// Figure 2 of the paper: the invoke handler runs the destructor, then
+	// continues unwinding; an outer invoke catches it.
+	v, _, out := run(t, `
+declare int %printf(sbyte*, ...)
+%dmsg = internal constant [6 x sbyte] c"dtor\0A\00"
+
+internal void %func() {
+entry:
+	unwind
+}
+
+internal void %example() {
+entry:
+	invoke void %func() to label %OkLabel unwind to label %ExceptionLabel
+OkLabel:
+	ret void
+ExceptionLabel:
+	%s = getelementptr [6 x sbyte]* %dmsg, long 0, long 0
+	%r = call int (sbyte*, ...)* %printf(sbyte* %s)
+	unwind
+}
+
+int %main() {
+entry:
+	invoke void %example() to label %done unwind to label %caught
+done:
+	ret int 0
+caught:
+	ret int 7
+}
+`)
+	if int32(v) != 7 {
+		t.Fatalf("re-unwind not propagated: got %d", int32(v))
+	}
+	if out != "dtor\n" {
+		t.Fatalf("destructor did not run: %q", out)
+	}
+}
+
+func TestUncaughtUnwind(t *testing.T) {
+	m, err := asm.ParseModule("t", `
+int %main() {
+entry:
+	unwind
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, _ := NewMachine(m, nil)
+	_, err = mc.RunFunction(m.Func("main"))
+	if !errors.Is(err, ErrUncaughtUnwind) {
+		t.Fatalf("want ErrUncaughtUnwind, got %v", err)
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	_, _, out := run(t, `
+declare int %printf(sbyte*, ...)
+%fmt = internal constant [25 x sbyte] c"i=%d u=%u c=%c s=%s x=%x\00"
+%str = internal constant [3 x sbyte] c"ok\00"
+
+int %main() {
+entry:
+	%f = getelementptr [25 x sbyte]* %fmt, long 0, long 0
+	%s = getelementptr [3 x sbyte]* %str, long 0, long 0
+	%r = call int (sbyte*, ...)* %printf(sbyte* %f, int -5, uint 7, int 65, sbyte* %s, int 255)
+	ret int 0
+}
+`)
+	if out != "i=-5 u=7 c=A s=ok x=ff" {
+		t.Fatalf("printf output = %q", out)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	v, _, _ := run(t, `
+int %main() {
+entry:
+	%a = add double 1.5, 2.25
+	%b = mul double %a, 2.0
+	%i = cast double %b to int
+	ret int %i
+}
+`)
+	if int32(v) != 7 {
+		t.Fatalf("float arith: got %d, want 7", int32(v))
+	}
+}
+
+func TestFloatSinglePrecisionRounding(t *testing.T) {
+	v, _, _ := run(t, `
+bool %main() {
+entry:
+	%a = add float 0.1, 0.2
+	%d = cast float %a to double
+	%exact = add double 0.1, 0.2
+	%c = seteq double %d, %exact
+	ret bool %c
+}
+`)
+	if v != 0 {
+		t.Fatal("float32 rounding lost: 0.1f+0.2f should differ from double")
+	}
+}
+
+func TestDivideByZeroTrap(t *testing.T) {
+	m, _ := asm.ParseModule("t", `
+int %main(int %z) {
+entry:
+	%a = div int 1, %z
+	ret int %a
+}
+`)
+	mc, _ := NewMachine(m, nil)
+	_, err := mc.RunFunction(m.Func("main"), 0)
+	if !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("want divide-by-zero, got %v", err)
+	}
+}
+
+func TestNullDerefTrap(t *testing.T) {
+	m, _ := asm.ParseModule("t", `
+int %main() {
+entry:
+	%p = cast long 0 to int*
+	%v = load int* %p
+	ret int %v
+}
+`)
+	mc, _ := NewMachine(m, nil)
+	_, err := mc.RunFunction(m.Func("main"))
+	if !errors.Is(err, ErrNullDeref) {
+		t.Fatalf("want null deref, got %v", err)
+	}
+}
+
+func TestDoubleFreeTrap(t *testing.T) {
+	m, _ := asm.ParseModule("t", `
+int %main() {
+entry:
+	%p = malloc int
+	free int* %p
+	free int* %p
+	ret int 0
+}
+`)
+	mc, _ := NewMachine(m, nil)
+	_, err := mc.RunFunction(m.Func("main"))
+	if !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("want double free, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m, _ := asm.ParseModule("t", `
+int %main() {
+entry:
+	br label %loop
+loop:
+	br label %loop
+}
+`)
+	mc, _ := NewMachine(m, nil)
+	mc.MaxSteps = 1000
+	_, err := mc.RunFunction(m.Func("main"))
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("want step limit, got %v", err)
+	}
+}
+
+func TestAllocaFrameReuse(t *testing.T) {
+	// Stack allocations are reclaimed on return: deep call sequences with
+	// allocas must not exhaust the stack arena.
+	v, _, _ := run(t, `
+internal int %leaf(int %x) {
+entry:
+	%buf = alloca [1024 x int]
+	%p = getelementptr [1024 x int]* %buf, long 0, long 0
+	store int %x, int* %p
+	%v = load int* %p
+	ret int %v
+}
+
+int %main() {
+entry:
+	br label %loop
+loop:
+	%i = phi int [ 0, %entry ], [ %i2, %loop ]
+	%r = call int %leaf(int %i)
+	%i2 = add int %i, 1
+	%c = setlt int %i2, 10000
+	br bool %c, label %loop, label %done
+done:
+	ret int %r
+}
+`)
+	if int32(v) != 9999 {
+		t.Fatalf("got %d", int32(v))
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	src := `
+int %main(int %x) {
+entry:
+	switch int %x, label %other [
+		int 1, label %one
+		int 2, label %two ]
+one:
+	ret int 100
+two:
+	ret int 200
+other:
+	ret int 300
+}
+`
+	for _, c := range []struct{ in, want uint64 }{{1, 100}, {2, 200}, {9, 300}} {
+		v, _, _ := run(t, src, c.in)
+		if v != c.want {
+			t.Fatalf("switch(%d) = %d, want %d", c.in, v, c.want)
+		}
+	}
+}
+
+func TestVarArgsViaVAArg(t *testing.T) {
+	v, _, _ := run(t, `
+internal int %sum3(int %n, ...) {
+entry:
+	%ap = alloca sbyte*
+	%a = vaarg sbyte** %ap, int
+	%b = vaarg sbyte** %ap, int
+	%c = vaarg sbyte** %ap, int
+	%s1 = add int %a, %b
+	%s2 = add int %s1, %c
+	ret int %s2
+}
+
+int %main() {
+entry:
+	%r = call int (int, ...)* %sum3(int 3, int 10, int 20, int 30)
+	ret int %r
+}
+`)
+	if int32(v) != 60 {
+		t.Fatalf("vaarg sum: got %d", int32(v))
+	}
+}
+
+func TestOpCountsAndStats(t *testing.T) {
+	_, mc, _ := run(t, `
+int %main() {
+entry:
+	%p = malloc int
+	store int 1, int* %p
+	%v = load int* %p
+	free int* %p
+	ret int %v
+}
+`)
+	if mc.NumMallocs != 1 || mc.MallocBytes != 4 {
+		t.Errorf("malloc stats: n=%d bytes=%d", mc.NumMallocs, mc.MallocBytes)
+	}
+	if mc.OpCounts[core.OpLoad] != 1 || mc.OpCounts[core.OpStore] != 1 {
+		t.Error("op counts wrong")
+	}
+	if mc.Steps != 5 {
+		t.Errorf("steps = %d, want 5", mc.Steps)
+	}
+}
+
+// TestOptimizationPreservesSemantics runs a program before and after the
+// full optimization pipeline and checks identical results — the
+// interpreter serving as the oracle for the optimizer.
+func TestOptimizationPreservesSemantics(t *testing.T) {
+	src := `
+internal int %mix(int %a, int %b) {
+entry:
+	%p = alloca int
+	store int %a, int* %p
+	%v = load int* %p
+	%m = mul int %v, %b
+	%n = add int %m, %a
+	ret int %n
+}
+
+int %main(int %x) {
+entry:
+	br label %loop
+loop:
+	%i = phi int [ 0, %entry ], [ %i2, %loop ]
+	%acc = phi int [ 0, %entry ], [ %acc2, %loop ]
+	%t = call int %mix(int %i, int %x)
+	%acc2 = add int %acc, %t
+	%i2 = add int %i, 1
+	%c = setlt int %i2, 50
+	br bool %c, label %loop, label %done
+done:
+	ret int %acc2
+}
+`
+	m1, _ := asm.ParseModule("before", src)
+	m2, _ := asm.ParseModule("after", src)
+	pm := passes.NewPassManager()
+	pm.VerifyEach = true
+	pm.AddLinkTimePipeline()
+	if _, err := pm.Run(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, arg := range []uint64{0, 1, 7, 1 << 20} {
+		mc1, _ := NewMachine(m1, nil)
+		mc2, _ := NewMachine(m2, nil)
+		v1, err1 := mc1.RunFunction(m1.Func("main"), arg)
+		v2, err2 := mc2.RunFunction(m2.Func("main"), arg)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v / %v", err1, err2)
+		}
+		if int32(v1) != int32(v2) {
+			t.Fatalf("optimization changed result for %d: %d vs %d", arg, int32(v1), int32(v2))
+		}
+		if mc2.Steps >= mc1.Steps {
+			t.Errorf("optimized code not faster: %d vs %d steps", mc2.Steps, mc1.Steps)
+		}
+	}
+}
+
+func TestStringHandling(t *testing.T) {
+	_, _, out := run(t, `
+declare int %puts(sbyte*)
+%msg = internal constant [14 x sbyte] c"hello, world!\00"
+
+int %main() {
+entry:
+	%s = getelementptr [14 x sbyte]* %msg, long 0, long 0
+	%r = call int %puts(sbyte* %s)
+	ret int 0
+}
+`)
+	if !strings.Contains(out, "hello, world!") {
+		t.Fatalf("output = %q", out)
+	}
+}

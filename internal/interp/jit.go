@@ -1,0 +1,420 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The JIT path of the execution engine (§3.4): "a just-in-time Execution
+// Engine ... invokes the appropriate code generator at runtime, translating
+// one function at a time for execution (or uses the portable interpreter if
+// no native code generator is available)".
+//
+// Here the per-function translation targets an internal register machine:
+// on a function's first call, its SSA values are assigned dense slots, all
+// constant operands (including global and function addresses) are resolved
+// to raw bits, getelementptr index arithmetic is compiled to a base +
+// constant-offset + scaled-term plan, and φ-functions become per-edge copy
+// lists. Subsequent calls execute the translated form, avoiding the
+// tree-walking interpreter's per-instruction type dispatch and map lookups.
+// Results are bit-identical to the interpreter (tested), just faster.
+
+// EnableJIT turns on function-at-a-time translation for this machine.
+func (mc *Machine) EnableJIT() { mc.useJIT = true }
+
+// joperand is a pre-resolved operand: either constant bits or a slot.
+type joperand struct {
+	isConst bool
+	bits    uint64
+	slot    int32
+}
+
+// jkind enumerates translated instruction kinds.
+type jkind uint8
+
+const (
+	jNop jkind = iota
+	jIntBin
+	jFloatBin
+	jIntCmp
+	jFloatCmp
+	jBoolLogic
+	jLoad
+	jStore
+	jGEP
+	jCast
+	jMallocFixed
+	jMallocVar
+	jAllocaFixed
+	jAllocaVar
+	jFree
+	jCallDirect
+	jCallIndirect
+	jVAArg
+	// Terminators.
+	jRet
+	jRetVoid
+	jBr
+	jCondBr
+	jSwitch
+	jUnwind
+	jInvokeDirect
+	jInvokeIndirect
+)
+
+// jscaled is one variable term of a GEP plan.
+type jscaled struct {
+	idx    joperand
+	signed core.Type // index type for sign extension
+	scale  int64
+}
+
+// jinstr is one translated instruction.
+type jinstr struct {
+	kind  jkind
+	dst   int32 // result slot (-1 none)
+	a, b  joperand
+	op    core.Opcode
+	ty    core.Type // operand/result type as the kind requires
+	tySrc core.Type // cast source type
+
+	// GEP plan.
+	constOff int64
+	terms    []jscaled
+
+	// Calls.
+	target *core.Function
+	args   []joperand
+
+	// Branch targets (block indices).
+	t1, t2 int32
+	// Switch table.
+	cases map[uint64]int32
+
+	// Fixed allocation size.
+	size uint64
+}
+
+// jedge is the φ-copy list for one CFG edge.
+type jedge struct {
+	dsts []int32
+	srcs []joperand
+}
+
+// jblock is a translated basic block.
+type jblock struct {
+	instrs []jinstr
+	// phiFrom maps predecessor block index to the copies for that edge.
+	phiFrom map[int32]*jedge
+}
+
+// jitFunc is a translated function.
+type jitFunc struct {
+	fn     *core.Function
+	nSlots int
+	nArgs  int
+	blocks []*jblock
+}
+
+// jitCompile translates f (once per machine).
+func (mc *Machine) jitCompile(f *core.Function) (*jitFunc, error) {
+	jf := &jitFunc{fn: f, nArgs: len(f.Args)}
+	slots := map[core.Value]int32{}
+	next := int32(0)
+	for _, a := range f.Args {
+		slots[a] = next
+		next++
+	}
+	blockIdx := map[*core.BasicBlock]int32{}
+	for i, b := range f.Blocks {
+		blockIdx[b] = int32(i)
+	}
+	for _, b := range f.Blocks {
+		for _, inst := range b.Instrs {
+			if inst.Type() != core.VoidType {
+				slots[inst] = next
+				next++
+			}
+		}
+	}
+	jf.nSlots = int(next)
+
+	operand := func(v core.Value) (joperand, error) {
+		if c, ok := v.(core.Constant); ok {
+			switch c.(type) {
+			case *core.Placeholder:
+				return joperand{}, fmt.Errorf("interp: placeholder operand")
+			}
+			bits, err := mc.evalConstant(c)
+			if err != nil {
+				return joperand{}, err
+			}
+			return joperand{isConst: true, bits: bits}, nil
+		}
+		s, ok := slots[v]
+		if !ok {
+			return joperand{}, fmt.Errorf("interp: unslotted operand %T", v)
+		}
+		return joperand{slot: s}, nil
+	}
+	dstOf := func(inst core.Instruction) int32 {
+		if s, ok := slots[inst]; ok {
+			return s
+		}
+		return -1
+	}
+
+	for _, b := range f.Blocks {
+		jb := &jblock{phiFrom: map[int32]*jedge{}}
+		jf.blocks = append(jf.blocks, jb)
+		for _, inst := range b.Instrs[b.FirstNonPhi():] {
+			ji, err := mc.jitInstr(inst, operand, dstOf, blockIdx)
+			if err != nil {
+				return nil, err
+			}
+			jb.instrs = append(jb.instrs, ji)
+		}
+	}
+	// φ copies, grouped per incoming edge.
+	for bi, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			dst := slots[phi]
+			for n := 0; n < phi.NumIncoming(); n++ {
+				v, pred := phi.Incoming(n)
+				src, err := operand(v)
+				if err != nil {
+					return nil, err
+				}
+				pi := blockIdx[pred]
+				e := jf.blocks[bi].phiFrom[pi]
+				if e == nil {
+					e = &jedge{}
+					jf.blocks[bi].phiFrom[pi] = e
+				}
+				e.dsts = append(e.dsts, dst)
+				e.srcs = append(e.srcs, src)
+			}
+		}
+	}
+	return jf, nil
+}
+
+// jitInstr translates one non-phi instruction.
+func (mc *Machine) jitInstr(inst core.Instruction,
+	operand func(core.Value) (joperand, error),
+	dstOf func(core.Instruction) int32,
+	blockIdx map[*core.BasicBlock]int32) (jinstr, error) {
+
+	ji := jinstr{dst: dstOf(inst)}
+	ops := func(vs ...core.Value) error {
+		var err error
+		if len(vs) > 0 {
+			if ji.a, err = operand(vs[0]); err != nil {
+				return err
+			}
+		}
+		if len(vs) > 1 {
+			if ji.b, err = operand(vs[1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch i := inst.(type) {
+	case *core.RetInst:
+		if i.Value() == nil {
+			ji.kind = jRetVoid
+			return ji, nil
+		}
+		ji.kind = jRet
+		return ji, ops(i.Value())
+
+	case *core.BranchInst:
+		if !i.IsConditional() {
+			ji.kind = jBr
+			ji.t1 = blockIdx[i.TrueDest()]
+			return ji, nil
+		}
+		ji.kind = jCondBr
+		ji.t1 = blockIdx[i.TrueDest()]
+		ji.t2 = blockIdx[i.FalseDest()]
+		return ji, ops(i.Cond())
+
+	case *core.SwitchInst:
+		ji.kind = jSwitch
+		ji.t1 = blockIdx[i.Default()]
+		ji.cases = map[uint64]int32{}
+		for n := 0; n < i.NumCases(); n++ {
+			cv, dest := i.Case(n)
+			ji.cases[cv.Val] = blockIdx[dest]
+		}
+		return ji, ops(i.Value())
+
+	case *core.UnwindInst:
+		ji.kind = jUnwind
+		return ji, nil
+
+	case *core.BinaryInst:
+		t := i.LHS().Type()
+		ji.ty = t
+		ji.op = i.Opcode()
+		switch {
+		case core.IsFloatingPoint(t):
+			if core.IsComparisonOp(ji.op) {
+				ji.kind = jFloatCmp
+			} else {
+				ji.kind = jFloatBin
+			}
+		case t.Kind() == core.BoolKind && !core.IsComparisonOp(ji.op):
+			ji.kind = jBoolLogic
+		case core.IsComparisonOp(ji.op):
+			ji.kind = jIntCmp
+			if !core.IsInteger(t) {
+				ji.ty = core.ULongType // pointers/bools compare unsigned
+			}
+		default:
+			ji.kind = jIntBin
+			if !core.IsInteger(t) {
+				ji.ty = core.ULongType
+			}
+		}
+		return ji, ops(i.LHS(), i.RHS())
+
+	case *core.MallocInst:
+		esz := uint64(core.SizeOf(i.AllocType))
+		if n := i.NumElems(); n != nil {
+			ji.kind = jMallocVar
+			ji.size = esz
+			return ji, ops(n)
+		}
+		ji.kind = jMallocFixed
+		ji.size = esz
+		return ji, nil
+
+	case *core.AllocaInst:
+		esz := uint64(core.SizeOf(i.AllocType))
+		if n := i.NumElems(); n != nil {
+			ji.kind = jAllocaVar
+			ji.size = esz
+			return ji, ops(n)
+		}
+		ji.kind = jAllocaFixed
+		ji.size = esz
+		return ji, nil
+
+	case *core.FreeInst:
+		ji.kind = jFree
+		return ji, ops(i.Ptr())
+
+	case *core.LoadInst:
+		ji.kind = jLoad
+		ji.ty = i.Type()
+		return ji, ops(i.Ptr())
+
+	case *core.StoreInst:
+		ji.kind = jStore
+		ji.ty = i.Val().Type()
+		return ji, ops(i.Val(), i.Ptr())
+
+	case *core.GetElementPtrInst:
+		ji.kind = jGEP
+		if err := ops(i.Base()); err != nil {
+			return ji, err
+		}
+		// Compile the index path: constant indices fold into constOff,
+		// variable ones become scaled terms.
+		cur := i.Base().Type().(*core.PointerType).Elem
+		for k, idx := range i.Indices() {
+			if k == 0 {
+				sz := int64(core.SizeOf(cur))
+				if ci, ok := idx.(*core.ConstantInt); ok {
+					ji.constOff += ci.SExt() * sz
+				} else {
+					op, err := operand(idx)
+					if err != nil {
+						return ji, err
+					}
+					ji.terms = append(ji.terms, jscaled{idx: op, signed: idx.Type(), scale: sz})
+				}
+				continue
+			}
+			switch ct := cur.(type) {
+			case *core.StructType:
+				fi := int(idx.(*core.ConstantInt).SExt())
+				ji.constOff += int64(core.FieldOffset(ct, fi))
+				cur = ct.Fields[fi]
+			case *core.ArrayType:
+				sz := int64(core.SizeOf(ct.Elem))
+				if ci, ok := idx.(*core.ConstantInt); ok {
+					ji.constOff += ci.SExt() * sz
+				} else {
+					op, err := operand(idx)
+					if err != nil {
+						return ji, err
+					}
+					ji.terms = append(ji.terms, jscaled{idx: op, signed: idx.Type(), scale: sz})
+				}
+				cur = ct.Elem
+			}
+		}
+		return ji, nil
+
+	case *core.CastInst:
+		ji.kind = jCast
+		ji.ty = i.Type()
+		// Stash the source type in op-space via a second Type field: reuse
+		// terms slot? Keep a dedicated field: use 'target' nil and store
+		// source type in tySrc.
+		ji.tySrc = i.Val().Type()
+		return ji, ops(i.Val())
+
+	case *core.CallInst:
+		return mc.jitCall(ji, i.Callee(), i.Args(), false, 0, 0, operand, blockIdx)
+
+	case *core.InvokeInst:
+		return mc.jitCall(ji, i.Callee(), i.Args(), true,
+			blockIdx[i.NormalDest()], blockIdx[i.UnwindDest()], operand, blockIdx)
+
+	case *core.VAArgInst:
+		ji.kind = jVAArg
+		return ji, nil
+	}
+	return ji, fmt.Errorf("interp: cannot JIT %s", inst.Opcode())
+}
+
+func (mc *Machine) jitCall(ji jinstr, callee core.Value, argVals []core.Value,
+	invoke bool, normal, unwind int32,
+	operand func(core.Value) (joperand, error),
+	blockIdx map[*core.BasicBlock]int32) (jinstr, error) {
+
+	for _, a := range argVals {
+		op, err := operand(a)
+		if err != nil {
+			return ji, err
+		}
+		ji.args = append(ji.args, op)
+	}
+	if f, ok := callee.(*core.Function); ok {
+		ji.target = f
+		if invoke {
+			ji.kind = jInvokeDirect
+		} else {
+			ji.kind = jCallDirect
+		}
+	} else {
+		op, err := operand(callee)
+		if err != nil {
+			return ji, err
+		}
+		ji.a = op
+		if invoke {
+			ji.kind = jInvokeIndirect
+		} else {
+			ji.kind = jCallIndirect
+		}
+	}
+	ji.t1, ji.t2 = normal, unwind
+	return ji, nil
+}

@@ -1,0 +1,226 @@
+package interp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// runBoth executes src under the interpreter and the JIT and requires
+// identical results and output.
+func runBoth(t *testing.T, src string, args ...uint64) (uint64, uint64) {
+	t.Helper()
+	m, err := asm.ParseModule("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	var out1, out2 bytes.Buffer
+	mc1, _ := NewMachine(m, &out1)
+	v1, err1 := mc1.RunFunction(m.Func("main"), args...)
+
+	mc2, _ := NewMachine(m, &out2)
+	mc2.EnableJIT()
+	v2, err2 := mc2.RunFunction(m.Func("main"), args...)
+
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("error divergence: interp=%v jit=%v", err1, err2)
+	}
+	if err1 != nil {
+		if err1.Error() != err2.Error() {
+			t.Fatalf("different errors: %v vs %v", err1, err2)
+		}
+		return 0, 0
+	}
+	if v1 != v2 {
+		t.Fatalf("result divergence: interp=%d jit=%d", v1, v2)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("output divergence: %q vs %q", out1.String(), out2.String())
+	}
+	return v1, mc2Steps(mc2)
+}
+
+func mc2Steps(mc *Machine) uint64 { return uint64(mc.Steps) }
+
+func TestJITMatchesInterpreterLoop(t *testing.T) {
+	v, _ := runBoth(t, `
+int %main(int %n) {
+entry:
+	br label %loop
+loop:
+	%i = phi int [ 0, %entry ], [ %i2, %loop ]
+	%s = phi int [ 0, %entry ], [ %s2, %loop ]
+	%s2 = add int %s, %i
+	%i2 = add int %i, 1
+	%c = setlt int %i2, %n
+	br bool %c, label %loop, label %exit
+exit:
+	ret int %s2
+}
+`, 100)
+	if int32(v) != 4950 {
+		t.Fatalf("got %d", int32(v))
+	}
+}
+
+func TestJITMatchesInterpreterMemory(t *testing.T) {
+	runBoth(t, `
+%rec = type { int, long, %rec* }
+
+int %main() {
+entry:
+	%a = malloc %rec, uint 8
+	br label %init
+init:
+	%i = phi long [ 0, %entry ], [ %i2, %init ]
+	%p = getelementptr %rec* %a, long %i, ubyte 0
+	%iv = cast long %i to int
+	store int %iv, int* %p
+	%i2 = add long %i, 1
+	%c = setlt long %i2, 8
+	br bool %c, label %init, label %sum
+sum:
+	%j = phi long [ 0, %init ], [ %j2, %sum ]
+	%acc = phi int [ 0, %init ], [ %acc2, %sum ]
+	%q = getelementptr %rec* %a, long %j, ubyte 0
+	%v = load int* %q
+	%acc2 = add int %acc, %v
+	%j2 = add long %j, 1
+	%d = setlt long %j2, 8
+	br bool %d, label %sum, label %done
+done:
+	free %rec* %a
+	ret int %acc2
+}
+`)
+}
+
+func TestJITMatchesInterpreterEH(t *testing.T) {
+	runBoth(t, `
+internal void %deep(int %n) {
+entry:
+	%z = seteq int %n, 0
+	br bool %z, label %throw, label %rec
+throw:
+	unwind
+rec:
+	%n1 = sub int %n, 1
+	call void %deep(int %n1)
+	ret void
+}
+
+int %main() {
+entry:
+	invoke void %deep(int 4) to label %ok unwind to label %caught
+ok:
+	ret int 1
+caught:
+	ret int 42
+}
+`)
+}
+
+func TestJITMatchesInterpreterCallsAndBuiltins(t *testing.T) {
+	runBoth(t, `
+declare int %printf(sbyte*, ...)
+%fmt = internal constant [6 x sbyte] c"v=%d \00"
+%fp = global int (int)* %helper
+
+internal int %helper(int %x) {
+entry:
+	%r = mul int %x, 3
+	ret int %r
+}
+
+int %main() {
+entry:
+	%f = getelementptr [6 x sbyte]* %fmt, long 0, long 0
+	%h = load int (int)** %fp
+	br label %loop
+loop:
+	%i = phi int [ 0, %entry ], [ %i2, %loop ]
+	%v = call int %h(int %i)
+	%p = call int (sbyte*, ...)* %printf(sbyte* %f, int %v)
+	%i2 = add int %i, 1
+	%c = setlt int %i2, 4
+	br bool %c, label %loop, label %done
+done:
+	ret int %i2
+}
+`)
+}
+
+func TestJITMatchesInterpreterErrors(t *testing.T) {
+	// Division by zero must produce the same trap under both engines.
+	runBoth(t, `
+int %main(int %z) {
+entry:
+	%v = div int 10, %z
+	ret int %v
+}
+`, 0)
+}
+
+func TestJITFloats(t *testing.T) {
+	v, _ := runBoth(t, `
+int %main() {
+entry:
+	%a = add double 1.25, 2.5
+	%b = mul double %a, 4.0
+	%c = setgt double %b, 14.0
+	br bool %c, label %yes, label %no
+yes:
+	%i = cast double %b to int
+	ret int %i
+no:
+	ret int 0
+}
+`)
+	if int32(v) != 15 {
+		t.Fatalf("got %d", int32(v))
+	}
+}
+
+func TestJITSwitch(t *testing.T) {
+	src := `
+int %main(int %x) {
+entry:
+	switch int %x, label %d [
+		int 1, label %a
+		int 5, label %b ]
+a:
+	ret int 10
+b:
+	ret int 50
+d:
+	ret int 99
+}
+`
+	for _, in := range []uint64{1, 5, 7} {
+		runBoth(t, src, in)
+	}
+}
+
+func TestJITVarArgs(t *testing.T) {
+	runBoth(t, `
+internal int %sum3(int %n, ...) {
+entry:
+	%ap = alloca sbyte*
+	%a = vaarg sbyte** %ap, int
+	%b = vaarg sbyte** %ap, int
+	%s = add int %a, %b
+	ret int %s
+}
+
+int %main() {
+entry:
+	%r = call int (int, ...)* %sum3(int 2, int 30, int 12)
+	ret int %r
+}
+`)
+}

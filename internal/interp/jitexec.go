@@ -1,0 +1,199 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// jitExec runs one activation of a translated function.
+func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (uint64, execResult, error) {
+	if mc.depth >= mc.MaxDepth {
+		return 0, resReturn, ErrStackOverflow
+	}
+	mc.depth++
+	defer func() { mc.depth-- }()
+
+	stackMark := mc.stackTop
+	defer func() { mc.stackTop = stackMark }()
+
+	regs := make([]uint64, jf.nSlots)
+	copy(regs, args)
+	var vaArgs []uint64
+	if jf.fn.Sig.Variadic && len(args) > jf.nArgs {
+		vaArgs = args[jf.nArgs:]
+	}
+	vaCur := 0
+
+	rd := func(op joperand) uint64 {
+		if op.isConst {
+			return op.bits
+		}
+		return regs[op.slot]
+	}
+
+	cur := int32(0)
+	prev := int32(-1)
+	var phiTmp []uint64
+	for {
+		blk := jf.blocks[cur]
+		// φ copies for the edge prev→cur, evaluated simultaneously.
+		if prev >= 0 {
+			if e := blk.phiFrom[prev]; e != nil {
+				if cap(phiTmp) < len(e.srcs) {
+					phiTmp = make([]uint64, len(e.srcs))
+				}
+				tmp := phiTmp[:len(e.srcs)]
+				for i, s := range e.srcs {
+					tmp[i] = rd(s)
+				}
+				for i, d := range e.dsts {
+					regs[d] = tmp[i]
+				}
+			}
+		}
+
+		for k := range blk.instrs {
+			ji := &blk.instrs[k]
+			mc.Steps++
+			if mc.Steps > mc.MaxSteps {
+				return 0, resReturn, ErrMaxSteps
+			}
+
+			switch ji.kind {
+			case jIntBin:
+				r, ok := core.EvalIntBinary(ji.op, ji.ty, rd(ji.a), rd(ji.b))
+				if !ok {
+					return 0, resReturn, ErrDivideByZero
+				}
+				regs[ji.dst] = r
+			case jIntCmp:
+				r, _ := core.EvalIntCompare(ji.op, ji.ty, rd(ji.a), rd(ji.b))
+				regs[ji.dst] = boolBits(r)
+			case jFloatBin:
+				r, _ := core.EvalFloatBinary(ji.op, ji.ty, bitsToFloat(ji.ty, rd(ji.a)), bitsToFloat(ji.ty, rd(ji.b)))
+				regs[ji.dst] = floatBits(ji.ty, r)
+			case jFloatCmp:
+				r, _ := core.EvalFloatCompare(ji.op, bitsToFloat(ji.ty, rd(ji.a)), bitsToFloat(ji.ty, rd(ji.b)))
+				regs[ji.dst] = boolBits(r)
+			case jBoolLogic:
+				a, b := rd(ji.a), rd(ji.b)
+				switch ji.op {
+				case core.OpAnd:
+					regs[ji.dst] = a & b & 1
+				case core.OpOr:
+					regs[ji.dst] = (a | b) & 1
+				default:
+					regs[ji.dst] = (a ^ b) & 1
+				}
+			case jLoad:
+				v, err := mc.loadBits(rd(ji.a), ji.ty)
+				if err != nil {
+					return 0, resReturn, err
+				}
+				regs[ji.dst] = v
+			case jStore:
+				if err := mc.storeBits(rd(ji.b), ji.ty, rd(ji.a)); err != nil {
+					return 0, resReturn, err
+				}
+			case jGEP:
+				addr := int64(rd(ji.a)) + ji.constOff
+				for _, t := range ji.terms {
+					addr += int64(signExtend(t.signed, rd(t.idx))) * t.scale
+				}
+				regs[ji.dst] = uint64(addr)
+			case jCast:
+				regs[ji.dst] = castBits(ji.tySrc, ji.ty, rd(ji.a))
+			case jMallocFixed:
+				regs[ji.dst] = mc.Malloc(ji.size)
+			case jMallocVar:
+				regs[ji.dst] = mc.Malloc(ji.size * rd(ji.a))
+			case jAllocaFixed:
+				a, err := mc.alloca(ji.size)
+				if err != nil {
+					return 0, resReturn, err
+				}
+				regs[ji.dst] = a
+			case jAllocaVar:
+				a, err := mc.alloca(ji.size * rd(ji.a))
+				if err != nil {
+					return 0, resReturn, err
+				}
+				regs[ji.dst] = a
+			case jFree:
+				if err := mc.Free(rd(ji.a)); err != nil {
+					return 0, resReturn, err
+				}
+			case jVAArg:
+				if vaCur < len(vaArgs) {
+					regs[ji.dst] = vaArgs[vaCur]
+					vaCur++
+				} else if ji.dst >= 0 {
+					regs[ji.dst] = 0
+				}
+
+			case jCallDirect, jCallIndirect, jInvokeDirect, jInvokeIndirect:
+				callArgs := make([]uint64, len(ji.args))
+				for i, a := range ji.args {
+					callArgs[i] = rd(a)
+				}
+				target := ji.target
+				if ji.kind == jCallIndirect || ji.kind == jInvokeIndirect {
+					f, ok := mc.funcAt[rd(ji.a)]
+					if !ok {
+						return 0, resReturn, ErrBadIndirectCall
+					}
+					target = f
+				}
+				v, res, err := mc.call(target, callArgs)
+				if err != nil {
+					return 0, resReturn, err
+				}
+				isInvoke := ji.kind == jInvokeDirect || ji.kind == jInvokeIndirect
+				if res == resUnwind {
+					if !isInvoke {
+						return 0, resUnwind, nil
+					}
+					prev, cur = cur, ji.t2
+					goto nextBlock
+				}
+				if ji.dst >= 0 {
+					regs[ji.dst] = v
+				}
+				if isInvoke {
+					prev, cur = cur, ji.t1
+					goto nextBlock
+				}
+
+			case jRet:
+				return rd(ji.a), resReturn, nil
+			case jRetVoid:
+				return 0, resReturn, nil
+			case jBr:
+				prev, cur = cur, ji.t1
+				goto nextBlock
+			case jCondBr:
+				if rd(ji.a) != 0 {
+					prev, cur = cur, ji.t1
+				} else {
+					prev, cur = cur, ji.t2
+				}
+				goto nextBlock
+			case jSwitch:
+				if t, ok := ji.cases[rd(ji.a)]; ok {
+					prev, cur = cur, t
+				} else {
+					prev, cur = cur, ji.t1
+				}
+				goto nextBlock
+			case jUnwind:
+				return 0, resUnwind, nil
+			default:
+				return 0, resReturn, fmt.Errorf("interp: bad JIT instruction kind %d", ji.kind)
+			}
+		}
+		return 0, resReturn, fmt.Errorf("interp: JIT block fell off the end in %%%s", jf.fn.Name())
+
+	nextBlock:
+	}
+}

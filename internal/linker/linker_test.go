@@ -1,0 +1,315 @@
+package linker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/passes"
+)
+
+func parse(t *testing.T, name, src string) *core.Module {
+	t.Helper()
+	m, err := asm.ParseModule(name, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify %s: %v", name, err)
+	}
+	return m
+}
+
+func TestLinkDeclToDef(t *testing.T) {
+	a := parse(t, "a", `
+declare int %helper(int)
+
+int %main() {
+entry:
+	%r = call int %helper(int 20)
+	ret int %r
+}
+`)
+	b := parse(t, "b", `
+int %helper(int %x) {
+entry:
+	%r = add int %x, 22
+	ret int %r
+}
+`)
+	m, err := Link("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("linked module invalid: %v\n%s", err, m)
+	}
+	if m.Func("helper").IsDeclaration() {
+		t.Fatal("helper still a declaration")
+	}
+	mc, _ := interp.NewMachine(m, nil)
+	v, err := mc.RunMain()
+	if err != nil || v != 42 {
+		t.Fatalf("linked program: %d, %v", v, err)
+	}
+}
+
+func TestLinkDefThenDecl(t *testing.T) {
+	a := parse(t, "a", `
+int %helper(int %x) {
+entry:
+	ret int %x
+}
+`)
+	b := parse(t, "b", `
+declare int %helper(int)
+
+int %main() {
+entry:
+	%r = call int %helper(int 5)
+	ret int %r
+}
+`)
+	m, err := Link("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("func count = %d", len(m.Funcs))
+	}
+}
+
+func TestLinkGlobalResolution(t *testing.T) {
+	a := parse(t, "a", `
+%shared = external global int
+
+int %get() {
+entry:
+	%v = load int* %shared
+	ret int %v
+}
+`)
+	b := parse(t, "b", `
+%shared = global int 99
+declare int %get()
+
+int %main() {
+entry:
+	%r = call int %get()
+	ret int %r
+}
+`)
+	m, err := Link("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	mc, _ := interp.NewMachine(m, nil)
+	if v, _ := mc.RunMain(); v != 99 {
+		t.Fatalf("global resolution: got %d", v)
+	}
+}
+
+func TestLinkInternalSymbolsRenamed(t *testing.T) {
+	a := parse(t, "a", `
+internal int %helper() {
+entry:
+	ret int 1
+}
+int %callA() {
+entry:
+	%r = call int %helper()
+	ret int %r
+}
+`)
+	b := parse(t, "b", `
+internal int %helper() {
+entry:
+	ret int 2
+}
+int %callB() {
+entry:
+	%r = call int %helper()
+	ret int %r
+}
+`)
+	m, err := Link("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	mc, _ := interp.NewMachine(m, nil)
+	va, _ := mc.RunFunction(m.Func("callA"))
+	vb, _ := mc.RunFunction(m.Func("callB"))
+	if va != 1 || vb != 2 {
+		t.Fatalf("internal collision: callA=%d callB=%d", va, vb)
+	}
+}
+
+func TestLinkDuplicateDefinitionRejected(t *testing.T) {
+	a := parse(t, "a", "int %f() {\nentry:\n\tret int 1\n}\n")
+	b := parse(t, "b", "int %f() {\nentry:\n\tret int 2\n}\n")
+	_, err := Link("prog", a, b)
+	if err == nil || !strings.Contains(err.Error(), "duplicate definition") {
+		t.Fatalf("duplicate not rejected: %v", err)
+	}
+}
+
+func TestLinkSignatureMismatchRejected(t *testing.T) {
+	a := parse(t, "a", "declare int %f(int)\nvoid %u() {\nentry:\n\t%r = call int %f(int 1)\n\tret void\n}\n")
+	b := parse(t, "b", "double %f(double %x) {\nentry:\n\tret double %x\n}\n")
+	_, err := Link("prog", a, b)
+	if err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Fatalf("mismatch not rejected: %v", err)
+	}
+}
+
+func TestLinkTypeUnification(t *testing.T) {
+	a := parse(t, "a", `
+%pair = type { int, int }
+
+declare int %sumPair(%pair*)
+
+int %main() {
+entry:
+	%p = malloc %pair
+	%f0 = getelementptr %pair* %p, long 0, ubyte 0
+	store int 40, int* %f0
+	%f1 = getelementptr %pair* %p, long 0, ubyte 1
+	store int 2, int* %f1
+	%r = call int %sumPair(%pair* %p)
+	ret int %r
+}
+`)
+	b := parse(t, "b", `
+%pair = type { int, int }
+
+int %sumPair(%pair* %p) {
+entry:
+	%f0 = getelementptr %pair* %p, long 0, ubyte 0
+	%a = load int* %f0
+	%f1 = getelementptr %pair* %p, long 0, ubyte 1
+	%b = load int* %f1
+	%s = add int %a, %b
+	ret int %s
+}
+`)
+	m, err := Link("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("type unification broke the module: %v\n%s", err, m)
+	}
+	mc, _ := interp.NewMachine(m, nil)
+	if v, err := mc.RunMain(); err != nil || v != 42 {
+		t.Fatalf("cross-module struct passing: %d, %v", v, err)
+	}
+}
+
+func TestLinkConflictingTypeNamesRenamed(t *testing.T) {
+	a := parse(t, "a", `
+%t = type { int }
+void %fa(%t* %p) {
+entry:
+	ret void
+}
+`)
+	b := parse(t, "b", `
+%t = type { double, double }
+void %fb(%t* %p) {
+entry:
+	ret void
+}
+`)
+	m, err := Link("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TypeNames()) != 2 {
+		t.Fatalf("type names = %v", m.TypeNames())
+	}
+}
+
+func TestLinkInitializerFixup(t *testing.T) {
+	// Module a has a vtable referencing a declaration that module b
+	// defines; after linking, the initializer must point at the definition.
+	a := parse(t, "a", `
+declare int %method(int)
+%vtable = global [1 x int (int)*] [ int (int)* %method ]
+`)
+	b := parse(t, "b", `
+int %method(int %x) {
+entry:
+	%r = mul int %x, 2
+	ret int %r
+}
+`)
+	m, err := Link("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := m.Global("vtable")
+	arr := vt.Init.(*core.ConstantArray)
+	fn, ok := arr.Elems[0].(*core.Function)
+	if !ok || fn.IsDeclaration() || fn.Parent() != m {
+		t.Fatalf("initializer not fixed up: %T", arr.Elems[0])
+	}
+}
+
+// TestSeparateCompilationScenario is the paper's whole workflow: compile
+// translation units separately, link, internalize, run the link-time
+// interprocedural pipeline, and check the program still computes the same
+// answer with less work.
+func TestSeparateCompilationScenario(t *testing.T) {
+	unit1 := `
+declare int %combine(int, int)
+
+int %main() {
+entry:
+	%a = call int %combine(int 12, int 30)
+	ret int %a
+}
+`
+	unit2 := `
+int %combine(int %x, int %y) {
+entry:
+	%s = add int %x, %y
+	ret int %s
+}
+`
+	m1 := parse(t, "u1", unit1)
+	m2 := parse(t, "u2", unit2)
+	linked, err := Link("prog", m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := passes.NewPassManager()
+	pm.VerifyEach = true
+	pm.Add(passes.NewInternalize())
+	pm.AddLinkTimePipeline()
+	if _, err := pm.Run(linked); err != nil {
+		t.Fatal(err)
+	}
+	mc, _ := interp.NewMachine(linked, nil)
+	v, err := mc.RunMain()
+	if err != nil || v != 42 {
+		t.Fatalf("result %d, %v", v, err)
+	}
+	// combine should have been internalized, inlined, and deleted.
+	if linked.Func("combine") != nil {
+		t.Errorf("combine survived link-time optimization:\n%s", linked)
+	}
+}

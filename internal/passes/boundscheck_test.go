@@ -1,0 +1,194 @@
+package passes
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+const bcProg = `
+%table = global [8 x int] zeroinitializer
+
+int %get(long %i) {
+entry:
+	%p = getelementptr [8 x int]* %table, long 0, long %i
+	%v = load int* %p
+	ret int %v
+}
+
+int %getConst() {
+entry:
+	%p = getelementptr [8 x int]* %table, long 0, long 3
+	%v = load int* %p
+	ret int %v
+}
+
+int %main(long %i) {
+entry:
+	%a = call int %get(long %i)
+	%b = call int %getConst()
+	%s = add int %a, %b
+	ret int %s
+}
+`
+
+func TestBoundsCheckInsertAndElide(t *testing.T) {
+	m := parse(t, bcProg)
+	bc := NewBoundsCheck()
+	bc.RunOnModule(m)
+	mustVerify(t, m)
+	if bc.Inserted != 1 {
+		t.Fatalf("inserted %d checks, want 1 (variable index only):\n%s", bc.Inserted, m)
+	}
+	if bc.Elided != 1 {
+		t.Fatalf("elided %d checks, want 1 (constant in-range index)", bc.Elided)
+	}
+
+	mc, _ := interp.NewMachine(m, nil)
+	// In range: behaves normally.
+	if v, err := mc.RunFunction(m.Func("main"), 5); err != nil || int32(v) != 0 {
+		t.Fatalf("in-range run: %d, %v", v, err)
+	}
+	// Out of range: traps with a bounds error.
+	_, err := mc.RunFunction(m.Func("main"), 12)
+	var be *interp.BoundsError
+	if !errors.As(err, &be) {
+		t.Fatalf("out-of-range access not trapped: %v", err)
+	}
+	if be.Index != 12 || be.Limit != 8 {
+		t.Fatalf("trap details wrong: %+v", be)
+	}
+	// Negative index (wraps to huge unsigned): also trapped.
+	if _, err := mc.RunFunction(m.Func("main"), ^uint64(0)); !errors.As(err, &be) {
+		t.Fatalf("negative index not trapped: %v", err)
+	}
+}
+
+func TestBoundsCheckPreservesSemantics(t *testing.T) {
+	src := `
+%data = global [16 x int] zeroinitializer
+
+int %main(long %n) {
+entry:
+	br label %loop
+loop:
+	%i = phi long [ 0, %entry ], [ %i2, %body ]
+	%acc = phi int [ 0, %entry ], [ %acc2, %body ]
+	%c = setlt long %i, %n
+	br bool %c, label %body, label %done
+body:
+	%p = getelementptr [16 x int]* %data, long 0, long %i
+	%iv = cast long %i to int
+	store int %iv, int* %p
+	%v = load int* %p
+	%acc2 = add int %acc, %v
+	%i2 = add long %i, 1
+	br label %loop
+done:
+	ret int %acc
+}
+`
+	m1 := parse(t, src)
+	m2 := parse(t, src)
+	NewBoundsCheck().RunOnModule(m2)
+	mustVerify(t, m2)
+
+	mc1, _ := interp.NewMachine(m1, nil)
+	mc2, _ := interp.NewMachine(m2, nil)
+	v1, err1 := mc1.RunFunction(m1.Func("main"), 16)
+	v2, err2 := mc2.RunFunction(m2.Func("main"), 16)
+	if err1 != nil || err2 != nil || v1 != v2 {
+		t.Fatalf("checked program diverges: %d/%v vs %d/%v", v1, err1, v2, err2)
+	}
+}
+
+func TestEliminateDominatedChecks(t *testing.T) {
+	// Two accesses with the same index: after instrumentation the second
+	// guard is dominated by the first and must be removed.
+	src := `
+%data = global [8 x int] zeroinitializer
+
+int %main(long %i) {
+entry:
+	%p = getelementptr [8 x int]* %data, long 0, long %i
+	store int 1, int* %p
+	%q = getelementptr [8 x int]* %data, long 0, long %i
+	%v = load int* %q
+	ret int %v
+}
+`
+	m := parse(t, src)
+	bc := NewBoundsCheck()
+	bc.RunOnModule(m)
+	mustVerify(t, m)
+	if bc.Inserted != 2 {
+		t.Fatalf("inserted %d, want 2", bc.Inserted)
+	}
+	removed := EliminateDominatedChecks(m)
+	mustVerify(t, m)
+	if removed != 1 {
+		t.Fatalf("eliminated %d dominated checks, want 1:\n%s", removed, m)
+	}
+	// Still traps out-of-range and passes in-range.
+	mc, _ := interp.NewMachine(m, nil)
+	if v, err := mc.RunFunction(m.Func("main"), 3); err != nil || int32(v) != 1 {
+		t.Fatalf("in-range: %d, %v", v, err)
+	}
+	var be *interp.BoundsError
+	if _, err := mc.RunFunction(m.Func("main"), 9); !errors.As(err, &be) {
+		t.Fatalf("out-of-range survived check elimination: %v", err)
+	}
+}
+
+func TestBoundsCheckWorksUnderOptimization(t *testing.T) {
+	// Checks on constant-foldable indices disappear entirely under the
+	// standard pipeline; variable ones survive it.
+	m := parse(t, bcProg)
+	NewBoundsCheck().RunOnModule(m)
+	pm := NewPassManager()
+	pm.VerifyEach = true
+	pm.AddStandardPipeline()
+	if _, err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	mc, _ := interp.NewMachine(m, nil)
+	var be *interp.BoundsError
+	if _, err := mc.RunFunction(m.Func("main"), 100); !errors.As(err, &be) {
+		t.Fatalf("optimization removed a required check: %v", err)
+	}
+}
+
+func TestBoundsCheckPhiFixup(t *testing.T) {
+	// The instrumented block feeds a phi; splitting must retarget it.
+	src := `
+%data = global [4 x int] zeroinitializer
+
+int %main(long %i, bool %c) {
+entry:
+	br bool %c, label %access, label %skip
+access:
+	%p = getelementptr [4 x int]* %data, long 0, long %i
+	%v = load int* %p
+	br label %join
+skip:
+	br label %join
+join:
+	%r = phi int [ %v, %access ], [ -1, %skip ]
+	ret int %r
+}
+`
+	m := parse(t, src)
+	NewBoundsCheck().RunOnModule(m)
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("phi not retargeted after split: %v\n%s", err, m)
+	}
+	mc, _ := interp.NewMachine(m, nil)
+	if v, err := mc.RunFunction(m.Func("main"), 2, 1); err != nil || int32(v) != 0 {
+		t.Fatalf("in-range: %d %v", v, err)
+	}
+	if v, err := mc.RunFunction(m.Func("main"), 2, 0); err != nil || int32(v) != -1 {
+		t.Fatalf("skip path: %d %v", v, err)
+	}
+}

@@ -1,0 +1,101 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// CSE performs dominator-scoped common subexpression elimination over pure
+// instructions (binary operators, comparisons, casts, getelementptrs): an
+// instruction computing the same expression as one that dominates it is
+// replaced by the earlier result. This is the "redundancy elimination" the
+// paper highlights getelementptr exposing for address arithmetic (§2.2).
+type CSE struct{}
+
+// NewCSE returns the pass.
+func NewCSE() *CSE { return &CSE{} }
+
+// Name returns the pass name.
+func (*CSE) Name() string { return "cse" }
+
+// RunOnFunction walks the dominator tree with a scoped expression table.
+func (c *CSE) RunOnFunction(f *core.Function) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	dt := analysis.NewDomTree(f)
+	table := map[string]core.Instruction{}
+	changed := 0
+
+	var walk func(b *core.BasicBlock)
+	walk = func(b *core.BasicBlock) {
+		var added []string
+		for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+			key, ok := exprKey(inst)
+			if !ok {
+				continue
+			}
+			if prev, hit := table[key]; hit {
+				core.ReplaceAllUses(inst, prev)
+				b.Erase(inst)
+				changed++
+				continue
+			}
+			table[key] = inst
+			added = append(added, key)
+		}
+		for _, child := range dt.Children(b) {
+			walk(child)
+		}
+		for _, k := range added {
+			delete(table, k)
+		}
+	}
+	walk(f.Entry())
+	return changed
+}
+
+// exprKey builds a structural key for pure instructions; ok is false for
+// instructions with memory effects or control flow.
+func exprKey(inst core.Instruction) (string, bool) {
+	switch i := inst.(type) {
+	case *core.BinaryInst:
+		a, b := valueKey(i.LHS()), valueKey(i.RHS())
+		op := i.Opcode()
+		// Canonical operand order for commutative operators.
+		if core.IsCommutative(op) && b < a {
+			a, b = b, a
+		}
+		return fmt.Sprintf("%d|%s|%s|%s", op, i.LHS().Type(), a, b), true
+	case *core.CastInst:
+		return fmt.Sprintf("cast|%s|%s", i.Type(), valueKey(i.Val())), true
+	case *core.GetElementPtrInst:
+		var sb strings.Builder
+		sb.WriteString("gep|")
+		sb.WriteString(valueKey(i.Base()))
+		for _, ix := range i.Indices() {
+			sb.WriteString("|")
+			sb.WriteString(valueKey(ix))
+		}
+		return sb.String(), true
+	}
+	return "", false
+}
+
+// valueKey identifies a value: constants structurally, others by identity.
+func valueKey(v core.Value) string {
+	switch c := v.(type) {
+	case *core.ConstantInt:
+		return fmt.Sprintf("ci:%s:%d", c.Type(), c.Val)
+	case *core.ConstantFloat:
+		return fmt.Sprintf("cf:%s:%x", c.Type(), c.Val)
+	case *core.ConstantBool:
+		return fmt.Sprintf("cb:%v", c.Val)
+	case *core.ConstantNull:
+		return fmt.Sprintf("cn:%s", c.Type())
+	}
+	return fmt.Sprintf("v:%p", v)
+}

@@ -1,0 +1,121 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// GlobalLoadElim eliminates redundant loads of global variables using the
+// interprocedural Mod/Ref analysis (§3.3): a reload of a global is
+// replaced by the previously loaded (or stored) value when no intervening
+// instruction — including calls, checked against the callee's Mod set —
+// can have modified it. Loads of constant globals are always reusable.
+type GlobalLoadElim struct{}
+
+// NewGlobalLoadElim returns the pass.
+func NewGlobalLoadElim() *GlobalLoadElim { return &GlobalLoadElim{} }
+
+// Name returns the pass name.
+func (*GlobalLoadElim) Name() string { return "gloadelim" }
+
+// RunOnModule eliminates redundant global loads in every function.
+func (p *GlobalLoadElim) RunOnModule(m *core.Module) int {
+	cg := analysis.NewCallGraph(m)
+	mr := analysis.ModRef(m, cg)
+	changed := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			changed += p.runBlock(b, mr)
+		}
+	}
+	return changed
+}
+
+func (p *GlobalLoadElim) runBlock(b *core.BasicBlock, mr map[*core.Function]*analysis.ModRefInfo) int {
+	// known maps a global to the value its scalar cell currently holds.
+	known := map[*core.GlobalVariable]core.Value{}
+	changed := 0
+
+	invalidateAll := func() {
+		for g := range known {
+			if !g.IsConst {
+				delete(known, g)
+			}
+		}
+	}
+
+	for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+		switch i := inst.(type) {
+		case *core.LoadInst:
+			g, direct := i.Ptr().(*core.GlobalVariable)
+			if !direct {
+				continue
+			}
+			if v, ok := known[g]; ok {
+				core.ReplaceAllUses(i, v)
+				b.Erase(i)
+				changed++
+				continue
+			}
+			known[g] = i
+
+		case *core.StoreInst:
+			if g, direct := i.Ptr().(*core.GlobalVariable); direct {
+				known[g] = i.Val()
+				continue
+			}
+			// A store through an arbitrary pointer may alias any
+			// non-constant global (unless it provably targets the frame).
+			if !storesToFrame(i.Ptr()) {
+				invalidateAll()
+			}
+
+		case *core.CallInst:
+			p.applyCallEffects(i.CalledFunction(), known, mr, invalidateAll)
+		case *core.InvokeInst:
+			target, _ := i.Callee().(*core.Function)
+			p.applyCallEffects(target, known, mr, invalidateAll)
+		case *core.VAArgInst, *core.FreeInst:
+			// free cannot legally target a global; vaarg reads only.
+		}
+	}
+	return changed
+}
+
+func (p *GlobalLoadElim) applyCallEffects(target *core.Function, known map[*core.GlobalVariable]core.Value,
+	mr map[*core.Function]*analysis.ModRefInfo, invalidateAll func()) {
+	if target == nil {
+		invalidateAll()
+		return
+	}
+	mi := mr[target]
+	if mi == nil || mi.ModAny {
+		invalidateAll()
+		return
+	}
+	for g := range known {
+		if !g.IsConst && mi.Writes(g) {
+			delete(known, g)
+		}
+	}
+}
+
+// storesToFrame reports whether the pointer provably addresses a local
+// alloca (so the store cannot touch any global).
+func storesToFrame(ptr core.Value) bool {
+	for {
+		switch v := ptr.(type) {
+		case *core.AllocaInst:
+			return true
+		case *core.GetElementPtrInst:
+			ptr = v.Base()
+		case *core.CastInst:
+			if v.Val().Type().Kind() != core.PointerKind {
+				return false
+			}
+			ptr = v.Val()
+		default:
+			return false
+		}
+	}
+}

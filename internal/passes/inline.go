@@ -1,0 +1,218 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// DefaultInlineThreshold is the callee size (in instructions) below which
+// call sites are inlined unconditionally.
+const DefaultInlineThreshold = 40
+
+// maxCallerGrowth caps how large a caller may grow through inlining.
+const maxCallerGrowth = 3000
+
+// Inline is the function integration pass the paper times in Table 2. It
+// processes functions bottom-up over the call graph, splicing callee bodies
+// into direct call sites when the callee is small (or has a single caller
+// and internal linkage), and deletes internal functions left without
+// references — the paper reports "inline inlines 1368 functions (deleting
+// 438 which are no longer referenced) in 176.gcc".
+type Inline struct {
+	Threshold int
+	// SingleCallerAlways integrates internal functions with exactly one
+	// call site regardless of size (they disappear afterwards, so code
+	// never grows). On by default; the ablation bench disables it to
+	// isolate the threshold's effect.
+	SingleCallerAlways bool
+	// NumInlined and NumDeleted report what the last run did.
+	NumInlined int
+	NumDeleted int
+}
+
+// NewInline returns the pass with the given size threshold.
+func NewInline(threshold int) *Inline {
+	return &Inline{Threshold: threshold, SingleCallerAlways: true}
+}
+
+// Name returns the pass name.
+func (*Inline) Name() string { return "inline" }
+
+// RunOnModule inlines eligible call sites and removes dead internal
+// functions; the returned count is sites inlined plus functions deleted.
+func (inl *Inline) RunOnModule(m *core.Module) int {
+	inl.NumInlined, inl.NumDeleted = 0, 0
+	cg := analysis.NewCallGraph(m)
+	order := cg.PostOrder()
+
+	for _, caller := range order {
+		if caller.IsDeclaration() {
+			continue
+		}
+		// Snapshot call sites; inlining appends blocks.
+		for {
+			site := inl.findSite(caller)
+			if site == nil {
+				break
+			}
+			switch s := site.(type) {
+			case *core.CallInst:
+				InlineCall(s)
+				inl.NumInlined++
+			case *core.InvokeInst:
+				if !InlineInvoke(s) {
+					// Not safely inlinable after all; stop scanning this
+					// caller rather than loop on the same site.
+					goto nextCaller
+				}
+				inl.NumInlined++
+			}
+		}
+	nextCaller:
+	}
+
+	// Delete internal functions with no remaining references (references
+	// from global initializers do not appear in use lists, so consult the
+	// address-taken scan too).
+	for changed := true; changed; {
+		changed = false
+		taken := analysis.AddressTakenFunctions(m)
+		for _, f := range append([]*core.Function(nil), m.Funcs...) {
+			if f.Linkage == core.InternalLinkage && !core.HasUses(f) && !taken[f] && !f.IsDeclaration() {
+				dropFunctionBody(f)
+				m.RemoveFunc(f)
+				inl.NumDeleted++
+				changed = true
+			}
+		}
+	}
+	return inl.NumInlined + inl.NumDeleted
+}
+
+// findSite returns the next inlinable call or invoke site in caller, or nil.
+func (inl *Inline) findSite(caller *core.Function) core.Instruction {
+	if caller.NumInstructions() > maxCallerGrowth {
+		return nil
+	}
+	var found core.Instruction
+	caller.ForEachInst(func(inst core.Instruction) bool {
+		switch inst.(type) {
+		case *core.CallInst, *core.InvokeInst:
+		default:
+			return true
+		}
+		call := inst
+		callee := core.CalledFunctionOf(inst)
+		if callee == nil || callee.IsDeclaration() || callee == caller {
+			return true
+		}
+		if callee.Sig.Variadic {
+			return true // vaarg lowering is call-frame-specific
+		}
+		size := callee.NumInstructions()
+		single := inl.SingleCallerAlways && callee.Linkage == core.InternalLinkage &&
+			len(callee.Callers()) == 1 && !callee.HasAddressTaken()
+		if size <= inl.Threshold || (single && size <= maxCallerGrowth) {
+			// Invoke sites are only attempted when the quick result-use
+			// precondition of InlineInvoke can hold.
+			_ = call
+			// Self-recursive callees never shrink; skip them.
+			for _, cs := range callee.Callers() {
+				if cs.Parent() != nil && cs.Parent().Parent() == callee {
+					return true
+				}
+			}
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// InlineCall splices the body of the (direct, non-variadic) callee into the
+// call site. The call instruction is destroyed.
+func InlineCall(call *core.CallInst) {
+	callee := call.CalledFunction()
+	caller := call.Parent().Parent()
+	callBlock := call.Parent()
+
+	// Split the block after the call.
+	after := core.NewBlock(callBlock.Name() + ".after")
+	caller.InsertBlockAfter(after, callBlock)
+	idx := callBlock.IndexOf(call)
+	tail := append([]core.Instruction(nil), callBlock.Instrs[idx+1:]...)
+	for _, inst := range tail {
+		callBlock.Remove(inst)
+		after.Append(inst)
+	}
+	// Phis in old successors now see 'after' as the predecessor.
+	for _, u := range append([]core.Use(nil), callBlock.Uses()...) {
+		if phi, ok := u.User.(*core.PhiInst); ok && phi.Parent() != nil {
+			phi.SetOperand(u.Index, after)
+		}
+	}
+
+	// Clone the callee with arguments bound.
+	vmap := map[core.Value]core.Value{}
+	for i, a := range callee.Args {
+		vmap[a] = call.Args()[i]
+	}
+	clones := core.CloneBlocks(callee, vmap)
+	mark := after
+	for _, nb := range clones {
+		caller.InsertBlockAfter(nb, mark)
+		mark = nb
+	}
+
+	// Rewrite returns into branches to 'after', collecting return values.
+	type retEdge struct {
+		val  core.Value
+		from *core.BasicBlock
+	}
+	var rets []retEdge
+	for _, nb := range clones {
+		ret, ok := nb.Terminator().(*core.RetInst)
+		if !ok {
+			continue
+		}
+		rets = append(rets, retEdge{ret.Value(), nb})
+		nb.Erase(ret)
+		nb.Append(core.NewBr(after))
+	}
+
+	// Bind the call result.
+	if call.Type() != core.VoidType {
+		var result core.Value
+		switch len(rets) {
+		case 0:
+			result = core.NewUndef(call.Type())
+		case 1:
+			result = rets[0].val
+		default:
+			phi := core.NewPhi(call.Type())
+			phi.SetName(call.Name())
+			for _, re := range rets {
+				phi.AddIncoming(re.val, re.from)
+			}
+			after.InsertAt(0, phi)
+			result = phi
+		}
+		core.ReplaceAllUses(call, result)
+	}
+
+	// Replace the call with a branch into the inlined entry.
+	callBlock.Erase(call)
+	callBlock.Append(core.NewBr(clones[0]))
+}
+
+// dropFunctionBody erases all blocks of f, dropping every operand use.
+func dropFunctionBody(f *core.Function) {
+	for _, b := range f.Blocks {
+		for _, inst := range b.Instrs {
+			core.DropOperands(inst)
+		}
+		b.Instrs = nil
+	}
+	f.Blocks = nil
+}

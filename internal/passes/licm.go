@@ -1,0 +1,96 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// LICM hoists loop-invariant pure computations (arithmetic, comparisons,
+// casts, getelementptrs) into the loop preheader. Division and remainder
+// are not speculated (they can trap); memory operations are not touched
+// (no memory dependence analysis is attempted — the paper keeps memory out
+// of SSA form, §2.1, and so do we).
+type LICM struct{}
+
+// NewLICM returns the pass.
+func NewLICM() *LICM { return &LICM{} }
+
+// Name returns the pass name.
+func (*LICM) Name() string { return "licm" }
+
+// RunOnFunction hoists invariants out of every natural loop, innermost
+// loops first so code migrates as far out as it can in one run.
+func (l *LICM) RunOnFunction(f *core.Function) int {
+	if len(f.Blocks) < 2 {
+		return 0
+	}
+	dt := analysis.NewDomTree(f)
+	li := analysis.NewLoopInfo(f, dt)
+	loops := li.All()
+	// Innermost first: reverse of outer-first order.
+	hoisted := 0
+	for i := len(loops) - 1; i >= 0; i-- {
+		hoisted += l.runLoop(loops[i])
+	}
+	return hoisted
+}
+
+// hoistable reports whether an instruction may be moved to the preheader
+// when its operands are invariant: pure, non-trapping, produces a value.
+func hoistable(inst core.Instruction) bool {
+	switch i := inst.(type) {
+	case *core.BinaryInst:
+		op := i.Opcode()
+		if op == core.OpDiv || op == core.OpRem {
+			// Trap hazard: only safe with a provably nonzero divisor.
+			c, ok := i.RHS().(*core.ConstantInt)
+			return ok && !c.IsZero()
+		}
+		return true
+	case *core.CastInst, *core.GetElementPtrInst:
+		return true
+	}
+	return false
+}
+
+func (l *LICM) runLoop(loop *analysis.Loop) int {
+	pre := loop.Preheader()
+	if pre == nil {
+		return 0
+	}
+	// Fixed point: hoisting one instruction can make its users invariant.
+	invariant := func(v core.Value) bool {
+		def, ok := v.(core.Instruction)
+		if !ok {
+			return true // constants, arguments, globals
+		}
+		return !loop.Blocks[def.Parent()]
+	}
+	hoisted := 0
+	for changed := true; changed; {
+		changed = false
+		for b := range loop.Blocks {
+			for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+				if inst.Parent() != b || !hoistable(inst) {
+					continue
+				}
+				allInv := true
+				for _, op := range inst.Operands() {
+					if !invariant(op) {
+						allInv = false
+						break
+					}
+				}
+				if !allInv {
+					continue
+				}
+				// Move before the preheader's terminator.
+				b.Remove(inst)
+				pre.InsertAt(len(pre.Instrs)-1, inst)
+				hoisted++
+				changed = true
+			}
+		}
+	}
+	return hoisted
+}

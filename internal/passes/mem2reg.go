@@ -1,0 +1,170 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// Mem2Reg is the stack promotion pass (§3.2): front-ends allocate local
+// variables with alloca and access them with load/store; this pass rewrites
+// allocas whose address does not escape into SSA virtual registers,
+// inserting φ-functions at iterated dominance frontiers (Cytron et al.)
+// and renaming along the dominator tree.
+type Mem2Reg struct{}
+
+// NewMem2Reg returns the pass.
+func NewMem2Reg() *Mem2Reg { return &Mem2Reg{} }
+
+// Name returns the pass name.
+func (*Mem2Reg) Name() string { return "mem2reg" }
+
+// RunOnFunction promotes every promotable alloca; the returned count is the
+// number of allocas promoted.
+func (m *Mem2Reg) RunOnFunction(f *core.Function) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	var promotable []*core.AllocaInst
+	for _, inst := range f.Entry().Instrs {
+		if a, ok := inst.(*core.AllocaInst); ok && isPromotable(a) {
+			promotable = append(promotable, a)
+		}
+	}
+	if len(promotable) == 0 {
+		return 0
+	}
+	dt := analysis.NewDomTree(f)
+	df := analysis.NewDomFrontier(dt)
+	for _, a := range promotable {
+		promote(f, a, dt, df)
+	}
+	return len(promotable)
+}
+
+// isPromotable reports whether the alloca can live in a register: a single
+// first-class element whose address is used only by loads and full-width
+// stores (and never stored itself).
+func isPromotable(a *core.AllocaInst) bool {
+	if a.NumElems() != nil || !core.IsFirstClass(a.AllocType) {
+		return false
+	}
+	for _, u := range a.Uses() {
+		switch inst := u.User.(type) {
+		case *core.LoadInst:
+			// ok
+		case *core.StoreInst:
+			if inst.Val() == core.Value(a) {
+				return false // address stored somewhere
+			}
+		default:
+			return false // GEP, cast, call argument, ... : address escapes
+		}
+	}
+	return true
+}
+
+// promote rewrites one alloca into SSA form.
+func promote(f *core.Function, a *core.AllocaInst, dt *analysis.DomTree, df analysis.DomFrontier) {
+	t := a.AllocType
+
+	// Blocks containing stores (definitions).
+	defBlocks := map[*core.BasicBlock]bool{}
+	for _, u := range a.Uses() {
+		if st, ok := u.User.(*core.StoreInst); ok {
+			defBlocks[st.Parent()] = true
+		}
+	}
+
+	// Insert φ at the iterated dominance frontier of the def blocks.
+	phiFor := map[*core.BasicBlock]*core.PhiInst{}
+	work := make([]*core.BasicBlock, 0, len(defBlocks))
+	for b := range defBlocks {
+		work = append(work, b)
+	}
+	inWork := map[*core.BasicBlock]bool{}
+	for _, b := range work {
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, fr := range df[b] {
+			if phiFor[fr] != nil {
+				continue
+			}
+			phi := core.NewPhi(t)
+			phi.SetName(a.Name() + ".phi")
+			fr.InsertAt(0, phi)
+			phiFor[fr] = phi
+			if !inWork[fr] {
+				inWork[fr] = true
+				work = append(work, fr)
+			}
+		}
+	}
+
+	// Rename: walk the dominator tree carrying the current value.
+	type frame struct {
+		block *core.BasicBlock
+		val   core.Value
+	}
+	undef := core.Value(core.NewUndef(t))
+	var rename func(b *core.BasicBlock, cur core.Value)
+	rename = func(b *core.BasicBlock, cur core.Value) {
+		if phi := phiFor[b]; phi != nil {
+			cur = phi
+		}
+		for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+			switch i := inst.(type) {
+			case *core.LoadInst:
+				if i.Ptr() == core.Value(a) {
+					core.ReplaceAllUses(i, cur)
+					b.Erase(i)
+				}
+			case *core.StoreInst:
+				if i.Ptr() == core.Value(a) {
+					cur = i.Val()
+					b.Erase(i)
+				}
+			}
+		}
+		// Fill φ operands in successors.
+		for _, succ := range b.Succs() {
+			if phi := phiFor[succ]; phi != nil {
+				phi.AddIncoming(cur, b)
+			}
+		}
+		for _, child := range dt.Children(b) {
+			rename(child, cur)
+		}
+	}
+	_ = frame{}
+	rename(f.Entry(), undef)
+
+	// Successor lists may repeat a block (e.g. a conditional branch with
+	// both edges to one target); AddIncoming above then added duplicates.
+	// Deduplicate per predecessor.
+	for _, phi := range phiFor {
+		seen := map[*core.BasicBlock]bool{}
+		for n := phi.NumIncoming() - 1; n >= 0; n-- {
+			_, blk := phi.Incoming(n)
+			if seen[blk] {
+				phi.RemoveIncoming(n)
+			}
+			seen[blk] = true
+		}
+	}
+
+	// Loads/stores in unreachable blocks were not visited by the renamer;
+	// drop them so the alloca has no uses left.
+	for _, u := range append([]core.Use(nil), a.Uses()...) {
+		switch inst := u.User.(type) {
+		case *core.LoadInst:
+			core.ReplaceAllUses(inst, core.NewUndef(t))
+			inst.Parent().Erase(inst)
+		case *core.StoreInst:
+			inst.Parent().Erase(inst)
+		}
+	}
+	f.Entry().Erase(a)
+}

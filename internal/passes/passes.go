@@ -1,0 +1,134 @@
+// Package passes implements the optimizer: the scalar transformations that
+// clean up front-end output (mem2reg, sroa, instcombine, sccp, adce, cse,
+// simplifycfg) and the link-time interprocedural optimizations the paper
+// evaluates in §4 (inlining, dead global elimination, dead argument
+// elimination, interprocedural constant propagation, dead type
+// elimination, and exception-handler pruning), all driven by a PassManager
+// that records per-pass statistics and timings.
+package passes
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FunctionPass transforms one function at a time.
+type FunctionPass interface {
+	Name() string
+	// RunOnFunction returns the number of changes made (0 = no change).
+	RunOnFunction(f *core.Function) int
+}
+
+// ModulePass transforms a whole module.
+type ModulePass interface {
+	Name() string
+	// RunOnModule returns the number of changes made.
+	RunOnModule(m *core.Module) int
+}
+
+// PassResult records one pass execution.
+type PassResult struct {
+	Pass     string
+	Changed  int
+	Duration time.Duration
+}
+
+// PassManager sequences passes over a module.
+type PassManager struct {
+	passes []ModulePass
+	// VerifyEach runs the verifier after every pass; a failure aborts with
+	// the offending pass named (the paper's point that type mismatches
+	// catch optimizer bugs, §2.2).
+	VerifyEach bool
+	Results    []PassResult
+}
+
+// NewPassManager returns an empty pass manager.
+func NewPassManager() *PassManager { return &PassManager{} }
+
+// Add appends module passes to the pipeline.
+func (pm *PassManager) Add(ps ...ModulePass) *PassManager {
+	pm.passes = append(pm.passes, ps...)
+	return pm
+}
+
+// AddFunctionPass appends function passes, each adapted to run over every
+// function in the module.
+func (pm *PassManager) AddFunctionPass(ps ...FunctionPass) *PassManager {
+	for _, p := range ps {
+		pm.passes = append(pm.passes, &funcPassAdapter{p})
+	}
+	return pm
+}
+
+// Run executes the pipeline. It returns the total number of changes, or an
+// error if VerifyEach is set and a pass corrupts the module.
+func (pm *PassManager) Run(m *core.Module) (int, error) {
+	total := 0
+	for _, p := range pm.passes {
+		start := time.Now()
+		n := p.RunOnModule(m)
+		pm.Results = append(pm.Results, PassResult{Pass: p.Name(), Changed: n, Duration: time.Since(start)})
+		total += n
+		if pm.VerifyEach {
+			if err := core.Verify(m); err != nil {
+				return total, fmt.Errorf("module invalid after pass %q: %w", p.Name(), err)
+			}
+		}
+	}
+	return total, nil
+}
+
+// funcPassAdapter lifts a FunctionPass to a ModulePass.
+type funcPassAdapter struct{ p FunctionPass }
+
+func (a *funcPassAdapter) Name() string { return a.p.Name() }
+
+func (a *funcPassAdapter) RunOnModule(m *core.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		if !f.IsDeclaration() {
+			n += a.p.RunOnFunction(f)
+		}
+	}
+	return n
+}
+
+// StandardFunctionPasses returns the canonical clean-up pipeline run after
+// a front-end (§3.2): scalar expansion, stack promotion, then scalar
+// simplification to a fixed point.
+func StandardFunctionPasses() []FunctionPass {
+	return []FunctionPass{
+		NewSROA(),
+		NewMem2Reg(),
+		NewInstCombine(),
+		NewSCCP(),
+		NewCSE(),
+		NewLICM(),
+		NewADCE(),
+		NewSimplifyCFG(),
+	}
+}
+
+// AddStandardPipeline adds the standard per-function clean-up to pm.
+func (pm *PassManager) AddStandardPipeline() *PassManager {
+	return pm.AddFunctionPass(StandardFunctionPasses()...)
+}
+
+// AddLinkTimePipeline adds the link-time interprocedural optimizations in
+// the order the linker runs them (§3.3), followed by a scalar clean-up.
+func (pm *PassManager) AddLinkTimePipeline() *PassManager {
+	pm.Add(
+		NewIPConstProp(),
+		NewInline(DefaultInlineThreshold),
+		NewDeadArgElim(),
+		NewDeadGlobalElim(),
+		NewPruneEH(),
+		NewGlobalLoadElim(),
+		NewFieldReorder(),
+		NewDeadTypeElim(),
+	)
+	return pm.AddStandardPipeline()
+}

@@ -1,0 +1,308 @@
+package passes
+
+import (
+	"repro/internal/core"
+)
+
+// SCCP is sparse conditional constant propagation (Wegman-Zadeck): it
+// propagates constants along SSA edges while simultaneously tracking which
+// CFG edges can execute, so constants flowing around provably-dead branches
+// are still discovered. Values proven constant are replaced; branch
+// conditions proven constant are materialized so SimplifyCFG can delete the
+// dead arms.
+type SCCP struct{}
+
+// NewSCCP returns the pass.
+func NewSCCP() *SCCP { return &SCCP{} }
+
+// Name returns the pass name.
+func (*SCCP) Name() string { return "sccp" }
+
+// Lattice states.
+type latticeState int
+
+const (
+	latUnknown latticeState = iota // never executed / no information yet
+	latConst
+	latOverdefined
+)
+
+type latticeValue struct {
+	state latticeState
+	val   core.Constant
+}
+
+type sccpSolver struct {
+	fn        *core.Function
+	values    map[core.Value]latticeValue
+	bbExec    map[*core.BasicBlock]bool
+	edgeExec  map[[2]*core.BasicBlock]bool
+	instWork  []core.Instruction
+	blockWork []*core.BasicBlock
+}
+
+// RunOnFunction solves the lattice and rewrites proven-constant values.
+func (s *SCCP) RunOnFunction(f *core.Function) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	sv := &sccpSolver{
+		fn:       f,
+		values:   map[core.Value]latticeValue{},
+		bbExec:   map[*core.BasicBlock]bool{},
+		edgeExec: map[[2]*core.BasicBlock]bool{},
+	}
+	// Arguments are overdefined; constants are themselves.
+	for _, a := range f.Args {
+		sv.values[a] = latticeValue{state: latOverdefined}
+	}
+	sv.markBlockExecutable(f.Entry())
+	sv.solve()
+
+	changed := 0
+	for _, b := range f.Blocks {
+		if !sv.bbExec[b] {
+			continue
+		}
+		for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+			lv := sv.values[inst]
+			if lv.state != latConst || inst.Type() == core.VoidType {
+				continue
+			}
+			if _, isC := core.Value(inst).(core.Constant); isC {
+				continue
+			}
+			core.ReplaceAllUses(inst, lv.val)
+			if !hasSideEffects(inst) {
+				b.Erase(inst)
+			}
+			changed++
+		}
+	}
+	return changed
+}
+
+func (sv *sccpSolver) lattice(v core.Value) latticeValue {
+	if c, ok := v.(core.Constant); ok {
+		if _, isPh := v.(*core.Placeholder); !isPh {
+			switch c.(type) {
+			case *core.ConstantInt, *core.ConstantFloat, *core.ConstantBool, *core.ConstantNull:
+				return latticeValue{state: latConst, val: c}
+			}
+		}
+		return latticeValue{state: latOverdefined}
+	}
+	return sv.values[v]
+}
+
+func (sv *sccpSolver) markOverdefined(v core.Value) {
+	if sv.values[v].state == latOverdefined {
+		return
+	}
+	sv.values[v] = latticeValue{state: latOverdefined}
+	sv.notifyUsers(v)
+}
+
+func (sv *sccpSolver) markConst(v core.Value, c core.Constant) {
+	cur := sv.values[v]
+	if cur.state == latOverdefined {
+		return
+	}
+	if cur.state == latConst {
+		if !constEq(cur.val, c) {
+			sv.markOverdefined(v)
+		}
+		return
+	}
+	sv.values[v] = latticeValue{state: latConst, val: c}
+	sv.notifyUsers(v)
+}
+
+func (sv *sccpSolver) notifyUsers(v core.Value) {
+	for _, u := range v.Uses() {
+		if inst, ok := u.User.(core.Instruction); ok {
+			sv.instWork = append(sv.instWork, inst)
+		}
+	}
+}
+
+func (sv *sccpSolver) markBlockExecutable(b *core.BasicBlock) {
+	if sv.bbExec[b] {
+		return
+	}
+	sv.bbExec[b] = true
+	sv.blockWork = append(sv.blockWork, b)
+}
+
+func (sv *sccpSolver) markEdgeExecutable(from, to *core.BasicBlock) {
+	key := [2]*core.BasicBlock{from, to}
+	if sv.edgeExec[key] {
+		return
+	}
+	sv.edgeExec[key] = true
+	if sv.bbExec[to] {
+		// Re-visit the phis of to: a new incoming edge may change them.
+		for _, phi := range to.Phis() {
+			sv.instWork = append(sv.instWork, phi)
+		}
+	} else {
+		sv.markBlockExecutable(to)
+	}
+}
+
+func (sv *sccpSolver) solve() {
+	for len(sv.instWork) > 0 || len(sv.blockWork) > 0 {
+		for len(sv.blockWork) > 0 {
+			b := sv.blockWork[len(sv.blockWork)-1]
+			sv.blockWork = sv.blockWork[:len(sv.blockWork)-1]
+			for _, inst := range b.Instrs {
+				sv.visit(inst)
+			}
+		}
+		for len(sv.instWork) > 0 {
+			inst := sv.instWork[len(sv.instWork)-1]
+			sv.instWork = sv.instWork[:len(sv.instWork)-1]
+			if sv.bbExec[inst.Parent()] {
+				sv.visit(inst)
+			}
+		}
+	}
+}
+
+func (sv *sccpSolver) visit(inst core.Instruction) {
+	switch i := inst.(type) {
+	case *core.PhiInst:
+		sv.visitPhi(i)
+	case *core.BinaryInst:
+		a, b := sv.lattice(i.LHS()), sv.lattice(i.RHS())
+		if a.state == latConst && b.state == latConst {
+			if folded := core.FoldBinary(i.Opcode(), a.val, b.val); folded != nil {
+				sv.markConst(i, folded)
+				return
+			}
+		}
+		if a.state == latOverdefined || b.state == latOverdefined {
+			sv.markOverdefined(i)
+		}
+	case *core.CastInst:
+		v := sv.lattice(i.Val())
+		if v.state == latConst {
+			if folded := core.FoldCast(v.val, i.Type()); folded != nil {
+				sv.markConst(i, folded)
+				return
+			}
+		}
+		if v.state == latOverdefined {
+			sv.markOverdefined(i)
+		}
+	case *core.BranchInst:
+		if !i.IsConditional() {
+			sv.markEdgeExecutable(i.Parent(), i.TrueDest())
+			return
+		}
+		c := sv.lattice(i.Cond())
+		switch c.state {
+		case latConst:
+			if cb, ok := c.val.(*core.ConstantBool); ok {
+				if cb.Val {
+					sv.markEdgeExecutable(i.Parent(), i.TrueDest())
+				} else {
+					sv.markEdgeExecutable(i.Parent(), i.FalseDest())
+				}
+				return
+			}
+			sv.markEdgeExecutable(i.Parent(), i.TrueDest())
+			sv.markEdgeExecutable(i.Parent(), i.FalseDest())
+		case latOverdefined:
+			sv.markEdgeExecutable(i.Parent(), i.TrueDest())
+			sv.markEdgeExecutable(i.Parent(), i.FalseDest())
+		}
+	case *core.SwitchInst:
+		c := sv.lattice(i.Value())
+		switch c.state {
+		case latConst:
+			ci, ok := c.val.(*core.ConstantInt)
+			if !ok {
+				sv.markAllSwitchEdges(i)
+				return
+			}
+			taken := i.Default()
+			for n := 0; n < i.NumCases(); n++ {
+				val, dest := i.Case(n)
+				if val.Val == ci.Val {
+					taken = dest
+					break
+				}
+			}
+			sv.markEdgeExecutable(i.Parent(), taken)
+		case latOverdefined:
+			sv.markAllSwitchEdges(i)
+		}
+	case *core.InvokeInst:
+		sv.markOverdefined(i)
+		sv.markEdgeExecutable(i.Parent(), i.NormalDest())
+		sv.markEdgeExecutable(i.Parent(), i.UnwindDest())
+	case *core.RetInst, *core.UnwindInst, *core.StoreInst, *core.FreeInst:
+		// No result, no successor edges.
+	default:
+		// Loads, calls, mallocs, allocas, GEPs, vaargs: overdefined.
+		if inst.Type() != core.VoidType {
+			sv.markOverdefined(inst)
+		}
+	}
+}
+
+func (sv *sccpSolver) markAllSwitchEdges(i *core.SwitchInst) {
+	sv.markEdgeExecutable(i.Parent(), i.Default())
+	for n := 0; n < i.NumCases(); n++ {
+		_, dest := i.Case(n)
+		sv.markEdgeExecutable(i.Parent(), dest)
+	}
+}
+
+func (sv *sccpSolver) visitPhi(phi *core.PhiInst) {
+	// Meet over incoming values whose edges are executable.
+	var result latticeValue
+	for n := 0; n < phi.NumIncoming(); n++ {
+		v, pred := phi.Incoming(n)
+		if !sv.edgeExec[[2]*core.BasicBlock{pred, phi.Parent()}] {
+			continue
+		}
+		lv := sv.lattice(v)
+		switch lv.state {
+		case latUnknown:
+			continue
+		case latOverdefined:
+			sv.markOverdefined(phi)
+			return
+		case latConst:
+			if result.state == latUnknown {
+				result = lv
+			} else if !constEq(result.val, lv.val) {
+				sv.markOverdefined(phi)
+				return
+			}
+		}
+	}
+	if result.state == latConst {
+		sv.markConst(phi, result.val)
+	}
+}
+
+func constEq(a, b core.Constant) bool {
+	switch ca := a.(type) {
+	case *core.ConstantInt:
+		cb, ok := b.(*core.ConstantInt)
+		return ok && core.TypesEqual(ca.Type(), cb.Type()) && ca.Val == cb.Val
+	case *core.ConstantFloat:
+		cb, ok := b.(*core.ConstantFloat)
+		return ok && core.TypesEqual(ca.Type(), cb.Type()) && ca.Val == cb.Val
+	case *core.ConstantBool:
+		cb, ok := b.(*core.ConstantBool)
+		return ok && ca.Val == cb.Val
+	case *core.ConstantNull:
+		_, ok := b.(*core.ConstantNull)
+		return ok
+	}
+	return a == b
+}

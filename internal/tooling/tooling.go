@@ -1,0 +1,111 @@
+// Package tooling holds the small amount of file I/O logic shared by the
+// command-line tools: loading a module from either textual assembly or
+// bytecode (detected by magic), and saving in either form.
+package tooling
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/passes"
+)
+
+// LoadModule reads path and parses it as bytecode (if it starts with the
+// magic) or assembly text.
+func LoadModule(path string) (*core.Module, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, bytecode.Magic[:]) {
+		return bytecode.Decode(data)
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return asm.ParseModule(name, string(data))
+}
+
+// SaveModule writes m to path as bytecode (binary=true) or assembly text.
+func SaveModule(path string, m *core.Module, binary bool) error {
+	var data []byte
+	if binary {
+		data = bytecode.Encode(m)
+	} else {
+		data = []byte(m.String())
+	}
+	if path == "-" || path == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// PassByName constructs a pass from its command-line name.
+func PassByName(name string) (passes.ModulePass, bool) {
+	switch name {
+	case "mem2reg":
+		return funcPass{passes.NewMem2Reg()}, true
+	case "sroa":
+		return funcPass{passes.NewSROA()}, true
+	case "instcombine":
+		return funcPass{passes.NewInstCombine()}, true
+	case "sccp":
+		return funcPass{passes.NewSCCP()}, true
+	case "adce":
+		return funcPass{passes.NewADCE()}, true
+	case "cse":
+		return funcPass{passes.NewCSE()}, true
+	case "licm":
+		return funcPass{passes.NewLICM()}, true
+	case "simplifycfg":
+		return funcPass{passes.NewSimplifyCFG()}, true
+	case "inline":
+		return passes.NewInline(passes.DefaultInlineThreshold), true
+	case "dge":
+		return passes.NewDeadGlobalElim(), true
+	case "dae":
+		return passes.NewDeadArgElim(), true
+	case "ipcp":
+		return passes.NewIPConstProp(), true
+	case "deadtypeelim":
+		return passes.NewDeadTypeElim(), true
+	case "pruneeh":
+		return passes.NewPruneEH(), true
+	case "gloadelim":
+		return passes.NewGlobalLoadElim(), true
+	case "fieldreorder":
+		return passes.NewFieldReorder(), true
+	case "boundscheck":
+		return passes.NewBoundsCheck(), true
+	case "internalize":
+		return passes.NewInternalize(), true
+	}
+	return nil, false
+}
+
+// funcPass adapts a FunctionPass to ModulePass for the tool driver.
+type funcPass struct{ p passes.FunctionPass }
+
+func (f funcPass) Name() string { return f.p.Name() }
+func (f funcPass) RunOnModule(m *core.Module) int {
+	n := 0
+	for _, fn := range m.Funcs {
+		if !fn.IsDeclaration() {
+			n += f.p.RunOnFunction(fn)
+		}
+	}
+	return n
+}
+
+// Fatalf prints an error and exits with status 1.
+func Fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

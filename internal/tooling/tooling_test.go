@@ -1,0 +1,77 @@
+package tooling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const src = `
+int %f(int %x) {
+entry:
+	%y = add int %x, 1
+	ret int %y
+}
+`
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ll := filepath.Join(dir, "m.ll")
+	if err := os.WriteFile(ll, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(ll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Save as bytecode, reload (magic detection), compare prints.
+	bc := filepath.Join(dir, "m.bc")
+	if err := SaveModule(bc, m, true); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModule(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Name = m.Name // ModuleID tracks the file name
+	if m.String() != m2.String() {
+		t.Fatal("text/bytecode load mismatch")
+	}
+	// Save as text, reload.
+	ll2 := filepath.Join(dir, "m2.ll")
+	if err := SaveModule(ll2, m2, false); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := LoadModule(ll2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3.Name = m.Name
+	if m.String() != m3.String() {
+		t.Fatal("text round trip mismatch")
+	}
+}
+
+func TestPassByNameCoversPipeline(t *testing.T) {
+	names := []string{"mem2reg", "sroa", "instcombine", "sccp", "adce", "cse",
+		"licm", "simplifycfg", "inline", "dge", "dae", "ipcp", "deadtypeelim",
+		"pruneeh", "gloadelim", "fieldreorder", "boundscheck", "internalize"}
+	for _, n := range names {
+		p, ok := PassByName(n)
+		if !ok {
+			t.Errorf("pass %q not registered", n)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("pass %q has empty name", n)
+		}
+	}
+	if _, ok := PassByName("nosuchpass"); ok {
+		t.Error("unknown pass accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package workload
+
+// Suite returns the fifteen SPEC CPU2000 C benchmark analogues. The shape
+// parameters follow the paper's per-program characterization (§4.1.1):
+//
+//   - 164, 175, 179, 181, 183, 186, 256, 300: "a surprisingly high
+//     proportion of memory accesses with reliable type information" —
+//     little or no custom allocation or punning.
+//   - 197, 254, 255: custom memory allocators are the leading cause of
+//     lost type information.
+//   - 176, 253, 254: inherently non-type-safe constructs (the same objects
+//     used at different structure types).
+//   - 177, 188: imprecision (mixed generic code paths).
+//
+// Sizes (units x funcs) roughly track relative SPEC program sizes, with
+// 176.gcc the largest.
+func Suite() []Profile {
+	return []Profile{
+		{Name: "164.gzip", Units: 2, FuncsPerUnit: 8, Structs: 2,
+			DeadGlobals: 3, DeadFuncs: 2, LoopIters: 24, ListLen: 12, Seed: 164},
+		{Name: "175.vpr", Units: 3, FuncsPerUnit: 10, Structs: 3, PunEvery: 16,
+			DeadGlobals: 4, DeadFuncs: 3, DeadArgs: true, LoopIters: 20, ListLen: 10, Seed: 175},
+		{Name: "176.gcc", Units: 6, FuncsPerUnit: 16, Structs: 6, PunEvery: 3,
+			DeadGlobals: 10, DeadFuncs: 6, DeadArgs: true, LoopIters: 12, ListLen: 8, Seed: 176},
+		{Name: "177.mesa", Units: 4, FuncsPerUnit: 12, Structs: 4, PunEvery: 5, PoolAllocEvery: 9,
+			DeadGlobals: 6, DeadFuncs: 3, LoopIters: 16, ListLen: 8, Seed: 177},
+		{Name: "179.art", Units: 1, FuncsPerUnit: 8, Structs: 2,
+			DeadGlobals: 2, DeadFuncs: 2, LoopIters: 32, ListLen: 10, Seed: 179},
+		{Name: "181.mcf", Units: 1, FuncsPerUnit: 7, Structs: 2,
+			DeadGlobals: 2, DeadFuncs: 2, DeadArgs: true, LoopIters: 28, ListLen: 16, Seed: 181},
+		{Name: "183.equake", Units: 2, FuncsPerUnit: 8, Structs: 2,
+			DeadGlobals: 3, DeadFuncs: 2, LoopIters: 24, ListLen: 8, Seed: 183},
+		{Name: "186.crafty", Units: 3, FuncsPerUnit: 12, Structs: 3, PunEvery: 20,
+			DeadGlobals: 5, DeadFuncs: 3, LoopIters: 20, ListLen: 8, Seed: 186},
+		{Name: "188.ammp", Units: 3, FuncsPerUnit: 10, Structs: 4, PunEvery: 6, PoolAllocEvery: 10,
+			DeadGlobals: 4, DeadFuncs: 3, LoopIters: 18, ListLen: 10, Seed: 188},
+		{Name: "197.parser", Units: 3, FuncsPerUnit: 12, Structs: 4, PoolAllocEvery: 2,
+			DeadGlobals: 5, DeadFuncs: 4, DeadArgs: true, LoopIters: 16, ListLen: 10, Seed: 197},
+		{Name: "253.perlbmk", Units: 4, FuncsPerUnit: 14, Structs: 5, PunEvery: 3,
+			DeadGlobals: 8, DeadFuncs: 5, DeadArgs: true, LoopIters: 14, ListLen: 8, Seed: 253},
+		{Name: "254.gap", Units: 4, FuncsPerUnit: 14, Structs: 5, PunEvery: 4, PoolAllocEvery: 3,
+			DeadGlobals: 8, DeadFuncs: 5, DeadArgs: true, LoopIters: 14, ListLen: 8, Seed: 254},
+		{Name: "255.vortex", Units: 5, FuncsPerUnit: 14, Structs: 5, PoolAllocEvery: 2,
+			DeadGlobals: 9, DeadFuncs: 6, DeadArgs: true, LoopIters: 12, ListLen: 8, Seed: 255},
+		{Name: "256.bzip2", Units: 2, FuncsPerUnit: 8, Structs: 2,
+			DeadGlobals: 3, DeadFuncs: 2, LoopIters: 26, ListLen: 10, Seed: 256},
+		{Name: "300.twolf", Units: 3, FuncsPerUnit: 11, Structs: 3, PunEvery: 22,
+			DeadGlobals: 5, DeadFuncs: 3, LoopIters: 20, ListLen: 10, Seed: 300},
+	}
+}
+
+// ByName returns the profile for a benchmark name, or false.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,298 @@
+// Package workload generates the synthetic benchmark suite that substitutes
+// for the SPEC CPU2000 C programs in the paper's evaluation (see DESIGN.md
+// §3). Each of the fifteen programs is produced as MiniC source from a
+// shape profile controlling the code properties the paper's experiments
+// actually measure: how much of the code allocates through custom void*
+// pool allocators (drives Table 1's untyped accesses), how much type
+// punning it contains, how many dead globals/functions/arguments it carries
+// (drives Table 2's DGE/DAE work), call-graph fan-out and function sizes
+// (drives inlining), and overall code volume (drives Figure 5's sizes).
+//
+// Generation is deterministic: the same profile always yields byte-equal
+// source, so experiments are reproducible.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	// Name is the SPEC-style benchmark name (e.g. "164.gzip").
+	Name string
+	// Units is the number of separately-compiled translation units.
+	Units int
+	// FuncsPerUnit is the number of worker functions per unit.
+	FuncsPerUnit int
+	// Structs is the number of distinct struct types.
+	Structs int
+	// PoolAllocEvery makes every k'th allocating function use the custom
+	// pool allocator instead of typed malloc (0 = never). Custom
+	// allocators are the paper's leading cause of lost type information.
+	PoolAllocEvery int
+	// PunEvery makes every k'th struct-using function reuse another
+	// struct type through an incompatible cast (0 = never) — the paper's
+	// "different structure types for the same objects".
+	PunEvery int
+	// DeadGlobals and DeadFuncs per unit feed dead global elimination.
+	DeadGlobals int
+	DeadFuncs   int
+	// DeadArgs adds an unused trailing parameter to every worker.
+	DeadArgs bool
+	// LoopIters scales runtime work (kept small: programs must terminate
+	// quickly under the interpreter).
+	LoopIters int
+	// ListLen is the linked-list length data-structure workers build.
+	ListLen int
+	// Seed perturbs constants so programs differ beyond shape.
+	Seed int64
+}
+
+// rng is a tiny deterministic generator (no math/rand dependency keeps
+// generation byte-stable across Go versions).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Program is the generated benchmark: one MiniC source per translation
+// unit (unit 0 contains main).
+type Program struct {
+	Profile Profile
+	Units   []string
+}
+
+// Source returns the concatenation of all units (for single-module use;
+// extern declarations resolve within the merged text).
+func (p *Program) Source() string { return strings.Join(p.Units, "\n") }
+
+// Generate builds the program for a profile.
+func Generate(p Profile) *Program {
+	g := &gen{p: p, r: rng{s: uint64(p.Seed)*2654435761 + 12345}}
+	return g.run()
+}
+
+type gen struct {
+	p Profile
+	r rng
+}
+
+func (g *gen) run() *Program {
+	prog := &Program{Profile: g.p}
+
+	var structDefs strings.Builder
+	for s := 0; s < g.p.Structs; s++ {
+		// The pad array makes every struct structurally distinct, so
+		// casting between them is a genuine reinterpreting cast.
+		fmt.Fprintf(&structDefs, "struct S%d { int tag; long key%d; double w; struct S%d *next; int pad%d[%d]; };\n",
+			s, s, s, s, s+1)
+	}
+	// The shared pool allocator (classic custom allocator shape).
+	pool := `
+static char pool_arena[16384];
+static int pool_pos = 0;
+static char *pool_alloc(int n) {
+	char *p;
+	if (pool_pos + n > 16384) { pool_pos = 0; }
+	p = &pool_arena[pool_pos];
+	pool_pos += n;
+	return p;
+}
+`
+
+	for u := 0; u < g.p.Units; u++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "/* %s - unit %d (generated) */\n", g.p.Name, u)
+		b.WriteString(structDefs.String())
+		if g.p.PoolAllocEvery > 0 {
+			if u == 0 {
+				b.WriteString(pool)
+			} else {
+				b.WriteString("extern char *pool_alloc(int n);\n")
+			}
+		}
+		// Cross-unit externs for the unit entry points.
+		for v := 0; v < g.p.Units; v++ {
+			if v != u {
+				fmt.Fprintf(&b, "extern int unit%d_entry(int x);\n", v)
+			}
+		}
+
+		g.emitDeadCode(&b, u)
+		funcNames := g.emitWorkers(&b, u)
+		g.emitUnitEntry(&b, u, funcNames)
+		if u == 0 {
+			g.emitMain(&b)
+		}
+		prog.Units = append(prog.Units, b.String())
+	}
+	return prog
+}
+
+// emitDeadCode writes globals and functions nothing references.
+func (g *gen) emitDeadCode(b *strings.Builder, unit int) {
+	for i := 0; i < g.p.DeadGlobals; i++ {
+		switch g.r.intn(3) {
+		case 0:
+			fmt.Fprintf(b, "static int dead_g%d_%d = %d;\n", unit, i, g.r.intn(1000))
+		case 1:
+			fmt.Fprintf(b, "static long dead_tab%d_%d[8] = {%d, %d};\n", unit, i, g.r.intn(99), g.r.intn(99))
+		default:
+			fmt.Fprintf(b, "static double dead_d%d_%d = %d.5;\n", unit, i, g.r.intn(50))
+		}
+	}
+	for i := 0; i < g.p.DeadFuncs; i++ {
+		// Dead functions call each other in pairs so only the
+		// assume-dead-until-proven-live discipline deletes them.
+		fmt.Fprintf(b, "static int dead_f%d_%d(int x);\n", unit, i)
+	}
+	for i := 0; i < g.p.DeadFuncs; i++ {
+		peer := (i + 1) % g.p.DeadFuncs
+		fmt.Fprintf(b, "static int dead_f%d_%d(int x) { if (x > 0) return dead_f%d_%d(x - 1); return x; }\n",
+			unit, i, unit, peer)
+	}
+}
+
+// emitWorkers writes the worker functions and returns their names.
+func (g *gen) emitWorkers(b *strings.Builder, unit int) []string {
+	var names []string
+	for i := 0; i < g.p.FuncsPerUnit; i++ {
+		name := fmt.Sprintf("work%d_%d", unit, i)
+		names = append(names, name)
+		kind := i % 4
+		switch kind {
+		case 0:
+			g.emitListWorker(b, name, i)
+		case 1:
+			g.emitLoopWorker(b, name, i)
+		case 2:
+			g.emitSwitchWorker(b, name, i)
+		default:
+			g.emitArrayWorker(b, name, i)
+		}
+	}
+	return names
+}
+
+func (g *gen) deadParam() string {
+	if g.p.DeadArgs {
+		return ", int unused"
+	}
+	return ""
+}
+
+func (g *gen) deadArg() string {
+	if g.p.DeadArgs {
+		return ", 0"
+	}
+	return ""
+}
+
+// emitListWorker builds and traverses a linked list; allocation style and
+// punning are controlled by the profile.
+func (g *gen) emitListWorker(b *strings.Builder, name string, idx int) {
+	s := idx % max(1, g.p.Structs)
+	usePool := g.p.PoolAllocEvery > 0 && idx%g.p.PoolAllocEvery == 0
+	pun := g.p.PunEvery > 0 && idx%g.p.PunEvery == 1 && g.p.Structs > 1
+
+	alloc := fmt.Sprintf("(struct S%d*)malloc(sizeof(struct S%d))", s, s)
+	if usePool {
+		alloc = fmt.Sprintf("(struct S%d*)pool_alloc(%d)", s, 32)
+	}
+	fmt.Fprintf(b, "static int %s(int n%s) {\n", name, g.deadParam())
+	fmt.Fprintf(b, "\tstruct S%d *head = 0;\n\tint i;\n", s)
+	fmt.Fprintf(b, "\tfor (i = 0; i < %d; i++) {\n", g.p.ListLen)
+	fmt.Fprintf(b, "\t\tstruct S%d *nd = %s;\n", s, alloc)
+	fmt.Fprintf(b, "\t\tnd->tag = i + n;\n\t\tnd->key%d = (long)(i * %d);\n", s, 3+g.r.intn(9))
+	fmt.Fprintf(b, "\t\tnd->next = head;\n\t\thead = nd;\n\t}\n")
+	if pun {
+		o := (s + 1) % g.p.Structs
+		fmt.Fprintf(b, "\t{\n\t\tstruct S%d *alias = (struct S%d*)head;\n", o, o)
+		fmt.Fprintf(b, "\t\talias->tag = alias->tag + 1;\n\t}\n")
+	}
+	fmt.Fprintf(b, "\tint sum = 0;\n\tstruct S%d *cur = head;\n", s)
+	fmt.Fprintf(b, "\twhile (cur) {\n\t\tsum += cur->tag + (int)cur->key%d;\n", s)
+	if usePool {
+		fmt.Fprintf(b, "\t\tcur = cur->next;\n\t}\n")
+	} else {
+		fmt.Fprintf(b, "\t\tstruct S%d *dead = cur;\n\t\tcur = cur->next;\n\t\tfree(dead);\n\t}\n", s)
+	}
+	fmt.Fprintf(b, "\treturn sum;\n}\n")
+}
+
+// emitLoopWorker writes nested arithmetic loops (hot-region material for
+// the profiling experiments).
+func (g *gen) emitLoopWorker(b *strings.Builder, name string, idx int) {
+	c1, c2 := 1+g.r.intn(7), 1+g.r.intn(5)
+	fmt.Fprintf(b, "static int %s(int n%s) {\n", name, g.deadParam())
+	fmt.Fprintf(b, "\tint acc = %d;\n\tint i; int j;\n", g.r.intn(100))
+	fmt.Fprintf(b, "\tfor (i = 0; i < %d; i++) {\n", g.p.LoopIters)
+	fmt.Fprintf(b, "\t\tfor (j = 0; j < %d; j++) {\n", 4+g.r.intn(4))
+	fmt.Fprintf(b, "\t\t\tacc = acc * %d + j * %d + n;\n", c1, c2)
+	fmt.Fprintf(b, "\t\t\tacc = acc %% 100003;\n\t\t}\n\t}\n")
+	fmt.Fprintf(b, "\treturn acc;\n}\n")
+}
+
+// emitSwitchWorker writes interpreter-style dispatch.
+func (g *gen) emitSwitchWorker(b *strings.Builder, name string, idx int) {
+	fmt.Fprintf(b, "static int %s(int n%s) {\n", name, g.deadParam())
+	fmt.Fprintf(b, "\tint state = n;\n\tint i;\n")
+	fmt.Fprintf(b, "\tfor (i = 0; i < %d; i++) {\n", g.p.LoopIters)
+	fmt.Fprintf(b, "\t\tswitch (state %% 5) {\n")
+	for c := 0; c < 4; c++ {
+		fmt.Fprintf(b, "\t\tcase %d: state = state * %d + %d; break;\n", c, 2+g.r.intn(4), g.r.intn(10))
+	}
+	fmt.Fprintf(b, "\t\tdefault: state = state / 2 + 1; break;\n\t\t}\n")
+	fmt.Fprintf(b, "\t\tstate = state %% 65521;\n\t\tif (state < 0) state = -state;\n\t}\n")
+	fmt.Fprintf(b, "\treturn state;\n}\n")
+}
+
+// emitArrayWorker writes array/matrix traffic, with the profile's punning
+// style occasionally reading the bytes of an int array as chars.
+func (g *gen) emitArrayWorker(b *strings.Builder, name string, idx int) {
+	pun := g.p.PunEvery > 0 && idx%g.p.PunEvery == 0
+	fmt.Fprintf(b, "static int %s(int n%s) {\n", name, g.deadParam())
+	fmt.Fprintf(b, "\tint buf[16];\n\tint i;\n")
+	fmt.Fprintf(b, "\tfor (i = 0; i < 16; i++) buf[i] = i * n + %d;\n", g.r.intn(16))
+	if pun {
+		fmt.Fprintf(b, "\t{\n\t\tchar *bytes = (char*)buf;\n\t\tint k;\n")
+		fmt.Fprintf(b, "\t\tfor (k = 0; k < 16; k++) bytes[k] = (char)(bytes[k] + 1);\n\t}\n")
+	}
+	fmt.Fprintf(b, "\tint sum = 0;\n")
+	fmt.Fprintf(b, "\tfor (i = 0; i < 16; i++) sum += buf[i];\n")
+	fmt.Fprintf(b, "\treturn sum;\n}\n")
+}
+
+// emitUnitEntry writes the per-unit entry that chains the workers.
+func (g *gen) emitUnitEntry(b *strings.Builder, unit int, workers []string) {
+	fmt.Fprintf(b, "int unit%d_entry(int x) {\n\tint r = x;\n", unit)
+	for i, w := range workers {
+		// Half the calls pass a constant (IPCP fodder), half chain.
+		if i%2 == 0 {
+			fmt.Fprintf(b, "\tr = r + %s(%d%s);\n", w, 3+i, g.deadArg())
+		} else {
+			fmt.Fprintf(b, "\tr = r + %s(r %% 97%s);\n", w, g.deadArg())
+		}
+	}
+	fmt.Fprintf(b, "\treturn r %% 1000003;\n}\n")
+}
+
+func (g *gen) emitMain(b *strings.Builder) {
+	fmt.Fprintf(b, "int main() {\n\tint total = 0;\n")
+	for u := 0; u < g.p.Units; u++ {
+		fmt.Fprintf(b, "\ttotal = total + unit%d_entry(%d);\n", u, u+1)
+	}
+	fmt.Fprintf(b, "\treturn total %% 251;\n}\n")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

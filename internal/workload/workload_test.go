@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsa"
+	"repro/internal/frontend/minic"
+	"repro/internal/interp"
+	"repro/internal/linker"
+	"repro/internal/passes"
+)
+
+// compileProgram builds a program's units and links them.
+func compileProgram(t *testing.T, prog *Program) *core.Module {
+	t.Helper()
+	var mods []*core.Module
+	for i, src := range prog.Units {
+		m, err := minic.Compile(prog.Profile.Name+".u"+string(rune('0'+i)), src)
+		if err != nil {
+			t.Fatalf("%s unit %d: %v", prog.Profile.Name, i, err)
+		}
+		mods = append(mods, m)
+	}
+	linked, err := linker.Link(prog.Profile.Name, mods...)
+	if err != nil {
+		t.Fatalf("%s link: %v", prog.Profile.Name, err)
+	}
+	if err := core.Verify(linked); err != nil {
+		t.Fatalf("%s verify: %v", prog.Profile.Name, err)
+	}
+	return linked
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	p, _ := ByName("176.gcc")
+	a, b := Generate(p), Generate(p)
+	if a.Source() != b.Source() {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestAllBenchmarksCompileLinkRun(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog := Generate(p)
+			m := compileProgram(t, prog)
+			mc, err := interp.NewMachine(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc.MaxSteps = 50_000_000
+			v1, err := mc.RunMain()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+
+			// Optimized build must agree.
+			m2 := compileProgram(t, Generate(p))
+			pm := passes.NewPassManager()
+			pm.Add(passes.NewInternalize())
+			pm.AddLinkTimePipeline()
+			if _, err := pm.Run(m2); err != nil {
+				t.Fatal(err)
+			}
+			if err := core.Verify(m2); err != nil {
+				t.Fatalf("optimized module invalid: %v", err)
+			}
+			mc2, _ := interp.NewMachine(m2, nil)
+			mc2.MaxSteps = 50_000_000
+			v2, err := mc2.RunMain()
+			if err != nil {
+				t.Fatalf("optimized run: %v", err)
+			}
+			if v1 != v2 {
+				t.Fatalf("optimization changed result: %d vs %d", v1, v2)
+			}
+			if mc2.Steps >= mc.Steps {
+				t.Errorf("optimized build does less work? %d vs %d steps", mc2.Steps, mc.Steps)
+			}
+		})
+	}
+}
+
+func TestDGEFindsDeadCode(t *testing.T) {
+	p, _ := ByName("176.gcc")
+	m := compileProgram(t, Generate(p))
+	passes.NewInternalize().RunOnModule(m)
+	dge := passes.NewDeadGlobalElim()
+	dge.RunOnModule(m)
+	if dge.NumFuncs < p.DeadFuncs*p.Units {
+		t.Errorf("DGE deleted %d functions, profile plants at least %d", dge.NumFuncs, p.DeadFuncs*p.Units)
+	}
+	if dge.NumGlobals < p.DeadGlobals*p.Units {
+		t.Errorf("DGE deleted %d globals, profile plants at least %d", dge.NumGlobals, p.DeadGlobals*p.Units)
+	}
+}
+
+// scalarCleanup runs the compile-time per-function pipeline (what the
+// paper's front-end invokes before link time, §3.2), so measurements see
+// optimizer-grade code rather than raw stack traffic.
+func scalarCleanup(t *testing.T, m *core.Module) {
+	t.Helper()
+	pm := passes.NewPassManager()
+	pm.AddStandardPipeline()
+	if _, err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDAEFindsDeadArgs(t *testing.T) {
+	p, _ := ByName("255.vortex")
+	m := compileProgram(t, Generate(p))
+	passes.NewInternalize().RunOnModule(m)
+	scalarCleanup(t, m)
+	dae := passes.NewDeadArgElim()
+	dae.RunOnModule(m)
+	if dae.NumArgs == 0 {
+		t.Error("DAE found no dead arguments despite DeadArgs profile")
+	}
+}
+
+func TestTypedAccessSpread(t *testing.T) {
+	// The cross-suite shape of Table 1: disciplined programs score high,
+	// custom-allocator programs score low, and the suite average sits in
+	// the paper's mid-60s to low-70s band.
+	var clean, dirty []float64
+	var sum float64
+	n := 0
+	for _, p := range Suite() {
+		m := compileProgram(t, Generate(p))
+		passes.NewInternalize().RunOnModule(m)
+		scalarCleanup(t, m)
+		pct := dsa.Analyze(m).TypedPercent()
+		sum += pct
+		n++
+		switch p.Name {
+		case "164.gzip", "179.art", "181.mcf", "256.bzip2":
+			clean = append(clean, pct)
+		case "197.parser", "254.gap", "255.vortex":
+			dirty = append(dirty, pct)
+		}
+		t.Logf("%-12s typed=%.1f%%", p.Name, pct)
+	}
+	for _, c := range clean {
+		if c < 80 {
+			t.Errorf("clean benchmark scored %.1f%%, want >= 80%%", c)
+		}
+	}
+	for _, d := range dirty {
+		if d > 75 {
+			t.Errorf("allocator-heavy benchmark scored %.1f%%, want < 75%%", d)
+		}
+	}
+	avg := sum / float64(n)
+	if avg < 50 || avg > 90 {
+		t.Errorf("suite average %.1f%% outside the plausible band (paper: 68%%)", avg)
+	}
+	t.Logf("suite average typed: %.1f%% (paper reports 68.04%%)", avg)
+}
+
+func TestProgramSizesVary(t *testing.T) {
+	gcc := compileProgram(t, Generate(mustProfile(t, "176.gcc")))
+	mcf := compileProgram(t, Generate(mustProfile(t, "181.mcf")))
+	if gcc.NumInstructions() <= 2*mcf.NumInstructions() {
+		t.Errorf("176.gcc (%d instrs) should dwarf 181.mcf (%d instrs)",
+			gcc.NumInstructions(), mcf.NumInstructions())
+	}
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	return p
+}
+
+// TestJITMatchesInterpreterOnSuite runs every benchmark under both
+// execution-engine paths (§3.4: offline interpreter vs function-at-a-time
+// JIT) and requires identical results.
+func TestJITMatchesInterpreterOnSuite(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m := compileProgram(t, Generate(p))
+			mc1, _ := interp.NewMachine(m, nil)
+			mc1.MaxSteps = 50_000_000
+			v1, err1 := mc1.RunMain()
+			mc2, _ := interp.NewMachine(m, nil)
+			mc2.MaxSteps = 50_000_000
+			mc2.EnableJIT()
+			v2, err2 := mc2.RunMain()
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errors: %v / %v", err1, err2)
+			}
+			if v1 != v2 {
+				t.Fatalf("JIT divergence: %d vs %d", v1, v2)
+			}
+		})
+	}
+}
+
+// TestOptimizedSuiteUnderJIT runs the fully link-time-optimized programs
+// under the JIT as well — the deepest cross-product of the pipelines.
+func TestOptimizedSuiteUnderJIT(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m := compileProgram(t, Generate(p))
+			ref, _ := interp.NewMachine(m, nil)
+			ref.MaxSteps = 50_000_000
+			want, err := ref.RunMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pm := passes.NewPassManager()
+			pm.Add(passes.NewInternalize())
+			pm.AddLinkTimePipeline()
+			if _, err := pm.Run(m); err != nil {
+				t.Fatal(err)
+			}
+			mc, _ := interp.NewMachine(m, nil)
+			mc.MaxSteps = 50_000_000
+			mc.EnableJIT()
+			got, err := mc.RunMain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("optimized+JIT divergence: %d vs %d", got, want)
+			}
+		})
+	}
+}
