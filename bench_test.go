@@ -42,7 +42,7 @@ func mustBuild(b *testing.B, p workload.Profile) *core.Module {
 		if err != nil {
 			b.Fatal(err)
 		}
-		bc = bytecode.Encode(m)
+		bc = mustEncode(b, m)
 		buildCache[p.Name] = bc
 	}
 	m, err := bytecode.Decode(bc)
@@ -50,6 +50,24 @@ func mustBuild(b *testing.B, p workload.Profile) *core.Module {
 		b.Fatal(err)
 	}
 	return m
+}
+
+func mustEncode(b *testing.B, m *core.Module) []byte {
+	b.Helper()
+	bc, err := bytecode.Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bc
+}
+
+func mustEncodeStripped(b *testing.B, m *core.Module) []byte {
+	b.Helper()
+	bc, err := bytecode.EncodeStripped(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bc
 }
 
 // BenchmarkTable1 regenerates Table 1: for each benchmark, the fraction of
@@ -141,7 +159,7 @@ func BenchmarkFigure5(b *testing.B) {
 			var llvm, x86, sparc, packed int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				bc := bytecode.Encode(m)
+				bc := mustEncode(b, m)
 				llvm = len(bc)
 				x86 = codegen.CompileModule(m, codegen.Cisc86{}).Size()
 				sparc = codegen.CompileModule(m, codegen.RiscV9{}).Size()
@@ -260,7 +278,7 @@ func BenchmarkRepresentation(b *testing.B) {
 	p, _ := workload.ByName("176.gcc")
 	m := mustBuild(b, p)
 	text := m.String()
-	bc := bytecode.Encode(m)
+	bc := mustEncode(b, m)
 
 	b.Run("print", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -285,7 +303,7 @@ func BenchmarkRepresentation(b *testing.B) {
 	})
 	b.Run("encode", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			bc = bytecode.Encode(m)
+			bc = mustEncode(b, m)
 		}
 		b.SetBytes(int64(len(bc)))
 	})
@@ -309,8 +327,8 @@ func BenchmarkAblation(b *testing.B) {
 	b.Run("bytecode-symbols", func(b *testing.B) {
 		var full, stripped int
 		for i := 0; i < b.N; i++ {
-			full = len(bytecode.Encode(m))
-			stripped = len(bytecode.EncodeStripped(m))
+			full = len(mustEncode(b, m))
+			stripped = len(mustEncodeStripped(b, m))
 		}
 		b.ReportMetric(float64(full), "full-bytes")
 		b.ReportMetric(float64(stripped), "stripped-bytes")
@@ -380,7 +398,7 @@ func BenchmarkAblationInlineThreshold(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StopTimer()
-				size = len(bytecode.Encode(m))
+				size = len(mustEncode(b, m))
 				mc, _ := interp.NewMachine(m, nil)
 				if _, err := mc.RunMain(); err != nil {
 					b.Fatal(err)

@@ -13,6 +13,7 @@ import (
 )
 
 func main() {
+	defer tooling.ExitOnPanic("llvm-as")
 	out := flag.String("o", "", "output file (default: input with .bc suffix, or - for stdout)")
 	noverify := flag.Bool("disable-verify", false, "skip the module verifier")
 	flag.Parse()

@@ -15,6 +15,7 @@ import (
 )
 
 func main() {
+	defer tooling.ExitOnPanic("llvm-bench")
 	t1 := flag.Bool("table1", false, "Table 1: typed memory accesses")
 	t2 := flag.Bool("table2", false, "Table 2: interprocedural optimization timings")
 	f5 := flag.Bool("fig5", false, "Figure 5: executable sizes")

@@ -12,6 +12,7 @@ import (
 )
 
 func main() {
+	defer tooling.ExitOnPanic("llvm-dis")
 	out := flag.String("o", "-", "output file (default stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {

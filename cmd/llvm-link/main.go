@@ -15,6 +15,7 @@ import (
 )
 
 func main() {
+	defer tooling.ExitOnPanic("llvm-link")
 	out := flag.String("o", "-", "output file")
 	binary := flag.Bool("b", false, "write bytecode instead of text")
 	internalize := flag.Bool("internalize", false, "give non-main symbols internal linkage after linking")

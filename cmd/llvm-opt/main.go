@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	llvm-opt [-std] [-linktime] [-passes mem2reg,dge,...] [-time] [-o out] input
+//	llvm-opt [-std] [-linktime] [-passes mem2reg,dge,...] [-policy P]
+//	         [-pass-timeout D] [-time] [-o out] input
 //
 // -std runs the standard per-function clean-up pipeline (§3.2); -linktime
 // runs the link-time interprocedural pipeline (§3.3); -passes selects
-// individual passes by name. Passes run in the order given.
+// individual passes by name. Passes run in the order given. -policy
+// selects how pass failures (panics, timeouts, verifier rejections) are
+// handled: failfast aborts, rollback aborts but restores the last
+// known-good module, skip discards the failed pass's changes and keeps
+// going. -pass-timeout bounds each pass's wall-clock time.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/passes"
@@ -21,9 +27,12 @@ import (
 )
 
 func main() {
+	defer tooling.ExitOnPanic("llvm-opt")
 	std := flag.Bool("std", false, "run the standard scalar pipeline")
 	linktime := flag.Bool("linktime", false, "run the link-time interprocedural pipeline")
 	passList := flag.String("passes", "", "comma-separated pass names")
+	policy := flag.String("policy", "failfast", "pass-failure policy: failfast, skip, or rollback")
+	passTimeout := flag.Duration("pass-timeout", 0, "per-pass wall-clock budget (0 = none), e.g. 30s")
 	timing := flag.Bool("time", false, "report per-pass timings and change counts")
 	binary := flag.Bool("b", false, "write bytecode instead of text")
 	out := flag.String("o", "-", "output file")
@@ -41,6 +50,17 @@ func main() {
 
 	pm := passes.NewPassManager()
 	pm.VerifyEach = true
+	pm.Timeout = *passTimeout
+	switch *policy {
+	case "failfast":
+		pm.Policy = passes.FailFast
+	case "skip":
+		pm.Policy = passes.SkipAndContinue
+	case "rollback":
+		pm.Policy = passes.Rollback
+	default:
+		tooling.Fatalf("llvm-opt: unknown policy %q (want failfast, skip, or rollback)", *policy)
+	}
 	if *std {
 		pm.AddStandardPipeline()
 	}
@@ -56,8 +76,13 @@ func main() {
 			pm.Add(p)
 		}
 	}
-	if _, err := pm.Run(m); err != nil {
-		tooling.Fatalf("llvm-opt: %v", err)
+	_, runErr := pm.Run(m)
+	reportFailures(pm)
+	if runErr != nil {
+		if pm.Policy == passes.Rollback {
+			tooling.Fatalf("llvm-opt: pipeline aborted; module left in last known-good state")
+		}
+		tooling.Fatalf("llvm-opt: %v", runErr)
 	}
 	if *timing {
 		for _, r := range pm.Results {
@@ -66,5 +91,18 @@ func main() {
 	}
 	if err := tooling.SaveModule(*out, m, *binary); err != nil {
 		tooling.Fatalf("llvm-opt: %v", err)
+	}
+}
+
+// reportFailures prints one line per failed pass: its name, how long it
+// ran, whether its changes were rolled back, and the cause.
+func reportFailures(pm *passes.PassManager) {
+	for _, f := range pm.Failures() {
+		state := "module state undefined"
+		if f.RolledBack {
+			state = "rolled back"
+		}
+		fmt.Fprintf(os.Stderr, "llvm-opt: pass %s failed after %v (%s): %v\n",
+			f.Pass, f.Duration.Round(time.Microsecond), state, f.Err)
 	}
 }

@@ -1,10 +1,15 @@
 // llvm-run executes a module's main function in the execution engine
 // (§3.4's portable interpreter), optionally printing execution statistics.
+// Execution is sandboxed: instruction, heap, call-depth, and wall-clock
+// budgets all turn runaway or hostile programs into diagnostics, never
+// crashes.
 //
-// Usage: llvm-run [-stats] [-max-steps N] input
+// Usage: llvm-run [-stats] [-max-steps N] [-max-heap N] [-timeout D] input
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,8 +20,11 @@ import (
 )
 
 func main() {
+	defer tooling.ExitOnPanic("llvm-run")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	maxSteps := flag.Int64("max-steps", interp.DefaultMaxSteps, "instruction budget")
+	maxHeap := flag.Int64("max-heap", interp.DefaultMaxHeapBytes, "heap budget in bytes (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none), e.g. 5s")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		tooling.Fatalf("usage: llvm-run [flags] input")
@@ -33,12 +41,25 @@ func main() {
 		tooling.Fatalf("llvm-run: %v", err)
 	}
 	mc.MaxSteps = *maxSteps
-	code, err := mc.RunMain()
+	mc.MaxHeapBytes = *maxHeap
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	code, err := mc.RunMainContext(ctx)
 	if err != nil {
-		if ee, ok := err.(*interp.ExitError); ok {
+		var ee *interp.ExitError
+		switch {
+		case errors.As(err, &ee):
 			code = ee.Code
-		} else {
-			tooling.Fatalf("llvm-run: %v", err)
+		case errors.Is(err, interp.ErrCancelled):
+			tooling.Fatalf("llvm-run: killed after %v wall-clock budget (%v)", *timeout, err)
+		default:
+			// Traps carry function/block/instruction position.
+			tooling.Fatalf("llvm-run: trap: %v", err)
 		}
 	}
 	if *stats {

@@ -18,6 +18,7 @@ import (
 )
 
 func main() {
+	defer tooling.ExitOnPanic("minicc")
 	optimize := flag.Bool("O", false, "run the standard scalar optimization pipeline")
 	withSummary := flag.Bool("summary", false, "also write the interprocedural summary sidecar (.sum)")
 	binary := flag.Bool("b", false, "write bytecode instead of text")

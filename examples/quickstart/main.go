@@ -74,7 +74,11 @@ func main() {
 	fmt.Print(m.String())
 
 	// Round-trip through the binary form.
-	bc := bytecode.Encode(m)
+	bc, err := bytecode.Encode(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("\nbytecode: %d bytes\n", len(bc))
 	m2, err := bytecode.Decode(bc)
 	if err != nil {

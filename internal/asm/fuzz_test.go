@@ -1,0 +1,52 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzParseModule: arbitrary text must parse or error — never panic. When
+// it parses and verifies, the printed form must re-parse to the same
+// module (printer/parser agreement on everything the fuzzer can reach).
+func FuzzParseModule(f *testing.F) {
+	f.Add(goldenSource)
+	f.Add(`
+%s = type { int, %s* }
+int %f(int %x) {
+entry:
+	%c = seteq int %x, 0
+	br bool %c, label %a, label %b
+a:
+	ret int 1
+b:
+	%r = call int %f(int 0)
+	ret int %r
+}
+`)
+	f.Add("%g = global int 5\n")
+	f.Add("declare void %x()\n")
+	f.Add("int %m() {\nentry:\n\tret int 0\n}\n")
+	f.Add("; comment only\n")
+	f.Add("%b = global [4 x sbyte] c\"ab\\00\\ff\"\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseModule("fuzz", src)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("ParseModule returned nil module and nil error")
+		}
+		if core.Verify(m) != nil {
+			return
+		}
+		text := m.String()
+		m2, err := ParseModule("fuzz", text)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\n--- printed ---\n%s", err, text)
+		}
+		if got := m2.String(); got != text {
+			t.Fatalf("print/parse round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, got)
+		}
+	})
+}

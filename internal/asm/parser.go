@@ -8,9 +8,17 @@ import (
 )
 
 // ParseModule parses assembly text into a Module. The module is not
-// verified; run core.Verify if the input is untrusted.
-func ParseModule(name, src string) (*core.Module, error) {
+// verified; run core.Verify if the input is untrusted. Malformed input is
+// always reported as an error carrying the offending line — even when it
+// trips an internal panic in an IR constructor, it never escapes as a Go
+// panic.
+func ParseModule(name, src string) (m *core.Module, err error) {
 	p := &parser{lx: newLexer(src), m: core.NewModule(name)}
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("line %d: invalid input: %v", p.tok.line, r)
+		}
+	}()
 	if err := p.advance(); err != nil {
 		return nil, err
 	}

@@ -11,9 +11,29 @@ import (
 
 // roundTrip encodes m, decodes the bytes, and checks the decoded module
 // verifies and prints identically to the original.
+// mustEnc encodes m, failing the test on error.
+func mustEnc(t testing.TB, m *core.Module) []byte {
+	t.Helper()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+// mustEncStripped is mustEnc without local symbol names.
+func mustEncStripped(t testing.TB, m *core.Module) []byte {
+	t.Helper()
+	data, err := EncodeStripped(m)
+	if err != nil {
+		t.Fatalf("encode stripped: %v", err)
+	}
+	return data
+}
+
 func roundTrip(t *testing.T, m *core.Module) *core.Module {
 	t.Helper()
-	data := Encode(m)
+	data := mustEnc(t, m)
 	m2, err := Decode(data)
 	if err != nil {
 		t.Fatalf("decode: %v", err)
@@ -168,8 +188,8 @@ entry:
 }
 `
 	m := parseSrc(t, src)
-	stripped := EncodeStripped(m)
-	full := Encode(m)
+	stripped := mustEncStripped(t, m)
+	full := mustEnc(t, m)
 	if len(full) <= len(stripped) {
 		t.Errorf("symbol table should add size: full=%d stripped=%d", len(full), len(stripped))
 	}
@@ -183,7 +203,7 @@ entry:
 
 func TestStrippedRoundTripSemantics(t *testing.T) {
 	m := parseSrc(t, loopSrc)
-	data := EncodeStripped(m)
+	data := mustEncStripped(t, m)
 	m2, err := Decode(data)
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +223,7 @@ func TestStrippedRoundTripSemantics(t *testing.T) {
 
 func TestDecodeErrors(t *testing.T) {
 	m := parseSrc(t, loopSrc)
-	data := Encode(m)
+	data := mustEnc(t, m)
 
 	if _, err := Decode([]byte("XXXX")); err == nil {
 		t.Error("bad magic accepted")
@@ -242,7 +262,7 @@ func TestBytecodeCompressibility(t *testing.T) {
 		src.WriteString("(int %x) {\nentry:\n\t%a = add int %x, 2\n\t%b = mul int %a, 3\n\t%c = sub int %b, 4\n\tret int %c\n}\n")
 	}
 	m := parseSrc(t, src.String())
-	data := Encode(m)
+	data := mustEnc(t, m)
 	var comp bytes.Buffer
 	zw, _ := flate.NewWriter(&comp, flate.BestCompression)
 	zw.Write(data)
@@ -285,7 +305,7 @@ func TestSizeComparableToText(t *testing.T) {
 	// Bytecode should be substantially smaller than the textual form.
 	m := parseSrc(t, loopSrc)
 	text := len(m.String())
-	bc := len(EncodeStripped(m))
+	bc := len(mustEncStripped(t, m))
 	if bc >= text {
 		t.Errorf("bytecode (%d) not smaller than text (%d)", bc, text)
 	}

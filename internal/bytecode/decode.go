@@ -7,9 +7,19 @@ import (
 	"repro/internal/core"
 )
 
-// Decode parses a bytecode image back into a Module.
-func Decode(data []byte) (*core.Module, error) {
+// Decode parses a bytecode image back into a Module. Hostile input is
+// contained: every malformation — including one that trips an internal
+// panic in an IR constructor — is reported as an error carrying the byte
+// offset where decoding stopped, never as a Go panic.
+func Decode(data []byte) (m *core.Module, err error) {
 	r := &reader{buf: data}
+	defer func() {
+		if rec := recover(); rec != nil {
+			m, err = nil, fmt.Errorf("bytecode: offset %d: invalid input: %v", r.pos, rec)
+		} else if err != nil {
+			err = fmt.Errorf("bytecode: offset %d: %w", r.pos, err)
+		}
+	}()
 	var magic [4]byte
 	for i := range magic {
 		b, err := r.u8()
@@ -19,14 +29,14 @@ func Decode(data []byte) (*core.Module, error) {
 		magic[i] = b
 	}
 	if !bytes.Equal(magic[:], Magic[:]) {
-		return nil, fmt.Errorf("bytecode: bad magic %q", magic)
+		return nil, fmt.Errorf("bad magic %q", magic)
 	}
 	ver, err := r.u8()
 	if err != nil {
 		return nil, err
 	}
 	if ver != Version {
-		return nil, fmt.Errorf("bytecode: unsupported version %d", ver)
+		return nil, fmt.Errorf("unsupported version %d", ver)
 	}
 
 	d := &decoder{r: r}
@@ -98,6 +108,11 @@ func (d *decoder) run() (*core.Module, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each header is at least 3 bytes (two varints and a flag byte); a
+	// declared count beyond that is hostile — reject before preallocating.
+	if nGlobals > uint64(d.r.remaining())/3 {
+		return nil, ErrTruncated
+	}
 	type gHdr struct {
 		g       *core.GlobalVariable
 		hasInit bool
@@ -136,6 +151,9 @@ func (d *decoder) run() (*core.Module, error) {
 	nFuncs, err := d.r.uvarint()
 	if err != nil {
 		return nil, err
+	}
+	if nFuncs > uint64(d.r.remaining())/3 {
+		return nil, ErrTruncated
 	}
 	type fHdr struct {
 		f       *core.Function
@@ -292,6 +310,11 @@ func (d *decoder) readConstant() (core.Constant, error) {
 		at, ok := t.(*core.ArrayType)
 		if !ok {
 			return nil, fmt.Errorf("bytecode: array constant of type %s", t)
+		}
+		// Each element record is at least one byte, so a length beyond the
+		// remaining input is a lie; reject before allocating for it.
+		if at.Len < 0 || at.Len > d.r.remaining() {
+			return nil, ErrTruncated
 		}
 		elems := make([]core.Constant, at.Len)
 		for i := range elems {

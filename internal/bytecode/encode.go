@@ -38,16 +38,18 @@ const (
 )
 
 // Encode serializes the module, including the symbol tables that preserve
-// local value and block names (lossless round trip).
-func Encode(m *core.Module) []byte { return EncodeWithOptions(m, false) }
+// local value and block names (lossless round trip). A module containing
+// constructs the format cannot represent is reported as an error, never a
+// panic.
+func Encode(m *core.Module) ([]byte, error) { return EncodeWithOptions(m, false) }
 
 // EncodeStripped serializes the module without local symbol names, like a
 // stripped executable; module-level symbols are always kept (they define
 // linkage identity).
-func EncodeStripped(m *core.Module) []byte { return EncodeWithOptions(m, true) }
+func EncodeStripped(m *core.Module) ([]byte, error) { return EncodeWithOptions(m, true) }
 
 // EncodeWithOptions serializes with explicit control over symbol stripping.
-func EncodeWithOptions(m *core.Module, strip bool) []byte {
+func EncodeWithOptions(m *core.Module, strip bool) ([]byte, error) {
 	e := &encoder{
 		m:      m,
 		strs:   newStringTable(),
@@ -66,7 +68,7 @@ type encoder struct {
 	strip  bool
 }
 
-func (e *encoder) run() []byte {
+func (e *encoder) run() ([]byte, error) {
 	for i, f := range e.m.Funcs {
 		e.modIDs[f] = uint64(i)
 	}
@@ -121,15 +123,27 @@ func (e *encoder) run() []byte {
 	// Global initializers.
 	for _, g := range e.m.Globals {
 		if g.Init != nil {
-			e.writeConstant(&inits, g.Init)
+			if err := e.writeConstant(&inits, g.Init); err != nil {
+				return nil, fmt.Errorf("global %%%s: %w", g.Name(), err)
+			}
 		}
 	}
 
 	// Function bodies.
 	for _, f := range e.m.Funcs {
 		if !f.IsDeclaration() {
-			e.writeFunctionBody(&bodies, f)
+			if err := e.writeFunctionBody(&bodies, f); err != nil {
+				return nil, fmt.Errorf("function %%%s: %w", f.Name(), err)
+			}
 		}
+	}
+
+	// Serialize the type table before the string table is emitted: a named
+	// struct may appear only inside the type graph, so writing its record
+	// can register a string the table must still include.
+	var typesBuf writer
+	if err := e.types.write(&typesBuf, e.strs); err != nil {
+		return nil, err
 	}
 
 	// Assemble: magic, version, strings, types, header, inits, bodies.
@@ -142,15 +156,15 @@ func (e *encoder) run() []byte {
 	}
 	out.uvarint(uint64(len(e.m.Name)))
 	out.buf = append(out.buf, e.m.Name...)
-	e.types.write(&out, e.strs)
+	out.buf = append(out.buf, typesBuf.buf...)
 	out.buf = append(out.buf, hdr.buf...)
 	out.buf = append(out.buf, inits.buf...)
 	out.buf = append(out.buf, bodies.buf...)
-	return out.bytes()
+	return out.bytes(), nil
 }
 
 // writeConstant emits a constant record (recursively for aggregates).
-func (e *encoder) writeConstant(w *writer, c core.Constant) {
+func (e *encoder) writeConstant(w *writer, c core.Constant) error {
 	switch cc := c.(type) {
 	case *core.Function, *core.GlobalVariable:
 		w.u8(ckModRef)
@@ -183,33 +197,40 @@ func (e *encoder) writeConstant(w *writer, c core.Constant) {
 		w.u8(ckArray)
 		w.uvarint(e.types.id(cc.Type()))
 		for _, el := range cc.Elems {
-			e.writeConstant(w, el)
+			if err := e.writeConstant(w, el); err != nil {
+				return err
+			}
 		}
 	case *core.ConstantStruct:
 		w.u8(ckStruct)
 		w.uvarint(e.types.id(cc.Type()))
 		for _, f := range cc.Fields {
-			e.writeConstant(w, f)
+			if err := e.writeConstant(w, f); err != nil {
+				return err
+			}
 		}
 	case *core.ConstantExpr:
 		switch cc.Op {
 		case core.OpCast:
 			w.u8(ckExprCast)
 			w.uvarint(e.types.id(cc.Type()))
-			e.writeConstant(w, cc.Operand(0).(core.Constant))
+			return e.writeConstant(w, cc.Operand(0).(core.Constant))
 		case core.OpGetElementPtr:
 			w.u8(ckExprGEP)
 			ops := cc.Operands()
 			w.uvarint(uint64(len(ops) - 1))
 			for _, op := range ops {
-				e.writeConstant(w, op.(core.Constant))
+				if err := e.writeConstant(w, op.(core.Constant)); err != nil {
+					return err
+				}
 			}
 		default:
-			panic("bytecode: unsupported constant expression " + cc.Op.String())
+			return fmt.Errorf("bytecode: unsupported constant expression %s", cc.Op)
 		}
 	default:
-		panic(fmt.Sprintf("bytecode: cannot encode constant %T", c))
+		return fmt.Errorf("bytecode: cannot encode constant %T", c)
 	}
+	return nil
 }
 
 // funcLayout numbers every value in a function: constant-pool entries,
@@ -295,20 +316,24 @@ func (e *encoder) poolKey(c core.Constant) string {
 	return "" // aggregates and expressions: identity only
 }
 
-func (e *encoder) writeFunctionBody(w *writer, f *core.Function) {
+func (e *encoder) writeFunctionBody(w *writer, f *core.Function) error {
 	l := e.layoutFunction(f)
 
 	w.uvarint(uint64(len(f.Blocks)))
 	w.uvarint(uint64(len(l.pool)))
 	for _, c := range l.pool {
-		e.writeConstant(w, c)
+		if err := e.writeConstant(w, c); err != nil {
+			return err
+		}
 	}
 	for _, b := range f.Blocks {
 		w.uvarint(uint64(len(b.Instrs)))
 	}
 	for _, b := range f.Blocks {
 		for _, inst := range b.Instrs {
-			e.writeInstruction(w, l, inst)
+			if err := e.writeInstruction(w, l, inst); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -316,7 +341,7 @@ func (e *encoder) writeFunctionBody(w *writer, f *core.Function) {
 	if e.strip {
 		w.uvarint(0)
 		w.uvarint(0)
-		return
+		return nil
 	}
 	var named []core.Value
 	for _, a := range f.Args {
@@ -346,18 +371,19 @@ func (e *encoder) writeFunctionBody(w *writer, f *core.Function) {
 		w.uvarint(l.blockIDs[b])
 		w.uvarint(e.strs.id(b.Name()))
 	}
+	return nil
 }
 
 // writeInstruction emits one instruction: a single 32-bit word when the
 // opcode, type id, and operand ids fit and all operands are backward
 // references; otherwise the variable-length escape form (high bit set on
 // the first byte).
-func (e *encoder) writeInstruction(w *writer, l *funcLayout, inst core.Instruction) {
+func (e *encoder) writeInstruction(w *writer, l *funcLayout, inst core.Instruction) error {
 	if word, ok := e.compactWord(l, inst); ok {
 		w.u32(word)
-		return
+		return nil
 	}
-	e.writeEscape(w, l, inst)
+	return e.writeEscape(w, l, inst)
 }
 
 // compactWord attempts the one-word encoding.
@@ -452,7 +478,7 @@ func (e *encoder) typedOperand(w *writer, l *funcLayout, v core.Value) {
 	w.uvarint(l.valueIDs[v])
 }
 
-func (e *encoder) writeEscape(w *writer, l *funcLayout, inst core.Instruction) {
+func (e *encoder) writeEscape(w *writer, l *funcLayout, inst core.Instruction) error {
 	w.u8(0x80 | byte(inst.Opcode()))
 	switch i := inst.(type) {
 	case *core.RetInst:
@@ -548,6 +574,7 @@ func (e *encoder) writeEscape(w *writer, l *funcLayout, inst core.Instruction) {
 		w.uvarint(e.types.id(i.Type()))
 		e.typedOperand(w, l, i.List())
 	default:
-		panic(fmt.Sprintf("bytecode: cannot encode instruction %T", inst))
+		return fmt.Errorf("bytecode: cannot encode instruction %T", inst)
 	}
+	return nil
 }

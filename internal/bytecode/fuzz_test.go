@@ -1,0 +1,129 @@
+package bytecode
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// fuzzSeedSources are small but feature-dense modules whose encodings seed
+// the corpus: loops with phis, named/recursive types, aggregate and
+// constexpr initializers, calls, invoke/unwind, varargs.
+var fuzzSeedSources = []string{
+	loopSrc,
+	`
+%pair = type { int, float }
+%list = type { int, %list* }
+%counter = global int 0
+%table = internal constant [3 x int] [ int 1, int 2, int 3 ]
+%str = internal constant [6 x sbyte] c"hello\00"
+%strp = global sbyte* getelementptr ([6 x sbyte]* %str, long 0, long 0)
+
+declare int %printf(sbyte*, ...)
+
+internal int %helper(int %x) {
+entry:
+	%z = add int %x, 1
+	ret int %z
+}
+
+int %main() {
+entry:
+	%l = malloc %list
+	%hd = getelementptr %list* %l, long 0, ubyte 0
+	store int 10, int* %hd
+	%v = load int* %hd
+	%r = call int %helper(int %v)
+	free %list* %l
+	ret int %r
+}
+`,
+	`
+void %thrower() {
+entry:
+	unwind
+}
+
+int %main() {
+entry:
+	invoke void %thrower() to label %ok unwind to label %bad
+ok:
+	ret int 0
+bad:
+	ret int 1
+}
+`,
+}
+
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	for i, src := range fuzzSeedSources {
+		m, err := asm.ParseModule("seed", src)
+		if err != nil {
+			f.Fatalf("seed %d: parse: %v", i, err)
+		}
+		for _, strip := range []bool{false, true} {
+			data, err := EncodeWithOptions(m, strip)
+			if err != nil {
+				f.Fatalf("seed %d: encode: %v", i, err)
+			}
+			seeds = append(seeds, data)
+		}
+	}
+	return seeds
+}
+
+// FuzzDecode: arbitrary bytes must produce a module or an error — never a
+// panic, unbounded allocation, or hang.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	// Malformed prefixes so the fuzzer starts with the header space mapped.
+	f.Add([]byte{})
+	f.Add([]byte("LLBC"))
+	f.Add([]byte("LLBC\x01"))
+	f.Add([]byte("XXXX\x01\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err == nil && m == nil {
+			t.Fatal("Decode returned nil module and nil error")
+		}
+	})
+}
+
+// FuzzRoundTrip: when hostile bytes happen to decode, re-encoding must not
+// panic either, and an image that verifies must survive a second trip with
+// its printed form intact.
+func FuzzRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := Encode(m)
+		if err != nil {
+			// The decoder accepted a module the encoder cannot represent;
+			// tolerable only if the module is itself invalid.
+			if verr := core.Verify(m); verr == nil {
+				t.Fatalf("valid module failed to re-encode: %v", err)
+			}
+			return
+		}
+		if core.Verify(m) != nil {
+			return
+		}
+		m2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded module failed: %v", err)
+		}
+		if m.String() != m2.String() {
+			t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", m, m2)
+		}
+	})
+}

@@ -72,7 +72,11 @@ func TestPropConstantRoundTrip(t *testing.T) {
 			g := core.NewGlobal(m.UniqueSymbol("g"), c.Type(), c)
 			m.AddGlobal(g)
 		}
-		data := Encode(m)
+		data, err := Encode(m)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
 		m2, err := Decode(data)
 		if err != nil {
 			t.Logf("decode: %v", err)
@@ -143,7 +147,12 @@ func TestPropFunctionRoundTrip(t *testing.T) {
 			t.Logf("generated invalid module: %v", err)
 			return false
 		}
-		m2, err := Decode(Encode(m))
+		data, err := Encode(m)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		m2, err := Decode(data)
 		if err != nil {
 			t.Logf("decode: %v", err)
 			return false
@@ -169,7 +178,11 @@ func TestPropDecodeNeverPanics(t *testing.T) {
 	base := func() []byte {
 		m := core.NewModule("t")
 		randFunction(rand.New(rand.NewSource(42)), m, "f")
-		return Encode(m)
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return data
 	}()
 	f := func(pos uint16, val byte) bool {
 		data := append([]byte(nil), base...)

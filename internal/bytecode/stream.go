@@ -20,7 +20,7 @@ var Magic = [4]byte{'L', 'L', 'B', 'C'}
 const Version = 1
 
 // ErrTruncated is returned when the input ends mid-record.
-var ErrTruncated = errors.New("bytecode: truncated input")
+var ErrTruncated = errors.New("truncated input")
 
 // writer accumulates the output byte stream.
 type writer struct{ buf []byte }

@@ -80,7 +80,7 @@ func (tt *typeTable) id(t core.Type) uint64 {
 // write emits the derived-type records. Component references use type ids,
 // which may point forward (recursive types); the decoder patches in a
 // second pass.
-func (tt *typeTable) write(w *writer, strs *stringTable) {
+func (tt *typeTable) write(w *writer, strs *stringTable) error {
 	w.uvarint(uint64(len(tt.derived)))
 	for _, t := range tt.derived {
 		switch tp := t.(type) {
@@ -114,9 +114,10 @@ func (tt *typeTable) write(w *writer, strs *stringTable) {
 			w.u8(tkOpaque)
 			w.uvarint(strs.id(tp.Name))
 		default:
-			panic(fmt.Sprintf("bytecode: cannot encode type %T", t))
+			return fmt.Errorf("bytecode: cannot encode type %T", t)
 		}
 	}
+	return nil
 }
 
 // readTypeTable decodes the derived types in two passes: shells first so
@@ -158,6 +159,11 @@ func readTypeTable(r *reader, strs []string) ([]core.Type, error) {
 			l, err := r.uvarint()
 			if err != nil {
 				return nil, err
+			}
+			// Cap declared lengths so int(l) can't go negative and layout
+			// arithmetic downstream can't overflow.
+			if l > 1<<40 {
+				return nil, fmt.Errorf("bytecode: array type length %d out of range", l)
 			}
 			e, err := r.uvarint()
 			if err != nil {

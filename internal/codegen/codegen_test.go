@@ -194,7 +194,11 @@ entry:
 }
 `
 	m := parse(t, src)
-	bc := len(bytecode.Encode(m))
+	enc, err := bytecode.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := len(enc)
 	x86 := CompileModule(m, Cisc86{}).Size()
 	sparc := CompileModule(m, RiscV9{}).Size()
 

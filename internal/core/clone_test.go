@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// cloneSource exercises the constructs CloneModule must remap: named and
+// recursive struct types, globals with aggregate and constant-expression
+// initializers, function pointers, and bodies using every reference kind.
+const cloneSource = `; ModuleID = 'clonesrc'
+
+%pair = type { int, float }
+%node = type { int, %node* }
+
+%origin = global %pair { int 1, float 2.5 }
+%table = internal constant [3 x int] [ int 10, int 20, int 30 ]
+%tp = global int* getelementptr ([3 x int]* %table, long 0, long 0)
+%fp = global int (int)* %double
+
+int %double(int %x) {
+entry:
+	%r = add int %x, %x
+	ret int %r
+}
+
+int %main() {
+entry:
+	%p = alloca %pair
+	%f0 = getelementptr %pair* %p, long 0, ubyte 0
+	store int 7, int* %f0
+	%v = load int* %f0
+	%n = malloc %node
+	%link = getelementptr %node* %n, long 0, ubyte 1
+	store %node* null, %node** %link
+	free %node* %n
+	%d = call int %double(int %v)
+	ret int %d
+}
+`
+
+func parseClone(t *testing.T) *core.Module {
+	t.Helper()
+	m, err := asm.ParseModule("clonesrc", cloneSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify source: %v", err)
+	}
+	return m
+}
+
+func TestCloneModulePrintsIdentically(t *testing.T) {
+	m := parseClone(t)
+	c := core.CloneModule(m)
+	if err := core.Verify(c); err != nil {
+		t.Fatalf("clone fails verify: %v", err)
+	}
+	if got, want := c.String(), m.String(); got != want {
+		t.Fatalf("clone prints differently:\n--- original ---\n%s\n--- clone ---\n%s", want, got)
+	}
+}
+
+func TestCloneModuleIsolation(t *testing.T) {
+	m := parseClone(t)
+	before := m.String()
+	c := core.CloneModule(m)
+
+	// Mutating the clone's type graph, globals, and function bodies must
+	// leave the original untouched.
+	pt, ok := c.NamedType("pair")
+	if !ok {
+		t.Fatal("clone lost named type pair")
+	}
+	st := pt.(*core.StructType)
+	st.Fields[0], st.Fields[1] = st.Fields[1], st.Fields[0]
+
+	g := c.Global("origin")
+	if g == nil {
+		t.Fatal("clone lost global origin")
+	}
+	g.Init = core.NewZero(g.ValueType)
+
+	f := c.Func("main")
+	if f == nil || f.IsDeclaration() {
+		t.Fatal("clone lost function main")
+	}
+	f.Blocks = nil
+
+	if got := m.String(); got != before {
+		t.Fatalf("mutating clone changed original:\n--- before ---\n%s\n--- after ---\n%s", before, got)
+	}
+}
+
+func TestAdoptFrom(t *testing.T) {
+	m := parseClone(t)
+	snap := core.CloneModule(m)
+	// Wreck m, then roll back by adopting the snapshot.
+	m.Func("main").Blocks = nil
+	m.AdoptFrom(snap)
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("restored module fails verify: %v", err)
+	}
+	if !strings.Contains(m.String(), "call int %double") {
+		t.Fatal("restored module lost function body")
+	}
+	if m.Func("main").Parent() != m {
+		t.Fatal("adopted function not re-parented")
+	}
+}

@@ -160,6 +160,27 @@ func (m *Module) GetOrInsertFunction(name string, sig *FunctionType) *Function {
 	return f
 }
 
+// AdoptFrom moves the entire contents of src into m, replacing whatever m
+// held. Functions and globals are re-parented to m; src must not be used
+// afterwards. The pass manager uses this to commit a transformed scratch
+// clone back into the caller's module (or, symmetrically, to roll a module
+// back to a snapshot) without invalidating the caller's *Module pointer.
+func (m *Module) AdoptFrom(src *Module) {
+	m.Name = src.Name
+	m.typeNames = src.typeNames
+	m.typeOrder = src.typeOrder
+	m.Globals = src.Globals
+	m.Funcs = src.Funcs
+	m.globalByName = src.globalByName
+	m.funcByName = src.funcByName
+	for _, f := range m.Funcs {
+		f.parent = m
+	}
+	for _, g := range m.Globals {
+		g.parent = m
+	}
+}
+
 // MoveTypeNameToEnd reorders a named type to the end of the declaration
 // order; parsers use it so printing reflects declaration order even when a
 // type was first seen as a forward reference.

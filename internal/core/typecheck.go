@@ -29,9 +29,11 @@ func checkContainment(t Type, state map[Type]int) error {
 	case *StructType:
 		switch state[t] {
 		case 1:
+			// Don't render the literal form here: a cyclic unnamed struct
+			// would make the printer recurse the same way.
 			name := tt.Name
 			if name == "" {
-				name = tt.LiteralString()
+				name = "<anonymous struct>"
 			}
 			return fmt.Errorf("type %s contains itself by value (infinite size)", name)
 		case 2:
@@ -45,7 +47,17 @@ func checkContainment(t Type, state map[Type]int) error {
 		}
 		state[t] = 2
 	case *ArrayType:
-		return checkContainment(tt.Elem, state)
+		switch state[t] {
+		case 1:
+			return fmt.Errorf("array type contains itself by value (infinite size)")
+		case 2:
+			return nil
+		}
+		state[t] = 1
+		if err := checkContainment(tt.Elem, state); err != nil {
+			return err
+		}
+		state[t] = 2
 	}
 	// Pointers and function types refer, they do not contain.
 	return nil

@@ -220,7 +220,10 @@ func Figure5() ([]Figure5Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		bc := bytecode.Encode(m)
+		bc, err := bytecode.Encode(m)
+		if err != nil {
+			return nil, err
+		}
 		var packed bytes.Buffer
 		zw, _ := flate.NewWriter(&packed, flate.BestCompression)
 		zw.Write(bc)

@@ -245,7 +245,11 @@ func TestDifferentialOptimization(t *testing.T) {
 		}
 
 		// Bytecode round trip of the optimized module.
-		m3, err := bytecode.Decode(bytecode.Encode(m2))
+		bc, err := bytecode.Encode(m2)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		m3, err := bytecode.Decode(bc)
 		if err != nil {
 			t.Fatalf("seed %d: bytecode: %v", seed, err)
 		}

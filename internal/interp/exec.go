@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,27 +27,83 @@ type frame struct {
 }
 
 // RunFunction executes f with the given raw arguments and returns the raw
-// result. An unwind that escapes f is reported as ErrUncaughtUnwind.
+// result. An unwind that escapes f is reported as ErrUncaughtUnwind. Any
+// execution fault — including a recovered interpreter panic — comes back
+// as a *Trap wrapping one of the Err* sentinels, never as a Go panic.
 func (mc *Machine) RunFunction(f *core.Function, args ...uint64) (uint64, error) {
-	v, res, err := mc.call(f, args)
+	return mc.RunContext(context.Background(), f, args...)
+}
+
+// RunContext is RunFunction with cooperative cancellation: when ctx is
+// cancelled (or its deadline passes), the step loop stops within a bounded
+// number of instructions and the run fails with a *Trap wrapping
+// ErrCancelled. The machine stays reusable afterwards.
+func (mc *Machine) RunContext(ctx context.Context, f *core.Function, args ...uint64) (v uint64, err error) {
+	prevCtx := mc.ctx
+	if ctx != context.Background() {
+		mc.ctx = ctx
+	}
+	defer func() {
+		mc.ctx = prevCtx
+		if r := recover(); r != nil {
+			err = mc.trapErr(fmt.Errorf("%w: panic: %v", ErrTrap, r))
+			v = 0
+		}
+	}()
+	val, res, err := mc.call(f, args)
 	if err != nil {
-		return 0, err
+		var ee *ExitError
+		if errors.As(err, &ee) {
+			return 0, err // explicit exit(): not a fault
+		}
+		return 0, mc.trapErr(err)
 	}
 	if res == resUnwind {
-		return 0, ErrUncaughtUnwind
+		return 0, mc.trapErr(ErrUncaughtUnwind)
 	}
-	return v, nil
+	return val, nil
+}
+
+// trapErr wraps an execution error with the machine's current position.
+// It must be called at the fault site, before the deferred curFn restore
+// in call/jitExec unwinds the position. Explicit exit() is not a fault and
+// passes through untouched.
+func (mc *Machine) trapErr(cause error) error {
+	var t *Trap
+	if errors.As(cause, &t) {
+		return cause // already positioned at the innermost fault
+	}
+	var ee *ExitError
+	if errors.As(cause, &ee) {
+		return cause
+	}
+	t = &Trap{Cause: cause}
+	if mc.curFn != nil {
+		t.Fn = mc.curFn.Name()
+	}
+	if mc.curBlock != nil {
+		t.Block = mc.curBlock.Name()
+	}
+	if mc.curInst != nil {
+		t.Inst = core.InstDebugString(mc.curInst)
+	}
+	return t
 }
 
 // RunMain looks up "main" and runs it with no arguments, returning its
 // integer exit value.
 func (mc *Machine) RunMain() (int64, error) {
+	return mc.RunMainContext(context.Background())
+}
+
+// RunMainContext is RunMain with cooperative cancellation (see RunContext).
+func (mc *Machine) RunMainContext(ctx context.Context) (int64, error) {
 	f := mc.Mod.Func("main")
 	if f == nil {
 		return 0, errors.New("interp: no main function")
 	}
 	args := make([]uint64, len(f.Args))
-	v, err := mc.RunFunction(f, args...)
+	v, err := mc.RunContext(ctx, f, args...)
 	if err != nil {
 		return 0, err
 	}
@@ -61,9 +118,14 @@ func (mc *Machine) call(f *core.Function, args []uint64) (uint64, execResult, er
 	if f.IsDeclaration() {
 		if b, ok := mc.builtins[f.Name()]; ok {
 			v, err := b(mc, args)
+			if err != nil {
+				// Position is the caller's call site: curFn/curInst are
+				// still the frame that invoked the builtin.
+				err = mc.trapErr(err)
+			}
 			return v, resReturn, err
 		}
-		return 0, resReturn, fmt.Errorf("interp: call to undefined external %%%s", f.Name())
+		return 0, resReturn, mc.trapErr(fmt.Errorf("interp: call to undefined external %%%s", f.Name()))
 	}
 	if mc.useJIT {
 		jf := mc.jitCache[f]
@@ -84,7 +146,9 @@ func (mc *Machine) call(f *core.Function, args []uint64) (uint64, execResult, er
 		return 0, resReturn, ErrStackOverflow
 	}
 	mc.depth++
-	defer func() { mc.depth-- }()
+	prevFn := mc.curFn
+	mc.curFn = f
+	defer func() { mc.depth--; mc.curFn = prevFn }()
 
 	fr := &frame{
 		fn:        f,
@@ -106,7 +170,8 @@ func (mc *Machine) call(f *core.Function, args []uint64) (uint64, execResult, er
 	for {
 		nextBlock, ret, res, err := mc.execBlock(fr, block, prev)
 		if err != nil {
-			return 0, resReturn, err
+			// Wrap before the deferred curFn restore unwinds the position.
+			return 0, resReturn, mc.trapErr(err)
 		}
 		if nextBlock == nil {
 			return ret, res, nil
@@ -139,6 +204,7 @@ func (mc *Machine) operand(fr *frame, v core.Value) (uint64, error) {
 // the function is done), the return value, and whether an unwind is in
 // progress.
 func (mc *Machine) execBlock(fr *frame, b, prev *core.BasicBlock) (*core.BasicBlock, uint64, execResult, error) {
+	mc.curBlock = b
 	// Phis evaluate simultaneously from the edge's values.
 	phis := b.Phis()
 	if len(phis) > 0 {
@@ -164,6 +230,12 @@ func (mc *Machine) execBlock(fr *frame, b, prev *core.BasicBlock) (*core.BasicBl
 		if mc.Steps > mc.MaxSteps {
 			return nil, 0, resReturn, ErrMaxSteps
 		}
+		if mc.ctx != nil && mc.Steps&cancelCheckMask == 0 {
+			if cerr := mc.ctx.Err(); cerr != nil {
+				return nil, 0, resReturn, fmt.Errorf("%w: %v", ErrCancelled, cerr)
+			}
+		}
+		mc.curInst = inst
 		mc.OpCounts[inst.Opcode()]++
 
 		switch i := inst.(type) {
@@ -250,7 +322,15 @@ func (mc *Machine) execBlock(fr *frame, b, prev *core.BasicBlock) (*core.BasicBl
 				}
 				n = v
 			}
-			fr.vals[i] = mc.Malloc(n * uint64(core.SizeOf(i.AllocType)))
+			size, ok := mulNoOverflow(n, uint64(core.SizeOf(i.AllocType)))
+			if !ok {
+				return nil, 0, resReturn, ErrHeapLimit
+			}
+			addr, err := mc.Malloc(size)
+			if err != nil {
+				return nil, 0, resReturn, err
+			}
+			fr.vals[i] = addr
 
 		case *core.AllocaInst:
 			n := uint64(1)
@@ -261,7 +341,11 @@ func (mc *Machine) execBlock(fr *frame, b, prev *core.BasicBlock) (*core.BasicBl
 				}
 				n = v
 			}
-			addr, err := mc.alloca(n * uint64(core.SizeOf(i.AllocType)))
+			size, ok := mulNoOverflow(n, uint64(core.SizeOf(i.AllocType)))
+			if !ok {
+				return nil, 0, resReturn, ErrStackOverflow
+			}
+			addr, err := mc.alloca(size)
 			if err != nil {
 				return nil, 0, resReturn, err
 			}
@@ -443,6 +527,19 @@ func (mc *Machine) alloca(n uint64) (uint64, error) {
 	}
 	mc.stackTop = top + n
 	return addr, nil
+}
+
+// mulNoOverflow multiplies allocation sizes, reporting overflow instead of
+// silently wrapping to a small allocation.
+func mulNoOverflow(a, b uint64) (uint64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
 }
 
 func boolBits(b bool) uint64 {

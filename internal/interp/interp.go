@@ -7,6 +7,7 @@
 package interp
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -18,12 +19,18 @@ import (
 
 // Limits protect against runaway programs.
 const (
-	DefaultMaxSteps = 200_000_000
-	DefaultMaxDepth = 10_000
-	stackSize       = 1 << 22 // per-machine stack arena (4 MiB)
+	DefaultMaxSteps     = 200_000_000
+	DefaultMaxDepth     = 10_000
+	DefaultMaxHeapBytes = 1 << 30 // heap arena cap (1 GiB)
+	stackSize           = 1 << 22 // per-machine stack arena (4 MiB)
+	// cancelCheckMask gates context polling to every 1024th step so
+	// cooperative cancellation stays off the hot path.
+	cancelCheckMask = 1<<10 - 1
 )
 
-// Common execution errors.
+// Common execution errors. Errors that escape RunFunction/RunContext are
+// wrapped in *Trap (carrying the faulting position) but still match these
+// sentinels under errors.Is.
 var (
 	ErrMaxSteps        = errors.New("interp: step limit exceeded")
 	ErrStackOverflow   = errors.New("interp: call depth exceeded")
@@ -33,7 +40,38 @@ var (
 	ErrDivideByZero    = errors.New("interp: integer division by zero")
 	ErrBadIndirectCall = errors.New("interp: indirect call through bad function pointer")
 	ErrDoubleFree      = errors.New("interp: free of unallocated or already-freed pointer")
+	ErrCancelled       = errors.New("interp: execution cancelled")
+	ErrHeapLimit       = errors.New("interp: heap limit exceeded")
+	// ErrTrap marks an internal fault (a recovered interpreter/JIT panic)
+	// rather than a well-defined program error.
+	ErrTrap = errors.New("interp: runtime trap")
 )
+
+// Trap is a typed execution fault: the underlying cause plus the position
+// (function, block, instruction) the machine was executing when it fired.
+// It unwraps to its cause, so errors.Is(err, ErrNullDeref) etc. still work.
+type Trap struct {
+	Cause error
+	Fn    string // faulting function name ("" if unknown)
+	Block string // basic block name ("" if unnamed/unknown)
+	Inst  string // rendered instruction ("" if unknown, e.g. in JIT code)
+}
+
+func (t *Trap) Error() string {
+	msg := t.Cause.Error()
+	if t.Fn != "" {
+		msg += " in %" + t.Fn
+		if t.Block != "" {
+			msg += ", block %" + t.Block
+		}
+		if t.Inst != "" {
+			msg += ", at '" + t.Inst + "'"
+		}
+	}
+	return msg
+}
+
+func (t *Trap) Unwrap() error { return t.Cause }
 
 // Builtin is a native implementation of an external function. Args are raw
 // 64-bit values per the declared parameter types (plus variadic extras);
@@ -48,6 +86,10 @@ type Machine struct {
 	// MaxSteps and MaxDepth bound execution.
 	MaxSteps int64
 	MaxDepth int
+	// MaxHeapBytes caps the heap arena (globals + malloc); 0 disables the
+	// cap. Exceeding it traps with ErrHeapLimit instead of exhausting the
+	// host.
+	MaxHeapBytes int64
 
 	// Steps counts executed instructions; OpCounts breaks them down.
 	Steps    int64
@@ -67,6 +109,13 @@ type Machine struct {
 	depth     int
 	useJIT    bool
 	jitCache  map[*core.Function]*jitFunc
+
+	// ctx enables cooperative cancellation while a RunContext call is
+	// active; cur* record the execution position for trap reports.
+	ctx      context.Context
+	curFn    *core.Function
+	curBlock *core.BasicBlock
+	curInst  core.Instruction
 }
 
 // NewMachine prepares a machine: lays out globals, assigns function
@@ -77,11 +126,12 @@ func NewMachine(m *core.Module, out io.Writer) (*Machine, error) {
 		out = io.Discard
 	}
 	mc := &Machine{
-		Mod:       m,
-		Out:       out,
-		MaxSteps:  DefaultMaxSteps,
-		MaxDepth:  DefaultMaxDepth,
-		heap:      make([]byte, 8), // address 0 reserved (null)
+		Mod:          m,
+		Out:          out,
+		MaxSteps:     DefaultMaxSteps,
+		MaxDepth:     DefaultMaxDepth,
+		MaxHeapBytes: DefaultMaxHeapBytes,
+		heap:         make([]byte, 8), // address 0 reserved (null)
 		stack:     make([]byte, stackSize),
 		stackTop:  8,
 		allocs:    map[uint64]uint64{},
@@ -98,11 +148,15 @@ func NewMachine(m *core.Module, out io.Writer) (*Machine, error) {
 		mc.funcAddrs[f] = addr
 		mc.funcAt[addr] = f
 	}
-	// Globals.
+	// Globals. Hostile inputs can declare absurdly large (or overflowed)
+	// value types; reject them instead of exhausting the host arena.
 	for _, g := range m.Globals {
 		size := core.SizeOf(g.ValueType)
 		if size == 0 {
 			size = 8
+		}
+		if size < 0 || (mc.MaxHeapBytes > 0 && int64(len(mc.heap))+int64(size) > mc.MaxHeapBytes) {
+			return nil, fmt.Errorf("%w: global %%%s of type %s", ErrHeapLimit, g.Name(), g.ValueType)
 		}
 		mc.globals[g] = mc.rawAlloc(uint64(size))
 	}
@@ -130,16 +184,23 @@ func (mc *Machine) rawAlloc(n uint64) uint64 {
 	return addr
 }
 
-// Malloc allocates n bytes on the heap (the malloc instruction).
-func (mc *Machine) Malloc(n uint64) uint64 {
+// Malloc allocates n bytes on the heap (the malloc instruction). It traps
+// with ErrHeapLimit when the allocation would push the arena past
+// MaxHeapBytes.
+func (mc *Machine) Malloc(n uint64) (uint64, error) {
 	if n == 0 {
 		n = 1
+	}
+	if mc.MaxHeapBytes > 0 {
+		if n > uint64(mc.MaxHeapBytes) || int64(len(mc.heap))+int64(n) > mc.MaxHeapBytes {
+			return 0, ErrHeapLimit
+		}
 	}
 	addr := mc.rawAlloc(n)
 	mc.allocs[addr] = n
 	mc.MallocBytes += int64(n)
 	mc.NumMallocs++
-	return addr
+	return addr, nil
 }
 
 // Free releases a heap allocation (the free instruction).
@@ -161,6 +222,12 @@ const stackBase = 1 << 40
 func (mc *Machine) mem(addr uint64, n int) ([]byte, error) {
 	if addr == 0 {
 		return nil, ErrNullDeref
+	}
+	if addr+uint64(n) < addr {
+		// addr+n wrapped around: a hostile GEP produced a pointer near the
+		// top of the address space. Without this check the bounds tests
+		// below would pass spuriously and the slice would panic.
+		return nil, ErrOutOfBounds
 	}
 	if addr >= stackBase {
 		off := addr - stackBase

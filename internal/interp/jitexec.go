@@ -7,12 +7,21 @@ import (
 )
 
 // jitExec runs one activation of a translated function.
-func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (uint64, execResult, error) {
+func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (rv uint64, res execResult, err error) {
 	if mc.depth >= mc.MaxDepth {
-		return 0, resReturn, ErrStackOverflow
+		return 0, resReturn, mc.trapErr(ErrStackOverflow)
 	}
 	mc.depth++
-	defer func() { mc.depth-- }()
+	prevFn := mc.curFn
+	mc.curFn = jf.fn
+	defer func() { mc.depth--; mc.curFn = prevFn }()
+	// Runs before the curFn restore above (defers are LIFO), so faults are
+	// stamped with this activation's function while it is still current.
+	defer func() {
+		if err != nil {
+			err = mc.trapErr(err)
+		}
+	}()
 
 	stackMark := mc.stackTop
 	defer func() { mc.stackTop = stackMark }()
@@ -58,6 +67,11 @@ func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (uint64, execResult, erro
 			mc.Steps++
 			if mc.Steps > mc.MaxSteps {
 				return 0, resReturn, ErrMaxSteps
+			}
+			if mc.ctx != nil && mc.Steps&cancelCheckMask == 0 {
+				if cerr := mc.ctx.Err(); cerr != nil {
+					return 0, resReturn, fmt.Errorf("%w: %v", ErrCancelled, cerr)
+				}
 			}
 
 			switch ji.kind {
@@ -105,9 +119,21 @@ func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (uint64, execResult, erro
 			case jCast:
 				regs[ji.dst] = castBits(ji.tySrc, ji.ty, rd(ji.a))
 			case jMallocFixed:
-				regs[ji.dst] = mc.Malloc(ji.size)
+				a, err := mc.Malloc(ji.size)
+				if err != nil {
+					return 0, resReturn, err
+				}
+				regs[ji.dst] = a
 			case jMallocVar:
-				regs[ji.dst] = mc.Malloc(ji.size * rd(ji.a))
+				size, ok := mulNoOverflow(ji.size, rd(ji.a))
+				if !ok {
+					return 0, resReturn, ErrHeapLimit
+				}
+				a, err := mc.Malloc(size)
+				if err != nil {
+					return 0, resReturn, err
+				}
+				regs[ji.dst] = a
 			case jAllocaFixed:
 				a, err := mc.alloca(ji.size)
 				if err != nil {
@@ -115,7 +141,11 @@ func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (uint64, execResult, erro
 				}
 				regs[ji.dst] = a
 			case jAllocaVar:
-				a, err := mc.alloca(ji.size * rd(ji.a))
+				size, ok := mulNoOverflow(ji.size, rd(ji.a))
+				if !ok {
+					return 0, resReturn, ErrStackOverflow
+				}
+				a, err := mc.alloca(size)
 				if err != nil {
 					return 0, resReturn, err
 				}

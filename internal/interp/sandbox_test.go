@@ -1,0 +1,315 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+)
+
+// sandboxMachine parses src and returns a machine, failing the test on any
+// front-end error.
+func sandboxMachine(t *testing.T, src string) *Machine {
+	t.Helper()
+	m, err := asm.ParseModule("sandbox", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mc, err := NewMachine(m, nil)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	return mc
+}
+
+// checkReusable asserts the machine still executes correctly after a trap.
+func checkReusable(t *testing.T, mc *Machine, fn string, want uint64) {
+	t.Helper()
+	v, err := mc.RunFunction(mc.Mod.Func(fn), 0)
+	if err != nil {
+		t.Fatalf("machine not reusable after trap: %v", err)
+	}
+	if v != want {
+		t.Fatalf("machine reusable but wrong result: got %d, want %d", v, want)
+	}
+}
+
+const spinSrc = `
+int %main() {
+entry:
+	br label %loop
+loop:
+	br label %loop
+}
+
+int %ok(int %x) {
+entry:
+	%r = add int %x, 7
+	ret int %r
+}
+`
+
+func TestHeapLimitMalloc(t *testing.T) {
+	mc := sandboxMachine(t, `
+int %main() {
+entry:
+	%p = malloc [100000 x int]
+	free [100000 x int]* %p
+	ret int 0
+}
+
+int %ok(int %x) {
+entry:
+	%r = add int %x, 7
+	ret int %r
+}
+`)
+	mc.MaxHeapBytes = 4096
+	_, err := mc.RunFunction(mc.Mod.Func("main"))
+	if !errors.Is(err, ErrHeapLimit) {
+		t.Fatalf("want ErrHeapLimit, got %v", err)
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("want *Trap, got %T: %v", err, err)
+	}
+	if trap.Fn != "main" || trap.Inst == "" {
+		t.Fatalf("trap position missing: %+v", trap)
+	}
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestHeapLimitVariableCount(t *testing.T) {
+	mc := sandboxMachine(t, `
+int %main() {
+entry:
+	%n = cast int -1 to uint
+	%p = malloc int, uint %n
+	%v = load int* %p
+	ret int %v
+}
+
+int %ok(int %x) {
+entry:
+	%r = add int %x, 7
+	ret int %r
+}
+`)
+	// 2^32-1 elements * 4 bytes exceeds the default 1 GiB arena cap; the
+	// multiplication itself must also be overflow-checked.
+	_, err := mc.RunFunction(mc.Mod.Func("main"))
+	if !errors.Is(err, ErrHeapLimit) {
+		t.Fatalf("want ErrHeapLimit, got %v", err)
+	}
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestHeapLimitGlobals(t *testing.T) {
+	m, err := asm.ParseModule("sandbox", `
+%huge = global [400000000 x int] zeroinitializer
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// 400M ints = 1.6 GB of global data: must be rejected at machine
+	// construction, not by a multi-gigabyte allocation.
+	if _, err := NewMachine(m, nil); !errors.Is(err, ErrHeapLimit) {
+		t.Fatalf("want ErrHeapLimit from NewMachine, got %v", err)
+	}
+}
+
+func TestMaxStepsTrapIsTyped(t *testing.T) {
+	mc := sandboxMachine(t, spinSrc)
+	mc.MaxSteps = 500
+	_, err := mc.RunFunction(mc.Mod.Func("main"))
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("want ErrMaxSteps, got %v", err)
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Fn != "main" || trap.Block != "loop" {
+		t.Fatalf("bad trap position: %v", err)
+	}
+	mc.Steps = 0
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestMaxDepthTrap(t *testing.T) {
+	mc := sandboxMachine(t, `
+int %main() {
+entry:
+	%r = call int %main()
+	ret int %r
+}
+
+int %ok(int %x) {
+entry:
+	%r = add int %x, 7
+	ret int %r
+}
+`)
+	mc.MaxDepth = 64
+	_, err := mc.RunFunction(mc.Mod.Func("main"))
+	if !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("want ErrStackOverflow, got %v", err)
+	}
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestContextCancelledBeforeRun(t *testing.T) {
+	mc := sandboxMachine(t, spinSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := mc.RunContext(ctx, mc.Mod.Func("main"))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestContextCancelledMidRun(t *testing.T) {
+	mc := sandboxMachine(t, spinSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := mc.RunContext(ctx, mc.Mod.Func("main"))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation took implausibly long")
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Fn != "main" {
+		t.Fatalf("cancellation should still carry position: %v", err)
+	}
+	mc.Steps = 0
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestContextDeadline(t *testing.T) {
+	mc := sandboxMachine(t, spinSrc)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := mc.RunContext(ctx, mc.Mod.Func("main"))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled on deadline, got %v", err)
+	}
+}
+
+func TestContextCancelledMidRunJIT(t *testing.T) {
+	mc := sandboxMachine(t, spinSrc)
+	mc.EnableJIT()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := mc.RunContext(ctx, mc.Mod.Func("main"))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled under JIT, got %v", err)
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Fn != "main" {
+		t.Fatalf("JIT trap should carry the function name: %v", err)
+	}
+	mc.Steps = 0
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestHeapLimitJIT(t *testing.T) {
+	mc := sandboxMachine(t, `
+int %main() {
+entry:
+	%n = cast int -1 to uint
+	%p = malloc int, uint %n
+	%v = load int* %p
+	ret int %v
+}
+
+int %ok(int %x) {
+entry:
+	%r = add int %x, 7
+	ret int %r
+}
+`)
+	mc.EnableJIT()
+	_, err := mc.RunFunction(mc.Mod.Func("main"))
+	if !errors.Is(err, ErrHeapLimit) {
+		t.Fatalf("want ErrHeapLimit under JIT, got %v", err)
+	}
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestDoubleFreeTrapPosition(t *testing.T) {
+	mc := sandboxMachine(t, `
+int %main() {
+entry:
+	%p = malloc int
+	free int* %p
+	free int* %p
+	ret int 0
+}
+
+int %ok(int %x) {
+entry:
+	%r = add int %x, 7
+	ret int %r
+}
+`)
+	_, err := mc.RunFunction(mc.Mod.Func("main"))
+	if !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("want ErrDoubleFree, got %v", err)
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Fn != "main" || trap.Inst == "" {
+		t.Fatalf("double free should report its instruction: %v", err)
+	}
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestWraparoundPointerTrap(t *testing.T) {
+	mc := sandboxMachine(t, `
+int %main() {
+entry:
+	%addr = cast long -8 to int*
+	%v = load int* %addr
+	ret int %v
+}
+
+int %ok(int %x) {
+entry:
+	%r = add int %x, 7
+	ret int %r
+}
+`)
+	// An address near 2^64 makes addr+size wrap around; the bounds check
+	// must not be fooled by the overflow.
+	_, err := mc.RunFunction(mc.Mod.Func("main"))
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("want ErrOutOfBounds for wraparound pointer, got %v", err)
+	}
+	checkReusable(t, mc, "ok", 7)
+}
+
+func TestTrapErrorMessageIncludesPosition(t *testing.T) {
+	mc := sandboxMachine(t, `
+int %main() {
+entry:
+	%v = load int* null
+	ret int %v
+}
+`)
+	_, err := mc.RunFunction(mc.Mod.Func("main"))
+	if err == nil {
+		t.Fatal("want trap")
+	}
+	msg := err.Error()
+	for _, want := range []string{"main", "entry", "load"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("trap message %q missing %q", msg, want)
+		}
+	}
+}

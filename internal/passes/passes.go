@@ -9,6 +9,7 @@ package passes
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -33,20 +34,97 @@ type PassResult struct {
 	Pass     string
 	Changed  int
 	Duration time.Duration
+	// Failed marks a pass that panicked, timed out, or corrupted the
+	// module (VerifyEach); Err carries the cause.
+	Failed bool
+	Err    error
+	// RolledBack reports that the failed pass's changes were discarded and
+	// the module is in its pre-pass state.
+	RolledBack bool
+}
+
+// Policy selects how the pass manager reacts when a pass fails — by
+// panicking, exceeding its time budget, or corrupting the module.
+type Policy int
+
+const (
+	// FailFast aborts the pipeline on the first failure. No snapshot is
+	// taken, so a pass that panicked or corrupted the module leaves it in
+	// an undefined state; this is the cheapest mode and the default.
+	FailFast Policy = iota
+	// SkipAndContinue rolls the failed pass's changes back to the pre-pass
+	// snapshot and keeps running the remaining passes.
+	SkipAndContinue
+	// Rollback rolls the failed pass's changes back to the pre-pass
+	// snapshot and aborts the pipeline, leaving the module in the last
+	// known-good state.
+	Rollback
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FailFast:
+		return "failfast"
+	case SkipAndContinue:
+		return "skip"
+	case Rollback:
+		return "rollback"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// FailureReport is the error returned by Run when passes fail under a
+// policy that aborts (or, for SkipAndContinue, when queried afterwards).
+// It lists the per-pass failures in pipeline order.
+type FailureReport struct {
+	Failures []PassResult
+}
+
+func (r *FailureReport) Error() string {
+	if len(r.Failures) == 1 {
+		f := r.Failures[0]
+		return fmt.Sprintf("pass %q failed: %v", f.Pass, f.Err)
+	}
+	names := make([]string, len(r.Failures))
+	for i, f := range r.Failures {
+		names[i] = f.Pass
+	}
+	return fmt.Sprintf("%d passes failed (%s); first: %v",
+		len(r.Failures), strings.Join(names, ", "), r.Failures[0].Err)
 }
 
 // PassManager sequences passes over a module.
 type PassManager struct {
 	passes []ModulePass
-	// VerifyEach runs the verifier after every pass; a failure aborts with
-	// the offending pass named (the paper's point that type mismatches
-	// catch optimizer bugs, §2.2).
+	// VerifyEach runs the verifier after every pass; a failure is treated
+	// like a pass failure under Policy (the paper's point that type
+	// mismatches catch optimizer bugs, §2.2).
 	VerifyEach bool
-	Results    []PassResult
+	// Policy selects failure handling. Under SkipAndContinue and Rollback
+	// each pass runs against a scratch clone of the module that is
+	// committed only on success, so a panicking, hanging, or corrupting
+	// pass can never poison the caller's module.
+	Policy Policy
+	// Timeout is the per-pass wall-clock budget (0 = none). A pass that
+	// exceeds it is recorded as failed; its goroutine is abandoned and
+	// only ever saw a scratch clone, never the caller's module.
+	Timeout time.Duration
+	Results []PassResult
 }
 
 // NewPassManager returns an empty pass manager.
 func NewPassManager() *PassManager { return &PassManager{} }
+
+// Failures returns the results of all failed passes so far.
+func (pm *PassManager) Failures() []PassResult {
+	var out []PassResult
+	for _, r := range pm.Results {
+		if r.Failed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // Add appends module passes to the pipeline.
 func (pm *PassManager) Add(ps ...ModulePass) *PassManager {
@@ -63,22 +141,90 @@ func (pm *PassManager) AddFunctionPass(ps ...FunctionPass) *PassManager {
 	return pm
 }
 
-// Run executes the pipeline. It returns the total number of changes, or an
-// error if VerifyEach is set and a pass corrupts the module.
+// Run executes the pipeline. It returns the total number of changes. Pass
+// failures (panic, timeout, verifier rejection) never propagate as panics:
+// under FailFast and Rollback the structured *FailureReport is returned as
+// the error; under SkipAndContinue failed passes are recorded in Results
+// (see Failures) and the pipeline continues.
 func (pm *PassManager) Run(m *core.Module) (int, error) {
 	total := 0
 	for _, p := range pm.passes {
-		start := time.Now()
-		n := p.RunOnModule(m)
-		pm.Results = append(pm.Results, PassResult{Pass: p.Name(), Changed: n, Duration: time.Since(start)})
-		total += n
-		if pm.VerifyEach {
-			if err := core.Verify(m); err != nil {
-				return total, fmt.Errorf("module invalid after pass %q: %w", p.Name(), err)
-			}
+		res := pm.runOne(m, p)
+		pm.Results = append(pm.Results, res)
+		total += res.Changed
+		if !res.Failed {
+			continue
+		}
+		switch pm.Policy {
+		case FailFast, Rollback:
+			return total, &FailureReport{Failures: []PassResult{res}}
+		case SkipAndContinue:
+			// keep going with the module in its pre-pass state
 		}
 	}
 	return total, nil
+}
+
+// runOne executes a single pass under the manager's policy. Under any mode
+// that must preserve the module on failure (a snapshotting policy or a
+// time budget, whose expiry abandons the worker goroutine mid-mutation),
+// the pass runs against a scratch clone that is committed into m only on
+// success; m itself is never exposed to a failing or runaway pass.
+func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
+	res := PassResult{Pass: p.Name()}
+	isolated := pm.Policy != FailFast || pm.Timeout > 0
+	target := m
+	if isolated {
+		target = core.CloneModule(m)
+	}
+
+	type outcome struct {
+		n   int
+		err error
+	}
+	runPass := func() (out outcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out.err = fmt.Errorf("pass %q panicked: %v", p.Name(), r)
+			}
+		}()
+		out.n = p.RunOnModule(target)
+		return
+	}
+
+	start := time.Now()
+	var out outcome
+	if pm.Timeout > 0 {
+		done := make(chan outcome, 1)
+		go func() { done <- runPass() }()
+		timer := time.NewTimer(pm.Timeout)
+		defer timer.Stop()
+		select {
+		case out = <-done:
+		case <-timer.C:
+			out.err = fmt.Errorf("pass %q exceeded time budget %v", p.Name(), pm.Timeout)
+		}
+	} else {
+		out = runPass()
+	}
+	res.Duration = time.Since(start)
+
+	if out.err == nil && pm.VerifyEach {
+		if verr := core.Verify(target); verr != nil {
+			out.err = fmt.Errorf("module invalid after pass %q: %w", p.Name(), verr)
+		}
+	}
+	if out.err != nil {
+		res.Failed = true
+		res.Err = out.err
+		res.RolledBack = isolated
+		return res
+	}
+	res.Changed = out.n
+	if isolated {
+		m.AdoptFrom(target)
+	}
+	return res
 }
 
 // funcPassAdapter lifts a FunctionPass to a ModulePass.

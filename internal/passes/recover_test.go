@@ -1,0 +1,203 @@
+package passes
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+const recoverSrc = `
+%pair = type { int, float }
+
+%seed = global int 41
+
+int %bump(int %x) {
+entry:
+	%r = add int %x, 1
+	ret int %r
+}
+
+int %main() {
+entry:
+	%s = load int* %seed
+	%r = call int %bump(int %s)
+	ret int %r
+}
+`
+
+// panicPass blows up partway through mutating the module, simulating a
+// buggy optimization.
+type panicPass struct{}
+
+func (panicPass) Name() string { return "panicpass" }
+func (panicPass) RunOnModule(m *core.Module) int {
+	// Mutate first so a missing rollback is observable.
+	if f := m.Func("main"); f != nil {
+		f.Blocks = nil
+	}
+	panic("injected optimizer bug")
+}
+
+// corruptPass breaks the SSA/type rules without panicking, so only
+// VerifyEach can catch it.
+type corruptPass struct{}
+
+func (corruptPass) Name() string { return "corruptpass" }
+func (corruptPass) RunOnModule(m *core.Module) int {
+	if f := m.Func("bump"); f != nil && !f.IsDeclaration() {
+		// Drop the terminator: verifier must reject the block.
+		b := f.Entry()
+		b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	}
+	return 1
+}
+
+// hangPass never returns, simulating a pass stuck in an infinite loop.
+type hangPass struct{ started chan struct{} }
+
+func (h hangPass) Name() string { return "hangpass" }
+func (h hangPass) RunOnModule(m *core.Module) int {
+	close(h.started)
+	select {} // block forever
+}
+
+func TestRollbackPolicyRestoresModuleByteIdentical(t *testing.T) {
+	m := parse(t, recoverSrc)
+	before := m.String()
+
+	pm := NewPassManager()
+	pm.Policy = Rollback
+	pm.VerifyEach = true
+	pm.Add(panicPass{})
+	_, err := pm.Run(m)
+
+	var report *FailureReport
+	if !errors.As(err, &report) {
+		t.Fatalf("want *FailureReport, got %T: %v", err, err)
+	}
+	if len(report.Failures) != 1 || report.Failures[0].Pass != "panicpass" {
+		t.Fatalf("bad report: %+v", report)
+	}
+	if !report.Failures[0].RolledBack {
+		t.Fatal("failure not marked rolled back")
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("module not verifier-clean after rollback: %v", err)
+	}
+	if got := m.String(); got != before {
+		t.Fatalf("module not byte-identical after rollback:\n--- before ---\n%s\n--- after ---\n%s", before, got)
+	}
+}
+
+func TestSkipAndContinueRunsRemainingPasses(t *testing.T) {
+	m := parse(t, recoverSrc)
+	before := m.String()
+
+	pm := NewPassManager()
+	pm.Policy = SkipAndContinue
+	pm.VerifyEach = true
+	pm.Add(panicPass{}, corruptPass{}, NewDeadGlobalElim())
+	total, err := pm.Run(m)
+	if err != nil {
+		t.Fatalf("SkipAndContinue returned error: %v", err)
+	}
+	if len(pm.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(pm.Results))
+	}
+	fails := pm.Failures()
+	if len(fails) != 2 {
+		t.Fatalf("want 2 failures, got %+v", fails)
+	}
+	if fails[0].Pass != "panicpass" || fails[1].Pass != "corruptpass" {
+		t.Fatalf("wrong failing passes: %+v", fails)
+	}
+	if !strings.Contains(fails[1].Err.Error(), "module invalid after pass") {
+		t.Fatalf("corruptpass error should come from the verifier: %v", fails[1].Err)
+	}
+	// The surviving pass still ran on the intact module.
+	if pm.Results[2].Failed {
+		t.Fatalf("dge should have succeeded: %+v", pm.Results[2])
+	}
+	_ = total
+	_ = before
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("module invalid after skip-and-continue: %v", err)
+	}
+	// dge removes nothing here (%seed is used), but the module must still
+	// contain the pre-failure content.
+	if !strings.Contains(m.String(), "call int %bump") {
+		t.Fatal("module lost content it should have kept")
+	}
+}
+
+func TestFailFastReturnsStructuredError(t *testing.T) {
+	m := parse(t, recoverSrc)
+	pm := NewPassManager()
+	pm.Add(panicPass{}, NewDeadGlobalElim())
+	_, err := pm.Run(m)
+	var report *FailureReport
+	if !errors.As(err, &report) {
+		t.Fatalf("want *FailureReport, got %T: %v", err, err)
+	}
+	if len(pm.Results) != 1 {
+		t.Fatalf("FailFast should stop after first failure, got %d results", len(pm.Results))
+	}
+	if report.Failures[0].RolledBack {
+		t.Fatal("FailFast must not claim a rollback it did not perform")
+	}
+}
+
+func TestPassTimeoutAbandonsRunawayPass(t *testing.T) {
+	m := parse(t, recoverSrc)
+	before := m.String()
+
+	h := hangPass{started: make(chan struct{})}
+	pm := NewPassManager()
+	pm.Policy = Rollback
+	pm.Timeout = 50 * time.Millisecond
+	pm.Add(h)
+	_, err := pm.Run(m)
+	<-h.started
+
+	var report *FailureReport
+	if !errors.As(err, &report) {
+		t.Fatalf("want *FailureReport, got %T: %v", err, err)
+	}
+	if !strings.Contains(report.Error(), "time budget") {
+		t.Fatalf("want timeout failure, got: %v", report)
+	}
+	if got := m.String(); got != before {
+		t.Fatal("timed-out pass leaked changes into the module")
+	}
+}
+
+func TestStandardPipelineUnderRollbackPolicyStillOptimizes(t *testing.T) {
+	m := parse(t, `
+int %f(int %x) {
+entry:
+	%p = alloca int
+	store int %x, int* %p
+	%v = load int* %p
+	%r = add int %v, 0
+	ret int %r
+}
+`)
+	pm := NewPassManager()
+	pm.Policy = Rollback
+	pm.VerifyEach = true
+	pm.AddStandardPipeline()
+	n, err := pm.Run(m)
+	if err != nil {
+		t.Fatalf("pipeline failed: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("pipeline made no changes")
+	}
+	mustVerify(t, m)
+	if countOps(m.Func("f"), core.OpAlloca) != 0 {
+		t.Fatalf("mem2reg under rollback policy did not promote:\n%s", m)
+	}
+}

@@ -15,28 +15,53 @@ import (
 	"repro/internal/passes"
 )
 
+// MaxInputSize caps how much LoadModule will read from one file. Modules
+// are parsed fully in memory, so an oversized (or hostile) input would
+// otherwise exhaust it; tools that really need more can raise this.
+var MaxInputSize int64 = 64 << 20
+
 // LoadModule reads path and parses it as bytecode (if it starts with the
-// magic) or assembly text.
+// magic) or assembly text. Errors identify the file: decode failures carry
+// the byte offset, parse failures the source line.
 func LoadModule(path string) (*core.Module, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() > MaxInputSize {
+		return nil, fmt.Errorf("%s: input is %d bytes, above the %d-byte limit", path, st.Size(), MaxInputSize)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if bytes.HasPrefix(data, bytecode.Magic[:]) {
-		return bytecode.Decode(data)
+		m, err := bytecode.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
 	}
 	name := path
 	if i := strings.LastIndexByte(name, '/'); i >= 0 {
 		name = name[i+1:]
 	}
-	return asm.ParseModule(name, string(data))
+	m, err := asm.ParseModule(name, string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
 }
 
 // SaveModule writes m to path as bytecode (binary=true) or assembly text.
 func SaveModule(path string, m *core.Module, binary bool) error {
 	var data []byte
 	if binary {
-		data = bytecode.Encode(m)
+		var err error
+		data, err = bytecode.Encode(m)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
 	} else {
 		data = []byte(m.String())
 	}
@@ -108,4 +133,15 @@ func (f funcPass) RunOnModule(m *core.Module) int {
 func Fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// ExitOnPanic is the tools' last-resort boundary: deferred first thing in
+// main, it turns any panic that slipped past the library-level recover
+// boundaries into a one-line diagnostic and exit status 2, so no input can
+// make a tool dump a Go stack trace.
+func ExitOnPanic(tool string) {
+	if r := recover(); r != nil {
+		fmt.Fprintf(os.Stderr, "%s: internal error: %v\n", tool, r)
+		os.Exit(2)
+	}
 }

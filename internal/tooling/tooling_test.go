@@ -3,8 +3,10 @@ package tooling
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
 )
 
@@ -73,5 +75,53 @@ func TestPassByNameCoversPipeline(t *testing.T) {
 	}
 	if _, ok := PassByName("nosuchpass"); ok {
 		t.Error("unknown pass accepted")
+	}
+}
+
+func TestLoadModuleErrorsCarryPathAndPosition(t *testing.T) {
+	dir := t.TempDir()
+
+	// Malformed assembly: error must name the file and the line.
+	bad := filepath.Join(dir, "bad.ll")
+	if err := os.WriteFile(bad, []byte("int %f(int %x) {\nentry:\n\t%y = bogus int %x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadModule(bad)
+	if err == nil {
+		t.Fatal("malformed assembly accepted")
+	}
+	if !strings.Contains(err.Error(), "bad.ll") || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should carry path and line: %v", err)
+	}
+
+	// Malformed bytecode: error must name the file and the byte offset.
+	badBC := filepath.Join(dir, "bad.bc")
+	if err := os.WriteFile(badBC, append(append([]byte(nil), bytecode.Magic[:]...), 0x01, 0xFF, 0xFF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadModule(badBC)
+	if err == nil {
+		t.Fatal("malformed bytecode accepted")
+	}
+	if !strings.Contains(err.Error(), "bad.bc") || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error should carry path and offset: %v", err)
+	}
+}
+
+func TestLoadModuleSizeLimit(t *testing.T) {
+	dir := t.TempDir()
+	big := filepath.Join(dir, "big.ll")
+	if err := os.WriteFile(big, []byte("; padding\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := MaxInputSize
+	MaxInputSize = 4
+	defer func() { MaxInputSize = old }()
+	_, err := LoadModule(big)
+	if err == nil {
+		t.Fatal("oversized input accepted")
+	}
+	if !strings.Contains(err.Error(), "big.ll") || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("limit error should carry path: %v", err)
 	}
 }
