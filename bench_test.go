@@ -10,9 +10,11 @@ import (
 	"bytes"
 	"compress/flate"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/bytecode"
 	"repro/internal/codegen"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/frontend/minic"
 	"repro/internal/interp"
+	"repro/internal/linker"
 	"repro/internal/passes"
 	"repro/internal/profile"
 	"repro/internal/workload"
@@ -44,6 +47,40 @@ func mustBuild(b *testing.B, p workload.Profile) *core.Module {
 		}
 		bc = mustEncode(b, m)
 		buildCache[p.Name] = bc
+	}
+	m, err := bytecode.Decode(bc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// rawBuildCache is buildCache's counterpart for unoptimized modules.
+var rawBuildCache = map[string][]byte{}
+
+// mustBuildRaw returns a fresh copy of the linked module WITHOUT the
+// per-unit compile-time pipeline, so whole-pipeline benchmarks (analysis
+// caching, parallel scheduling) measure real transformation work instead
+// of a second pass over already-clean IR.
+func mustBuildRaw(b *testing.B, p workload.Profile) *core.Module {
+	b.Helper()
+	bc, ok := rawBuildCache[p.Name]
+	if !ok {
+		prog := workload.Generate(p)
+		mods := make([]*core.Module, 0, len(prog.Units))
+		for i, src := range prog.Units {
+			m, err := minic.Compile(fmt.Sprintf("%s.u%d", p.Name, i), src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mods = append(mods, m)
+		}
+		m, err := linker.Link(p.Name, mods...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bc = mustEncode(b, m)
+		rawBuildCache[p.Name] = bc
 	}
 	m, err := bytecode.Decode(bc)
 	if err != nil {
@@ -341,6 +378,38 @@ func BenchmarkAblation(b *testing.B) {
 			passes.NewPruneEH().RunOnModule(mm)
 		}
 	})
+
+	// Analysis caching: the standard pipeline with the manager on vs off.
+	// Serial in both arms so the delta is purely redundant DomTree/LoopInfo
+	// builds. The cached arm also reports its hit/miss counts.
+	runPipeline := func(b *testing.B, prof workload.Profile, uncached bool, jobs int) {
+		var stats analysis.Stats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			mm := mustBuildRaw(b, prof)
+			b.StartTimer()
+			pm := passes.NewPassManager()
+			pm.DisableAnalysisCache = uncached
+			pm.Parallelism = jobs
+			pm.AddStandardPipeline()
+			if _, err := pm.Run(mm); err != nil {
+				b.Fatal(err)
+			}
+			stats = pm.AnalysisStats()
+		}
+		b.ReportMetric(float64(stats.Hits), "cache-hits")
+		b.ReportMetric(float64(stats.Misses), "cache-misses")
+	}
+	for _, name := range []string{"164.gzip", "176.gcc"} {
+		prof, _ := workload.ByName(name)
+		b.Run("analysis-uncached/"+name, func(b *testing.B) { runPipeline(b, prof, true, 1) })
+		b.Run("analysis-cached/"+name, func(b *testing.B) { runPipeline(b, prof, false, 1) })
+	}
+
+	// Parallel function-pass scheduling: wall clock of the standard pipeline
+	// serial vs one worker per core, on the largest analogue.
+	b.Run("pipeline-serial", func(b *testing.B) { runPipeline(b, p, false, 1) })
+	b.Run("pipeline-parallel", func(b *testing.B) { runPipeline(b, p, false, runtime.GOMAXPROCS(0)) })
 }
 
 // parseText isolates the parse benchmark's input handling.

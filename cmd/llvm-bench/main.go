@@ -3,7 +3,10 @@
 // (interprocedural optimization timings vs a baseline compile), and
 // Figure 5 (executable sizes: LLVM bytecode vs CISC vs RISC images).
 //
-// Usage: llvm-bench [-table1] [-table2] [-fig5] [-v]   (no flags = all)
+// Usage: llvm-bench [-table1] [-table2] [-fig5] [-v] [-json path]
+// (no table flags = all). -json additionally writes the selected tables as
+// machine-readable JSON (see experiments.Report), the format the repo's
+// BENCH_*.json trajectory files use.
 package main
 
 import (
@@ -20,30 +23,52 @@ func main() {
 	t2 := flag.Bool("table2", false, "Table 2: interprocedural optimization timings")
 	f5 := flag.Bool("fig5", false, "Figure 5: executable sizes")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
+	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
 	flag.Parse()
 	all := !*t1 && !*t2 && !*f5
 
+	var rows1 []experiments.Table1Row
+	var rows2 []experiments.Table2Row
+	var rows5 []experiments.Figure5Row
 	if *t1 || all {
-		rows, err := experiments.Table1()
+		var err error
+		rows1, err = experiments.Table1()
 		if err != nil {
 			tooling.Fatalf("llvm-bench: %v", err)
 		}
-		experiments.PrintTable1(os.Stdout, rows)
+		experiments.PrintTable1(os.Stdout, rows1)
 		os.Stdout.WriteString("\n")
 	}
 	if *t2 || all {
-		rows, err := experiments.Table2()
+		var err error
+		rows2, err = experiments.Table2()
 		if err != nil {
 			tooling.Fatalf("llvm-bench: %v", err)
 		}
-		experiments.PrintTable2(os.Stdout, rows, *verbose)
+		experiments.PrintTable2(os.Stdout, rows2, *verbose)
 		os.Stdout.WriteString("\n")
 	}
 	if *f5 || all {
-		rows, err := experiments.Figure5()
+		var err error
+		rows5, err = experiments.Figure5()
 		if err != nil {
 			tooling.Fatalf("llvm-bench: %v", err)
 		}
-		experiments.PrintFigure5(os.Stdout, rows)
+		experiments.PrintFigure5(os.Stdout, rows5)
+	}
+	if *jsonPath != "" {
+		report := experiments.NewReport(rows1, rows2, rows5)
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				tooling.Fatalf("llvm-bench: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.WriteJSON(out, report); err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
 	}
 }

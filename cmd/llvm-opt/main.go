@@ -3,7 +3,7 @@
 // Usage:
 //
 //	llvm-opt [-std] [-linktime] [-passes mem2reg,dge,...] [-policy P]
-//	         [-pass-timeout D] [-time] [-o out] input
+//	         [-pass-timeout D] [-j N] [-time] [-o out] input
 //
 // -std runs the standard per-function clean-up pipeline (§3.2); -linktime
 // runs the link-time interprocedural pipeline (§3.3); -passes selects
@@ -11,7 +11,9 @@
 // selects how pass failures (panics, timeouts, verifier rejections) are
 // handled: failfast aborts, rollback aborts but restores the last
 // known-good module, skip discards the failed pass's changes and keeps
-// going. -pass-timeout bounds each pass's wall-clock time.
+// going. -pass-timeout bounds each pass's wall-clock time. -j selects how
+// many functions a function pass transforms concurrently (default
+// GOMAXPROCS); output is identical at any setting.
 package main
 
 import (
@@ -33,7 +35,8 @@ func main() {
 	passList := flag.String("passes", "", "comma-separated pass names")
 	policy := flag.String("policy", "failfast", "pass-failure policy: failfast, skip, or rollback")
 	passTimeout := flag.Duration("pass-timeout", 0, "per-pass wall-clock budget (0 = none), e.g. 30s")
-	timing := flag.Bool("time", false, "report per-pass timings and change counts")
+	timing := flag.Bool("time", false, "report per-pass timings, change counts, and analysis cache activity")
+	jobs := flag.Int("j", 0, "function-pass parallelism (0 = GOMAXPROCS, 1 = serial)")
 	binary := flag.Bool("b", false, "write bytecode instead of text")
 	out := flag.String("o", "-", "output file")
 	flag.Parse()
@@ -51,6 +54,7 @@ func main() {
 	pm := passes.NewPassManager()
 	pm.VerifyEach = true
 	pm.Timeout = *passTimeout
+	pm.Parallelism = *jobs
 	switch *policy {
 	case "failfast":
 		pm.Policy = passes.FailFast
@@ -86,8 +90,12 @@ func main() {
 	}
 	if *timing {
 		for _, r := range pm.Results {
-			fmt.Fprintf(os.Stderr, "%-16s %6d changes  %12v\n", r.Pass, r.Changed, r.Duration)
+			fmt.Fprintf(os.Stderr, "%-16s %6d changes  %12v  analyses: %d hit / %d miss / %d invalidated\n",
+				r.Pass, r.Changed, r.Duration, r.AnalysisHits, r.AnalysisMisses, r.AnalysisInvalidations)
 		}
+		s := pm.AnalysisStats()
+		fmt.Fprintf(os.Stderr, "%-16s analysis cache: %d hits, %d misses, %d invalidations\n",
+			"total", s.Hits, s.Misses, s.Invalidations)
 	}
 	if err := tooling.SaveModule(*out, m, *binary); err != nil {
 		tooling.Fatalf("llvm-opt: %v", err)

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Preserved is a bitmask naming the analyses a pass keeps valid on IR it
+// changed. It is the contract side of LLVM's AnalysisUsage: a pass declares
+// what survives its edits, and the Manager drops only the rest. Analyses of
+// functions a pass did not change are always kept.
+type Preserved uint32
+
+// One bit per cached analysis.
+const (
+	PreserveDomTree Preserved = 1 << iota
+	PreserveDomFrontier
+	PreserveLoopInfo
+	PreserveCallGraph
+	PreserveModRef
+)
+
+// Composite masks. A pass that only rewrites instructions inside blocks
+// (never edits edges, calls, or the function list) preserves everything; a
+// pass that restructures control flow preserves nothing per-function but may
+// still keep the module-level call graph.
+const (
+	PreserveNone           Preserved = 0
+	PreserveCFG                      = PreserveDomTree | PreserveDomFrontier | PreserveLoopInfo
+	PreserveModuleAnalyses           = PreserveCallGraph | PreserveModRef
+	PreserveAll                      = PreserveCFG | PreserveModuleAnalyses
+)
+
+// Stats is a snapshot of the manager's cache counters.
+type Stats struct {
+	Hits          uint64 // analysis requests served from cache
+	Misses        uint64 // requests that computed the analysis
+	Invalidations uint64 // cached analyses dropped by invalidation
+}
+
+// funcEntry caches the per-function analyses. Its mutex serializes compute
+// for one function while letting different functions compute concurrently;
+// the parallel pass scheduler gives each function to exactly one worker, so
+// the per-entry lock is uncontended in practice.
+type funcEntry struct {
+	mu sync.Mutex
+	dt *DomTree
+	df DomFrontier
+	li *LoopInfo
+}
+
+// Manager caches analyses across passes: DomTree/DomFrontier/LoopInfo per
+// function, CallGraph/ModRef per module. Passes fetch analyses through it
+// instead of constructing them; the pass manager invalidates a function's
+// entries only when a pass reports changes on that function and does not
+// declare the analysis preserved.
+//
+// All methods are safe for concurrent use, and all are safe on a nil
+// *Manager: a nil manager computes every analysis fresh and caches nothing,
+// which is how passes behave when called directly (outside a PassManager)
+// or when caching is disabled for ablation.
+type Manager struct {
+	mu    sync.Mutex
+	funcs map[*core.Function]*funcEntry
+
+	cgModule *core.Module
+	cg       *CallGraph
+	mrModule *core.Module
+	modref   map[*core.Function]*ModRefInfo
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// NewManager returns an empty analysis cache.
+func NewManager() *Manager {
+	return &Manager{funcs: map[*core.Function]*funcEntry{}}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (am *Manager) Stats() Stats {
+	if am == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:          am.hits.Load(),
+		Misses:        am.misses.Load(),
+		Invalidations: am.invalidations.Load(),
+	}
+}
+
+// entry returns (creating if needed) the cache slot for f.
+func (am *Manager) entry(f *core.Function) *funcEntry {
+	am.mu.Lock()
+	e := am.funcs[f]
+	if e == nil {
+		e = &funcEntry{}
+		am.funcs[f] = e
+	}
+	am.mu.Unlock()
+	return e
+}
+
+// DomTree returns f's dominator tree, computing and caching it on a miss.
+func (am *Manager) DomTree(f *core.Function) *DomTree {
+	if am == nil {
+		return NewDomTree(f)
+	}
+	e := am.entry(f)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return am.domTreeLocked(e, f)
+}
+
+// domTreeLocked fills e.dt under e.mu, counting the hit or miss.
+func (am *Manager) domTreeLocked(e *funcEntry, f *core.Function) *DomTree {
+	if e.dt != nil {
+		am.hits.Add(1)
+		return e.dt
+	}
+	am.misses.Add(1)
+	e.dt = NewDomTree(f)
+	return e.dt
+}
+
+// DomFrontier returns f's dominance frontier, computing the dominator tree
+// first if it is not cached either.
+func (am *Manager) DomFrontier(f *core.Function) DomFrontier {
+	if am == nil {
+		return NewDomFrontier(NewDomTree(f))
+	}
+	e := am.entry(f)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.df != nil {
+		am.hits.Add(1)
+		return e.df
+	}
+	am.misses.Add(1)
+	e.df = NewDomFrontier(am.domTreeLocked(e, f))
+	return e.df
+}
+
+// LoopInfo returns f's natural-loop nest, computing the dominator tree first
+// if it is not cached either.
+func (am *Manager) LoopInfo(f *core.Function) *LoopInfo {
+	if am == nil {
+		return NewLoopInfo(f, NewDomTree(f))
+	}
+	e := am.entry(f)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.li != nil {
+		am.hits.Add(1)
+		return e.li
+	}
+	am.misses.Add(1)
+	e.li = NewLoopInfo(f, am.domTreeLocked(e, f))
+	return e.li
+}
+
+// CallGraph returns m's call graph, computing and caching it on a miss.
+// A cached graph for a different module is replaced (the pass manager runs
+// isolated passes against scratch clones).
+func (am *Manager) CallGraph(m *core.Module) *CallGraph {
+	if am == nil {
+		return NewCallGraph(m)
+	}
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if am.cg != nil && am.cgModule == m {
+		am.hits.Add(1)
+		return am.cg
+	}
+	am.misses.Add(1)
+	am.cg = NewCallGraph(m)
+	am.cgModule = m
+	return am.cg
+}
+
+// ModRef returns m's interprocedural mod/ref summaries, reusing the cached
+// call graph when valid.
+func (am *Manager) ModRef(m *core.Module) map[*core.Function]*ModRefInfo {
+	if am == nil {
+		return ModRef(m, NewCallGraph(m))
+	}
+	am.mu.Lock()
+	if am.modref != nil && am.mrModule == m {
+		am.hits.Add(1)
+		mr := am.modref
+		am.mu.Unlock()
+		return mr
+	}
+	am.mu.Unlock()
+	cg := am.CallGraph(m)
+	mr := ModRef(m, cg)
+	am.mu.Lock()
+	am.misses.Add(1)
+	am.modref = mr
+	am.mrModule = m
+	am.mu.Unlock()
+	return mr
+}
+
+// InvalidateFunction drops f's cached analyses that preserved does not
+// cover. DomFrontier and LoopInfo are derived from DomTree, so dropping the
+// tree drops them too regardless of their own bits.
+func (am *Manager) InvalidateFunction(f *core.Function, preserved Preserved) {
+	if am == nil {
+		return
+	}
+	am.mu.Lock()
+	e := am.funcs[f]
+	am.mu.Unlock()
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	am.invalidateEntryLocked(e, preserved)
+	e.mu.Unlock()
+}
+
+func (am *Manager) invalidateEntryLocked(e *funcEntry, preserved Preserved) {
+	keepDT := preserved&PreserveDomTree != 0
+	if !keepDT && e.dt != nil {
+		e.dt = nil
+		am.invalidations.Add(1)
+	}
+	if (!keepDT || preserved&PreserveDomFrontier == 0) && e.df != nil {
+		e.df = nil
+		am.invalidations.Add(1)
+	}
+	if (!keepDT || preserved&PreserveLoopInfo == 0) && e.li != nil {
+		e.li = nil
+		am.invalidations.Add(1)
+	}
+}
+
+// InvalidateModule applies preserved to the module-level analyses and to
+// every cached function entry. ModRef is derived from the call graph, so
+// dropping the graph drops it too.
+func (am *Manager) InvalidateModule(preserved Preserved) {
+	if am == nil {
+		return
+	}
+	am.mu.Lock()
+	keepCG := preserved&PreserveCallGraph != 0
+	if !keepCG && am.cg != nil {
+		am.cg = nil
+		am.cgModule = nil
+		am.invalidations.Add(1)
+	}
+	if (!keepCG || preserved&PreserveModRef == 0) && am.modref != nil {
+		am.modref = nil
+		am.mrModule = nil
+		am.invalidations.Add(1)
+	}
+	entries := make([]*funcEntry, 0, len(am.funcs))
+	if preserved&PreserveCFG != PreserveCFG {
+		for _, e := range am.funcs {
+			entries = append(entries, e)
+		}
+	}
+	am.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		am.invalidateEntryLocked(e, preserved)
+		e.mu.Unlock()
+	}
+}
+
+// Prune drops cache entries for functions that no longer belong to m:
+// functions deleted by IPO, or originals replaced when the pass manager
+// commits a scratch clone (whose functions, now adopted into m, keep their
+// entries). Module-level analyses computed for a module other than m are
+// dropped too.
+func (am *Manager) Prune(m *core.Module) {
+	if am == nil {
+		return
+	}
+	am.mu.Lock()
+	for f := range am.funcs {
+		if f.Parent() != m {
+			delete(am.funcs, f)
+			am.invalidations.Add(1)
+		}
+	}
+	if am.cg != nil && am.cgModule != m {
+		am.cg = nil
+		am.cgModule = nil
+		am.invalidations.Add(1)
+	}
+	if am.modref != nil && am.mrModule != m {
+		am.modref = nil
+		am.mrModule = nil
+		am.invalidations.Add(1)
+	}
+	am.mu.Unlock()
+}

@@ -31,6 +31,7 @@ func NewInt(t Type, v int64) *ConstantInt {
 	}
 	c := &ConstantInt{Val: truncToWidth(uint64(v), BitWidth(t))}
 	c.typ = t
+	c.markShared()
 	return c
 }
 
@@ -80,6 +81,7 @@ func NewFloat(t Type, v float64) *ConstantFloat {
 	}
 	c := &ConstantFloat{Val: v}
 	c.typ = t
+	c.markShared()
 	return c
 }
 
@@ -104,6 +106,7 @@ type ConstantBool struct {
 func NewBool(v bool) *ConstantBool {
 	c := &ConstantBool{Val: v}
 	c.typ = BoolType
+	c.markShared()
 	return c
 }
 
@@ -128,6 +131,7 @@ type ConstantNull struct{ valueBase }
 func NewNull(t *PointerType) *ConstantNull {
 	c := &ConstantNull{}
 	c.typ = t
+	c.markShared()
 	return c
 }
 
@@ -144,6 +148,7 @@ type ConstantUndef struct{ valueBase }
 func NewUndef(t Type) *ConstantUndef {
 	c := &ConstantUndef{}
 	c.typ = t
+	c.markShared()
 	return c
 }
 
@@ -160,6 +165,7 @@ type ConstantZero struct{ valueBase }
 func NewZero(t Type) *ConstantZero {
 	c := &ConstantZero{}
 	c.typ = t
+	c.markShared()
 	return c
 }
 
@@ -179,6 +185,7 @@ type ConstantArray struct {
 func NewArrayConst(elem Type, elems []Constant) *ConstantArray {
 	c := &ConstantArray{Elems: elems}
 	c.typ = NewArray(elem, len(elems))
+	c.markShared()
 	return c
 }
 
@@ -266,6 +273,7 @@ type ConstantStruct struct {
 func NewStructConst(st *StructType, fields []Constant) *ConstantStruct {
 	c := &ConstantStruct{Fields: fields}
 	c.typ = st
+	c.markShared()
 	return c
 }
 
@@ -299,6 +307,7 @@ type ConstantExpr struct {
 func NewConstCast(c Constant, t Type) *ConstantExpr {
 	e := &ConstantExpr{Op: OpCast}
 	e.typ = t
+	e.markShared()
 	e.setOperands(e, []Value{c})
 	return e
 }
@@ -320,6 +329,7 @@ func NewConstGEP(base Constant, indices ...Constant) *ConstantExpr {
 	}
 	e := &ConstantExpr{Op: OpGetElementPtr}
 	e.typ = rt
+	e.markShared()
 	e.setOperands(e, ivals)
 	return e
 }

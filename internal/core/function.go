@@ -51,6 +51,7 @@ func NewFunction(name string, sig *FunctionType) *Function {
 	f := &Function{Sig: sig}
 	f.name = name
 	f.typ = NewPointer(sig)
+	f.markShared()
 	for i := range sig.Params {
 		a := &Argument{parent: f, index: i}
 		a.typ = sig.Params[i]
@@ -142,7 +143,7 @@ func (f *Function) ForEachInst(fn func(Instruction) bool) {
 // invoke. Functions whose address is taken can be called indirectly, so
 // interprocedural transforms must be conservative about them.
 func (f *Function) HasAddressTaken() bool {
-	for _, u := range f.uses {
+	for _, u := range f.Uses() {
 		switch inst := u.User.(type) {
 		case *CallInst:
 			if u.Index != 0 {
@@ -163,7 +164,7 @@ func (f *Function) HasAddressTaken() bool {
 // Callers returns the direct call/invoke sites targeting f.
 func (f *Function) Callers() []Instruction {
 	var out []Instruction
-	for _, u := range f.uses {
+	for _, u := range f.Uses() {
 		switch inst := u.User.(type) {
 		case *CallInst:
 			if u.Index == 0 {
@@ -195,6 +196,7 @@ func NewGlobal(name string, valueType Type, init Constant) *GlobalVariable {
 	g := &GlobalVariable{ValueType: valueType, Init: init}
 	g.name = name
 	g.typ = NewPointer(valueType)
+	g.markShared()
 	return g
 }
 

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // Value is anything that can be used as an operand: instructions, constants,
 // function arguments, basic blocks (as branch targets), global variables,
 // and functions. Every value has a type; SSA virtual registers are simply
@@ -18,6 +20,7 @@ type Value interface {
 
 	addUse(u Use)
 	removeUse(u Use)
+	numUses() int
 }
 
 // Use records a single reference to a value: the using instruction (or
@@ -42,20 +45,59 @@ type User interface {
 }
 
 // valueBase supplies the common Value bookkeeping; concrete values embed it.
+//
+// Values that can be referenced from more than one function — constants,
+// functions, global variables — are marked shared at construction. Their use
+// lists are guarded by a mutex so function-at-a-time transforms may run
+// concurrently (the parallel funcPassAdapter in internal/passes): erasing an
+// instruction or rewriting a call site in one function edits the use list of
+// its callee or of a constant that other functions reference too. Values that
+// live inside a single function (instructions, arguments, blocks) stay
+// lock-free; exactly one goroutine ever touches them.
 type valueBase struct {
-	name string
-	typ  Type
-	uses []Use
+	name   string
+	typ    Type
+	uses   []Use
+	shared bool
+	mu     sync.Mutex
 }
 
 func (v *valueBase) Name() string        { return v.name }
 func (v *valueBase) SetName(name string) { v.name = name }
 func (v *valueBase) Type() Type          { return v.typ }
-func (v *valueBase) Uses() []Use         { return v.uses }
 
-func (v *valueBase) addUse(u Use) { v.uses = append(v.uses, u) }
+// markShared flags the value as reachable from multiple functions; set once
+// at construction, before the value can be visible to any other goroutine.
+func (v *valueBase) markShared() { v.shared = true }
+
+// Uses returns the use list. For shared values it is a snapshot copy taken
+// under the lock, so callers may iterate while other functions' transforms
+// add or remove uses concurrently.
+func (v *valueBase) Uses() []Use {
+	if !v.shared {
+		return v.uses
+	}
+	v.mu.Lock()
+	out := append([]Use(nil), v.uses...)
+	v.mu.Unlock()
+	return out
+}
+
+func (v *valueBase) addUse(u Use) {
+	if v.shared {
+		v.mu.Lock()
+		v.uses = append(v.uses, u)
+		v.mu.Unlock()
+		return
+	}
+	v.uses = append(v.uses, u)
+}
 
 func (v *valueBase) removeUse(u Use) {
+	if v.shared {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+	}
 	for i, x := range v.uses {
 		if x.User == u.User && x.Index == u.Index {
 			last := len(v.uses) - 1
@@ -66,11 +108,22 @@ func (v *valueBase) removeUse(u Use) {
 	}
 }
 
+// numUses reads the use count without copying the list.
+func (v *valueBase) numUses() int {
+	if !v.shared {
+		return len(v.uses)
+	}
+	v.mu.Lock()
+	n := len(v.uses)
+	v.mu.Unlock()
+	return n
+}
+
 // NumUses returns the number of uses of v.
-func NumUses(v Value) int { return len(v.Uses()) }
+func NumUses(v Value) int { return v.numUses() }
 
 // HasUses reports whether v has at least one use.
-func HasUses(v Value) bool { return len(v.Uses()) > 0 }
+func HasUses(v Value) bool { return v.numUses() > 0 }
 
 // ReplaceAllUses rewrites every use of old to refer to new instead
 // (LLVM's replaceAllUsesWith). The two values should have equal types.

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report bundles the evaluation's tables for machine-readable output
+// (llvm-bench -json). Sections the caller did not run are omitted. The
+// shape is stable so successive BENCH_*.json files can be diffed to track
+// the perf trajectory across revisions.
+type Report struct {
+	Table1  []Table1JSON  `json:"table1,omitempty"`
+	Table2  []Table2JSON  `json:"table2,omitempty"`
+	Figure5 []Figure5JSON `json:"figure5,omitempty"`
+}
+
+// Table1JSON is Table1Row with stable JSON field names.
+type Table1JSON struct {
+	Bench        string  `json:"bench"`
+	Typed        int     `json:"typed"`
+	Untyped      int     `json:"untyped"`
+	TypedPercent float64 `json:"typed_percent"`
+}
+
+// Table2JSON is Table2Row with durations in milliseconds (the paper quotes
+// fractions of a second; nanosecond integers would just add noise).
+type Table2JSON struct {
+	Bench       string  `json:"bench"`
+	DGEMillis   float64 `json:"dge_ms"`
+	DAEMillis   float64 `json:"dae_ms"`
+	InlineMs    float64 `json:"inline_ms"`
+	BaselineMs  float64 `json:"baseline_ms"`
+	DGEDeleted  int     `json:"dge_deleted"`
+	DAEDeleted  int     `json:"dae_deleted"`
+	NumInlined  int     `json:"num_inlined"`
+	FuncDeleted int     `json:"func_deleted"`
+}
+
+// Figure5JSON is Figure5Row with stable JSON field names.
+type Figure5JSON struct {
+	Bench      string `json:"bench"`
+	LLVM       int    `json:"llvm_bytes"`
+	LLVMPacked int    `json:"llvm_packed_bytes"`
+	X86        int    `json:"x86_bytes"`
+	Sparc      int    `json:"sparc_bytes"`
+}
+
+// NewReport converts the printed tables' rows to their JSON shapes; any
+// slice may be nil.
+func NewReport(t1 []Table1Row, t2 []Table2Row, f5 []Figure5Row) *Report {
+	r := &Report{}
+	for _, row := range t1 {
+		r.Table1 = append(r.Table1, Table1JSON{
+			Bench: row.Bench, Typed: row.Typed, Untyped: row.Untyped, TypedPercent: row.Percent,
+		})
+	}
+	for _, row := range t2 {
+		r.Table2 = append(r.Table2, Table2JSON{
+			Bench: row.Bench, DGEMillis: ms(row.DGE), DAEMillis: ms(row.DAE),
+			InlineMs: ms(row.Inline), BaselineMs: ms(row.Baseline),
+			DGEDeleted: row.DGEDeleted, DAEDeleted: row.DAEDeleted,
+			NumInlined: row.NumInlined, FuncDeleted: row.FuncDeleted,
+		})
+	}
+	for _, row := range f5 {
+		r.Figure5 = append(r.Figure5, Figure5JSON{
+			Bench: row.Bench, LLVM: row.LLVM, LLVMPacked: row.LLVMPacked,
+			X86: row.X86, Sparc: row.Sparc,
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

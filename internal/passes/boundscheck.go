@@ -28,6 +28,10 @@ func NewBoundsCheck() *BoundsCheck { return &BoundsCheck{} }
 // Name returns the pass name.
 func (*BoundsCheck) Name() string { return "boundscheck" }
 
+// Preserves: nothing — every inserted guard splits a block and adds a trap
+// successor, restructuring the CFG and adding call sites.
+func (*BoundsCheck) Preserves() analysis.Preserved { return analysis.PreserveNone }
+
 // RunOnModule instruments every function; the count is checks inserted.
 func (bc *BoundsCheck) RunOnModule(m *core.Module) int {
 	bc.Inserted, bc.Elided = 0, 0
@@ -131,12 +135,20 @@ func (bc *BoundsCheck) BoundsCheckStats() (inserted, elided int) { return bc.Ins
 // same (index, limit) pair was already verified on every path to a check,
 // the later guard folds to "in bounds".
 func EliminateDominatedChecks(m *core.Module) int {
+	return eliminateDominatedChecks(m, nil)
+}
+
+// eliminateDominatedChecks is the manager-aware body: the dominator tree
+// comes from the cache, and any function whose guards were folded has its
+// entries invalidated (the fold rewrites CFG edges).
+func eliminateDominatedChecks(m *core.Module, am *analysis.Manager) int {
 	removed := 0
 	for _, f := range m.Funcs {
 		if f.IsDeclaration() {
 			continue
 		}
-		dt := analysis.NewDomTree(f)
+		removedHere := 0
+		dt := am.DomTree(f)
 		type key struct {
 			idx   core.Value
 			limit int64
@@ -179,11 +191,15 @@ func EliminateDominatedChecks(m *core.Module) int {
 						cont := later.FalseDest()
 						later.MakeUnconditional(cont)
 						trap.RemovePredecessor(later.Parent())
-						removed++
+						removedHere++
 						break
 					}
 				}
 			}
+		}
+		if removedHere > 0 {
+			am.InvalidateFunction(f, analysis.PreserveNone)
+			removed += removedHere
 		}
 	}
 	return removed

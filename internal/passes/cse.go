@@ -21,12 +21,20 @@ func NewCSE() *CSE { return &CSE{} }
 // Name returns the pass name.
 func (*CSE) Name() string { return "cse" }
 
+// Preserves: erasing redundant pure instructions leaves the CFG and call
+// sites intact.
+func (*CSE) Preserves() analysis.Preserved { return analysis.PreserveAll }
+
 // RunOnFunction walks the dominator tree with a scoped expression table.
 func (c *CSE) RunOnFunction(f *core.Function) int {
+	return c.runOnFunctionWith(f, nil)
+}
+
+func (c *CSE) runOnFunctionWith(f *core.Function, am *analysis.Manager) int {
 	if len(f.Blocks) == 0 {
 		return 0
 	}
-	dt := analysis.NewDomTree(f)
+	dt := am.DomTree(f)
 	table := map[string]core.Instruction{}
 	changed := 0
 

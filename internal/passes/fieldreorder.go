@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"repro/internal/analysis"
 	"sort"
 
 	"repro/internal/core"
@@ -27,6 +28,10 @@ type FieldReorder struct {
 
 // NewFieldReorder returns the pass.
 func NewFieldReorder() *FieldReorder { return &FieldReorder{} }
+
+// Preserves: permuting struct fields rewrites GEP indices and initializers
+// in place; no block, edge, or call changes.
+func (*FieldReorder) Preserves() analysis.Preserved { return analysis.PreserveAll }
 
 // Name returns the pass name.
 func (*FieldReorder) Name() string { return "fieldreorder" }

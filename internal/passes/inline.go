@@ -38,11 +38,19 @@ func NewInline(threshold int) *Inline {
 // Name returns the pass name.
 func (*Inline) Name() string { return "inline" }
 
+// Preserves: nothing — inlining splices blocks into callers and deletes
+// functions, invalidating CFG analyses and the call graph alike.
+func (*Inline) Preserves() analysis.Preserved { return analysis.PreserveNone }
+
 // RunOnModule inlines eligible call sites and removes dead internal
 // functions; the returned count is sites inlined plus functions deleted.
 func (inl *Inline) RunOnModule(m *core.Module) int {
+	return inl.runOnModuleWith(m, nil)
+}
+
+func (inl *Inline) runOnModuleWith(m *core.Module, am *analysis.Manager) int {
 	inl.NumInlined, inl.NumDeleted = 0, 0
-	cg := analysis.NewCallGraph(m)
+	cg := am.CallGraph(m)
 	order := cg.PostOrder()
 
 	for _, caller := range order {

@@ -22,6 +22,10 @@ type DeadGlobalElim struct {
 // NewDeadGlobalElim returns the pass.
 func NewDeadGlobalElim() *DeadGlobalElim { return &DeadGlobalElim{} }
 
+// Preserves: surviving functions' bodies are untouched, so their CFG
+// analyses stand; deleting globals and functions invalidates the call graph.
+func (*DeadGlobalElim) Preserves() analysis.Preserved { return analysis.PreserveCFG }
+
 // Name returns the pass name.
 func (*DeadGlobalElim) Name() string { return "dge" }
 
@@ -147,6 +151,12 @@ type DeadArgElim struct {
 
 // NewDeadArgElim returns the pass.
 func NewDeadArgElim() *DeadArgElim { return &DeadArgElim{} }
+
+// Preserves: a rewritten function reuses the original's blocks, and caller
+// CFGs are unchanged by call-site rewrites, so per-function analyses stand
+// (entries keyed on replaced *Function objects are pruned by the manager);
+// the call graph's nodes do not.
+func (*DeadArgElim) Preserves() analysis.Preserved { return analysis.PreserveCFG }
 
 // Name returns the pass name.
 func (*DeadArgElim) Name() string { return "dae" }
@@ -281,6 +291,10 @@ type IPConstProp struct{}
 // NewIPConstProp returns the pass.
 func NewIPConstProp() *IPConstProp { return &IPConstProp{} }
 
+// Preserves: replacing argument uses with constants touches no block
+// structure and no call sites.
+func (*IPConstProp) Preserves() analysis.Preserved { return analysis.PreserveAll }
+
 // Name returns the pass name.
 func (*IPConstProp) Name() string { return "ipcp" }
 
@@ -349,6 +363,9 @@ type DeadTypeElim struct{}
 
 // NewDeadTypeElim returns the pass.
 func NewDeadTypeElim() *DeadTypeElim { return &DeadTypeElim{} }
+
+// Preserves: dropping unreferenced named types never touches IR bodies.
+func (*DeadTypeElim) Preserves() analysis.Preserved { return analysis.PreserveAll }
 
 // Name returns the pass name.
 func (*DeadTypeElim) Name() string { return "deadtypeelim" }
@@ -427,9 +444,17 @@ func NewPruneEH() *PruneEH { return &PruneEH{} }
 // Name returns the pass name.
 func (*PruneEH) Name() string { return "pruneeh" }
 
+// Preserves: nothing — devolving an invoke to a call removes its unwind
+// edge, changing the caller's CFG and the graph's call-site bookkeeping.
+func (*PruneEH) Preserves() analysis.Preserved { return analysis.PreserveNone }
+
 // RunOnModule devolves invokes whose callee cannot unwind.
 func (p *PruneEH) RunOnModule(m *core.Module) int {
-	cg := analysis.NewCallGraph(m)
+	return p.runOnModuleWith(m, nil)
+}
+
+func (p *PruneEH) runOnModuleWith(m *core.Module, am *analysis.Manager) int {
+	cg := am.CallGraph(m)
 	may := cg.MayUnwind()
 	changed := 0
 	for _, f := range m.Funcs {
@@ -469,6 +494,9 @@ func (p *PruneEH) RunOnModule(m *core.Module) int {
 // entry points; the linker runs it after merging a whole program so the
 // interprocedural passes may assume no external callers (§3.3).
 type Internalize struct{ Keep map[string]bool }
+
+// Preserves: linkage changes leave bodies, edges, and calls untouched.
+func (*Internalize) Preserves() analysis.Preserved { return analysis.PreserveAll }
 
 // NewInternalize returns the pass; entries lists symbols to keep external
 // ("main" is always kept).

@@ -18,14 +18,21 @@ func NewLICM() *LICM { return &LICM{} }
 // Name returns the pass name.
 func (*LICM) Name() string { return "licm" }
 
+// Preserves: hoisting moves instructions between existing blocks; the CFG
+// and call sites are untouched.
+func (*LICM) Preserves() analysis.Preserved { return analysis.PreserveAll }
+
 // RunOnFunction hoists invariants out of every natural loop, innermost
 // loops first so code migrates as far out as it can in one run.
 func (l *LICM) RunOnFunction(f *core.Function) int {
+	return l.runOnFunctionWith(f, nil)
+}
+
+func (l *LICM) runOnFunctionWith(f *core.Function, am *analysis.Manager) int {
 	if len(f.Blocks) < 2 {
 		return 0
 	}
-	dt := analysis.NewDomTree(f)
-	li := analysis.NewLoopInfo(f, dt)
+	li := am.LoopInfo(f)
 	loops := li.All()
 	// Innermost first: reverse of outer-first order.
 	hoisted := 0

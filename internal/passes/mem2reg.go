@@ -18,9 +18,17 @@ func NewMem2Reg() *Mem2Reg { return &Mem2Reg{} }
 // Name returns the pass name.
 func (*Mem2Reg) Name() string { return "mem2reg" }
 
+// Preserves: phi insertion and alloca/load/store removal never touch block
+// structure, edges, or call sites.
+func (*Mem2Reg) Preserves() analysis.Preserved { return analysis.PreserveAll }
+
 // RunOnFunction promotes every promotable alloca; the returned count is the
 // number of allocas promoted.
 func (m *Mem2Reg) RunOnFunction(f *core.Function) int {
+	return m.runOnFunctionWith(f, nil)
+}
+
+func (m *Mem2Reg) runOnFunctionWith(f *core.Function, am *analysis.Manager) int {
 	if len(f.Blocks) == 0 {
 		return 0
 	}
@@ -33,8 +41,8 @@ func (m *Mem2Reg) RunOnFunction(f *core.Function) int {
 	if len(promotable) == 0 {
 		return 0
 	}
-	dt := analysis.NewDomTree(f)
-	df := analysis.NewDomFrontier(dt)
+	dt := am.DomTree(f)
+	df := am.DomFrontier(f)
 	for _, a := range promotable {
 		promote(f, a, dt, df)
 	}

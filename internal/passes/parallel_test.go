@@ -1,0 +1,220 @@
+package passes_test
+
+// Tests for the parallel function-pass scheduler and its analysis cache:
+// the transformed module must be byte-identical to a serial run at any
+// worker count, per-function panics must compose with the pass manager's
+// failure policies, and concurrent runs must be -race-clean. The tests
+// live in an external package so they can link real workloads through
+// internal/frontend and internal/linker (which import passes).
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend/minic"
+	"repro/internal/linker"
+	"repro/internal/passes"
+	"repro/internal/workload"
+)
+
+// buildRaw links a workload program from unoptimized front-end output, so
+// the standard pipeline has real work to do. Generation is seeded, so two
+// calls with the same profile produce structurally identical modules.
+func buildRaw(t testing.TB, p workload.Profile) *core.Module {
+	t.Helper()
+	prog := workload.Generate(p)
+	mods := make([]*core.Module, 0, len(prog.Units))
+	for i, src := range prog.Units {
+		m, err := minic.Compile(fmt.Sprintf("%s.u%d", p.Name, i), src)
+		if err != nil {
+			t.Fatalf("%s unit %d: %v", p.Name, i, err)
+		}
+		mods = append(mods, m)
+	}
+	m, err := linker.Link(p.Name, mods...)
+	if err != nil {
+		t.Fatalf("link %s: %v", p.Name, err)
+	}
+	return m
+}
+
+// runStd runs the standard pipeline at the given parallelism and returns
+// the printed module.
+func runStd(t testing.TB, m *core.Module, parallelism int) (*passes.PassManager, string) {
+	t.Helper()
+	pm := passes.NewPassManager()
+	pm.Parallelism = parallelism
+	pm.AddStandardPipeline()
+	if _, err := pm.Run(m); err != nil {
+		t.Fatalf("pipeline (j=%d): %v", parallelism, err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("module invalid after pipeline (j=%d): %v", parallelism, err)
+	}
+	return pm, m.String()
+}
+
+// TestParallelDeterminism is the golden determinism check: for every
+// workload profile, the IR printed after StandardFunctionPasses is
+// byte-identical between Parallelism 1 and Parallelism 8.
+func TestParallelDeterminism(t *testing.T) {
+	for _, p := range workload.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			_, serial := runStd(t, buildRaw(t, p), 1)
+			_, parallel := runStd(t, buildRaw(t, p), 8)
+			if serial != parallel {
+				t.Errorf("IR differs between -j1 and -j8 (%d vs %d bytes)",
+					len(serial), len(parallel))
+			}
+		})
+	}
+}
+
+// TestParallelStatsDeterministic asserts the per-pass change counts and
+// analysis cache counters do not depend on the worker count either.
+func TestParallelStatsDeterministic(t *testing.T) {
+	p, _ := workload.ByName("176.gcc")
+	pm1, _ := runStd(t, buildRaw(t, p), 1)
+	pm8, _ := runStd(t, buildRaw(t, p), 8)
+	for i, r1 := range pm1.Results {
+		r8 := pm8.Results[i]
+		if r1.Changed != r8.Changed || r1.AnalysisHits != r8.AnalysisHits ||
+			r1.AnalysisMisses != r8.AnalysisMisses ||
+			r1.AnalysisInvalidations != r8.AnalysisInvalidations {
+			t.Errorf("pass %s: j=1 {chg %d, %d/%d/%d} vs j=8 {chg %d, %d/%d/%d}",
+				r1.Pass, r1.Changed, r1.AnalysisHits, r1.AnalysisMisses, r1.AnalysisInvalidations,
+				r8.Changed, r8.AnalysisHits, r8.AnalysisMisses, r8.AnalysisInvalidations)
+		}
+	}
+}
+
+// TestAnalysisCacheHitsInPipeline asserts the manager actually eliminates
+// redundant builds across the standard pipeline: mem2reg computes the
+// dominator tree, and cse/licm reuse it.
+func TestAnalysisCacheHitsInPipeline(t *testing.T) {
+	p, _ := workload.ByName("164.gzip")
+	pm, _ := runStd(t, buildRaw(t, p), runtime.GOMAXPROCS(0))
+	s := pm.AnalysisStats()
+	if s.Hits == 0 {
+		t.Fatalf("standard pipeline recorded no analysis cache hits: %+v", s)
+	}
+	if s.Misses == 0 {
+		t.Fatalf("implausible: no misses either: %+v", s)
+	}
+}
+
+// TestParallelSharedModule drives the parallel scheduler at full width over
+// one module whose functions share callees, globals, and constants; under
+// -race this is the shared-use-list check for the whole pipeline.
+func TestParallelSharedModule(t *testing.T) {
+	p, _ := workload.ByName("176.gcc")
+	m := buildRaw(t, p)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 4
+	}
+	runStd(t, m, workers)
+}
+
+// TestConcurrentPipelinesShareConstants runs two independent pass managers
+// over a module and its clone concurrently. CloneModule shares scalar
+// constants between the two, so cross-module use-list edits collide unless
+// the core locks them.
+func TestConcurrentPipelinesShareConstants(t *testing.T) {
+	p, _ := workload.ByName("186.crafty")
+	m1 := buildRaw(t, p)
+	m2 := core.CloneModule(m1)
+	var wg sync.WaitGroup
+	for _, m := range []*core.Module{m1, m2} {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pm := passes.NewPassManager()
+			pm.Parallelism = 4
+			pm.AddStandardPipeline()
+			if _, err := pm.Run(m); err != nil {
+				t.Errorf("pipeline: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := core.Verify(m1); err != nil {
+		t.Errorf("original invalid: %v", err)
+	}
+	if err := core.Verify(m2); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+	if m1.String() != m2.String() {
+		t.Error("identical modules diverged under concurrent optimization")
+	}
+}
+
+// panicOnFunc is a function pass that panics on one victim function and
+// counts a change on every other.
+type panicOnFunc struct{ victim string }
+
+func (panicOnFunc) Name() string { return "panic-on-func" }
+func (p panicOnFunc) RunOnFunction(f *core.Function) int {
+	if f.Name() == p.victim {
+		panic("boom in " + p.victim)
+	}
+	return 1
+}
+
+// TestParallelPanicComposesWithPolicy checks per-function panic recovery
+// feeds the existing Policy machinery: under SkipAndContinue the failed
+// pass's changes are rolled back and the pipeline continues; under FailFast
+// the error surfaces without killing the process.
+func TestParallelPanicComposesWithPolicy(t *testing.T) {
+	p, _ := workload.ByName("181.mcf")
+	m := buildRaw(t, p)
+	var victim string
+	for _, f := range m.Funcs {
+		if !f.IsDeclaration() {
+			victim = f.Name()
+		}
+	}
+	if victim == "" {
+		t.Fatal("no defined functions in workload")
+	}
+
+	t.Run("skip", func(t *testing.T) {
+		mm := core.CloneModule(m)
+		golden := mm.String()
+		pm := passes.NewPassManager()
+		pm.Policy = passes.SkipAndContinue
+		pm.Parallelism = 4
+		pm.AddFunctionPass(panicOnFunc{victim: victim})
+		if _, err := pm.Run(mm); err != nil {
+			t.Fatalf("SkipAndContinue should swallow the failure: %v", err)
+		}
+		fails := pm.Failures()
+		if len(fails) != 1 || !fails[0].RolledBack {
+			t.Fatalf("failures = %+v, want one rolled-back failure", fails)
+		}
+		if !strings.Contains(fails[0].Err.Error(), "panicked") ||
+			!strings.Contains(fails[0].Err.Error(), victim) {
+			t.Errorf("error should name the panicking function: %v", fails[0].Err)
+		}
+		if mm.String() != golden {
+			t.Error("module changed despite rollback")
+		}
+	})
+
+	t.Run("failfast", func(t *testing.T) {
+		mm := core.CloneModule(m)
+		pm := passes.NewPassManager()
+		pm.Parallelism = 4
+		pm.AddFunctionPass(panicOnFunc{victim: victim})
+		if _, err := pm.Run(mm); err == nil {
+			t.Fatal("FailFast should report the panic as an error")
+		}
+	})
+}

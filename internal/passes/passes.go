@@ -9,9 +9,13 @@ package passes
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 )
 
@@ -29,6 +33,38 @@ type ModulePass interface {
 	RunOnModule(m *core.Module) int
 }
 
+// Preserver is implemented by passes that declare which cached analyses
+// remain valid on IR they changed (LLVM's AnalysisUsage). The pass manager
+// invalidates everything a pass does not claim; passes without the method
+// are treated as preserving nothing.
+type Preserver interface {
+	Preserves() analysis.Preserved
+}
+
+// preservedBy returns p's preservation claim, conservatively PreserveNone.
+func preservedBy(p interface{ Name() string }) analysis.Preserved {
+	if pr, ok := p.(Preserver); ok {
+		return pr.Preserves()
+	}
+	return analysis.PreserveNone
+}
+
+// analysisFunctionPass is the manager-aware variant of FunctionPass: the
+// pass fetches its analyses (dominator tree, loops) from am instead of
+// constructing them. All in-tree function passes implement it; RunOnFunction
+// delegates to it with a nil manager, which computes analyses fresh.
+type analysisFunctionPass interface {
+	FunctionPass
+	runOnFunctionWith(f *core.Function, am *analysis.Manager) int
+}
+
+// analysisModulePass is the manager-aware variant of ModulePass, implemented
+// by the IPO passes that consume the call graph or mod/ref summaries.
+type analysisModulePass interface {
+	ModulePass
+	runOnModuleWith(m *core.Module, am *analysis.Manager) int
+}
+
 // PassResult records one pass execution.
 type PassResult struct {
 	Pass     string
@@ -41,6 +77,12 @@ type PassResult struct {
 	// RolledBack reports that the failed pass's changes were discarded and
 	// the module is in its pre-pass state.
 	RolledBack bool
+	// AnalysisHits/Misses/Invalidations are this pass's deltas against the
+	// manager's analysis cache: requests served from cache, requests that
+	// had to compute, and cached results dropped by the pass's invalidation.
+	AnalysisHits          uint64
+	AnalysisMisses        uint64
+	AnalysisInvalidations uint64
 }
 
 // Policy selects how the pass manager reacts when a pass fails — by
@@ -109,6 +151,18 @@ type PassManager struct {
 	// exceeds it is recorded as failed; its goroutine is abandoned and
 	// only ever saw a scratch clone, never the caller's module.
 	Timeout time.Duration
+	// Parallelism bounds how many functions a function pass transforms
+	// concurrently (0 = GOMAXPROCS, 1 = serial). Functions are independent
+	// under the IR's locking of shared use lists, and per-function results
+	// are aggregated in module order, so the transformed module is
+	// byte-identical to a serial run at any setting.
+	Parallelism int
+	// DisableAnalysisCache makes every pass compute its analyses fresh
+	// (no manager is created), matching pre-cache behavior; for ablation.
+	DisableAnalysisCache bool
+	// AM is the analysis cache shared by the pipeline's passes. Run creates
+	// it lazily; callers may install their own to share across managers.
+	AM      *analysis.Manager
 	Results []PassResult
 }
 
@@ -136,10 +190,39 @@ func (pm *PassManager) Add(ps ...ModulePass) *PassManager {
 // function in the module.
 func (pm *PassManager) AddFunctionPass(ps ...FunctionPass) *PassManager {
 	for _, p := range ps {
-		pm.passes = append(pm.passes, &funcPassAdapter{p})
+		pm.passes = append(pm.passes, &funcPassAdapter{p: p})
 	}
 	return pm
 }
+
+// AdaptFunctionPass lifts a FunctionPass to a ModulePass. When the result is
+// driven by a PassManager it inherits the manager's analysis cache and
+// parallel function scheduling; called directly it runs serially without a
+// cache, like the pass itself.
+func AdaptFunctionPass(p FunctionPass) ModulePass { return &funcPassAdapter{p: p} }
+
+// parallelism resolves the worker count for function passes.
+func (pm *PassManager) parallelism() int {
+	if pm.Parallelism > 0 {
+		return pm.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// manager returns the pipeline's analysis cache, creating it on first use;
+// nil when caching is disabled (passes then compute analyses fresh).
+func (pm *PassManager) manager() *analysis.Manager {
+	if pm.DisableAnalysisCache {
+		return nil
+	}
+	if pm.AM == nil {
+		pm.AM = analysis.NewManager()
+	}
+	return pm.AM
+}
+
+// AnalysisStats returns the pipeline-wide analysis cache counters.
+func (pm *PassManager) AnalysisStats() analysis.Stats { return pm.AM.Stats() }
 
 // Run executes the pipeline. It returns the total number of changes. Pass
 // failures (panic, timeout, verifier rejection) never propagate as panics:
@@ -177,6 +260,8 @@ func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 	if isolated {
 		target = core.CloneModule(m)
 	}
+	am := pm.manager()
+	before := am.Stats()
 
 	type outcome struct {
 		n   int
@@ -188,12 +273,13 @@ func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 				out.err = fmt.Errorf("pass %q panicked: %v", p.Name(), r)
 			}
 		}()
-		out.n = p.RunOnModule(target)
+		out.n = pm.dispatch(p, target, am)
 		return
 	}
 
 	start := time.Now()
 	var out outcome
+	timedOut := false
 	if pm.Timeout > 0 {
 		done := make(chan outcome, 1)
 		go func() { done <- runPass() }()
@@ -203,6 +289,7 @@ func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 		case out = <-done:
 		case <-timer.C:
 			out.err = fmt.Errorf("pass %q exceeded time budget %v", p.Name(), pm.Timeout)
+			timedOut = true
 		}
 	} else {
 		out = runPass()
@@ -218,28 +305,165 @@ func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 		res.Failed = true
 		res.Err = out.err
 		res.RolledBack = isolated
+		pm.settleAfterFailure(m, am, isolated, timedOut)
+		res.addStatsDelta(am.Stats(), before)
+		if timedOut {
+			// The abandoned goroutine may keep publishing into this
+			// manager; detach it so later passes start from a clean cache.
+			pm.AM = nil
+		}
 		return res
 	}
 	res.Changed = out.n
 	if isolated {
 		m.AdoptFrom(target)
 	}
+	if out.n > 0 {
+		am.InvalidateModule(preservedBy(p))
+	}
+	// Drop entries for functions no longer in m: deleted by IPO, or
+	// originals replaced when a scratch clone was committed (the adopted
+	// clone functions keep the analyses computed during the pass).
+	am.Prune(m)
+	res.addStatsDelta(am.Stats(), before)
 	return res
 }
 
-// funcPassAdapter lifts a FunctionPass to a ModulePass.
+// settleAfterFailure reconciles the analysis cache with a failed pass. With
+// isolation the real module was never touched, so its cached analyses stay
+// valid and only entries for the discarded clone are dropped. Without
+// isolation the pass may have died mid-mutation, so nothing can be trusted.
+func (pm *PassManager) settleAfterFailure(m *core.Module, am *analysis.Manager, isolated, timedOut bool) {
+	if isolated || timedOut {
+		am.Prune(m)
+		return
+	}
+	am.InvalidateModule(analysis.PreserveNone)
+	am.Prune(m)
+}
+
+// dispatch runs p over target, routing manager-aware passes through am.
+// Function-pass adapters additionally get the manager's parallelism.
+func (pm *PassManager) dispatch(p ModulePass, target *core.Module, am *analysis.Manager) int {
+	switch ap := p.(type) {
+	case *funcPassAdapter:
+		return ap.run(target, am, pm.parallelism())
+	case analysisModulePass:
+		return ap.runOnModuleWith(target, am)
+	}
+	return p.RunOnModule(target)
+}
+
+// addStatsDelta records the pass's cache activity as after-before.
+func (r *PassResult) addStatsDelta(after, before analysis.Stats) {
+	r.AnalysisHits = after.Hits - before.Hits
+	r.AnalysisMisses = after.Misses - before.Misses
+	r.AnalysisInvalidations = after.Invalidations - before.Invalidations
+}
+
+// funcPassAdapter lifts a FunctionPass to a ModulePass and is the pass
+// manager's parallel scheduler: a worker pool transforms the module's
+// non-declaration functions concurrently. Function-local SSA transforms are
+// independent per function — the only cross-function state they touch is the
+// use lists of shared values (functions, globals, constants), which the core
+// guards with per-value locks — so any worker count produces the same module
+// as a serial run. Change counts are aggregated, and changed functions'
+// analyses invalidated, in module order after all workers finish, keeping
+// stats and cache state deterministic too.
 type funcPassAdapter struct{ p FunctionPass }
 
 func (a *funcPassAdapter) Name() string { return a.p.Name() }
 
+// Preserves extends the wrapped pass's claim with the per-function CFG
+// analyses: the adapter invalidates changed functions itself, one by one,
+// so the pass manager's module-level invalidation must not also drop the
+// entries of functions the pass left alone.
+func (a *funcPassAdapter) Preserves() analysis.Preserved {
+	return preservedBy(a.p) | analysis.PreserveCFG
+}
+
+// RunOnModule runs the pass serially without an analysis cache, preserving
+// the adapter's behavior for direct callers outside a PassManager.
 func (a *funcPassAdapter) RunOnModule(m *core.Module) int {
-	n := 0
+	return a.run(m, nil, 1)
+}
+
+func (a *funcPassAdapter) run(m *core.Module, am *analysis.Manager, parallelism int) int {
+	var fns []*core.Function
 	for _, f := range m.Funcs {
 		if !f.IsDeclaration() {
-			n += a.p.RunOnFunction(f)
+			fns = append(fns, f)
+		}
+	}
+	counts := make([]int, len(fns))
+	if parallelism > len(fns) {
+		parallelism = len(fns)
+	}
+	if parallelism <= 1 {
+		for i, f := range fns {
+			counts[i] = a.runOn(f, am)
+		}
+	} else {
+		a.runParallel(fns, counts, am, parallelism)
+	}
+	n := 0
+	for i, f := range fns {
+		if counts[i] > 0 {
+			am.InvalidateFunction(f, preservedBy(a.p))
+			n += counts[i]
 		}
 	}
 	return n
+}
+
+// runOn transforms one function, through the manager when the pass is
+// manager-aware.
+func (a *funcPassAdapter) runOn(f *core.Function, am *analysis.Manager) int {
+	if ap, ok := a.p.(analysisFunctionPass); ok {
+		return ap.runOnFunctionWith(f, am)
+	}
+	return a.p.RunOnFunction(f)
+}
+
+// runParallel fans fns out to a worker pool. Each worker recovers panics per
+// function so one bad function cannot kill the process or starve the pool;
+// after all functions finish, the first panic (in module order, for
+// determinism) is re-raised and flows into the pass manager's existing
+// recover/Policy machinery like a serial pass panic would.
+func (a *funcPassAdapter) runParallel(fns []*core.Function, counts []int, am *analysis.Manager, workers int) {
+	type funcPanic struct {
+		fn  string
+		val any
+	}
+	panics := make([]*funcPanic, len(fns))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fns) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = &funcPanic{fn: fns[i].Name(), val: r}
+						}
+					}()
+					counts[i] = a.runOn(fns[i], am)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, pc := range panics {
+		if pc != nil {
+			panic(fmt.Sprintf("function %q: %v", pc.fn, pc.val))
+		}
+	}
 }
 
 // StandardFunctionPasses returns the canonical clean-up pipeline run after

@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/core"
 )
 
@@ -14,6 +15,10 @@ type SCCP struct{}
 
 // NewSCCP returns the pass.
 func NewSCCP() *SCCP { return &SCCP{} }
+
+// Preserves: SCCP folds values and erases dead pure instructions but leaves
+// all branches (even ones proven one-sided) for SimplifyCFG to restructure.
+func (*SCCP) Preserves() analysis.Preserved { return analysis.PreserveAll }
 
 // Name returns the pass name.
 func (*SCCP) Name() string { return "sccp" }

@@ -14,6 +14,10 @@ type SimplifyCFG struct{}
 // NewSimplifyCFG returns the pass.
 func NewSimplifyCFG() *SimplifyCFG { return &SimplifyCFG{} }
 
+// Preserves: nothing — this is the one standard pass that restructures the
+// CFG (and can delete whole blocks, calls included).
+func (*SimplifyCFG) Preserves() analysis.Preserved { return analysis.PreserveNone }
+
 // Name returns the pass name.
 func (*SimplifyCFG) Name() string { return "simplifycfg" }
 

@@ -76,21 +76,21 @@ func SaveModule(path string, m *core.Module, binary bool) error {
 func PassByName(name string) (passes.ModulePass, bool) {
 	switch name {
 	case "mem2reg":
-		return funcPass{passes.NewMem2Reg()}, true
+		return passes.AdaptFunctionPass(passes.NewMem2Reg()), true
 	case "sroa":
-		return funcPass{passes.NewSROA()}, true
+		return passes.AdaptFunctionPass(passes.NewSROA()), true
 	case "instcombine":
-		return funcPass{passes.NewInstCombine()}, true
+		return passes.AdaptFunctionPass(passes.NewInstCombine()), true
 	case "sccp":
-		return funcPass{passes.NewSCCP()}, true
+		return passes.AdaptFunctionPass(passes.NewSCCP()), true
 	case "adce":
-		return funcPass{passes.NewADCE()}, true
+		return passes.AdaptFunctionPass(passes.NewADCE()), true
 	case "cse":
-		return funcPass{passes.NewCSE()}, true
+		return passes.AdaptFunctionPass(passes.NewCSE()), true
 	case "licm":
-		return funcPass{passes.NewLICM()}, true
+		return passes.AdaptFunctionPass(passes.NewLICM()), true
 	case "simplifycfg":
-		return funcPass{passes.NewSimplifyCFG()}, true
+		return passes.AdaptFunctionPass(passes.NewSimplifyCFG()), true
 	case "inline":
 		return passes.NewInline(passes.DefaultInlineThreshold), true
 	case "dge":
@@ -113,20 +113,6 @@ func PassByName(name string) (passes.ModulePass, bool) {
 		return passes.NewInternalize(), true
 	}
 	return nil, false
-}
-
-// funcPass adapts a FunctionPass to ModulePass for the tool driver.
-type funcPass struct{ p passes.FunctionPass }
-
-func (f funcPass) Name() string { return f.p.Name() }
-func (f funcPass) RunOnModule(m *core.Module) int {
-	n := 0
-	for _, fn := range m.Funcs {
-		if !fn.IsDeclaration() {
-			n += f.p.RunOnFunction(fn)
-		}
-	}
-	return n
 }
 
 // Fatalf prints an error and exits with status 1.
