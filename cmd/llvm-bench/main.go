@@ -3,8 +3,10 @@
 // (interprocedural optimization timings vs a baseline compile), and
 // Figure 5 (executable sizes: LLVM bytecode vs CISC vs RISC images).
 //
-// Usage: llvm-bench [-table1] [-table2] [-fig5] [-v] [-json path]
-// (no table flags = all). -json additionally writes the selected tables as
+// Usage: llvm-bench [-table1] [-table2] [-fig5] [-checker] [-v] [-json path]
+// (no table flags = all). -checker runs the static memory-safety checker
+// over each optimized benchmark; since the synthetic programs are
+// well-formed, any error it reports is a checker false positive. -json additionally writes the selected tables as
 // machine-readable JSON (see experiments.Report), the format the repo's
 // BENCH_*.json trajectory files use.
 package main
@@ -22,14 +24,16 @@ func main() {
 	t1 := flag.Bool("table1", false, "Table 1: typed memory accesses")
 	t2 := flag.Bool("table2", false, "Table 2: interprocedural optimization timings")
 	f5 := flag.Bool("fig5", false, "Figure 5: executable sizes")
+	ck := flag.Bool("checker", false, "Checker: static memory-safety diagnostics per benchmark")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
 	flag.Parse()
-	all := !*t1 && !*t2 && !*f5
+	all := !*t1 && !*t2 && !*f5 && !*ck
 
 	var rows1 []experiments.Table1Row
 	var rows2 []experiments.Table2Row
 	var rows5 []experiments.Figure5Row
+	var rowsC []experiments.CheckerRow
 	if *t1 || all {
 		var err error
 		rows1, err = experiments.Table1()
@@ -56,8 +60,17 @@ func main() {
 		}
 		experiments.PrintFigure5(os.Stdout, rows5)
 	}
+	if *ck || all {
+		var err error
+		rowsC, err = experiments.CheckerTable()
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		os.Stdout.WriteString("\n")
+		experiments.PrintCheckerTable(os.Stdout, rowsC)
+	}
 	if *jsonPath != "" {
-		report := experiments.NewReport(rows1, rows2, rows5)
+		report := experiments.NewReport(rows1, rows2, rows5, rowsC)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

@@ -1,0 +1,105 @@
+// llvm-check runs the static memory-safety and IR-lint checker over one or
+// more modules (text or bytecode) and prints positioned diagnostics.
+//
+// Usage:
+//
+//	llvm-check [-json] [-min-severity S] [-no-lint] [-j N] [-stats] input...
+//
+// Diagnostics carry the same fn/block/inst positions the execution
+// sandbox's traps use, so a prediction and an observed fault can be
+// compared line for line. Exit status: 0 when no error-severity
+// diagnostics were found, 1 when at least one error was reported, 2 when
+// an input failed to load or the checker itself failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/tooling"
+)
+
+// fileReport is the JSON shape of one input's results.
+type fileReport struct {
+	File        string            `json:"file"`
+	Diagnostics []diag.Diagnostic `json:"diagnostics"`
+	Stats       checker.Stats     `json:"stats"`
+}
+
+func main() {
+	defer tooling.ExitOnPanic("llvm-check")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	minSev := flag.String("min-severity", "warning", "lowest severity to report: warning or error")
+	noLint := flag.Bool("no-lint", false, "suppress lint kinds (unreachable-code, dead-store)")
+	jobs := flag.Int("j", 0, "per-function analysis parallelism (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print per-file checker statistics to stderr")
+	noVerify := flag.Bool("no-verify", false, "check even modules the verifier rejects")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		tooling.Fatalf("usage: llvm-check [flags] input...")
+	}
+	min, err := diag.ParseSeverity(*minSev)
+	if err != nil {
+		tooling.Fatalf("llvm-check: %v", err)
+	}
+
+	exit := 0
+	var jsonReports []fileReport
+	for _, path := range flag.Args() {
+		m, err := tooling.LoadModule(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llvm-check: %v\n", err)
+			exit = 2
+			continue
+		}
+		if err := core.Verify(m); err != nil {
+			if !*noVerify {
+				fmt.Fprintf(os.Stderr, "llvm-check: %s: module invalid: %v\n", path, err)
+				exit = 2
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "llvm-check: %s: warning: module fails verification, results may be partial: %v\n", path, err)
+		}
+		c := checker.New()
+		c.Parallelism = *jobs
+		c.MinSeverity = min
+		c.NoLint = *noLint
+		rep, err := c.Check(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llvm-check: %s: %v\n", path, err)
+			exit = 2
+			continue
+		}
+		if rep.Stats.Errors > 0 && exit == 0 {
+			exit = 1
+		}
+		if *jsonOut {
+			jsonReports = append(jsonReports, fileReport{File: path, Diagnostics: rep.Diags, Stats: rep.Stats})
+		} else {
+			for _, d := range rep.Diags {
+				fmt.Printf("%s: %s\n", path, d)
+			}
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "%s: %d functions, %d diagnostics (%d errors) in %v; analyses: %d hit / %d miss\n",
+				path, rep.Stats.Functions, rep.Stats.Diagnostics, rep.Stats.Errors,
+				rep.Stats.Duration.Round(1000), rep.Stats.CacheHits, rep.Stats.CacheMisses)
+			for _, k := range diag.SortKinds(rep.Stats.ByKind) {
+				fmt.Fprintf(os.Stderr, "  %-20s %d\n", k, rep.Stats.ByKind[k])
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReports); err != nil {
+			tooling.Fatalf("llvm-check: %v", err)
+		}
+	}
+	os.Exit(exit)
+}

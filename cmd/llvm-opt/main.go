@@ -3,7 +3,7 @@
 // Usage:
 //
 //	llvm-opt [-std] [-linktime] [-passes mem2reg,dge,...] [-policy P]
-//	         [-pass-timeout D] [-j N] [-time] [-o out] input
+//	         [-pass-timeout D] [-j N] [-time] [-check] [-o out] input
 //
 // -std runs the standard per-function clean-up pipeline (§3.2); -linktime
 // runs the link-time interprocedural pipeline (§3.3); -passes selects
@@ -13,7 +13,11 @@
 // known-good module, skip discards the failed pass's changes and keeps
 // going. -pass-timeout bounds each pass's wall-clock time. -j selects how
 // many functions a function pass transforms concurrently (default
-// GOMAXPROCS); output is identical at any setting.
+// GOMAXPROCS); output is identical at any setting. -check runs the static
+// memory-safety checker before and after the pipeline and diffs the two
+// reports: findings the pipeline fixed and findings it introduced are
+// printed, and a pipeline that introduces a new error-severity finding is
+// treated as a miscompile (nonzero exit).
 package main
 
 import (
@@ -23,7 +27,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/checker"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/passes"
 	"repro/internal/tooling"
 )
@@ -36,6 +43,7 @@ func main() {
 	policy := flag.String("policy", "failfast", "pass-failure policy: failfast, skip, or rollback")
 	passTimeout := flag.Duration("pass-timeout", 0, "per-pass wall-clock budget (0 = none), e.g. 30s")
 	timing := flag.Bool("time", false, "report per-pass timings, change counts, and analysis cache activity")
+	check := flag.Bool("check", false, "run the static checker before and after the pipeline and diff the diagnostics")
 	jobs := flag.Int("j", 0, "function-pass parallelism (0 = GOMAXPROCS, 1 = serial)")
 	binary := flag.Bool("b", false, "write bytecode instead of text")
 	out := flag.String("o", "-", "output file")
@@ -80,6 +88,21 @@ func main() {
 			pm.Add(p)
 		}
 	}
+	var chk *checker.Checker
+	var preRep *checker.Report
+	if *check {
+		if pm.AM == nil {
+			pm.AM = analysis.NewManager()
+		}
+		chk = checker.New()
+		chk.AM = pm.AM
+		chk.Parallelism = *jobs
+		var err error
+		preRep, err = chk.Check(m)
+		if err != nil {
+			tooling.Fatalf("llvm-opt: pre-pipeline check: %v", err)
+		}
+	}
 	_, runErr := pm.Run(m)
 	reportFailures(pm)
 	if runErr != nil {
@@ -97,8 +120,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-16s analysis cache: %d hits, %d misses, %d invalidations\n",
 			"total", s.Hits, s.Misses, s.Invalidations)
 	}
+	if *check {
+		postRep, err := chk.Check(m)
+		if err != nil {
+			tooling.Fatalf("llvm-opt: post-pipeline check: %v", err)
+		}
+		reportCheckDiff(preRep, postRep, *timing)
+	}
 	if err := tooling.SaveModule(*out, m, *binary); err != nil {
 		tooling.Fatalf("llvm-opt: %v", err)
+	}
+}
+
+// reportCheckDiff compares the checker reports from before and after the
+// pipeline. Diagnostics that disappeared are defects the optimizer removed
+// (dead stores eliminated, unreachable blocks pruned) — reported as fixed.
+// Diagnostics that appeared are suspicious: a transformation introduced
+// behavior the input did not have. New warnings are reported but tolerated
+// (optimizations legitimately reshape code); a NEW error-severity finding
+// means the pipeline manufactured a provable memory-safety defect, which is
+// treated as a miscompile and aborts with a nonzero exit.
+func reportCheckDiff(pre, post *checker.Report, timing bool) {
+	removed, added := diag.Diff(pre.Diags, post.Diags)
+	for _, d := range removed {
+		fmt.Fprintf(os.Stderr, "llvm-opt: check: fixed by pipeline: %s\n", d)
+	}
+	for _, d := range added {
+		fmt.Fprintf(os.Stderr, "llvm-opt: check: introduced by pipeline: %s\n", d)
+	}
+	if timing {
+		fmt.Fprintf(os.Stderr, "%-16s %d before, %d after (%d fixed, %d introduced)  %12v  analyses: %d hit / %d miss\n",
+			"check", len(pre.Diags), len(post.Diags), len(removed), len(added),
+			pre.Stats.Duration+post.Stats.Duration,
+			pre.Stats.CacheHits+post.Stats.CacheHits,
+			pre.Stats.CacheMisses+post.Stats.CacheMisses)
+	}
+	if n := diag.CountErrors(added); n > 0 {
+		tooling.Fatalf("llvm-opt: check: pipeline introduced %d error(s) not present in the input (possible miscompile)", n)
 	}
 }
 

@@ -1,0 +1,18 @@
+; Seeded bug, interprocedural: %destroy's summary proves it frees its
+; argument on every path, so the caller's own free is a definite double
+; free. The interpreter traps at the same position (ErrDoubleFree).
+
+internal void %destroy(int* %p) {
+entry:
+	free int* %p
+	ret void
+}
+
+int %main() {
+entry:
+	%p = malloc int
+	store int 1, int* %p
+	call void %destroy(int* %p)
+	free int* %p
+	ret int 0
+}

@@ -1,0 +1,11 @@
+; Seeded bug: free of stack memory. The paper's memory model gives malloc
+; and alloca distinct lifetimes; releasing a stack slot through free is
+; always wrong.
+
+int %main() {
+entry:
+	%a = alloca int
+	store int 3, int* %a
+	free int* %a
+	ret int 0
+}

@@ -1,0 +1,8 @@
+; Seeded bug: load through a pointer that is null on every path.
+; The interpreter traps with ErrNullDeref at the same fn/block/inst.
+
+int %main() {
+entry:
+	%v = load int* null
+	ret int %v
+}

@@ -1,0 +1,8 @@
+; Seeded bug: the alloca is read before any store reaches it on any path.
+
+int %main() {
+entry:
+	%a = alloca int
+	%v = load int* %a
+	ret int %v
+}

@@ -1,0 +1,13 @@
+; Seeded bug: %p is freed on every path before the load.
+; llvm-check reports: error: use-after-free at 'load int* %p'.
+; The interpreter does NOT trap here (its arena only bounds-checks),
+; which is exactly why the static checker exists.
+
+int %main() {
+entry:
+	%p = malloc int
+	store int 7, int* %p
+	free int* %p
+	%v = load int* %p
+	ret int %v
+}

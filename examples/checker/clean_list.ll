@@ -1,0 +1,54 @@
+; Clean program: builds a three-node linked list, sums it behind a null
+; guard, then frees every node exactly once. llvm-check must stay silent —
+; the free-in-loop pattern is the classic noise source for naive checkers.
+
+%node = type { int, %node* }
+
+internal %node* %push(%node* %head, int %v) {
+entry:
+	%n = malloc %node
+	%vp = getelementptr %node* %n, long 0, ubyte 0
+	store int %v, int* %vp
+	%np = getelementptr %node* %n, long 0, ubyte 1
+	store %node* %head, %node** %np
+	ret %node* %n
+}
+
+int %main() {
+entry:
+	%h0 = call %node* %push(%node* null, int 1)
+	%h1 = call %node* %push(%node* %h0, int 2)
+	%h2 = call %node* %push(%node* %h1, int 3)
+	br label %sum
+
+sum:
+	%p = phi %node* [ %h2, %entry ], [ %nx, %body ]
+	%acc = phi int [ 0, %entry ], [ %acc2, %body ]
+	%c = setne %node* %p, null
+	br bool %c, label %body, label %freeinit
+
+body:
+	%vp = getelementptr %node* %p, long 0, ubyte 0
+	%v = load int* %vp
+	%acc2 = add int %acc, %v
+	%npp = getelementptr %node* %p, long 0, ubyte 1
+	%nx = load %node** %npp
+	br label %sum
+
+freeinit:
+	br label %floop
+
+floop:
+	%q = phi %node* [ %h2, %freeinit ], [ %qn, %fbody ]
+	%fc = setne %node* %q, null
+	br bool %fc, label %fbody, label %done
+
+fbody:
+	%qnp = getelementptr %node* %q, long 0, ubyte 1
+	%qn = load %node** %qnp
+	free %node* %q
+	br label %floop
+
+done:
+	ret int %acc
+}

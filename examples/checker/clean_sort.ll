@@ -1,0 +1,51 @@
+; Clean program: fills a stack array through getelementptr, then sums it.
+; Exercises alloca init tracking through interior pointers and loop-carried
+; counters held in memory.
+
+int %main() {
+entry:
+	%buf = alloca [8 x int]
+	%i = alloca int
+	%s = alloca int
+	store int 0, int* %i
+	store int 0, int* %s
+	br label %fill
+
+fill:
+	%iv = load int* %i
+	%c = setlt int %iv, 8
+	br bool %c, label %fillbody, label %sumloop
+
+fillbody:
+	%ix = cast int %iv to long
+	%slot = getelementptr [8 x int]* %buf, long 0, long %ix
+	%v7 = mul int %iv, 7
+	store int %v7, int* %slot
+	%i2 = add int %iv, 1
+	store int %i2, int* %i
+	br label %fill
+
+sumloop:
+	store int 0, int* %i
+	br label %sloop
+
+sloop:
+	%j = load int* %i
+	%c2 = setlt int %j, 8
+	br bool %c2, label %sbody, label %done
+
+sbody:
+	%jx = cast int %j to long
+	%sl = getelementptr [8 x int]* %buf, long 0, long %jx
+	%e = load int* %sl
+	%cur = load int* %s
+	%ns = add int %cur, %e
+	store int %ns, int* %s
+	%j2 = add int %j, 1
+	store int %j2, int* %i
+	br label %sloop
+
+done:
+	%r = load int* %s
+	ret int %r
+}

@@ -1,0 +1,19 @@
+; Clean program: global string constants, constant getelementptr, and an
+; external varargs call. External callees may read and write through
+; pointers they receive but can never free them (free is a first-class
+; instruction), so no spurious diagnostics may appear.
+
+%fmt = internal constant [4 x sbyte] c"%d\0A\00"
+
+declare int %printf(sbyte*, ...)
+
+int %main() {
+entry:
+	%h = malloc int
+	store int 42, int* %h
+	%s = getelementptr [4 x sbyte]* %fmt, long 0, long 0
+	%v = load int* %h
+	%r = call int (sbyte*, ...)* %printf(sbyte* %s, int %v)
+	free int* %h
+	ret int 0
+}

@@ -26,12 +26,55 @@ const (
 // (never edits edges, calls, or the function list) preserves everything; a
 // pass that restructures control flow preserves nothing per-function but may
 // still keep the module-level call graph.
+//
+// Extension analyses registered with NewModuleKey take bits above the
+// built-in ones and are deliberately NOT part of PreserveAll: a pass that
+// claims "preserves all" still invalidates extension analyses it has never
+// heard of, which is the conservative direction.
 const (
 	PreserveNone           Preserved = 0
 	PreserveCFG                      = PreserveDomTree | PreserveDomFrontier | PreserveLoopInfo
 	PreserveModuleAnalyses           = PreserveCallGraph | PreserveModRef
 	PreserveAll                      = PreserveCFG | PreserveModuleAnalyses
 )
+
+// numBuiltinPreserved is the count of built-in Preserved bits above.
+const numBuiltinPreserved = 5
+
+// ModuleKey identifies an extension module-level analysis cached by the
+// Manager on behalf of a package outside internal/analysis (the static
+// checker's interprocedural summaries, DSA results, ...). Each key owns one
+// Preserved bit, so a pass that keeps the analysis valid can declare it in
+// Preserves() by OR-ing in key.Mask(); every other pass invalidates it.
+type ModuleKey struct {
+	name string
+	mask Preserved
+}
+
+var (
+	extBitMu   sync.Mutex
+	nextExtBit = numBuiltinPreserved
+)
+
+// NewModuleKey registers a new extension analysis and allocates its
+// Preserved bit. Keys are created once per analysis at package init; the 32
+// bits of Preserved bound the total number of analyses.
+func NewModuleKey(name string) *ModuleKey {
+	extBitMu.Lock()
+	defer extBitMu.Unlock()
+	if nextExtBit >= 32 {
+		panic("analysis.NewModuleKey: out of Preserved bits")
+	}
+	k := &ModuleKey{name: name, mask: 1 << uint(nextExtBit)}
+	nextExtBit++
+	return k
+}
+
+// Name returns the analysis name the key was registered with.
+func (k *ModuleKey) Name() string { return k.name }
+
+// Mask returns the key's Preserved bit for use in Preserves() claims.
+func (k *ModuleKey) Mask() Preserved { return k.mask }
 
 // Stats is a snapshot of the manager's cache counters.
 type Stats struct {
@@ -69,6 +112,7 @@ type Manager struct {
 	cg       *CallGraph
 	mrModule *core.Module
 	modref   map[*core.Function]*ModRefInfo
+	ext      map[*ModuleKey]*extEntry
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
@@ -90,6 +134,45 @@ func (am *Manager) Stats() Stats {
 		Misses:        am.misses.Load(),
 		Invalidations: am.invalidations.Load(),
 	}
+}
+
+// extEntry caches one extension analysis's result. Like funcEntry, its
+// mutex serializes compute per key while letting different analyses (and
+// the built-in ones) proceed concurrently.
+type extEntry struct {
+	mu  sync.Mutex
+	mod *core.Module
+	val interface{}
+}
+
+// ModuleExt returns the cached result of the extension analysis key for m,
+// calling compute on a miss (or on a cached result for a different module —
+// the pass manager runs isolated passes against scratch clones). On a nil
+// manager it computes fresh and caches nothing.
+func (am *Manager) ModuleExt(key *ModuleKey, m *core.Module, compute func(*core.Module) interface{}) interface{} {
+	if am == nil {
+		return compute(m)
+	}
+	am.mu.Lock()
+	if am.ext == nil {
+		am.ext = map[*ModuleKey]*extEntry{}
+	}
+	e := am.ext[key]
+	if e == nil {
+		e = &extEntry{}
+		am.ext[key] = e
+	}
+	am.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.val != nil && e.mod == m {
+		am.hits.Add(1)
+		return e.val
+	}
+	am.misses.Add(1)
+	e.val = compute(m)
+	e.mod = m
+	return e.val
 }
 
 // entry returns (creating if needed) the cache slot for f.
@@ -264,10 +347,25 @@ func (am *Manager) InvalidateModule(preserved Preserved) {
 			entries = append(entries, e)
 		}
 	}
+	var exts []*extEntry
+	for key, e := range am.ext {
+		if preserved&key.mask == 0 {
+			exts = append(exts, e)
+		}
+	}
 	am.mu.Unlock()
 	for _, e := range entries {
 		e.mu.Lock()
 		am.invalidateEntryLocked(e, preserved)
+		e.mu.Unlock()
+	}
+	for _, e := range exts {
+		e.mu.Lock()
+		if e.val != nil {
+			e.val = nil
+			e.mod = nil
+			am.invalidations.Add(1)
+		}
 		e.mu.Unlock()
 	}
 }
@@ -298,5 +396,18 @@ func (am *Manager) Prune(m *core.Module) {
 		am.mrModule = nil
 		am.invalidations.Add(1)
 	}
+	var exts []*extEntry
+	for _, e := range am.ext {
+		exts = append(exts, e)
+	}
 	am.mu.Unlock()
+	for _, e := range exts {
+		e.mu.Lock()
+		if e.val != nil && e.mod != m {
+			e.val = nil
+			e.mod = nil
+			am.invalidations.Add(1)
+		}
+		e.mu.Unlock()
+	}
 }

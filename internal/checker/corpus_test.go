@@ -1,0 +1,81 @@
+package checker
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/diag"
+)
+
+// The examples/checker corpus is the acceptance gate: every bug_* program
+// must produce at least one error of the kind its filename names, and every
+// clean_* program must produce no diagnostics at all — not even warnings.
+// CI runs the llvm-check binary over the same files.
+
+var corpusKinds = map[string]string{
+	"bug_use_after_free": KindUseAfterFree,
+	"bug_double_free":    KindDoubleFree,
+	"bug_uninit_load":    KindUninitLoad,
+	"bug_null_deref":     KindNullDeref,
+	"bug_free_of_alloca": KindFreeOfStack,
+}
+
+func TestExamplesCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "checker", "*.ll"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v (files=%d)", err, len(files))
+	}
+	sawBug, sawClean := 0, 0
+	for _, path := range files {
+		path := path
+		base := strings.TrimSuffix(filepath.Base(path), ".ll")
+		t.Run(base, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := asm.ParseModule(base, string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := core.Verify(m); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			rep, err := New().Check(m)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			switch {
+			case strings.HasPrefix(base, "bug_"):
+				sawBug++
+				kind, ok := corpusKinds[base]
+				if !ok {
+					t.Fatalf("bug file %s has no expected kind registered", base)
+				}
+				found := false
+				for _, d := range rep.Diags {
+					if d.Kind == kind && d.Sev == diag.Error {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("want %s error, got:\n%s", kind, renderAll(rep))
+				}
+			case strings.HasPrefix(base, "clean_"):
+				sawClean++
+				if len(rep.Diags) != 0 {
+					t.Fatalf("clean program produced diagnostics:\n%s", renderAll(rep))
+				}
+			default:
+				t.Fatalf("corpus file %s must be bug_* or clean_*", base)
+			}
+		})
+	}
+	if sawBug == 0 || sawClean == 0 {
+		t.Fatalf("corpus must contain both bug and clean programs (bug=%d clean=%d)", sawBug, sawClean)
+	}
+}

@@ -1,0 +1,52 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// FuzzCheck: any module the parser accepts must flow through the checker
+// without taking the process down — Check either returns a report or a
+// recovered error, never a panic (the PR-1 hostile-input contract). The
+// checker runs even on modules the verifier rejects: llvm-check is a
+// diagnostic tool, and half-formed IR is exactly when users reach for it.
+func FuzzCheck(f *testing.F) {
+	f.Add(mixedModule)
+	f.Add(`
+int %main() {
+entry:
+	%p = malloc int
+	free int* %p
+	%v = load int* %p
+	ret int %v
+}
+`)
+	f.Add(`
+%g = global int* null
+internal void %r() {
+entry:
+	%p = load int** %g
+	free int* %p
+	ret void
+}
+void %main() {
+entry:
+	call void %r()
+	ret void
+}
+`)
+	f.Add("int %m() {\nentry:\n\tret int 0\n}\n")
+	f.Add("declare void %x()\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := asm.ParseModule("fuzz", src)
+		if err != nil {
+			return
+		}
+		c := New()
+		rep, err := c.Check(m)
+		if err == nil && rep == nil {
+			t.Fatal("Check returned nil report and nil error")
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Interprocedural function summaries, computed bottom-up over the call
+// graph. A summary answers the questions the intraprocedural dataflow asks
+// at a call site: which pointer arguments may/must be freed or written, may
+// the callee free *any* heap object it can reach, do its returned pointers
+// always denote fresh heap memory, and may they be null.
+package checker
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// funcSummary is the call-effect summary of one defined function. Indexed
+// fields are per-parameter (pointer params only carry meaning).
+type funcSummary struct {
+	mayFreeArg    []bool // the object arg i points to may be freed
+	mustFreeArg   []bool // ... is freed on every path to a return
+	storesToArg   []bool // the callee may write through arg i
+	escapesArg    []bool // arg i may be retained past the call (stored/returned)
+	mayFreeAny    bool   // may free some object reachable through memory
+	returnsFresh  bool   // every returned pointer is fresh heap memory
+	mayReturnNull bool   // some return may yield null
+}
+
+// conservativeSummary is the worst-case assumption for callees without a
+// computed summary: recursive SCC members on the first visit. External
+// declarations are handled separately (they may write and retain pointers
+// but can never free: free is a first-class IR instruction, so only defined
+// functions release memory).
+func conservativeSummary(f *core.Function) *funcSummary {
+	n := len(f.Args)
+	s := &funcSummary{
+		mayFreeArg:  make([]bool, n),
+		mustFreeArg: make([]bool, n),
+		storesToArg: make([]bool, n),
+		escapesArg:  make([]bool, n),
+		mayFreeAny:  true,
+	}
+	for i, a := range f.Args {
+		if a.Type().Kind() == core.PointerKind {
+			s.mayFreeArg[i] = true
+			s.storesToArg[i] = true
+			s.escapesArg[i] = true
+		}
+	}
+	return s
+}
+
+// summaryFor looks up the summary of a direct callee; nil means "no usable
+// summary" (external, indirect, or not yet computed).
+func (fc *fnCtx) summaryFor(f *core.Function) *funcSummary {
+	if f == nil || f.IsDeclaration() {
+		return nil
+	}
+	return fc.sums[f]
+}
+
+// computeSummaries runs the dataflow over every defined function in
+// call-graph post-order (callees before callers) and extracts summaries.
+// Recursive cycles see conservativeSummary for the not-yet-visited members,
+// which only weakens claims (adds may-bits), never fabricates definite ones.
+func (c *Checker) computeSummaries(m *core.Module, cg *analysis.CallGraph, mr map[*core.Function]*analysis.ModRefInfo) map[*core.Function]*funcSummary {
+	sums := map[*core.Function]*funcSummary{}
+	order := cg.PostOrder()
+	seen := map[*core.Function]bool{}
+	for _, f := range order {
+		seen[f] = true
+	}
+	// PostOrder covers functions reachable from roots; sweep up the rest
+	// (address-taken-only or dead functions) in module order afterwards.
+	for _, f := range m.Funcs {
+		if !seen[f] {
+			order = append(order, f)
+		}
+	}
+	for _, f := range order {
+		if f.IsDeclaration() {
+			continue
+		}
+		fc := c.newFnCtx(f, sums, mr)
+		fc.analyze()
+		sums[f] = fc.extractSummary()
+	}
+	return sums
+}
+
+// extractSummary reads the summary facts out of a completed dataflow run.
+func (fc *fnCtx) extractSummary() *funcSummary {
+	f := fc.f
+	n := len(f.Args)
+	s := &funcSummary{
+		mayFreeArg:  make([]bool, n),
+		mustFreeArg: make([]bool, n),
+		storesToArg: make([]bool, n),
+		escapesArg:  make([]bool, n),
+		mayFreeAny:  fc.mayFreeAny,
+	}
+	for i := range f.Args {
+		s.mayFreeArg[i] = fc.argMayFree[i]
+		s.storesToArg[i] = fc.argStored[i]
+	}
+	for _, st := range fc.sites {
+		if st.kind == siteArg && st.escaped {
+			s.escapesArg[st.argIndex] = true
+		}
+	}
+
+	// Return-site facts: must-free of arguments and freshness/nullness of
+	// returned pointers are judged at every reachable return.
+	retsSeen := 0
+	mustFree := make([]bool, n)
+	for i := range mustFree {
+		mustFree[i] = true
+	}
+	fresh := true
+	returnsPtr := f.Sig.Ret != nil && f.Sig.Ret.Kind() == core.PointerKind
+	for _, b := range f.Blocks {
+		if !fc.reach[b] {
+			continue
+		}
+		ret, ok := b.Terminator().(*core.RetInst)
+		if !ok {
+			continue
+		}
+		retsSeen++
+		exit := fc.stateAtExit(b)
+		for _, st := range fc.sites {
+			if st.kind == siteArg && exit[st.idx] != stFreed {
+				mustFree[st.argIndex] = false
+			}
+		}
+		if returnsPtr {
+			if v := ret.Value(); v != nil {
+				o := fc.resolve(v)
+				if o.null {
+					s.mayReturnNull = true
+				}
+				if o.global || o.unknown {
+					fresh = false
+				}
+				for _, si := range o.sites {
+					if fc.sites[si].kind != siteMalloc {
+						fresh = false
+					}
+				}
+				if len(o.sites) == 0 && !o.null {
+					fresh = false // returns nothing we can vouch for
+				}
+			} else {
+				fresh = false
+			}
+		}
+	}
+	if retsSeen > 0 {
+		for i, a := range f.Args {
+			if a.Type().Kind() == core.PointerKind && mustFree[i] {
+				s.mustFreeArg[i] = true
+			}
+		}
+	}
+	s.returnsFresh = returnsPtr && retsSeen > 0 && fresh
+	return s
+}

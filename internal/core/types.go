@@ -261,6 +261,29 @@ func IsFloatingPoint(t Type) bool {
 // IsArithmetic reports whether t supports the arithmetic binary operators.
 func IsArithmetic(t Type) bool { return IsInteger(t) || IsFloatingPoint(t) }
 
+// IsSized reports whether objects of type t have a well-defined allocation
+// size: primitives except void and label, pointers, and aggregates built
+// from sized types. Function and opaque types are unsized — they cannot be
+// allocated, loaded, stored, or freed by value.
+func IsSized(t Type) bool {
+	switch tt := t.(type) {
+	case *PrimitiveType:
+		return tt.kind != VoidKind && tt.kind != LabelKind
+	case *PointerType:
+		return true
+	case *ArrayType:
+		return IsSized(tt.Elem)
+	case *StructType:
+		for _, f := range tt.Fields {
+			if !IsSized(f) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // IsFirstClass reports whether values of type t can live in virtual
 // registers: bool, the integers, the floats, and pointers.
 func IsFirstClass(t Type) bool {

@@ -158,16 +158,27 @@ func (v *verifier) verifyInst(inst Instruction, inFunc map[*BasicBlock]bool) {
 		v.verifyBinary(i)
 	case *MallocInst:
 		v.verifyAllocSize(i.Opcode(), i.NumElems())
+		if !IsSized(i.AllocType) {
+			v.errf("malloc of unsized type %s", i.AllocType)
+		}
 	case *AllocaInst:
 		v.verifyAllocSize(i.Opcode(), i.NumElems())
+		if !IsSized(i.AllocType) {
+			v.errf("alloca of unsized type %s", i.AllocType)
+		}
 	case *FreeInst:
-		if i.Ptr().Type().Kind() != PointerKind {
+		pt, ok := i.Ptr().Type().(*PointerType)
+		if !ok {
 			v.errf("free of non-pointer type %s", i.Ptr().Type())
+		} else if !IsSized(pt.Elem) {
+			v.errf("free through %s: pointee %s has no allocation size", i.Ptr().Type(), pt.Elem)
 		}
 	case *LoadInst:
 		pt, ok := i.Ptr().Type().(*PointerType)
 		if !ok {
 			v.errf("load from non-pointer type %s", i.Ptr().Type())
+		} else if pt.Elem.Kind() == VoidKind {
+			v.errf("load through void*-typed address: void values cannot be loaded")
 		} else if !TypesEqual(pt.Elem, i.Type()) {
 			v.errf("load result type %s does not match pointee %s", i.Type(), pt.Elem)
 		} else if !IsFirstClass(pt.Elem) {
@@ -177,6 +188,8 @@ func (v *verifier) verifyInst(inst Instruction, inFunc map[*BasicBlock]bool) {
 		pt, ok := i.Ptr().Type().(*PointerType)
 		if !ok {
 			v.errf("store to non-pointer type %s", i.Ptr().Type())
+		} else if pt.Elem.Kind() == VoidKind {
+			v.errf("store through void*-typed address: void values cannot be stored")
 		} else if !TypesEqual(pt.Elem, i.Val().Type()) {
 			v.errf("store of %s through %s", i.Val().Type(), i.Ptr().Type())
 		} else if !IsFirstClass(i.Val().Type()) {

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression tests for the memory-instruction preconditions the static
+// checker relies on: free takes a sized-pointee pointer, loads and stores
+// never go through void*, and allocations have a computable size.
+
+// badFn builds a void function whose entry block runs build() then returns,
+// and asserts Verify rejects it with a message containing want.
+func badFn(t *testing.T, want string, build func(bb *BasicBlock)) {
+	t.Helper()
+	m := NewModule("bad")
+	f := NewFunction("f", NewFunctionType(VoidType))
+	m.AddFunc(f)
+	bb := NewBlock("entry")
+	f.AddBlock(bb)
+	build(bb)
+	bb.Append(NewRet(nil))
+	err := Verify(m)
+	if err == nil {
+		t.Fatalf("verifier accepted invalid IR, want %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestVerifierRejectsFreeOfNonPointer(t *testing.T) {
+	badFn(t, "free of non-pointer", func(bb *BasicBlock) {
+		bb.Append(NewFree(NewInt(IntType, 3)))
+	})
+}
+
+func TestVerifierRejectsFreeThroughVoidPtr(t *testing.T) {
+	badFn(t, "no allocation size", func(bb *BasicBlock) {
+		p := NewMalloc(IntType, nil)
+		bb.Append(p)
+		c := NewCast(p, NewPointer(VoidType))
+		bb.Append(c)
+		bb.Append(NewFree(c))
+	})
+}
+
+func TestVerifierRejectsFreeOfFunctionPointer(t *testing.T) {
+	badFn(t, "no allocation size", func(bb *BasicBlock) {
+		g := NewFunction("g", NewFunctionType(VoidType))
+		bb.Parent().Parent().AddFunc(g)
+		bb.Append(NewFree(g))
+	})
+}
+
+func TestVerifierRejectsLoadThroughVoidPtr(t *testing.T) {
+	badFn(t, "void*-typed address", func(bb *BasicBlock) {
+		p := NewMalloc(IntType, nil)
+		bb.Append(p)
+		c := NewCast(p, NewPointer(VoidType))
+		bb.Append(c)
+		bb.Append(NewLoad(c))
+	})
+}
+
+func TestVerifierRejectsStoreThroughVoidPtr(t *testing.T) {
+	badFn(t, "store through void*", func(bb *BasicBlock) {
+		p := NewMalloc(IntType, nil)
+		bb.Append(p)
+		c := NewCast(p, NewPointer(VoidType))
+		bb.Append(c)
+		bb.Append(NewStore(NewInt(IntType, 1), c))
+	})
+}
+
+func TestVerifierRejectsUnsizedMalloc(t *testing.T) {
+	badFn(t, "malloc of unsized", func(bb *BasicBlock) {
+		bb.Append(NewMalloc(VoidType, nil))
+	})
+}
+
+func TestVerifierRejectsUnsizedAlloca(t *testing.T) {
+	badFn(t, "alloca of unsized", func(bb *BasicBlock) {
+		bb.Append(NewAlloca(NewFunctionType(VoidType), nil))
+	})
+}
+
+func TestVerifierAcceptsSizedAllocAndFree(t *testing.T) {
+	m := NewModule("ok")
+	f := NewFunction("f", NewFunctionType(VoidType))
+	m.AddFunc(f)
+	bb := NewBlock("entry")
+	f.AddBlock(bb)
+	st := NewStruct(IntType, NewPointer(IntType))
+	p := NewMalloc(st, nil)
+	bb.Append(p)
+	bb.Append(NewFree(p))
+	bb.Append(NewRet(nil))
+	if err := Verify(m); err != nil {
+		t.Fatalf("valid IR rejected: %v", err)
+	}
+}
+
+func TestIsSized(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want bool
+	}{
+		{IntType, true},
+		{VoidType, false},
+		{LabelType, false},
+		{NewPointer(VoidType), true}, // the pointer itself is sized
+		{NewArray(IntType, 4), true},
+		{NewStruct(IntType, DoubleType), true},
+		{NewFunctionType(IntType), false},
+	}
+	for _, c := range cases {
+		if got := IsSized(c.t); got != c.want {
+			t.Errorf("IsSized(%s) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}

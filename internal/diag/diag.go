@@ -1,0 +1,180 @@
+// Package diag defines the positioned-diagnostic vocabulary shared by the
+// toolchain's fault reporters: the static checker (internal/checker) emits
+// Diagnostics, and the execution engine's typed Traps (internal/interp)
+// carry the same Pos, so a predicted fault and an observed one can be
+// compared at the same fn/block/inst coordinates.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks diagnostics. Errors are defects proven on every execution
+// reaching the position (the checker's zero-false-error contract); warnings
+// flag possible defects and code-quality findings.
+type Severity int
+
+// Severity levels, in increasing order.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// ParseSeverity converts a command-line spelling to a Severity.
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "warning", "warn", "w":
+		return Warning, nil
+	case "error", "err", "e":
+		return Error, nil
+	}
+	return 0, fmt.Errorf("unknown severity %q (want warning or error)", s)
+}
+
+// Pos locates a diagnostic in the IR the way the interpreter's Trap locates
+// a runtime fault: function name, basic-block name, and the rendered
+// instruction. Any field may be empty when unknown (e.g. a module-level
+// finding has no block).
+type Pos struct {
+	Fn    string `json:"fn"`              // function name, without the % sigil
+	Block string `json:"block,omitempty"` // basic block label ("" if unnamed/unknown)
+	Inst  string `json:"inst,omitempty"`  // rendered instruction ("" if not instruction-level)
+}
+
+// String renders the position in the Trap spelling:
+// "in %f, block %bb, at 'load int* %p'".
+func (p Pos) String() string {
+	if p.Fn == "" {
+		return ""
+	}
+	msg := "in %" + p.Fn
+	if p.Block != "" {
+		msg += ", block %" + p.Block
+	}
+	if p.Inst != "" {
+		msg += ", at '" + p.Inst + "'"
+	}
+	return msg
+}
+
+// Diagnostic is one finding: what kind of defect, how certain, where, and a
+// human-readable explanation.
+type Diagnostic struct {
+	// Kind is a stable machine-readable category, e.g. "use-after-free",
+	// "double-free", "free-of-stack", "uninitialized-load", "null-deref",
+	// "unreachable-code", "dead-store".
+	Kind string   `json:"kind"`
+	Sev  Severity `json:"-"`
+	// Severity is the JSON spelling of Sev.
+	Severity string `json:"severity"`
+	Pos      Pos    `json:"pos"`
+	Msg      string `json:"message"`
+}
+
+// New constructs a diagnostic, filling the JSON severity spelling.
+func New(kind string, sev Severity, pos Pos, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{
+		Kind:     kind,
+		Sev:      sev,
+		Severity: sev.String(),
+		Pos:      pos,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
+// String renders "error: use-after-free: <msg> in %f, block %b, at '...'".
+func (d Diagnostic) String() string {
+	s := d.Sev.String() + ": " + d.Kind + ": " + d.Msg
+	if loc := d.Pos.String(); loc != "" {
+		s += " " + loc
+	}
+	return s
+}
+
+// Key is a stable identity for set-diffing two reports: kind, severity, and
+// position. Two runs of the checker over the same module produce the same
+// keys regardless of worker count.
+func (d Diagnostic) Key() string {
+	return d.Kind + "\x00" + d.Sev.String() + "\x00" + d.Pos.Fn + "\x00" + d.Pos.Block + "\x00" + d.Pos.Inst
+}
+
+// CountByKind tallies diagnostics per kind.
+func CountByKind(ds []Diagnostic) map[string]int {
+	out := map[string]int{}
+	for _, d := range ds {
+		out[d.Kind]++
+	}
+	return out
+}
+
+// CountErrors returns how many diagnostics are errors.
+func CountErrors(ds []Diagnostic) int {
+	n := 0
+	for _, d := range ds {
+		if d.Sev == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter returns the diagnostics at or above min severity.
+func Filter(ds []Diagnostic, min Severity) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds {
+		if d.Sev >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Diff compares two reports by Key and returns the diagnostics only in a
+// (removed) and only in b (added), each in their original order. Duplicate
+// keys are matched by multiplicity.
+func Diff(a, b []Diagnostic) (removed, added []Diagnostic) {
+	count := map[string]int{}
+	for _, d := range a {
+		count[d.Key()]++
+	}
+	for _, d := range b {
+		if count[d.Key()] > 0 {
+			count[d.Key()]--
+		} else {
+			added = append(added, d)
+		}
+	}
+	// Rebuild counts consumed by matching to find a-only entries.
+	count = map[string]int{}
+	for _, d := range b {
+		count[d.Key()]++
+	}
+	for _, d := range a {
+		if count[d.Key()] > 0 {
+			count[d.Key()]--
+		} else {
+			removed = append(removed, d)
+		}
+	}
+	return removed, added
+}
+
+// SortKinds returns the kinds of a tally in deterministic order.
+func SortKinds(byKind map[string]int) []string {
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}

@@ -1,0 +1,125 @@
+package dsa
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// Interprocedural flows the static checker's points-to refinement depends
+// on: allocation provenance must survive (1) being returned from a callee,
+// (2) a round-trip through a struct field, and (3) escaping into a global
+// via a call argument. The checker classifies free targets by the Heap /
+// Stack flags these tests pin down.
+
+func analyzeMod(t *testing.T, src string) (*core.Module, *Result) {
+	t.Helper()
+	m, err := asm.ParseModule("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m, Analyze(m)
+}
+
+// nodeForNamed finds the node of the instruction named name in f.
+func nodeForNamed(t *testing.T, r *Result, f *core.Function, name string) *Node {
+	t.Helper()
+	for _, b := range f.Blocks {
+		for _, inst := range b.Instrs {
+			if inst.Name() == name {
+				if n := r.NodeFor(inst); n != nil {
+					return n
+				}
+				t.Fatalf("no node for %%%s", name)
+			}
+		}
+	}
+	t.Fatalf("no instruction named %%%s", name)
+	return nil
+}
+
+func TestCalleeReturnedPointerKeepsHeapFlag(t *testing.T) {
+	m, r := analyzeMod(t, `
+internal int* %mk() {
+entry:
+	%p = malloc int
+	store int 1, int* %p
+	ret int* %p
+}
+
+int %main() {
+entry:
+	%q = call int* %mk()
+	%v = load int* %q
+	free int* %q
+	ret int %v
+}
+`)
+	got := nodeForNamed(t, r, m.Func("main"), "q")
+	if !got.Heap {
+		t.Fatal("pointer returned from callee lost its Heap provenance")
+	}
+	if got.Stack || got.Unknown {
+		t.Fatalf("returned heap pointer got spurious flags: %+v", got)
+	}
+}
+
+func TestPointerThroughStructFieldKeepsStackFlag(t *testing.T) {
+	m, r := analyzeMod(t, `
+%box = type { int*, int }
+
+int %main() {
+entry:
+	%b = alloca %box
+	%a = alloca int
+	store int 5, int* %a
+	%f0 = getelementptr %box* %b, long 0, ubyte 0
+	store int* %a, int** %f0
+	%p = load int** %f0
+	%v = load int* %p
+	ret int %v
+}
+`)
+	got := nodeForNamed(t, r, m.Func("main"), "p")
+	if !got.Stack {
+		t.Fatal("alloca address lost Stack provenance through a struct field")
+	}
+	if got.Heap {
+		t.Fatal("stack-only pointer gained a spurious Heap flag")
+	}
+}
+
+func TestPointerEscapingViaCallArgUnifiesWithGlobal(t *testing.T) {
+	m, r := analyzeMod(t, `
+%sink = global int* null
+
+internal void %retain(int* %p) {
+entry:
+	store int* %p, int** %sink
+	ret void
+}
+
+int %main() {
+entry:
+	%h = malloc int
+	store int 3, int* %h
+	call void %retain(int* %h)
+	%p2 = load int** %sink
+	%v = load int* %p2
+	ret int %v
+}
+`)
+	main := m.Func("main")
+	nh := nodeForNamed(t, r, main, "h")
+	np2 := nodeForNamed(t, r, main, "p2")
+	if nh != np2 {
+		t.Fatal("pointer escaping via call argument did not unify with the global's pointee")
+	}
+	if !np2.Heap {
+		t.Fatal("escaped heap pointer lost its Heap flag")
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"repro/internal/bytecode"
+	"repro/internal/checker"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/dsa"
 	"repro/internal/frontend/minic"
 	"repro/internal/linker"
@@ -259,4 +261,62 @@ func PrintFigure5(w io.Writer, rows []Figure5Row) {
 	fmt.Fprintf(w, "%-14s %9s %9s %9s %10.2fx %10.2fx %10.2fx\n", "average", "", "", "",
 		rX86/n, rSparc/n, rPack/n)
 	fmt.Fprintf(w, "(paper: LLVM ~= X86 size, ~25%% smaller than SPARC; compression halves bytecode)\n")
+}
+
+// ---------------------------------------------------------------------------
+// Checker table
+
+// CheckerRow is one benchmark's static-checker result: how much code the
+// checker covered, what it reported, and how long it took. The synthetic
+// benchmarks are generated from well-formed sources, so Errors doubles as a
+// false-positive counter — any nonzero value is a checker regression.
+type CheckerRow struct {
+	Bench       string
+	Functions   int
+	Diagnostics int
+	Errors      int
+	ByKind      map[string]int
+	Duration    time.Duration
+}
+
+// CheckerTable runs the static checker over each optimized benchmark.
+func CheckerTable() ([]CheckerRow, error) {
+	var rows []CheckerRow
+	for _, p := range workload.Suite() {
+		m, err := Build(p)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := checker.New().Check(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: check: %w", p.Name, err)
+		}
+		rows = append(rows, CheckerRow{
+			Bench:       p.Name,
+			Functions:   rep.Stats.Functions,
+			Diagnostics: rep.Stats.Diagnostics,
+			Errors:      rep.Stats.Errors,
+			ByKind:      rep.Stats.ByKind,
+			Duration:    rep.Stats.Duration,
+		})
+	}
+	return rows, nil
+}
+
+// PrintCheckerTable renders the checker coverage table.
+func PrintCheckerTable(w io.Writer, rows []CheckerRow) {
+	fmt.Fprintf(w, "Checker: static memory-safety diagnostics over optimized benchmarks\n")
+	fmt.Fprintf(w, "%-14s %9s %11s %7s %10s  %s\n", "Benchmark", "Functions", "Diagnostics", "Errors", "Time(ms)", "Kinds")
+	for _, r := range rows {
+		kinds := ""
+		for _, k := range diag.SortKinds(r.ByKind) {
+			if kinds != "" {
+				kinds += " "
+			}
+			kinds += fmt.Sprintf("%s=%d", k, r.ByKind[k])
+		}
+		fmt.Fprintf(w, "%-14s %9d %11d %7d %10.2f  %s\n",
+			r.Bench, r.Functions, r.Diagnostics, r.Errors, ms(r.Duration), kinds)
+	}
+	fmt.Fprintf(w, "(errors on these well-formed programs indicate checker false positives)\n")
 }

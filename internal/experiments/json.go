@@ -13,6 +13,7 @@ type Report struct {
 	Table1  []Table1JSON  `json:"table1,omitempty"`
 	Table2  []Table2JSON  `json:"table2,omitempty"`
 	Figure5 []Figure5JSON `json:"figure5,omitempty"`
+	Checker []CheckerJSON `json:"checker,omitempty"`
 }
 
 // Table1JSON is Table1Row with stable JSON field names.
@@ -46,9 +47,21 @@ type Figure5JSON struct {
 	Sparc      int    `json:"sparc_bytes"`
 }
 
+// CheckerJSON is CheckerRow with a millisecond duration, matching Table2's
+// convention. Errors over the well-formed synthetic suite count checker
+// false positives, so the trajectory files record them explicitly.
+type CheckerJSON struct {
+	Bench       string         `json:"bench"`
+	Functions   int            `json:"functions"`
+	Diagnostics int            `json:"diagnostics"`
+	Errors      int            `json:"errors"`
+	ByKind      map[string]int `json:"by_kind,omitempty"`
+	CheckMs     float64        `json:"check_ms"`
+}
+
 // NewReport converts the printed tables' rows to their JSON shapes; any
 // slice may be nil.
-func NewReport(t1 []Table1Row, t2 []Table2Row, f5 []Figure5Row) *Report {
+func NewReport(t1 []Table1Row, t2 []Table2Row, f5 []Figure5Row, ck []CheckerRow) *Report {
 	r := &Report{}
 	for _, row := range t1 {
 		r.Table1 = append(r.Table1, Table1JSON{
@@ -67,6 +80,12 @@ func NewReport(t1 []Table1Row, t2 []Table2Row, f5 []Figure5Row) *Report {
 		r.Figure5 = append(r.Figure5, Figure5JSON{
 			Bench: row.Bench, LLVM: row.LLVM, LLVMPacked: row.LLVMPacked,
 			X86: row.X86, Sparc: row.Sparc,
+		})
+	}
+	for _, row := range ck {
+		r.Checker = append(r.Checker, CheckerJSON{
+			Bench: row.Bench, Functions: row.Functions, Diagnostics: row.Diagnostics,
+			Errors: row.Errors, ByKind: row.ByKind, CheckMs: ms(row.Duration),
 		})
 	}
 	return r

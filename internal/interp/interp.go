@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 )
 
 // Limits protect against runaway programs.
@@ -57,16 +58,17 @@ type Trap struct {
 	Inst  string // rendered instruction ("" if unknown, e.g. in JIT code)
 }
 
+// Pos returns the fault position in the toolchain's shared diagnostic
+// coordinates, so a runtime trap can be matched against the static
+// checker's prediction for the same instruction.
+func (t *Trap) Pos() diag.Pos {
+	return diag.Pos{Fn: t.Fn, Block: t.Block, Inst: t.Inst}
+}
+
 func (t *Trap) Error() string {
 	msg := t.Cause.Error()
-	if t.Fn != "" {
-		msg += " in %" + t.Fn
-		if t.Block != "" {
-			msg += ", block %" + t.Block
-		}
-		if t.Inst != "" {
-			msg += ", at '" + t.Inst + "'"
-		}
+	if loc := t.Pos().String(); loc != "" {
+		msg += " " + loc
 	}
 	return msg
 }
@@ -132,13 +134,13 @@ func NewMachine(m *core.Module, out io.Writer) (*Machine, error) {
 		MaxDepth:     DefaultMaxDepth,
 		MaxHeapBytes: DefaultMaxHeapBytes,
 		heap:         make([]byte, 8), // address 0 reserved (null)
-		stack:     make([]byte, stackSize),
-		stackTop:  8,
-		allocs:    map[uint64]uint64{},
-		globals:   map[*core.GlobalVariable]uint64{},
-		funcAddrs: map[*core.Function]uint64{},
-		funcAt:    map[uint64]*core.Function{},
-		builtins:  map[string]Builtin{},
+		stack:        make([]byte, stackSize),
+		stackTop:     8,
+		allocs:       map[uint64]uint64{},
+		globals:      map[*core.GlobalVariable]uint64{},
+		funcAddrs:    map[*core.Function]uint64{},
+		funcAt:       map[uint64]*core.Function{},
+		builtins:     map[string]Builtin{},
 	}
 	registerStdBuiltins(mc)
 

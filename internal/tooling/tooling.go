@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/bytecode"
+	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/passes"
 )
@@ -111,6 +112,8 @@ func PassByName(name string) (passes.ModulePass, bool) {
 		return passes.NewBoundsCheck(), true
 	case "internalize":
 		return passes.NewInternalize(), true
+	case "check":
+		return checker.NewPass(nil), true
 	}
 	return nil, false
 }
