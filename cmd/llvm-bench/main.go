@@ -3,12 +3,16 @@
 // (interprocedural optimization timings vs a baseline compile), and
 // Figure 5 (executable sizes: LLVM bytecode vs CISC vs RISC images).
 //
-// Usage: llvm-bench [-table1] [-table2] [-fig5] [-checker] [-v] [-json path]
-// (no table flags = all). -checker runs the static memory-safety checker
-// over each optimized benchmark; since the synthetic programs are
-// well-formed, any error it reports is a checker false positive. -json additionally writes the selected tables as
-// machine-readable JSON (see experiments.Report), the format the repo's
-// BENCH_*.json trajectory files use.
+// Usage: llvm-bench [-table1] [-table2] [-fig5] [-checker] [-store DIR]
+// [-v] [-json path] (no table flags = all tables; -store is opt-in).
+// -checker runs the static memory-safety checker over each optimized
+// benchmark; since the synthetic programs are well-formed, any error it
+// reports is a checker false positive. -store DIR compiles each benchmark
+// twice through a lifelong store rooted at DIR and reports cold-vs-warm
+// latency (DIR persists, so successive runs measure a warm daemon).
+// -json additionally writes the selected tables as machine-readable JSON
+// (see experiments.Report), the format the repo's BENCH_*.json trajectory
+// files use.
 package main
 
 import (
@@ -25,6 +29,7 @@ func main() {
 	t2 := flag.Bool("table2", false, "Table 2: interprocedural optimization timings")
 	f5 := flag.Bool("fig5", false, "Figure 5: executable sizes")
 	ck := flag.Bool("checker", false, "Checker: static memory-safety diagnostics per benchmark")
+	storeDir := flag.String("store", "", "Store: cold-vs-warm compile latency through a lifelong store at this dir")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
 	flag.Parse()
@@ -69,8 +74,19 @@ func main() {
 		os.Stdout.WriteString("\n")
 		experiments.PrintCheckerTable(os.Stdout, rowsC)
 	}
+	var rowsS []experiments.StoreRow
+	if *storeDir != "" {
+		var err error
+		rowsS, err = experiments.StoreTable(*storeDir)
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		os.Stdout.WriteString("\n")
+		experiments.PrintStoreTable(os.Stdout, rowsS)
+	}
 	if *jsonPath != "" {
 		report := experiments.NewReport(rows1, rows2, rows5, rowsC)
+		report.AddStore(rowsS)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

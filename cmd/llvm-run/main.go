@@ -4,7 +4,14 @@
 // budgets all turn runaway or hostile programs into diagnostics, never
 // crashes.
 //
-// Usage: llvm-run [-stats] [-max-steps N] [-max-heap N] [-timeout D] input
+// With -profile-out the run is instrumented and its block counts are
+// written as a persistent profile (§3.6's gathering of end-user profile
+// information across runs); -profile-in merges a prior profile file in
+// first, so repeated `-profile-in p -profile-out p` runs accumulate.
+//
+// Usage: llvm-run [-stats] [-max-steps N] [-max-heap N] [-timeout D]
+//
+//	[-profile-in FILE] [-profile-out FILE] input
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/profile"
 	"repro/internal/tooling"
 )
 
@@ -25,6 +33,8 @@ func main() {
 	maxSteps := flag.Int64("max-steps", interp.DefaultMaxSteps, "instruction budget")
 	maxHeap := flag.Int64("max-heap", interp.DefaultMaxHeapBytes, "heap budget in bytes (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none), e.g. 5s")
+	profileIn := flag.String("profile-in", "", "merge an existing profile file before writing -profile-out")
+	profileOut := flag.String("profile-out", "", "instrument the run and write accumulated block counts to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		tooling.Fatalf("usage: llvm-run [flags] input")
@@ -35,6 +45,13 @@ func main() {
 	}
 	if err := core.Verify(m); err != nil {
 		tooling.Fatalf("llvm-run: module invalid: %v", err)
+	}
+	if *profileIn != "" && *profileOut == "" {
+		tooling.Fatalf("llvm-run: -profile-in requires -profile-out")
+	}
+	var ins *profile.Instrumentation
+	if *profileOut != "" {
+		ins = profile.Instrument(m)
 	}
 	mc, err := interp.NewMachine(m, os.Stdout)
 	if err != nil {
@@ -62,6 +79,11 @@ func main() {
 			tooling.Fatalf("llvm-run: trap: %v", err)
 		}
 	}
+	if ins != nil {
+		if err := writeProfile(ins, mc, m, *profileIn, *profileOut); err != nil {
+			tooling.Fatalf("llvm-run: %v", err)
+		}
+	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "steps: %d\n", mc.Steps)
 		fmt.Fprintf(os.Stderr, "heap: %d allocations, %d bytes\n", mc.NumMallocs, mc.MallocBytes)
@@ -72,4 +94,32 @@ func main() {
 		}
 	}
 	os.Exit(int(code & 0xFF))
+}
+
+// writeProfile folds this run's block counts into the profile file:
+// counts from -profile-in (if any) are merged first, then the file is
+// written atomically so a crash mid-save never corrupts the accumulated
+// history.
+func writeProfile(ins *profile.Instrumentation, mc *interp.Machine, m *core.Module, in, out string) error {
+	d, err := ins.ReadCounts(mc)
+	if err != nil {
+		return fmt.Errorf("reading profile counts: %v", err)
+	}
+	ins.Strip()
+	f := &profile.File{}
+	if in != "" {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return fmt.Errorf("reading -profile-in: %v", err)
+		}
+		if f, err = profile.DecodeFile(data); err != nil {
+			return fmt.Errorf("decoding -profile-in %s: %v", in, err)
+		}
+	}
+	f.Merge(d.ToCounts(m))
+	data, err := profile.EncodeFile(f)
+	if err != nil {
+		return err
+	}
+	return tooling.AtomicWriteFile(out, data, 0o644)
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/frontend/minic"
+	"repro/internal/profile"
+	"repro/internal/tooling"
+)
+
+// TestProfileFlagsAccumulate exercises the built binary end to end:
+// profiling one run, merging a second on top, and checking the
+// accumulated counts are exactly one run doubled (the program is
+// deterministic) with the epoch advancing per the doubling rule.
+func TestProfileFlagsAccumulate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the llvm-run binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "llvm-run")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building llvm-run: %v\n%s", err, out)
+	}
+
+	m, err := minic.Compile("prog", `
+static int work(int x) { return x * 3 + 1; }
+int main() {
+	int acc = 0;
+	int i;
+	for (i = 0; i < 50; i++) acc = (acc + work(i)) % 1000;
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := filepath.Join(dir, "prog.bc")
+	if err := tooling.SaveModule(prog, m, true); err != nil {
+		t.Fatal(err)
+	}
+
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if out, err := exec.Command(bin, "-profile-out", a, prog).CombinedOutput(); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-profile-in", a, "-profile-out", b, prog).CombinedOutput(); err != nil {
+		t.Fatalf("second run: %v\n%s", err, out)
+	}
+
+	fa := decodeProfile(t, a)
+	fb := decodeProfile(t, b)
+	if fa.Counts.Total == 0 {
+		t.Fatal("first run recorded no counts")
+	}
+	doubled := &profile.Counts{}
+	doubled.Merge(&fa.Counts)
+	doubled.Merge(&fa.Counts)
+	if !fb.Counts.Equal(doubled) {
+		t.Fatalf("two merged runs != one doubled run:\n a=%+v\n b=%+v", fa.Counts, fb.Counts)
+	}
+	if fa.Epoch != 1 || fb.Epoch != 2 {
+		t.Fatalf("epochs: first=%d second=%d, want 1 then 2", fa.Epoch, fb.Epoch)
+	}
+}
+
+func decodeProfile(t *testing.T, path string) *profile.File {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := profile.DecodeFile(data)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return f
+}

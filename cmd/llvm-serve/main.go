@@ -1,0 +1,87 @@
+// llvm-serve is the lifelong compilation daemon (§3.6): a long-running
+// service over a persistent content-addressed module store. Clients POST
+// modules (assembly or bytecode) to /compile, /run, and /check; compiled
+// artifacts are cached by (module hash, pipeline, profile epoch),
+// profiles accumulate in the store across runs, and an idle-time
+// reoptimizer rebuilds the hottest modules with profile-guided
+// optimization whenever the request queue goes quiet.
+//
+// Usage: llvm-serve -store DIR [-addr :8191] [flags]
+//
+// With -reopt-now the daemon instead drains the reoptimization queue
+// once (building current-epoch artifacts for every profiled module) and
+// exits — the offline half of the lifelong loop, for cron-style use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/lifelong"
+	"repro/internal/tooling"
+)
+
+func main() {
+	defer tooling.ExitOnPanic("llvm-serve")
+	addr := flag.String("addr", ":8191", "listen address")
+	storeDir := flag.String("store", "", "persistent store directory (required)")
+	maxStore := flag.Int64("max-store-bytes", 0, "store size cap in bytes (0 = default, negative = unlimited)")
+	workers := flag.Int("workers", 0, "max concurrently-served requests (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request wall-clock budget")
+	pipeline := flag.String("pipeline", "std", "default /compile pipeline spec")
+	maxSteps := flag.Int64("max-steps", interp.DefaultMaxSteps, "/run instruction budget")
+	maxHeap := flag.Int64("max-heap", interp.DefaultMaxHeapBytes, "/run heap budget in bytes")
+	idleDelay := flag.Duration("idle-delay", time.Second, "quiet period before idle reoptimization kicks in")
+	noReopt := flag.Bool("no-reopt", false, "disable the idle-time reoptimizer")
+	reoptNow := flag.Bool("reopt-now", false, "drain the reoptimization queue and exit instead of serving")
+	flag.Parse()
+	if *storeDir == "" || flag.NArg() != 0 {
+		tooling.Fatalf("usage: llvm-serve -store DIR [flags]")
+	}
+
+	st, err := lifelong.Open(*storeDir, *maxStore)
+	if err != nil {
+		tooling.Fatalf("llvm-serve: %v", err)
+	}
+	srv := lifelong.NewServer(lifelong.Config{
+		Store:           st,
+		Workers:         *workers,
+		RequestTimeout:  *timeout,
+		DefaultPipeline: *pipeline,
+		MaxSteps:        *maxSteps,
+		MaxHeapBytes:    *maxHeap,
+		IdleDelay:       *idleDelay,
+		DisableReopt:    *noReopt || *reoptNow,
+	})
+	defer srv.Close()
+
+	if *reoptNow {
+		built, err := srv.ReoptimizeAll()
+		if err != nil {
+			tooling.Fatalf("llvm-serve: reoptimize: %v", err)
+		}
+		fmt.Printf("llvm-serve: reoptimized %d module(s) in %s\n", built, *storeDir)
+		return
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "llvm-serve: listening on %s (store %s)\n", *addr, *storeDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		tooling.Fatalf("llvm-serve: %v", err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "llvm-serve: %v, shutting down\n", s)
+		hs.Close()
+	}
+}

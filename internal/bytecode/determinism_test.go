@@ -1,0 +1,117 @@
+package bytecode
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// exampleModules parses every textual IR module under examples/. The
+// lifelong store keys modules and optimized artifacts by a hash of their
+// canonical bytecode, so these tests pin the property that hash depends
+// on: Encode is a pure function of the in-memory module.
+func exampleModules(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "*.ll"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no examples/**/*.ll modules found")
+	}
+	out := map[string]string{}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = string(data)
+	}
+	// Add the feature-dense fuzz seeds so determinism covers invoke/unwind,
+	// named recursive types, constexpr initializers, and varargs even if the
+	// examples corpus never exercises them.
+	for i, src := range fuzzSeedSources {
+		out[string(rune('a'+i))+"_fuzzseed"] = src
+	}
+	return out
+}
+
+// TestEncodeDeterministic: encoding the same module twice must be
+// byte-identical.
+func TestEncodeDeterministic(t *testing.T) {
+	for name, src := range exampleModules(t) {
+		m, err := asm.ParseModule(name, src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		first, err := Encode(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		second, err := Encode(m)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: two encodes of the same module differ (%d vs %d bytes)", name, len(first), len(second))
+		}
+	}
+}
+
+// TestEncodeRoundTripStable: encode→decode→encode must reproduce the exact
+// bytes, so a module loaded from the store re-hashes to its own address.
+func TestEncodeRoundTripStable(t *testing.T) {
+	for name, src := range exampleModules(t) {
+		m, err := asm.ParseModule(name, src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		first, err := Encode(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		m2, err := Decode(first)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		second, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("%s: encode after decode: %v", name, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: encode→decode→encode not byte-identical (%d vs %d bytes)", name, len(first), len(second))
+		}
+		if HashBytes(first) != HashBytes(second) {
+			t.Errorf("%s: content hash changed across round trip", name)
+		}
+	}
+}
+
+// TestModuleHashStable: ModuleHash of a decoded module equals the hash of
+// the bytes it was decoded from.
+func TestModuleHashStable(t *testing.T) {
+	for name, src := range exampleModules(t) {
+		m, err := asm.ParseModule(name, src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		m2, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		h, err := ModuleHash(m2)
+		if err != nil {
+			t.Fatalf("%s: hash: %v", name, err)
+		}
+		if h != HashBytes(data) {
+			t.Errorf("%s: ModuleHash(decode(b)) != HashBytes(b)", name)
+		}
+	}
+}

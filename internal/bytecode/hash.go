@@ -1,0 +1,30 @@
+package bytecode
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/core"
+)
+
+// ModuleHash returns the stable content address of a module: the SHA-256
+// hex digest of its canonical bytecode. "Canonical" means the full
+// (symbol-preserving) encoding of the in-memory module, so two modules
+// hash equal exactly when their lossless serializations are byte-equal —
+// the property the lifelong store's cache keys rest on, pinned by the
+// encoding-determinism tests in this package.
+func ModuleHash(m *core.Module) (string, error) {
+	data, err := Encode(m)
+	if err != nil {
+		return "", err
+	}
+	return HashBytes(data), nil
+}
+
+// HashBytes returns the SHA-256 hex digest of already-encoded bytecode.
+// Callers that hold canonical bytes (e.g. a store re-verifying a blob
+// against its content address) use this to avoid a decode/encode cycle.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

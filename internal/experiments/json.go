@@ -14,6 +14,7 @@ type Report struct {
 	Table2  []Table2JSON  `json:"table2,omitempty"`
 	Figure5 []Figure5JSON `json:"figure5,omitempty"`
 	Checker []CheckerJSON `json:"checker,omitempty"`
+	Store   []StoreJSON   `json:"store,omitempty"`
 }
 
 // Table1JSON is Table1Row with stable JSON field names.
@@ -59,6 +60,16 @@ type CheckerJSON struct {
 	CheckMs     float64        `json:"check_ms"`
 }
 
+// StoreJSON is StoreRow in Table2's millisecond convention.
+type StoreJSON struct {
+	Bench         string  `json:"bench"`
+	ArtifactBytes int     `json:"artifact_bytes"`
+	ColdMs        float64 `json:"cold_ms"`
+	WarmMs        float64 `json:"warm_ms"`
+	Speedup       float64 `json:"speedup"`
+	ColdHit       bool    `json:"cold_hit,omitempty"`
+}
+
 // NewReport converts the printed tables' rows to their JSON shapes; any
 // slice may be nil.
 func NewReport(t1 []Table1Row, t2 []Table2Row, f5 []Figure5Row, ck []CheckerRow) *Report {
@@ -89,6 +100,17 @@ func NewReport(t1 []Table1Row, t2 []Table2Row, f5 []Figure5Row, ck []CheckerRow)
 		})
 	}
 	return r
+}
+
+// AddStore appends the lifelong-store latency rows to the report.
+func (r *Report) AddStore(rows []StoreRow) {
+	for _, row := range rows {
+		r.Store = append(r.Store, StoreJSON{
+			Bench: row.Bench, ArtifactBytes: row.Bytes,
+			ColdMs: ms(row.Cold), WarmMs: ms(row.Warm),
+			Speedup: row.Speedup(), ColdHit: row.ColdHit,
+		})
+	}
 }
 
 // WriteJSON writes the report as indented JSON.

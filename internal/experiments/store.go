@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frontend/minic"
+	"repro/internal/lifelong"
+	"repro/internal/linker"
+	"repro/internal/passes"
+	"repro/internal/workload"
+)
+
+// StoreRow is one benchmark's cold-vs-warm compile latency through the
+// lifelong store: Cold is a miss (full pipeline + artifact write), Warm
+// is the immediately-following hit (hash + cache read, zero pass work).
+type StoreRow struct {
+	Bench   string
+	Bytes   int // canonical module size
+	Cold    time.Duration
+	Warm    time.Duration
+	ColdHit bool // true when dir already held the artifact (persisted store)
+}
+
+// Speedup is the warm-over-cold latency ratio.
+func (r StoreRow) Speedup() float64 {
+	if r.Warm <= 0 {
+		return 0
+	}
+	return float64(r.Cold) / float64(r.Warm)
+}
+
+// buildRaw compiles and links a benchmark WITHOUT per-unit optimization,
+// so the store's cold compile pays the full standard pipeline — the cost
+// the cache is amortizing.
+func buildRaw(p workload.Profile) (*core.Module, error) {
+	prog := workload.Generate(p)
+	mods := make([]*core.Module, 0, len(prog.Units))
+	for i, src := range prog.Units {
+		m, err := minic.Compile(fmt.Sprintf("%s.u%d", p.Name, i), src)
+		if err != nil {
+			return nil, fmt.Errorf("%s unit %d: %w", p.Name, i, err)
+		}
+		mods = append(mods, m)
+	}
+	linked, err := linker.Link(p.Name, mods...)
+	if err != nil {
+		return nil, err
+	}
+	passes.NewInternalize().RunOnModule(linked)
+	if err := core.Verify(linked); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return linked, nil
+}
+
+// StoreTable compiles each benchmark twice through a lifelong store
+// rooted at dir and reports the miss/hit latencies. The warm artifact is
+// checked byte-identical to the cold one — the subsystem's core
+// invariant — and any mismatch is an error, not a row.
+func StoreTable(dir string) ([]StoreRow, error) {
+	st, err := lifelong.Open(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rows []StoreRow
+	for _, p := range workload.Suite() {
+		m, err := buildRaw(p)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		cold, err := lifelong.Compile(st, m, "std")
+		if err != nil {
+			return nil, fmt.Errorf("%s cold: %w", p.Name, err)
+		}
+		coldDur := time.Since(t0)
+		t1 := time.Now()
+		warm, err := lifelong.Compile(st, m, "std")
+		if err != nil {
+			return nil, fmt.Errorf("%s warm: %w", p.Name, err)
+		}
+		warmDur := time.Since(t1)
+		if !warm.Hit {
+			return nil, fmt.Errorf("%s: second compile missed the cache", p.Name)
+		}
+		if !bytes.Equal(cold.Data, warm.Data) {
+			return nil, fmt.Errorf("%s: warm artifact not byte-identical to cold", p.Name)
+		}
+		rows = append(rows, StoreRow{
+			Bench: p.Name, Bytes: len(cold.Data),
+			Cold: coldDur, Warm: warmDur, ColdHit: cold.Hit,
+		})
+	}
+	return rows, nil
+}
+
+// PrintStoreTable renders rows alongside the other evaluation tables.
+func PrintStoreTable(w io.Writer, rows []StoreRow) {
+	fmt.Fprintf(w, "Store: cold vs warm compile latency through the lifelong cache\n")
+	fmt.Fprintf(w, "%-14s %10s %12s %12s %9s\n", "Benchmark", "Artifact", "Cold", "Warm", "Speedup")
+	for _, r := range rows {
+		cold := fmt.Sprintf("%.2fms", ms(r.Cold))
+		if r.ColdHit {
+			cold += "*"
+		}
+		fmt.Fprintf(w, "%-14s %9dB %12s %11.3fms %8.0fx\n",
+			r.Bench, r.Bytes, cold, ms(r.Warm), r.Speedup())
+	}
+	fmt.Fprintf(w, "(* cold compile hit a persisted artifact from an earlier run)\n")
+}

@@ -1,0 +1,94 @@
+package lifelong
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/passes"
+	"repro/internal/tooling"
+)
+
+// CompileResult describes one compile served through the store.
+type CompileResult struct {
+	// ModuleHash is the content address of the input's canonical bytecode.
+	ModuleHash string `json:"module_hash"`
+	// Spec is the pipeline spec the artifact is keyed by.
+	Spec string `json:"pipeline"`
+	// Hit reports the artifact came from the cache with zero pass work.
+	Hit bool `json:"cache_hit"`
+	// ArtifactEpoch is the profile epoch the served artifact was built
+	// against (0 = plain pipeline output, no profile).
+	ArtifactEpoch int64 `json:"artifact_epoch"`
+	// ProfileEpoch is the module's current accumulated-profile epoch.
+	ProfileEpoch int64 `json:"profile_epoch"`
+	// Reoptimized reports the artifact was built by the profile-guided
+	// reoptimizer rather than the plain pipeline.
+	Reoptimized bool `json:"reoptimized"`
+	// Stale reports the profile has advanced past the served artifact; the
+	// idle reoptimizer will close the gap.
+	Stale bool `json:"stale"`
+	// Data is the optimized bytecode.
+	Data []byte `json:"-"`
+}
+
+// Compile optimizes m through the store: the module is interned at its
+// content address, and the artifact for (hash, spec, epoch) is served
+// from cache when present — preferring the artifact built against the
+// current profile epoch, falling back to the unprofiled epoch-0 artifact
+// (marked stale) — or compiled via the pass pipeline on miss and stored.
+// The caller's module is never mutated: on miss the pipeline runs on a
+// private decode of the canonical bytes.
+func Compile(st *Store, m *core.Module, spec string) (*CompileResult, error) {
+	hash, canonical, err := st.PutModule(m)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompileResult{ModuleHash: hash, Spec: spec}
+	if f, ok := st.GetProfile(hash); ok {
+		res.ProfileEpoch = f.Epoch
+	}
+
+	// Prefer the artifact matching the current profile epoch.
+	if res.ProfileEpoch > 0 {
+		if data, ok := st.GetArtifact(hash, spec, res.ProfileEpoch); ok {
+			res.Hit = true
+			res.ArtifactEpoch = res.ProfileEpoch
+			res.Reoptimized = true
+			res.Data = data
+			return res, nil
+		}
+	}
+	if data, ok := st.GetArtifact(hash, spec, 0); ok {
+		res.Hit = true
+		res.Stale = res.ProfileEpoch > 0
+		res.Data = data
+		return res, nil
+	}
+
+	// Miss: run the pipeline on a private copy and store the result.
+	work, err := bytecode.Decode(canonical)
+	if err != nil {
+		return nil, fmt.Errorf("lifelong: re-decoding %s: %w", shortHash(hash), err)
+	}
+	pm := passes.NewPassManager()
+	if err := tooling.AddPipelineSpec(pm, spec); err != nil {
+		return nil, err
+	}
+	if _, err := pm.Run(work); err != nil {
+		return nil, fmt.Errorf("lifelong: pipeline %q on %s: %w", spec, shortHash(hash), err)
+	}
+	if err := core.Verify(work); err != nil {
+		return nil, fmt.Errorf("lifelong: pipeline %q corrupted %s: %w", spec, shortHash(hash), err)
+	}
+	data, err := bytecode.Encode(work)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.PutArtifact(hash, spec, 0, data); err != nil {
+		return nil, err
+	}
+	res.Stale = res.ProfileEpoch > 0
+	res.Data = data
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package lifelong
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// ReoptResult reports one stored-module reoptimization.
+type ReoptResult struct {
+	ModHash string
+	Epoch   int64
+	// HotInlined and Reordered are the reoptimizer's work counts.
+	HotInlined int
+	Reordered  int
+}
+
+// ReoptimizeStored builds the profile-guided artifact for a stored module
+// at its current profile epoch — the §3.6 offline reoptimizer run against
+// the store instead of a single process: the canonical module is decoded,
+// the accumulated cross-run counts bound onto its blocks, and
+// profile.Reoptimize applies hot-call inlining, scalar clean-up, and
+// hottest-first block layout. Returns (nil, nil) when there is nothing to
+// do: no profile yet, or the artifact for the current epoch already
+// exists. Epoch>0 artifacts are the reoptimizer's output for every spec;
+// the spec still keys the artifact so distinct serving pipelines never
+// collide.
+func ReoptimizeStored(st *Store, modHash, spec string) (*ReoptResult, error) {
+	f, ok := st.GetProfile(modHash)
+	if !ok || f.Epoch == 0 {
+		return nil, nil
+	}
+	if st.HasArtifact(modHash, spec, f.Epoch) {
+		return nil, nil
+	}
+	m, err := st.GetModule(modHash)
+	if err != nil {
+		return nil, err
+	}
+	d, err := f.Counts.Bind(m)
+	if err != nil {
+		return nil, err
+	}
+	res := profile.Reoptimize(m, d, profile.DefaultReoptOptions())
+	if err := core.Verify(m); err != nil {
+		return nil, err
+	}
+	data, err := bytecode.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.PutArtifact(modHash, spec, f.Epoch, data); err != nil {
+		return nil, err
+	}
+	return &ReoptResult{
+		ModHash:    modHash,
+		Epoch:      f.Epoch,
+		HotInlined: res.HotInlined,
+		Reordered:  res.Reordered,
+	}, nil
+}
+
+// nextReoptTarget returns the hottest stored profile whose current-epoch
+// artifact is missing, or "" when the store is fully reoptimized.
+func nextReoptTarget(st *Store, spec string) string {
+	for _, info := range st.Profiles() {
+		if info.Epoch == 0 {
+			continue
+		}
+		if !st.HasArtifact(info.ModHash, spec, info.Epoch) {
+			return info.ModHash
+		}
+	}
+	return ""
+}

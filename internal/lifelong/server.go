@@ -1,0 +1,460 @@
+package lifelong
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/interp"
+	"repro/internal/profile"
+	"repro/internal/tooling"
+)
+
+// Config parameterizes the lifelong compilation daemon.
+type Config struct {
+	// Store is the persistent module store (required).
+	Store *Store
+	// Workers bounds concurrently-served requests (0 = GOMAXPROCS).
+	Workers int
+	// RequestTimeout is the per-request wall-clock budget, enforced by the
+	// sandbox's cooperative cancellation for /run and by the worker-slot
+	// wait for queued requests (0 = 30s).
+	RequestTimeout time.Duration
+	// DefaultPipeline is the /compile pipeline spec when the request names
+	// none ("" = "std").
+	DefaultPipeline string
+	// MaxBody caps request size (0 = tooling.MaxInputSize).
+	MaxBody int64
+	// MaxSteps and MaxHeapBytes bound /run execution (0 = interp defaults).
+	MaxSteps     int64
+	MaxHeapBytes int64
+	// IdleDelay is how long the request queue must stay empty before the
+	// idle reoptimizer picks up a module (0 = 1s).
+	IdleDelay time.Duration
+	// DisableReopt turns the idle-time reoptimizer off.
+	DisableReopt bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 30 * time.Second
+	}
+	if out.DefaultPipeline == "" {
+		out.DefaultPipeline = "std"
+	}
+	if out.MaxBody <= 0 {
+		out.MaxBody = tooling.MaxInputSize
+	}
+	if out.MaxSteps <= 0 {
+		out.MaxSteps = interp.DefaultMaxSteps
+	}
+	if out.MaxHeapBytes <= 0 {
+		out.MaxHeapBytes = interp.DefaultMaxHeapBytes
+	}
+	if out.IdleDelay <= 0 {
+		out.IdleDelay = time.Second
+	}
+	return out
+}
+
+// Server is the lifelong compilation daemon: /compile serves optimized
+// bytecode from the store (compiling on miss), /run executes modules in
+// the sandbox and folds their profiles back into the store, /check runs
+// the static memory-safety checker, and /stats reports cache and
+// reoptimizer activity. A bounded worker pool backs all serving paths,
+// and an idle-time goroutine reoptimizes the hottest profiled modules
+// whenever the request queue goes quiet.
+type Server struct {
+	cfg   Config
+	store *Store
+	sem   chan struct{}
+
+	inflight     atomic.Int64
+	lastActivity atomic.Int64 // UnixNano of the last request start/finish
+	start        time.Time
+
+	nCompile, nRun, nCheck, nRejected atomic.Uint64
+
+	reoptMu     sync.Mutex
+	reoptBuilt  uint64
+	reoptLast   string
+	reoptEpoch  int64
+	reoptErrors uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewServer builds a daemon over st and starts its idle reoptimizer
+// (unless disabled). Callers must Close it.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		store: cfg.Store,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.sem = make(chan struct{}, s.cfg.Workers)
+	s.lastActivity.Store(time.Now().UnixNano())
+	if s.cfg.DisableReopt {
+		close(s.done)
+	} else {
+		go s.idleLoop()
+	}
+	return s
+}
+
+// Close stops the idle reoptimizer and waits for it to exit.
+func (s *Server) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.withWorker(s.handleCompile))
+	mux.HandleFunc("/run", s.withWorker(s.handleRun))
+	mux.HandleFunc("/check", s.withWorker(s.handleCheck))
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// withWorker funnels a handler through the bounded pool: the request
+// waits for a slot under its deadline and is rejected with 503 when the
+// budget elapses first, so overload degrades to fast refusals instead of
+// unbounded queueing.
+func (s *Server) withWorker(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST a module (bytecode or assembly) to this endpoint")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.nRejected.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "server saturated: no worker slot within the request budget")
+			return
+		}
+		defer func() { <-s.sem }()
+		s.inflight.Add(1)
+		s.lastActivity.Store(time.Now().UnixNano())
+		defer func() {
+			s.inflight.Add(-1)
+			s.lastActivity.Store(time.Now().UnixNano())
+		}()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// readModule reads and parses the request body as a module.
+func (s *Server) readModule(w http.ResponseWriter, r *http.Request) (*core.Module, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	if int64(len(body)) > s.cfg.MaxBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "module exceeds the %d-byte limit", s.cfg.MaxBody)
+		return nil, false
+	}
+	m, err := tooling.LoadModuleBytes("request", body)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "parsing module: %v", err)
+		return nil, false
+	}
+	if err := core.Verify(m); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "module invalid: %v", err)
+		return nil, false
+	}
+	return m, true
+}
+
+// compileResponse is /compile's JSON shape (raw=1 returns the bytecode
+// bytes directly, with the metadata in X- headers).
+type compileResponse struct {
+	CompileResult
+	BytecodeB64 string `json:"bytecode_b64"`
+	Size        int    `json:"size"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.nCompile.Add(1)
+	m, ok := s.readModule(w, r)
+	if !ok {
+		return
+	}
+	spec := r.URL.Query().Get("pipeline")
+	if spec == "" {
+		spec = s.cfg.DefaultPipeline
+	}
+	res, err := Compile(s.store, m, spec)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "compile: %v", err)
+		return
+	}
+	if r.URL.Query().Get("raw") == "1" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Module-Hash", res.ModuleHash)
+		w.Header().Set("X-Cache", cacheWord(res.Hit))
+		w.Header().Set("X-Artifact-Epoch", fmt.Sprint(res.ArtifactEpoch))
+		w.Header().Set("X-Profile-Epoch", fmt.Sprint(res.ProfileEpoch))
+		w.Header().Set("X-Reoptimized", fmt.Sprint(res.Reoptimized))
+		w.Write(res.Data)
+		return
+	}
+	writeJSON(w, http.StatusOK, compileResponse{
+		CompileResult: *res,
+		BytecodeB64:   base64.StdEncoding.EncodeToString(res.Data),
+		Size:          len(res.Data),
+	})
+}
+
+// runResponse is /run's JSON shape.
+type runResponse struct {
+	ModuleHash string `json:"module_hash"`
+	ExitCode   int64  `json:"exit_code"`
+	Output     string `json:"output"`
+	Steps      int64  `json:"steps"`
+	Trap       string `json:"trap,omitempty"`
+	// Profiled reports the run's counts were merged into the store;
+	// ProfileEpoch is the accumulated epoch afterwards, and EpochAdvanced
+	// that this run crossed the materiality threshold.
+	Profiled      bool  `json:"profiled"`
+	ProfileEpoch  int64 `json:"profile_epoch"`
+	EpochAdvanced bool  `json:"epoch_advanced"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.nRun.Add(1)
+	m, ok := s.readModule(w, r)
+	if !ok {
+		return
+	}
+	profiled := r.URL.Query().Get("profile") != "0"
+
+	// Intern the module first: the profile is keyed by its hash, and the
+	// idle reoptimizer needs the canonical bytes to rebuild from.
+	hash, _, err := s.store.PutModule(m)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "storing module: %v", err)
+		return
+	}
+	var ins *profile.Instrumentation
+	if profiled {
+		ins = profile.Instrument(m)
+	}
+	var out bytes.Buffer
+	mc, err := interp.NewMachine(m, &out)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "preparing machine: %v", err)
+		return
+	}
+	mc.MaxSteps = s.cfg.MaxSteps
+	mc.MaxHeapBytes = s.cfg.MaxHeapBytes
+
+	resp := runResponse{ModuleHash: hash}
+	code, runErr := mc.RunMainContext(r.Context())
+	resp.Steps = mc.Steps
+	resp.Output = out.String()
+	var ee *interp.ExitError
+	switch {
+	case runErr == nil:
+		resp.ExitCode = code
+	case errors.As(runErr, &ee):
+		resp.ExitCode = ee.Code
+		runErr = nil
+	default:
+		resp.Trap = runErr.Error()
+	}
+
+	// A trapped or cancelled run still profiled the blocks it executed;
+	// partial profiles are real end-user evidence, so merge them too.
+	if ins != nil {
+		if d, err := ins.ReadCounts(mc); err == nil && d.Total > 0 {
+			ins.Strip()
+			f, bumped, err := s.store.MergeProfile(hash, d.ToCounts(m))
+			if err == nil {
+				resp.Profiled = true
+				resp.ProfileEpoch = f.Epoch
+				resp.EpochAdvanced = bumped
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkResponse is /check's JSON shape.
+type checkResponse struct {
+	ModuleHash  string            `json:"module_hash"`
+	Diagnostics []diag.Diagnostic `json:"diagnostics"`
+	Errors      int               `json:"errors"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	s.nCheck.Add(1)
+	m, ok := s.readModule(w, r)
+	if !ok {
+		return
+	}
+	hash, _, err := s.store.PutModule(m)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "storing module: %v", err)
+		return
+	}
+	rep, err := checker.New().Check(m)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "check: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkResponse{
+		ModuleHash:  hash,
+		Diagnostics: rep.Diags,
+		Errors:      diag.CountErrors(rep.Diags),
+	})
+}
+
+// statsResponse is /stats's JSON shape.
+type statsResponse struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Store         StoreStats `json:"store"`
+	Requests      struct {
+		Compile  uint64 `json:"compile"`
+		Run      uint64 `json:"run"`
+		Check    uint64 `json:"check"`
+		Rejected uint64 `json:"rejected"`
+		Active   int64  `json:"active"`
+	} `json:"requests"`
+	Reopt struct {
+		Enabled        bool   `json:"enabled"`
+		ArtifactsBuilt uint64 `json:"artifacts_built"`
+		Errors         uint64 `json:"errors"`
+		LastModule     string `json:"last_module,omitempty"`
+		LastEpoch      int64  `json:"last_epoch,omitempty"`
+	} `json:"reopt"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	resp.Store = s.store.Stats()
+	resp.Requests.Compile = s.nCompile.Load()
+	resp.Requests.Run = s.nRun.Load()
+	resp.Requests.Check = s.nCheck.Load()
+	resp.Requests.Rejected = s.nRejected.Load()
+	resp.Requests.Active = s.inflight.Load()
+	resp.Reopt.Enabled = !s.cfg.DisableReopt
+	s.reoptMu.Lock()
+	resp.Reopt.ArtifactsBuilt = s.reoptBuilt
+	resp.Reopt.Errors = s.reoptErrors
+	resp.Reopt.LastModule = s.reoptLast
+	resp.Reopt.LastEpoch = s.reoptEpoch
+	s.reoptMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// idleLoop is the idle-time reoptimizer (§3.6): whenever the request
+// queue has been empty for IdleDelay, it rebuilds the hottest profiled
+// module whose current-epoch artifact is missing — one module per tick,
+// so an arriving request never waits behind a long reoptimization batch.
+func (s *Server) idleLoop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.IdleDelay)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		if s.inflight.Load() != 0 {
+			continue
+		}
+		idleFor := time.Since(time.Unix(0, s.lastActivity.Load()))
+		if idleFor < s.cfg.IdleDelay {
+			continue
+		}
+		target := nextReoptTarget(s.store, s.cfg.DefaultPipeline)
+		if target == "" {
+			continue
+		}
+		res, err := ReoptimizeStored(s.store, target, s.cfg.DefaultPipeline)
+		s.reoptMu.Lock()
+		if err != nil {
+			s.reoptErrors++
+		} else if res != nil {
+			s.reoptBuilt++
+			s.reoptLast = res.ModHash
+			s.reoptEpoch = res.Epoch
+		}
+		s.reoptMu.Unlock()
+	}
+}
+
+// ReoptimizeAll drains the reopt queue synchronously: every profiled
+// module is brought up to its current epoch. Used by tests and by
+// llvm-serve's -reopt-now flag; the daemon path is idleLoop.
+func (s *Server) ReoptimizeAll() (built int, err error) {
+	for {
+		target := nextReoptTarget(s.store, s.cfg.DefaultPipeline)
+		if target == "" {
+			return built, nil
+		}
+		res, rerr := ReoptimizeStored(s.store, target, s.cfg.DefaultPipeline)
+		if rerr != nil {
+			return built, rerr
+		}
+		if res == nil {
+			return built, nil
+		}
+		s.reoptMu.Lock()
+		s.reoptBuilt++
+		s.reoptLast = res.ModHash
+		s.reoptEpoch = res.Epoch
+		s.reoptMu.Unlock()
+		built++
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(v)
+}
+
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}

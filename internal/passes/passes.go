@@ -224,6 +224,19 @@ func (pm *PassManager) manager() *analysis.Manager {
 // AnalysisStats returns the pipeline-wide analysis cache counters.
 func (pm *PassManager) AnalysisStats() analysis.Stats { return pm.AM.Stats() }
 
+// Spec returns the pipeline's canonical identity: the pass names in run
+// order, comma-joined. Two managers with equal Spec apply the same
+// transformations in the same order (pass behavior is deterministic at
+// any Parallelism), so the string is usable as a cache-key component for
+// optimized artifacts.
+func (pm *PassManager) Spec() string {
+	names := make([]string, len(pm.passes))
+	for i, p := range pm.passes {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, ",")
+}
+
 // Run executes the pipeline. It returns the total number of changes. Pass
 // failures (panic, timeout, verifier rejection) never propagate as panics:
 // under FailFast and Rollback the structured *FailureReport is returned as

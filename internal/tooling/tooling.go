@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/asm"
@@ -36,25 +37,30 @@ func LoadModule(path string) (*core.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	if bytes.HasPrefix(data, bytecode.Magic[:]) {
-		m, err := bytecode.Decode(data)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return m, nil
-	}
 	name := path
 	if i := strings.LastIndexByte(name, '/'); i >= 0 {
 		name = name[i+1:]
 	}
-	m, err := asm.ParseModule(name, string(data))
+	m, err := LoadModuleBytes(name, data)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return m, nil
 }
 
+// LoadModuleBytes parses an in-memory module image, bytecode or assembly
+// detected by magic — the same hardened path LoadModule uses, for callers
+// (the lifelong daemon, tests) whose input never touches a file.
+func LoadModuleBytes(name string, data []byte) (*core.Module, error) {
+	if bytes.HasPrefix(data, bytecode.Magic[:]) {
+		return bytecode.Decode(data)
+	}
+	return asm.ParseModule(name, string(data))
+}
+
 // SaveModule writes m to path as bytecode (binary=true) or assembly text.
+// The write is crash-safe: an interrupted save can never leave a truncated
+// module behind (see AtomicWriteFile).
 func SaveModule(path string, m *core.Module, binary bool) error {
 	var data []byte
 	if binary {
@@ -70,7 +76,44 @@ func SaveModule(path string, m *core.Module, binary bool) error {
 		_, err := os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return AtomicWriteFile(path, data, 0o644)
+}
+
+// AtomicWriteFile writes data to path by way of a temporary file in the
+// destination directory followed by a rename, so a reader (or a tool
+// killed mid-write) can only ever observe the old contents or the new —
+// never a truncated hybrid. The temp file is created in the destination
+// directory because rename is only atomic within one filesystem.
+func AtomicWriteFile(path string, data []byte, mode os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// On any failure, remove the temp file so interrupted writes don't
+	// accumulate debris next to the target.
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpName, mode)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("%s: %w", path, werr)
+	}
+	return nil
 }
 
 // PassByName constructs a pass from its command-line name.
@@ -116,6 +159,30 @@ func PassByName(name string) (passes.ModulePass, bool) {
 		return checker.NewPass(nil), true
 	}
 	return nil, false
+}
+
+// AddPipelineSpec populates pm from a pipeline spec string: "std" (the
+// standard scalar clean-up), "linktime" (the interprocedural link-time
+// pipeline), or a comma-separated list of pass names accepted by
+// PassByName. Specs are the serialization of a pipeline the lifelong
+// store keys optimized artifacts by, so the mapping must stay stable.
+func AddPipelineSpec(pm *passes.PassManager, spec string) error {
+	switch spec {
+	case "std":
+		pm.AddStandardPipeline()
+		return nil
+	case "linktime":
+		pm.AddLinkTimePipeline()
+		return nil
+	}
+	for _, name := range strings.Split(spec, ",") {
+		p, ok := PassByName(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("unknown pass %q in pipeline spec %q", name, spec)
+		}
+		pm.Add(p)
+	}
+	return nil
 }
 
 // Fatalf prints an error and exits with status 1.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/passes"
 )
 
 const src = `
@@ -105,6 +106,74 @@ func TestLoadModuleErrorsCarryPathAndPosition(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "bad.bc") || !strings.Contains(err.Error(), "offset") {
 		t.Fatalf("error should carry path and offset: %v", err)
+	}
+}
+
+func TestSaveModuleAtomic(t *testing.T) {
+	dir := t.TempDir()
+	m, err := LoadModuleBytes("m", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "out.bc")
+
+	// Seed the destination with old content, overwrite, and confirm the
+	// directory holds exactly the final file — no temp debris — and that
+	// the content is the complete new module.
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModule(path, m, true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.bc" {
+		t.Fatalf("directory not clean after save: %v", entries)
+	}
+	m2, err := LoadModule(path)
+	if err != nil {
+		t.Fatalf("saved module unreadable: %v", err)
+	}
+	m2.Name = m.Name
+	if m.String() != m2.String() {
+		t.Fatal("atomic save corrupted module")
+	}
+
+	// A failing write (unencodable target directory) must not leave temp
+	// files behind either.
+	if err := AtomicWriteFile(filepath.Join(dir, "no", "such", "dir", "x"), []byte("d"), 0o644); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("failed write left debris: %v", entries)
+	}
+}
+
+func TestAddPipelineSpec(t *testing.T) {
+	for _, spec := range []string{"std", "linktime", "mem2reg,dge", "check"} {
+		pm := passes.NewPassManager()
+		if err := AddPipelineSpec(pm, spec); err != nil {
+			t.Errorf("spec %q rejected: %v", spec, err)
+			continue
+		}
+		if pm.Spec() == "" {
+			t.Errorf("spec %q produced an empty pipeline", spec)
+		}
+	}
+	pm := passes.NewPassManager()
+	if err := AddPipelineSpec(pm, "mem2reg,nosuchpass"); err == nil {
+		t.Error("unknown pass in spec accepted")
+	}
+	// The std spec's canonical Spec string is what artifact cache keys
+	// embed; pin it so a silent pipeline change invalidates consciously.
+	std := passes.NewPassManager()
+	std.AddStandardPipeline()
+	if got := std.Spec(); got != "sroa,mem2reg,instcombine,sccp,cse,licm,adce,simplifycfg" {
+		t.Errorf("standard pipeline spec changed: %q", got)
 	}
 }
 
