@@ -24,6 +24,7 @@ import (
 	"repro/internal/frontend/minic"
 	"repro/internal/interp"
 	"repro/internal/linker"
+	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/profile"
 	"repro/internal/workload"
@@ -415,6 +416,65 @@ func BenchmarkAblation(b *testing.B) {
 // parseText isolates the parse benchmark's input handling.
 func parseText(src string) (*core.Module, error) {
 	return asm.ParseModule("bench", src)
+}
+
+// BenchmarkObsOverhead times the standard pipeline with observability off
+// (nil tracer/remarks/metrics — the default) against fully on, the number
+// behind the "tracing disabled costs ≤1%" contract. The instrumented arm
+// reports how many spans and remarks the run captured.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, name := range []string{"164.gzip", "176.gcc"} {
+		p, _ := workload.ByName(name)
+		run := func(b *testing.B, instrument bool) {
+			var spans, remarks int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := mustBuildRaw(b, p)
+				b.StartTimer()
+				pm := passes.NewPassManager()
+				pm.AddStandardPipeline()
+				if instrument {
+					pm.Tracer = obs.NewTracer()
+					pm.Remarks = obs.NewRemarks()
+					pm.Metrics = obs.NewRegistry()
+				}
+				if _, err := pm.Run(m); err != nil {
+					b.Fatal(err)
+				}
+				if instrument {
+					spans = pm.Tracer.Len()
+					remarks = pm.Remarks.Len()
+				}
+			}
+			if instrument {
+				b.ReportMetric(float64(spans), "spans")
+				b.ReportMetric(float64(remarks), "remarks")
+			}
+		}
+		b.Run(name+"/off", func(b *testing.B) { run(b, false) })
+		b.Run(name+"/on", func(b *testing.B) { run(b, true) })
+	}
+}
+
+// TestObsDisabledZeroAlloc guards the disabled-observability contract at
+// the integration point (obs_test.go covers the bare primitives): the
+// per-pass and per-function instrumentation sequence the pass manager
+// executes with its obs fields left nil must not allocate at all. A
+// regression here taxes every pipeline run that never asked for tracing.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	pm := passes.NewPassManager() // Tracer/Remarks/Metrics nil, as in llvm-opt without flags
+	allocs := testing.AllocsPerRun(1000, func() {
+		span := pm.Tracer.Begin("licm", "pass", 0)
+		fsp := pm.Tracer.Begin("hot", "function", 1)
+		if pm.Remarks.Enabled() {
+			t.Fatal("remarks unexpectedly enabled on a fresh pass manager")
+		}
+		fsp.End()
+		span.End() // runOne builds EndArgs' map only when pm.Tracer != nil
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observability allocated %v times per function, want 0", allocs)
+	}
 }
 
 // BenchmarkExecutionEngine compares the portable interpreter against the

@@ -3,8 +3,10 @@
 // (interprocedural optimization timings vs a baseline compile), and
 // Figure 5 (executable sizes: LLVM bytecode vs CISC vs RISC images).
 //
-// Usage: llvm-bench [-table1] [-table2] [-fig5] [-checker] [-store DIR]
-// [-v] [-json path] (no table flags = all tables; -store is opt-in).
+// Usage: llvm-bench [-table1] [-table2] [-fig5] [-checker] [-obs]
+// [-store DIR] [-v] [-json path] (no table flags = all tables; -obs and
+// -store are opt-in). -obs times the standard pipeline with observability
+// (tracing, remarks, metrics) off vs on, reporting the overhead percent.
 // -checker runs the static memory-safety checker over each optimized
 // benchmark; since the synthetic programs are well-formed, any error it
 // reports is a checker false positive. -store DIR compiles each benchmark
@@ -29,6 +31,7 @@ func main() {
 	t2 := flag.Bool("table2", false, "Table 2: interprocedural optimization timings")
 	f5 := flag.Bool("fig5", false, "Figure 5: executable sizes")
 	ck := flag.Bool("checker", false, "Checker: static memory-safety diagnostics per benchmark")
+	obsFlag := flag.Bool("obs", false, "Obs: pipeline latency with observability off vs on")
 	storeDir := flag.String("store", "", "Store: cold-vs-warm compile latency through a lifelong store at this dir")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
@@ -74,6 +77,16 @@ func main() {
 		os.Stdout.WriteString("\n")
 		experiments.PrintCheckerTable(os.Stdout, rowsC)
 	}
+	var rowsO []experiments.ObsRow
+	if *obsFlag {
+		var err error
+		rowsO, err = experiments.ObsTable()
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		os.Stdout.WriteString("\n")
+		experiments.PrintObsTable(os.Stdout, rowsO)
+	}
 	var rowsS []experiments.StoreRow
 	if *storeDir != "" {
 		var err error
@@ -86,6 +99,7 @@ func main() {
 	}
 	if *jsonPath != "" {
 		report := experiments.NewReport(rows1, rows2, rows5, rowsC)
+		report.AddObs(rowsO)
 		report.AddStore(rowsS)
 		out := os.Stdout
 		if *jsonPath != "-" {

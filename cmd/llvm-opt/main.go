@@ -18,6 +18,13 @@
 // reports: findings the pipeline fixed and findings it introduced are
 // printed, and a pipeline that introduces a new error-severity finding is
 // treated as a miscompile (nonzero exit).
+//
+// Observability (DESIGN.md §10): -trace-out FILE records one span per pass
+// and per function worker in Chrome trace-event JSON (load it in Perfetto
+// or about:tracing); -remarks streams optimization remarks (applied /
+// missed / analysis, per pass and position) to stderr, and -remarks-json
+// FILE writes the same stream as JSON. The remark stream is byte-identical
+// at any -j.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/tooling"
 )
@@ -47,6 +55,9 @@ func main() {
 	jobs := flag.Int("j", 0, "function-pass parallelism (0 = GOMAXPROCS, 1 = serial)")
 	binary := flag.Bool("b", false, "write bytecode instead of text")
 	out := flag.String("o", "-", "output file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON pipeline trace to FILE")
+	remarks := flag.Bool("remarks", false, "print optimization remarks (applied/missed/analysis) to stderr")
+	remarksJSON := flag.String("remarks-json", "", "write optimization remarks as JSON to FILE")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		tooling.Fatalf("usage: llvm-opt [flags] input")
@@ -63,6 +74,12 @@ func main() {
 	pm.VerifyEach = true
 	pm.Timeout = *passTimeout
 	pm.Parallelism = *jobs
+	if *traceOut != "" {
+		pm.Tracer = obs.NewTracer()
+	}
+	if *remarks || *remarksJSON != "" {
+		pm.Remarks = obs.NewRemarks()
+	}
 	switch *policy {
 	case "failfast":
 		pm.Policy = passes.FailFast
@@ -97,6 +114,7 @@ func main() {
 		chk = checker.New()
 		chk.AM = pm.AM
 		chk.Parallelism = *jobs
+		chk.Remarks = pm.Remarks
 		var err error
 		preRep, err = chk.Check(m)
 		if err != nil {
@@ -126,6 +144,40 @@ func main() {
 			tooling.Fatalf("llvm-opt: post-pipeline check: %v", err)
 		}
 		reportCheckDiff(preRep, postRep, *timing)
+	}
+	if pm.Remarks != nil {
+		sorted := pm.Remarks.Sorted()
+		if *remarks {
+			if err := obs.WriteRemarksText(os.Stderr, sorted); err != nil {
+				tooling.Fatalf("llvm-opt: writing remarks: %v", err)
+			}
+		}
+		if *remarksJSON != "" {
+			f, err := os.Create(*remarksJSON)
+			if err != nil {
+				tooling.Fatalf("llvm-opt: %v", err)
+			}
+			werr := obs.WriteRemarksJSON(f, sorted)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				tooling.Fatalf("llvm-opt: writing %s: %v", *remarksJSON, werr)
+			}
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			tooling.Fatalf("llvm-opt: %v", err)
+		}
+		werr := pm.Tracer.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			tooling.Fatalf("llvm-opt: writing %s: %v", *traceOut, werr)
+		}
 	}
 	if err := tooling.SaveModule(*out, m, *binary); err != nil {
 		tooling.Fatalf("llvm-opt: %v", err)

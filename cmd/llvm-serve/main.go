@@ -11,6 +11,13 @@
 // With -reopt-now the daemon instead drains the reoptimization queue
 // once (building current-epoch artifacts for every profiled module) and
 // exits — the offline half of the lifelong loop, for cron-style use.
+//
+// Observability (DESIGN.md §10): /metrics serves the daemon's registry in
+// Prometheus text format (request, store, interpreter, pass, and reopt
+// series); every response carries an X-Trace-Id header, and -access-log
+// FILE appends one JSON line per request keyed by that id. -trace-out FILE
+// writes a Chrome trace-event JSON timeline (request spans, per-pass
+// compile spans, store cache events) on shutdown.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/lifelong"
+	"repro/internal/obs"
 	"repro/internal/tooling"
 )
 
@@ -40,6 +48,8 @@ func main() {
 	idleDelay := flag.Duration("idle-delay", time.Second, "quiet period before idle reoptimization kicks in")
 	noReopt := flag.Bool("no-reopt", false, "disable the idle-time reoptimizer")
 	reoptNow := flag.Bool("reopt-now", false, "drain the reoptimization queue and exit instead of serving")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to FILE on shutdown")
+	accessLog := flag.String("access-log", "", "append one JSON access-log line per request to FILE")
 	flag.Parse()
 	if *storeDir == "" || flag.NArg() != 0 {
 		tooling.Fatalf("usage: llvm-serve -store DIR [flags]")
@@ -49,7 +59,7 @@ func main() {
 	if err != nil {
 		tooling.Fatalf("llvm-serve: %v", err)
 	}
-	srv := lifelong.NewServer(lifelong.Config{
+	cfg := lifelong.Config{
 		Store:           st,
 		Workers:         *workers,
 		RequestTimeout:  *timeout,
@@ -58,8 +68,33 @@ func main() {
 		MaxHeapBytes:    *maxHeap,
 		IdleDelay:       *idleDelay,
 		DisableReopt:    *noReopt || *reoptNow,
-	})
+	}
+	if *traceOut != "" {
+		cfg.Tracer = obs.NewTracer()
+	}
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			tooling.Fatalf("llvm-serve: %v", err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+	srv := lifelong.NewServer(cfg)
 	defer srv.Close()
+	if *traceOut != "" {
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "llvm-serve: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := cfg.Tracer.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "llvm-serve: writing %s: %v\n", *traceOut, err)
+			}
+		}()
+	}
 
 	if *reoptNow {
 		built, err := srv.ReoptimizeAll()

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/dsa"
+	"repro/internal/obs"
 )
 
 // Diagnostic kinds emitted by the checker.
@@ -94,6 +95,10 @@ type Checker struct {
 	// NoLint disables the warning-only lint kinds (unreachable-code,
 	// dead-store), keeping only memory-safety findings.
 	NoLint bool
+	// Remarks, when set, receives one analysis remark per diagnostic, so a
+	// -remarks run interleaves the checker's findings with the optimizer's
+	// decisions in a single positioned stream.
+	Remarks *obs.Remarks
 }
 
 // New returns a checker with default settings.
@@ -193,6 +198,15 @@ func (c *Checker) Check(m *core.Module) (rep *Report, err error) {
 		s := c.AM.Stats()
 		rep.Stats.CacheHits = s.Hits - h0
 		rep.Stats.CacheMisses = s.Misses - m0
+	}
+	if c.Remarks.Enabled() {
+		// Diagnostics are already in deterministic module order; replaying
+		// them as analysis remarks keeps the remark stream worker-count-
+		// independent too.
+		c.Remarks.BeginPass()
+		for _, d := range rep.Diags {
+			c.Remarks.Analysisf("check", d.Pos, "%s: %s", d.Kind, d.Msg)
+		}
 	}
 	return rep, nil
 }

@@ -15,6 +15,7 @@ type Report struct {
 	Figure5 []Figure5JSON `json:"figure5,omitempty"`
 	Checker []CheckerJSON `json:"checker,omitempty"`
 	Store   []StoreJSON   `json:"store,omitempty"`
+	Obs     []ObsJSON     `json:"obs,omitempty"`
 }
 
 // Table1JSON is Table1Row with stable JSON field names.
@@ -100,6 +101,27 @@ func NewReport(t1 []Table1Row, t2 []Table2Row, f5 []Figure5Row, ck []CheckerRow)
 		})
 	}
 	return r
+}
+
+// ObsJSON is ObsRow in Table2's millisecond convention.
+type ObsJSON struct {
+	Bench           string  `json:"bench"`
+	OffMs           float64 `json:"off_ms"`
+	OnMs            float64 `json:"on_ms"`
+	OverheadPercent float64 `json:"overhead_percent"`
+	Spans           int     `json:"spans"`
+	Remarks         int     `json:"remarks"`
+}
+
+// AddObs appends the observability-overhead rows to the report.
+func (r *Report) AddObs(rows []ObsRow) {
+	for _, row := range rows {
+		r.Obs = append(r.Obs, ObsJSON{
+			Bench: row.Bench, OffMs: ms(row.Off), OnMs: ms(row.On),
+			OverheadPercent: row.OverheadPercent(),
+			Spans:           row.Spans, Remarks: row.Remarks,
+		})
+	}
 }
 
 // AddStore appends the lifelong-store latency rows to the report.

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/passes"
+	"repro/internal/workload"
+)
+
+// ObsRow is one benchmark's observability-overhead measurement: the same
+// standard pipeline over the same module with observability fully off
+// (nil tracer/remarks/metrics — the zero-allocation path) and fully on.
+// Spans and Remarks report what the instrumented run captured, grounding
+// the overhead number in the volume of telemetry bought.
+type ObsRow struct {
+	Bench   string
+	Off     time.Duration
+	On      time.Duration
+	Spans   int
+	Remarks int
+}
+
+// OverheadPercent is the instrumented run's slowdown relative to the
+// uninstrumented one (negative = noise).
+func (r ObsRow) OverheadPercent() float64 {
+	if r.Off <= 0 {
+		return 0
+	}
+	return (float64(r.On)/float64(r.Off) - 1) * 100
+}
+
+// obsRuns is how many times each arm runs; the row reports the fastest,
+// which is the standard way to strip scheduler noise from a
+// single-process latency comparison.
+const obsRuns = 3
+
+// ObsTable measures tracing-off vs tracing-on pipeline latency per
+// benchmark. Both arms see identical inputs (the raw module is cloned
+// before each run), each arm reports the best of obsRuns runs, and the
+// uninstrumented arm goes first, so warm-up favors the instrumented
+// side — the overhead estimate is conservative.
+func ObsTable() ([]ObsRow, error) {
+	var rows []ObsRow
+	for _, p := range workload.Suite() {
+		raw, err := buildRaw(p)
+		if err != nil {
+			return nil, err
+		}
+
+		var offDur, onDur time.Duration
+		var spans, remarks int
+		for i := 0; i < obsRuns; i++ {
+			off := core.CloneModule(raw)
+			pmOff := passes.NewPassManager().AddStandardPipeline()
+			t0 := time.Now()
+			if _, err := pmOff.Run(off); err != nil {
+				return nil, fmt.Errorf("%s off: %w", p.Name, err)
+			}
+			if d := time.Since(t0); i == 0 || d < offDur {
+				offDur = d
+			}
+		}
+		for i := 0; i < obsRuns; i++ {
+			on := core.CloneModule(raw)
+			pmOn := passes.NewPassManager().AddStandardPipeline()
+			pmOn.Tracer = obs.NewTracer()
+			pmOn.Remarks = obs.NewRemarks()
+			pmOn.Metrics = obs.NewRegistry()
+			t1 := time.Now()
+			if _, err := pmOn.Run(on); err != nil {
+				return nil, fmt.Errorf("%s on: %w", p.Name, err)
+			}
+			if d := time.Since(t1); i == 0 || d < onDur {
+				onDur = d
+			}
+			spans, remarks = pmOn.Tracer.Len(), pmOn.Remarks.Len()
+		}
+
+		rows = append(rows, ObsRow{
+			Bench: p.Name, Off: offDur, On: onDur,
+			Spans: spans, Remarks: remarks,
+		})
+	}
+	return rows, nil
+}
+
+// PrintObsTable renders rows alongside the other evaluation tables.
+func PrintObsTable(w io.Writer, rows []ObsRow) {
+	fmt.Fprintf(w, "Obs: standard-pipeline latency with observability off vs on\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %10s %8s %9s\n",
+		"Benchmark", "Off", "On", "Overhead", "Spans", "Remarks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %11.3fms %11.3fms %9.1f%% %8d %9d\n",
+			r.Bench, ms(r.Off), ms(r.On), r.OverheadPercent(), r.Spans, r.Remarks)
+	}
+}

@@ -43,11 +43,26 @@ func (mc *Machine) RunContext(ctx context.Context, f *core.Function, args ...uin
 	if ctx != context.Background() {
 		mc.ctx = ctx
 	}
+	mc.runDepth++
+	steps0 := mc.Steps
 	defer func() {
 		mc.ctx = prevCtx
 		if r := recover(); r != nil {
 			err = mc.trapErr(fmt.Errorf("%w: panic: %v", ErrTrap, r))
 			v = 0
+		}
+		mc.runDepth--
+		// Record once per outermost run so re-entrant calls (builtins that
+		// call back into the machine) are not double-counted.
+		if mc.runDepth == 0 && mc.Metrics != nil {
+			mc.Metrics.Counter("llvm_interp_runs_total").Inc()
+			mc.Metrics.Counter("llvm_interp_instructions_total").Add(float64(mc.Steps - steps0))
+			if err != nil {
+				var ee *ExitError
+				if !errors.As(err, &ee) {
+					mc.Metrics.Counter("llvm_interp_traps_total", "kind", trapKindOf(err)).Inc()
+				}
+			}
 		}
 	}()
 	val, res, err := mc.call(f, args)
@@ -62,6 +77,31 @@ func (mc *Machine) RunContext(ctx context.Context, f *core.Function, args ...uin
 		return 0, mc.trapErr(ErrUncaughtUnwind)
 	}
 	return val, nil
+}
+
+// trapKindOf maps an execution error to its stable metric label, mirroring
+// the Err* sentinels (llvm_interp_traps_total{kind=...}).
+func trapKindOf(err error) string {
+	for _, c := range []struct {
+		sentinel error
+		kind     string
+	}{
+		{ErrMaxSteps, "max-steps"},
+		{ErrStackOverflow, "stack-overflow"},
+		{ErrNullDeref, "null-deref"},
+		{ErrOutOfBounds, "out-of-bounds"},
+		{ErrUncaughtUnwind, "uncaught-unwind"},
+		{ErrDivideByZero, "divide-by-zero"},
+		{ErrBadIndirectCall, "bad-indirect-call"},
+		{ErrDoubleFree, "double-free"},
+		{ErrCancelled, "cancelled"},
+		{ErrHeapLimit, "heap-limit"},
+	} {
+		if errors.Is(err, c.sentinel) {
+			return c.kind
+		}
+	}
+	return "other"
 }
 
 // trapErr wraps an execution error with the machine's current position.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/obs"
 )
 
 // Limits protect against runaway programs.
@@ -93,6 +94,11 @@ type Machine struct {
 	// host.
 	MaxHeapBytes int64
 
+	// Metrics, when set, receives per-run counters: runs, instructions
+	// executed, and traps broken down by kind (llvm_interp_*, DESIGN.md
+	// §10). Recorded once per outermost RunContext.
+	Metrics *obs.Registry
+
 	// Steps counts executed instructions; OpCounts breaks them down.
 	Steps    int64
 	OpCounts [core.NumOpcodes]int64
@@ -109,6 +115,7 @@ type Machine struct {
 	funcAt    map[uint64]*core.Function
 	builtins  map[string]Builtin
 	depth     int
+	runDepth  int // nesting of RunContext; metrics record at the outermost
 	useJIT    bool
 	jitCache  map[*core.Function]*jitFunc
 

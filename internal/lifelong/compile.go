@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/tooling"
 )
@@ -32,6 +33,14 @@ type CompileResult struct {
 	Data []byte `json:"-"`
 }
 
+// CompileOpts threads observability into a store-backed compile: the
+// tracer records a span for the whole compile plus the pipeline's per-pass
+// spans on miss, and the registry receives the pass pipeline's metrics.
+type CompileOpts struct {
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+}
+
 // Compile optimizes m through the store: the module is interned at its
 // content address, and the artifact for (hash, spec, epoch) is served
 // from cache when present — preferring the artifact built against the
@@ -40,11 +49,27 @@ type CompileResult struct {
 // The caller's module is never mutated: on miss the pipeline runs on a
 // private decode of the canonical bytes.
 func Compile(st *Store, m *core.Module, spec string) (*CompileResult, error) {
+	return CompileWith(st, m, spec, CompileOpts{})
+}
+
+// CompileWith is Compile with observability attached.
+func CompileWith(st *Store, m *core.Module, spec string, opts CompileOpts) (res *CompileResult, err error) {
+	if opts.Tracer != nil {
+		sp := opts.Tracer.Begin("compile", "lifelong", 0)
+		defer func() {
+			args := map[string]string{"pipeline": spec}
+			if res != nil {
+				args["hash"] = shortHash(res.ModuleHash)
+				args["cache"] = cacheWord(res.Hit)
+			}
+			sp.EndArgs(args)
+		}()
+	}
 	hash, canonical, err := st.PutModule(m)
 	if err != nil {
 		return nil, err
 	}
-	res := &CompileResult{ModuleHash: hash, Spec: spec}
+	res = &CompileResult{ModuleHash: hash, Spec: spec}
 	if f, ok := st.GetProfile(hash); ok {
 		res.ProfileEpoch = f.Epoch
 	}
@@ -72,6 +97,8 @@ func Compile(st *Store, m *core.Module, spec string) (*CompileResult, error) {
 		return nil, fmt.Errorf("lifelong: re-decoding %s: %w", shortHash(hash), err)
 	}
 	pm := passes.NewPassManager()
+	pm.Tracer = opts.Tracer
+	pm.Metrics = opts.Metrics
 	if err := tooling.AddPipelineSpec(pm, spec); err != nil {
 		return nil, err
 	}

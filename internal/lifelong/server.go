@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/tooling"
 )
@@ -45,6 +46,17 @@ type Config struct {
 	IdleDelay time.Duration
 	// DisableReopt turns the idle-time reoptimizer off.
 	DisableReopt bool
+	// Metrics is the registry /metrics exposes and /stats reads (nil = the
+	// server creates its own). Request, store, reopt, and interpreter
+	// counters all live here, so the two endpoints can never disagree.
+	Metrics *obs.Registry
+	// Tracer, when set, records request spans, per-pass compile spans, and
+	// store cache events (llvm-serve -trace-out).
+	Tracer *obs.Tracer
+	// AccessLog, when set, receives one JSON line per request with the
+	// request's trace id (also returned in the X-Trace-Id header), method,
+	// path, status, and latency.
+	AccessLog io.Writer
 }
 
 func (c *Config) withDefaults() Config {
@@ -81,21 +93,25 @@ func (c *Config) withDefaults() Config {
 // and an idle-time goroutine reoptimizes the hottest profiled modules
 // whenever the request queue goes quiet.
 type Server struct {
-	cfg   Config
-	store *Store
-	sem   chan struct{}
+	cfg     Config
+	store   *Store
+	sem     chan struct{}
+	metrics *obs.Registry
 
 	inflight     atomic.Int64
 	lastActivity atomic.Int64 // UnixNano of the last request start/finish
 	start        time.Time
+	traceSeq     atomic.Uint64
 
-	nCompile, nRun, nCheck, nRejected atomic.Uint64
+	// Request and reopt counters live in the metrics registry; /stats reads
+	// them back from there (see handleStats) so the JSON and Prometheus
+	// views are two renderings of one set of counters.
+	cCompile, cRun, cCheck, cRejected *obs.Counter
+	cReoptBuilt, cReoptErrors         *obs.Counter
 
-	reoptMu     sync.Mutex
-	reoptBuilt  uint64
-	reoptLast   string
-	reoptEpoch  int64
-	reoptErrors uint64
+	reoptMu    sync.Mutex
+	reoptLast  string
+	reoptEpoch int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -111,6 +127,22 @@ func NewServer(cfg Config) *Server {
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
+	s.metrics = s.cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.cCompile = s.metrics.Counter("llvm_serve_requests_total", "endpoint", "compile")
+	s.cRun = s.metrics.Counter("llvm_serve_requests_total", "endpoint", "run")
+	s.cCheck = s.metrics.Counter("llvm_serve_requests_total", "endpoint", "check")
+	s.cRejected = s.metrics.Counter("llvm_serve_rejected_total")
+	s.cReoptBuilt = s.metrics.Counter("llvm_reopt_builds_total")
+	s.cReoptErrors = s.metrics.Counter("llvm_reopt_errors_total")
+	s.metrics.GaugeFunc("llvm_serve_inflight", func() float64 { return float64(s.inflight.Load()) })
+	s.metrics.GaugeFunc("llvm_serve_uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+	s.store.RegisterMetrics(s.metrics)
+	if s.cfg.Tracer != nil {
+		s.store.Tracer = s.cfg.Tracer
+	}
 	s.sem = make(chan struct{}, s.cfg.Workers)
 	s.lastActivity.Store(time.Now().UnixNano())
 	if s.cfg.DisableReopt {
@@ -120,6 +152,9 @@ func NewServer(cfg Config) *Server {
 	}
 	return s
 }
+
+// Metrics returns the server's registry (for tests and embedding callers).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // Close stops the idle reoptimizer and waits for it to exit.
 func (s *Server) Close() {
@@ -131,14 +166,98 @@ func (s *Server) Close() {
 	<-s.done
 }
 
-// Handler returns the daemon's HTTP mux.
+// Handler returns the daemon's HTTP mux. Every request is wrapped in the
+// observability middleware: a trace id (X-Trace-Id, echoed in the access
+// log), a request span, and a latency histogram per endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.withWorker(s.handleCompile))
 	mux.HandleFunc("/run", s.withWorker(s.handleRun))
 	mux.HandleFunc("/check", s.withWorker(s.handleCheck))
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.observe(mux)
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time     string  `json:"time"`
+	TraceID  string  `json:"trace_id"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Status   int     `json:"status"`
+	Bytes    int64   `json:"bytes"`
+	Duration float64 `json:"duration_seconds"`
+}
+
+// observe assigns each request a trace id, records its span and latency,
+// and emits the access-log line.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%x-%d", s.start.UnixNano(), s.traceSeq.Add(1))
+		w.Header().Set("X-Trace-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		sp := s.cfg.Tracer.Begin(r.URL.Path, "request", 0)
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(t0)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if s.cfg.Tracer != nil {
+			sp.EndArgs(map[string]string{
+				"trace_id": id,
+				"status":   fmt.Sprint(sw.status),
+			})
+		}
+		s.metrics.Histogram("llvm_serve_request_seconds", nil,
+			"endpoint", r.URL.Path).Observe(dur.Seconds())
+		if s.cfg.AccessLog != nil {
+			line, err := json.Marshal(accessRecord{
+				Time:     t0.UTC().Format(time.RFC3339Nano),
+				TraceID:  id,
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Status:   sw.status,
+				Bytes:    sw.bytes,
+				Duration: dur.Seconds(),
+			})
+			if err == nil {
+				s.cfg.AccessLog.Write(append(line, '\n'))
+			}
+		}
+	})
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format: pass, analysis-cache, interpreter, store, reopt, and request
+// series in one scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
 }
 
 // withWorker funnels a handler through the bounded pool: the request
@@ -156,7 +275,7 @@ func (s *Server) withWorker(h func(http.ResponseWriter, *http.Request)) http.Han
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
-			s.nRejected.Add(1)
+			s.cRejected.Inc()
 			httpError(w, http.StatusServiceUnavailable, "server saturated: no worker slot within the request budget")
 			return
 		}
@@ -203,7 +322,7 @@ type compileResponse struct {
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	s.nCompile.Add(1)
+	s.cCompile.Inc()
 	m, ok := s.readModule(w, r)
 	if !ok {
 		return
@@ -212,7 +331,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if spec == "" {
 		spec = s.cfg.DefaultPipeline
 	}
-	res, err := Compile(s.store, m, spec)
+	res, err := CompileWith(s.store, m, spec, CompileOpts{Tracer: s.cfg.Tracer, Metrics: s.metrics})
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "compile: %v", err)
 		return
@@ -250,7 +369,7 @@ type runResponse struct {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.nRun.Add(1)
+	s.cRun.Inc()
 	m, ok := s.readModule(w, r)
 	if !ok {
 		return
@@ -276,6 +395,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	mc.MaxSteps = s.cfg.MaxSteps
 	mc.MaxHeapBytes = s.cfg.MaxHeapBytes
+	mc.Metrics = s.metrics
 
 	resp := runResponse{ModuleHash: hash}
 	code, runErr := mc.RunMainContext(r.Context())
@@ -316,7 +436,7 @@ type checkResponse struct {
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	s.nCheck.Add(1)
+	s.cCheck.Inc()
 	m, ok := s.readModule(w, r)
 	if !ok {
 		return
@@ -358,19 +478,23 @@ type statsResponse struct {
 	} `json:"reopt"`
 }
 
+// handleStats renders the JSON view of the same counters /metrics scrapes:
+// request and reopt totals are read back from the registry's series, and
+// the store block from the same atomics the llvm_store_* bridges poll, so
+// the two endpoints cannot drift apart.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp statsResponse
 	resp.UptimeSeconds = time.Since(s.start).Seconds()
 	resp.Store = s.store.Stats()
-	resp.Requests.Compile = s.nCompile.Load()
-	resp.Requests.Run = s.nRun.Load()
-	resp.Requests.Check = s.nCheck.Load()
-	resp.Requests.Rejected = s.nRejected.Load()
+	resp.Requests.Compile = uint64(s.cCompile.Value())
+	resp.Requests.Run = uint64(s.cRun.Value())
+	resp.Requests.Check = uint64(s.cCheck.Value())
+	resp.Requests.Rejected = uint64(s.cRejected.Value())
 	resp.Requests.Active = s.inflight.Load()
 	resp.Reopt.Enabled = !s.cfg.DisableReopt
+	resp.Reopt.ArtifactsBuilt = uint64(s.cReoptBuilt.Value())
+	resp.Reopt.Errors = uint64(s.cReoptErrors.Value())
 	s.reoptMu.Lock()
-	resp.Reopt.ArtifactsBuilt = s.reoptBuilt
-	resp.Reopt.Errors = s.reoptErrors
 	resp.Reopt.LastModule = s.reoptLast
 	resp.Reopt.LastEpoch = s.reoptEpoch
 	s.reoptMu.Unlock()
@@ -402,16 +526,24 @@ func (s *Server) idleLoop() {
 		if target == "" {
 			continue
 		}
+		sp := s.cfg.Tracer.Begin("reoptimize", "reopt", 0)
 		res, err := ReoptimizeStored(s.store, target, s.cfg.DefaultPipeline)
-		s.reoptMu.Lock()
 		if err != nil {
-			s.reoptErrors++
+			s.cReoptErrors.Inc()
 		} else if res != nil {
-			s.reoptBuilt++
+			s.cReoptBuilt.Inc()
+			s.reoptMu.Lock()
 			s.reoptLast = res.ModHash
 			s.reoptEpoch = res.Epoch
+			s.reoptMu.Unlock()
 		}
-		s.reoptMu.Unlock()
+		if s.cfg.Tracer != nil {
+			args := map[string]string{"module": shortHash(target)}
+			if err != nil {
+				args["error"] = err.Error()
+			}
+			sp.EndArgs(args)
+		}
 	}
 }
 
@@ -431,8 +563,8 @@ func (s *Server) ReoptimizeAll() (built int, err error) {
 		if res == nil {
 			return built, nil
 		}
+		s.cReoptBuilt.Inc()
 		s.reoptMu.Lock()
-		s.reoptBuilt++
 		s.reoptLast = res.ModHash
 		s.reoptEpoch = res.Epoch
 		s.reoptMu.Unlock()

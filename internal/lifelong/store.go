@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/tooling"
 )
@@ -35,6 +36,10 @@ type Store struct {
 	dir      string
 	maxBytes int64
 
+	// Tracer, when set, records cache hits, misses, and evictions as
+	// instant events on the store track of the pipeline trace.
+	Tracer *obs.Tracer
+
 	mu  sync.Mutex
 	idx *index
 
@@ -42,6 +47,26 @@ type Store struct {
 	moduleHits, moduleMisses     atomic.Uint64
 	artifactHits, artifactMisses atomic.Uint64
 	evictions, corruptions       atomic.Uint64
+}
+
+// RegisterMetrics bridges the store's atomic counters and size gauges into
+// reg under the llvm_store_* names, polled at scrape time so /stats (which
+// reads the same atomics) and /metrics can never disagree.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("llvm_store_module_hits_total", func() float64 { return float64(s.moduleHits.Load()) })
+	reg.CounterFunc("llvm_store_module_misses_total", func() float64 { return float64(s.moduleMisses.Load()) })
+	reg.CounterFunc("llvm_store_artifact_hits_total", func() float64 { return float64(s.artifactHits.Load()) })
+	reg.CounterFunc("llvm_store_artifact_misses_total", func() float64 { return float64(s.artifactMisses.Load()) })
+	reg.CounterFunc("llvm_store_evictions_total", func() float64 { return float64(s.evictions.Load()) })
+	reg.CounterFunc("llvm_store_corruptions_total", func() float64 { return float64(s.corruptions.Load()) })
+	reg.GaugeFunc("llvm_store_bytes", func() float64 { return float64(s.Stats().Bytes) })
+	reg.GaugeFunc("llvm_store_blobs", func() float64 {
+		st := s.Stats()
+		return float64(st.Modules + st.Artifacts + st.Profiles)
+	})
 }
 
 // index is the store's bookkeeping sidecar (index.json): per-blob size,
@@ -223,6 +248,7 @@ func (s *Store) evictLocked() {
 		os.Remove(filepath.Join(s.dir, victim.rel))
 		delete(s.idx.Entries, victim.rel)
 		s.evictions.Add(1)
+		s.Tracer.Instant("evict", "store", 0, map[string]string{"blob": victim.rel})
 	}
 }
 
@@ -268,6 +294,9 @@ func (s *Store) GetModuleBytes(hash string) ([]byte, bool) {
 		s.moduleHits.Add(1)
 	} else {
 		s.moduleMisses.Add(1)
+	}
+	if s.Tracer != nil {
+		s.Tracer.Instant("module-"+cacheWord(ok), "store", 0, map[string]string{"hash": shortHash(hash)})
 	}
 	return data, ok
 }
@@ -319,6 +348,10 @@ func (s *Store) GetArtifact(modHash, spec string, epoch int64) ([]byte, bool) {
 		s.artifactHits.Add(1)
 	} else {
 		s.artifactMisses.Add(1)
+	}
+	if s.Tracer != nil {
+		s.Tracer.Instant("artifact-"+cacheWord(ok), "store", 0,
+			map[string]string{"hash": shortHash(modHash), "epoch": fmt.Sprint(epoch)})
 	}
 	return data, ok
 }

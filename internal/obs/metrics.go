@@ -1,0 +1,379 @@
+// Package obs is the toolchain's observability layer: a span tracer that
+// exports Chrome trace-event JSON (loadable in about:tracing / Perfetto),
+// an optimization-remarks stream (LLVM's -Rpass analogue: applied, missed,
+// and analysis remarks keyed by pass, function, and diag.Pos), and a
+// dependency-free metrics registry (atomic counters, gauges, histograms)
+// exported in Prometheus text format by llvm-serve's /metrics endpoint.
+//
+// Every entry point is safe on a nil receiver and the nil (disabled) paths
+// perform no allocation, so instrumented hot paths — the pass scheduler's
+// per-function loop, the interpreter's run boundary — cost nothing when
+// observability is off. bench_test.go guards this with an allocation test.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil *Counter discards updates.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Add increments the counter by v (negative deltas are ignored).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a metric that can go up and down. A nil *Gauge discards updates.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultDurationBuckets are histogram bounds (in seconds) spanning the
+// latencies the toolchain sees: sub-millisecond pass runs up to multi-second
+// requests.
+var DefaultDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+// A nil *Histogram discards observations.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	sum    Counter
+	total  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels string // canonical rendered label set, "" or `{k="v",...}`
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // CounterFunc/GaugeFunc callback
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name string
+	typ  string // "counter", "gauge", "histogram"
+	mu   sync.Mutex
+	byLb map[string]*series
+}
+
+// Registry holds metric families and renders them as Prometheus text. All
+// methods are safe for concurrent use; all are safe on a nil *Registry,
+// which hands out nil handles that discard updates — instrumented code
+// needs no "is observability on" branches.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// LabelSet renders label key/value pairs in canonical (sorted-key) form.
+// Values are escaped per the Prometheus text exposition format.
+func LabelSet(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// fam returns (creating if needed) the family for name, checking that the
+// metric type is consistent across registrations.
+func (r *Registry) fam(name, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, typ: typ, byLb: map[string]*series{}}
+		r.fams[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) series(labels string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.byLb[labels]
+	if s == nil {
+		s = &series{labels: labels}
+		f.byLb[labels] = s
+	}
+	return s
+}
+
+// Counter returns (creating if needed) the counter for name and the given
+// label key/value pairs. Returns nil on a nil registry.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.fam(name, "counter").series(LabelSet(kv...))
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns (creating if needed) the gauge for name and labels.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.fam(name, "gauge").series(LabelSet(kv...))
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns (creating if needed) the histogram for name and labels,
+// with the given upper bounds (nil = DefaultDurationBuckets).
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.fam(name, "histogram").series(LabelSet(kv...))
+	if s.h == nil {
+		if bounds == nil {
+			bounds = DefaultDurationBuckets
+		}
+		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	}
+	return s.h
+}
+
+// CounterFunc registers a counter whose value is polled at scrape time —
+// the bridge for subsystems that already keep their own atomic counters
+// (the analysis manager's hit/miss totals, the store's cache counters).
+func (r *Registry) CounterFunc(name string, fn func() float64, kv ...string) {
+	if r == nil {
+		return
+	}
+	s := r.fam(name, "counter").series(LabelSet(kv...))
+	s.fn = fn
+}
+
+// GaugeFunc registers a gauge polled at scrape time.
+func (r *Registry) GaugeFunc(name string, fn func() float64, kv ...string) {
+	if r == nil {
+		return
+	}
+	s := r.fam(name, "gauge").series(LabelSet(kv...))
+	s.fn = fn
+}
+
+// formatValue renders a sample in the Prometheus text format.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// sorted by metric name then label set, so successive scrapes of an idle
+// process are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.byLb))
+		for k := range f.byLb {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("# TYPE ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		sb.WriteString(f.typ)
+		sb.WriteByte('\n')
+		for _, k := range keys {
+			s := f.byLb[k]
+			switch {
+			case s.h != nil:
+				writeHistogram(&sb, f.name, s)
+			case s.fn != nil:
+				writeSample(&sb, f.name, s.labels, s.fn())
+			case s.c != nil:
+				writeSample(&sb, f.name, s.labels, s.c.Value())
+			case s.g != nil:
+				writeSample(&sb, f.name, s.labels, s.g.Value())
+			}
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeSample(sb *strings.Builder, name, labels string, v float64) {
+	sb.WriteString(name)
+	sb.WriteString(labels)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet.
+func writeHistogram(sb *strings.Builder, name string, s *series) {
+	h := s.h
+	// Merge the bucket label into the (possibly empty) series label set.
+	bucketLabels := func(le string) string {
+		if s.labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return s.labels[:len(s.labels)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(sb, name+"_bucket", bucketLabels(formatValue(b)), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(sb, name+"_bucket", bucketLabels("+Inf"), float64(cum))
+	writeSample(sb, name+"_sum", s.labels, h.Sum())
+	writeSample(sb, name+"_count", s.labels, float64(h.Count()))
+}

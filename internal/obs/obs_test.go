@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/diag"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("llvm_test_total", "pass", "mem2reg")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	// Same name+labels returns the same series.
+	if again := r.Counter("llvm_test_total", "pass", "mem2reg"); again.Value() != 3 {
+		t.Errorf("re-fetched counter = %v, want 3", again.Value())
+	}
+	g := r.Gauge("llvm_test_gauge")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %v, want 6", got)
+	}
+}
+
+func TestNilHandlesAreInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	r.CounterFunc("x", func() float64 { return 1 })
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil handles recorded values")
+	}
+	var tr *Tracer
+	sp := tr.Begin("a", "b", 0)
+	sp.End()
+	tr.Instant("a", "b", 0, nil)
+	if tr.Len() != 0 {
+		t.Error("nil tracer recorded events")
+	}
+	var rem *Remarks
+	rem.BeginPass()
+	rem.Appliedf("p", diag.Pos{}, "x")
+	if rem.Len() != 0 || rem.Sorted() != nil || rem.Enabled() {
+		t.Error("nil remarks not inert")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("llvm_test_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE llvm_test_seconds histogram",
+		`llvm_test_seconds_bucket{le="0.01"} 1`,
+		`llvm_test_seconds_bucket{le="0.1"} 3`,
+		`llvm_test_seconds_bucket{le="1"} 4`,
+		`llvm_test_seconds_bucket{le="+Inf"} 5`,
+		"llvm_test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusOutputDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "k", "2").Inc()
+	r.Counter("b_total", "k", "1").Inc()
+	r.Gauge("a_gauge").Set(1)
+	r.CounterFunc("c_total", func() float64 { return 7 })
+	var b1, b2 bytes.Buffer
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("two scrapes of an idle registry differ")
+	}
+	out := b1.String()
+	// Families sorted by name; series sorted by label set.
+	if !(strings.Index(out, "a_gauge") < strings.Index(out, "b_total") &&
+		strings.Index(out, "b_total") < strings.Index(out, "c_total")) {
+		t.Errorf("families out of order:\n%s", out)
+	}
+	if strings.Index(out, `k="1"`) > strings.Index(out, `k="2"`) {
+		t.Errorf("series out of order:\n%s", out)
+	}
+	if !strings.Contains(out, "c_total 7") {
+		t.Errorf("CounterFunc not polled:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := LabelSet("msg", "a\"b\\c\nd")
+	want := `{msg="a\"b\\c\nd"}`
+	if got != want {
+		t.Errorf("LabelSet = %s, want %s", got, want)
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("mem2reg", "pass", 0)
+	time.Sleep(time.Millisecond)
+	sp.EndArgs(map[string]string{"changed": "3"})
+	tr.Instant("cache-hit", "store", 0, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Cat   string `json:"cat"`
+			Phase string `json:"ph"`
+			TS    *int64 `json:"ts"`
+			Dur   int64  `json:"dur"`
+			PID   int    `json:"pid"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(f.TraceEvents))
+	}
+	span := f.TraceEvents[0]
+	if span.Name != "mem2reg" || span.Phase != "X" || span.TS == nil || span.Dur <= 0 {
+		t.Errorf("bad span event: %+v", span)
+	}
+	if f.TraceEvents[1].Phase != "i" {
+		t.Errorf("instant event phase = %q, want i", f.TraceEvents[1].Phase)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Begin("f", "function", w+1).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("events = %d, want 800", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("concurrent trace output is not valid JSON")
+	}
+}
+
+func TestRemarksSortedDeterministic(t *testing.T) {
+	build := func(interleave bool) string {
+		r := NewRemarks()
+		r.BeginPass()
+		emitA := func() {
+			r.Appliedf("p1", diag.Pos{Fn: "a"}, "first")
+			r.Missedf("p1", diag.Pos{Fn: "a"}, "second")
+		}
+		emitB := func() { r.Appliedf("p1", diag.Pos{Fn: "b"}, "only") }
+		if interleave {
+			// Simulate a different worker schedule: b lands between a's two.
+			r.Appliedf("p1", diag.Pos{Fn: "a"}, "first")
+			emitB()
+			r.Missedf("p1", diag.Pos{Fn: "a"}, "second")
+		} else {
+			emitA()
+			emitB()
+		}
+		r.BeginPass()
+		r.Analysisf("p2", diag.Pos{Fn: "a"}, "later pass")
+		var buf bytes.Buffer
+		if err := WriteRemarksText(&buf, r.Sorted()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build(false) != build(true) {
+		t.Errorf("remark order depends on emission interleaving:\n%s\nvs\n%s",
+			build(false), build(true))
+	}
+	out := build(false)
+	if !strings.Contains(out, "remark: p1: applied: first in %a") {
+		t.Errorf("unexpected rendering:\n%s", out)
+	}
+	// A later pass's remarks must sort after all earlier ones, even for an
+	// alphabetically-earlier function.
+	if strings.Index(out, "p2: analysis") < strings.Index(out, `in %b`) {
+		t.Errorf("pass-run ordering violated:\n%s", out)
+	}
+}
+
+func TestRemarksJSON(t *testing.T) {
+	r := NewRemarks()
+	r.BeginPass()
+	r.Appliedf("inline", diag.Pos{Fn: "caller", Block: "entry"}, "inlined %s", "callee")
+	var buf bytes.Buffer
+	if err := WriteRemarksJSON(&buf, r.Sorted()); err != nil {
+		t.Fatal(err)
+	}
+	var got []Remark
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Pass != "inline" || got[0].Status != Applied ||
+		got[0].Pos.Fn != "caller" || got[0].Msg != "inlined callee" {
+		t.Errorf("round-tripped remark = %+v", got)
+	}
+}
+
+// TestDisabledPathsAllocationFree is the package-local half of the
+// zero-overhead contract (bench_test.go guards the integrated pass path):
+// with observability off, span begin/end, counter updates, and guarded
+// remark emission allocate nothing.
+func TestDisabledPathsAllocationFree(t *testing.T) {
+	var tr *Tracer
+	var c *Counter
+	var rem *Remarks
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin("pass", "pass", 0)
+		c.Inc()
+		if rem.Enabled() {
+			rem.Appliedf("p", diag.Pos{Fn: "f"}, "never")
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observability allocated %v times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/diag"
+)
+
+// Remark statuses, LLVM's -Rpass vocabulary: an optimization that fired,
+// one that was considered and declined (with the reason), and a neutral
+// analysis observation.
+const (
+	Applied  = "applied"
+	Missed   = "missed"
+	Analysis = "analysis"
+)
+
+// Remark is one optimization remark: which pass, what happened, where, and
+// why — the per-decision counterpart of a pass's aggregate change count.
+type Remark struct {
+	Pass   string   `json:"pass"`
+	Status string   `json:"status"` // applied | missed | analysis
+	Pos    diag.Pos `json:"pos"`
+	Msg    string   `json:"message"`
+	// run orders remarks by pass execution: the pipeline runs passes
+	// sequentially, so sorting by (run, function) restores a deterministic
+	// order even when parallel function workers appended interleaved.
+	run int
+}
+
+// String renders "mem2reg: applied: promoted %x to register in %main".
+func (r Remark) String() string {
+	s := r.Pass + ": " + r.Status + ": " + r.Msg
+	if loc := r.Pos.String(); loc != "" {
+		s += " " + loc
+	}
+	return s
+}
+
+// Remarks collects optimization remarks from a pipeline run. Emission is
+// safe from concurrent function workers; Sorted restores a deterministic
+// order (see Remark.run). A nil *Remarks discards everything — passes
+// guard emission with a nil check so disabled remarks cost nothing.
+type Remarks struct {
+	mu   sync.Mutex
+	list []Remark
+	run  int
+}
+
+// NewRemarks returns an enabled collector.
+func NewRemarks() *Remarks { return &Remarks{} }
+
+// Enabled reports whether remarks are being collected; hot loops use it to
+// skip building positions and messages when they would be discarded.
+func (r *Remarks) Enabled() bool { return r != nil }
+
+// BeginPass marks the start of one pass execution; remarks emitted until
+// the next BeginPass sort after all earlier passes' remarks.
+func (r *Remarks) BeginPass() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.run++
+	r.mu.Unlock()
+}
+
+// Emit records one remark.
+func (r *Remarks) Emit(pass, status string, pos diag.Pos, format string, args ...interface{}) {
+	if r == nil {
+		return
+	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	r.mu.Lock()
+	r.list = append(r.list, Remark{Pass: pass, Status: status, Pos: pos, Msg: msg, run: r.run})
+	r.mu.Unlock()
+}
+
+// Appliedf records an applied remark.
+func (r *Remarks) Appliedf(pass string, pos diag.Pos, format string, args ...interface{}) {
+	r.Emit(pass, Applied, pos, format, args...)
+}
+
+// Missedf records a missed-optimization remark.
+func (r *Remarks) Missedf(pass string, pos diag.Pos, format string, args ...interface{}) {
+	r.Emit(pass, Missed, pos, format, args...)
+}
+
+// Analysisf records an analysis remark.
+func (r *Remarks) Analysisf(pass string, pos diag.Pos, format string, args ...interface{}) {
+	r.Emit(pass, Analysis, pos, format, args...)
+}
+
+// Len returns the number of remarks collected (0 on nil).
+func (r *Remarks) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.list)
+}
+
+// Sorted returns the remarks in deterministic order: by pass execution,
+// then by function name, preserving emission order within one function.
+// One pass execution hands each function to exactly one worker, so the
+// within-function order is worker-count-independent and the whole stream
+// is byte-identical at any -j (the golden test pins this).
+func (r *Remarks) Sorted() []Remark {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Remark(nil), r.list...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].run != out[j].run {
+			return out[i].run < out[j].run
+		}
+		return out[i].Pos.Fn < out[j].Pos.Fn
+	})
+	return out
+}
+
+// WriteRemarksText renders remarks one per line, "remark: " prefixed, in
+// the deterministic Sorted order.
+func WriteRemarksText(w io.Writer, rs []Remark) error {
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(w, "remark: %s\n", r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRemarksJSON renders remarks as an indented JSON array.
+func WriteRemarksJSON(w io.Writer, rs []Remark) error {
+	if rs == nil {
+		rs = []Remark{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(rs)
+}

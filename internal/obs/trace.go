@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records timed spans of the compile pipeline and exports them in
+// the Chrome trace-event format (the JSON Array / "traceEvents" shape),
+// loadable in about:tracing and Perfetto. Spans carry a tid so concurrent
+// work — the parallel pass scheduler's function workers, the daemon's
+// request handlers — renders as parallel tracks.
+//
+// A nil *Tracer is the disabled state: Begin returns a zero Span whose End
+// is a no-op, and neither call allocates, so tracing costs nothing on the
+// pass hot path when off.
+type Tracer struct {
+	epoch time.Time
+	mu    sync.Mutex
+	evs   []traceEvent
+}
+
+// traceEvent is one Chrome trace-event object. Complete events (ph "X")
+// carry a duration; instant events (ph "i") do not.
+type traceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"` // microseconds since the tracer's epoch
+	Dur   int64             `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"` // instant-event scope
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object format wrapper.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// NewTracer returns an enabled tracer whose timestamps are relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one in-flight timed region. The zero Span (from a nil tracer)
+// is inert.
+type Span struct {
+	tr    *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a span on track tid (0 = the main pipeline track; the
+// parallel scheduler uses 1..N for its workers). Safe and allocation-free
+// on a nil tracer.
+func (t *Tracer) Begin(name, cat string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, cat: cat, tid: tid, start: time.Now()}
+}
+
+// End closes the span, recording a complete ("X") event.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs closes the span with key/value annotations shown in the trace
+// viewer's detail pane.
+func (s Span) EndArgs(args map[string]string) {
+	if s.tr == nil {
+		return
+	}
+	end := time.Now()
+	s.tr.mu.Lock()
+	s.tr.evs = append(s.tr.evs, traceEvent{
+		Name:  s.name,
+		Cat:   s.cat,
+		Phase: "X",
+		TS:    s.start.Sub(s.tr.epoch).Microseconds(),
+		Dur:   end.Sub(s.start).Microseconds(),
+		PID:   1,
+		TID:   s.tid,
+		Args:  args,
+	})
+	s.tr.mu.Unlock()
+}
+
+// Instant records a zero-duration marker (cache hits, evictions, epoch
+// advances) on track tid.
+func (t *Tracer) Instant(name, cat string, tid int, args map[string]string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.evs = append(t.evs, traceEvent{
+		Name:  name,
+		Cat:   cat,
+		Phase: "i",
+		TS:    now.Sub(t.epoch).Microseconds(),
+		PID:   1,
+		TID:   tid,
+		Scope: "t",
+		Args:  args,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.evs)
+}
+
+// WriteJSON exports the recorded events in the Chrome trace-event JSON
+// Object format. Events are sorted by (ts, tid) so the output is stable
+// for a given set of spans. Safe on a nil tracer (writes an empty trace).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		f.TraceEvents = append(f.TraceEvents, t.evs...)
+		t.mu.Unlock()
+		sortEvents(f.TraceEvents)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(f)
+}
+
+func sortEvents(evs []traceEvent) {
+	// Insertion-stable ordering by timestamp then track: spans begun at the
+	// same microsecond keep their recording order.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && less(evs[j], evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+func less(a, b traceEvent) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return a.TID < b.TID
+}

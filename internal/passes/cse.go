@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/obs"
 )
 
 // CSE performs dominator-scoped common subexpression elimination over pure
@@ -13,7 +15,9 @@ import (
 // instruction computing the same expression as one that dominates it is
 // replaced by the earlier result. This is the "redundancy elimination" the
 // paper highlights getelementptr exposing for address arithmetic (§2.2).
-type CSE struct{}
+type CSE struct {
+	rem *obs.Remarks
+}
 
 // NewCSE returns the pass.
 func NewCSE() *CSE { return &CSE{} }
@@ -24,6 +28,8 @@ func (*CSE) Name() string { return "cse" }
 // Preserves: erasing redundant pure instructions leaves the CFG and call
 // sites intact.
 func (*CSE) Preserves() analysis.Preserved { return analysis.PreserveAll }
+
+func (c *CSE) setRemarks(r *obs.Remarks) { c.rem = r }
 
 // RunOnFunction walks the dominator tree with a scoped expression table.
 func (c *CSE) RunOnFunction(f *core.Function) int {
@@ -47,6 +53,12 @@ func (c *CSE) runOnFunctionWith(f *core.Function, am *analysis.Manager) int {
 				continue
 			}
 			if prev, hit := table[key]; hit {
+				if c.rem.Enabled() {
+					c.rem.Appliedf("cse",
+						diag.Pos{Fn: f.Name(), Block: b.Name(), Inst: core.InstDebugString(inst)},
+						"eliminated redundant computation, reusing dominating %%%s in block %%%s",
+						prev.Name(), prev.Parent().Name())
+				}
 				core.ReplaceAllUses(inst, prev)
 				b.Erase(inst)
 				changed++

@@ -3,6 +3,8 @@ package passes
 import (
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/obs"
 )
 
 // DefaultInlineThreshold is the callee size (in instructions) below which
@@ -28,6 +30,8 @@ type Inline struct {
 	// NumInlined and NumDeleted report what the last run did.
 	NumInlined int
 	NumDeleted int
+
+	rem *obs.Remarks
 }
 
 // NewInline returns the pass with the given size threshold.
@@ -41,6 +45,8 @@ func (*Inline) Name() string { return "inline" }
 // Preserves: nothing — inlining splices blocks into callers and deletes
 // functions, invalidating CFG analyses and the call graph alike.
 func (*Inline) Preserves() analysis.Preserved { return analysis.PreserveNone }
+
+func (inl *Inline) setRemarks(r *obs.Remarks) { inl.rem = r }
 
 // RunOnModule inlines eligible call sites and removes dead internal
 // functions; the returned count is sites inlined plus functions deleted.
@@ -63,6 +69,7 @@ func (inl *Inline) runOnModuleWith(m *core.Module, am *analysis.Manager) int {
 			if site == nil {
 				break
 			}
+			callee := core.CalledFunctionOf(site)
 			switch s := site.(type) {
 			case *core.CallInst:
 				InlineCall(s)
@@ -74,6 +81,10 @@ func (inl *Inline) runOnModuleWith(m *core.Module, am *analysis.Manager) int {
 					goto nextCaller
 				}
 				inl.NumInlined++
+			}
+			if inl.rem.Enabled() && callee != nil {
+				inl.rem.Appliedf("inline", diag.Pos{Fn: caller.Name()},
+					"inlined call to %%%s (%d instructions)", callee.Name(), callee.NumInstructions())
 			}
 		}
 	nextCaller:
@@ -87,6 +98,10 @@ func (inl *Inline) runOnModuleWith(m *core.Module, am *analysis.Manager) int {
 		taken := analysis.AddressTakenFunctions(m)
 		for _, f := range append([]*core.Function(nil), m.Funcs...) {
 			if f.Linkage == core.InternalLinkage && !core.HasUses(f) && !taken[f] && !f.IsDeclaration() {
+				if inl.rem.Enabled() {
+					inl.rem.Analysisf("inline", diag.Pos{Fn: f.Name()},
+						"deleted internal function: no references remain after inlining")
+				}
 				dropFunctionBody(f)
 				m.RemoveFunc(f)
 				inl.NumDeleted++
@@ -94,7 +109,40 @@ func (inl *Inline) runOnModuleWith(m *core.Module, am *analysis.Manager) int {
 			}
 		}
 	}
+	if inl.rem.Enabled() {
+		inl.reportMissed(m)
+	}
 	return inl.NumInlined + inl.NumDeleted
+}
+
+// reportMissed scans the call sites that survived inlining and records why
+// each defined callee was left alone.
+func (inl *Inline) reportMissed(m *core.Module) {
+	for _, caller := range m.Funcs {
+		if caller.IsDeclaration() {
+			continue
+		}
+		caller.ForEachInst(func(inst core.Instruction) bool {
+			switch inst.(type) {
+			case *core.CallInst, *core.InvokeInst:
+			default:
+				return true
+			}
+			callee := core.CalledFunctionOf(inst)
+			if callee == nil || callee.IsDeclaration() || callee == caller {
+				return true
+			}
+			pos := diag.Pos{Fn: caller.Name(), Block: inst.Parent().Name()}
+			switch {
+			case callee.Sig.Variadic:
+				inl.rem.Missedf("inline", pos, "not inlining %%%s: variadic callee", callee.Name())
+			case callee.NumInstructions() > inl.Threshold:
+				inl.rem.Missedf("inline", pos, "not inlining %%%s: size %d exceeds threshold %d",
+					callee.Name(), callee.NumInstructions(), inl.Threshold)
+			}
+			return true
+		})
+	}
 }
 
 // findSite returns the next inlinable call or invoke site in caller, or nil.

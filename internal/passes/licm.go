@@ -3,6 +3,8 @@ package passes
 import (
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/obs"
 )
 
 // LICM hoists loop-invariant pure computations (arithmetic, comparisons,
@@ -10,7 +12,9 @@ import (
 // are not speculated (they can trap); memory operations are not touched
 // (no memory dependence analysis is attempted — the paper keeps memory out
 // of SSA form, §2.1, and so do we).
-type LICM struct{}
+type LICM struct {
+	rem *obs.Remarks
+}
 
 // NewLICM returns the pass.
 func NewLICM() *LICM { return &LICM{} }
@@ -21,6 +25,8 @@ func (*LICM) Name() string { return "licm" }
 // Preserves: hoisting moves instructions between existing blocks; the CFG
 // and call sites are untouched.
 func (*LICM) Preserves() analysis.Preserved { return analysis.PreserveAll }
+
+func (l *LICM) setRemarks(r *obs.Remarks) { l.rem = r }
 
 // RunOnFunction hoists invariants out of every natural loop, innermost
 // loops first so code migrates as far out as it can in one run.
@@ -65,6 +71,16 @@ func (l *LICM) runLoop(loop *analysis.Loop) int {
 	if pre == nil {
 		return 0
 	}
+	// Iterate loop blocks in the function's block order, not map order: the
+	// hoist sequence (and with it the preheader layout and the remark
+	// stream) must not depend on Go's map iteration.
+	f := loop.Header.Parent()
+	var blocks []*core.BasicBlock
+	for _, b := range f.Blocks {
+		if loop.Blocks[b] {
+			blocks = append(blocks, b)
+		}
+	}
 	// Fixed point: hoisting one instruction can make its users invariant.
 	invariant := func(v core.Value) bool {
 		def, ok := v.(core.Instruction)
@@ -73,23 +89,46 @@ func (l *LICM) runLoop(loop *analysis.Loop) int {
 		}
 		return !loop.Blocks[def.Parent()]
 	}
+	allInvariant := func(inst core.Instruction) bool {
+		for _, op := range inst.Operands() {
+			if !invariant(op) {
+				return false
+			}
+		}
+		return true
+	}
 	hoisted := 0
+	firstRound := true
 	for changed := true; changed; {
 		changed = false
-		for b := range loop.Blocks {
+		for _, b := range blocks {
 			for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
-				if inst.Parent() != b || !hoistable(inst) {
+				if inst.Parent() != b {
 					continue
 				}
-				allInv := true
-				for _, op := range inst.Operands() {
-					if !invariant(op) {
-						allInv = false
-						break
+				if !hoistable(inst) {
+					// The one near-miss worth reporting: a division whose
+					// operands are invariant but whose divisor is not
+					// provably nonzero cannot be speculated into the
+					// preheader. Reported once (first round) per site.
+					if firstRound && l.rem.Enabled() {
+						if bi, ok := inst.(*core.BinaryInst); ok &&
+							(bi.Opcode() == core.OpDiv || bi.Opcode() == core.OpRem) &&
+							allInvariant(inst) {
+							l.rem.Missedf("licm",
+								diag.Pos{Fn: f.Name(), Block: b.Name(), Inst: core.InstDebugString(inst)},
+								"loop-invariant division not hoisted: divisor may be zero")
+						}
 					}
-				}
-				if !allInv {
 					continue
+				}
+				if !allInvariant(inst) {
+					continue
+				}
+				if l.rem.Enabled() {
+					l.rem.Appliedf("licm",
+						diag.Pos{Fn: f.Name(), Block: b.Name(), Inst: core.InstDebugString(inst)},
+						"hoisted loop-invariant computation to preheader %%%s", pre.Name())
 				}
 				// Move before the preheader's terminator.
 				b.Remove(inst)
@@ -98,6 +137,7 @@ func (l *LICM) runLoop(loop *analysis.Loop) int {
 				changed = true
 			}
 		}
+		firstRound = false
 	}
 	return hoisted
 }

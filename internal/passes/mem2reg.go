@@ -3,6 +3,8 @@ package passes
 import (
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/obs"
 )
 
 // Mem2Reg is the stack promotion pass (§3.2): front-ends allocate local
@@ -10,7 +12,9 @@ import (
 // allocas whose address does not escape into SSA virtual registers,
 // inserting φ-functions at iterated dominance frontiers (Cytron et al.)
 // and renaming along the dominator tree.
-type Mem2Reg struct{}
+type Mem2Reg struct {
+	rem *obs.Remarks
+}
 
 // NewMem2Reg returns the pass.
 func NewMem2Reg() *Mem2Reg { return &Mem2Reg{} }
@@ -21,6 +25,8 @@ func (*Mem2Reg) Name() string { return "mem2reg" }
 // Preserves: phi insertion and alloca/load/store removal never touch block
 // structure, edges, or call sites.
 func (*Mem2Reg) Preserves() analysis.Preserved { return analysis.PreserveAll }
+
+func (m *Mem2Reg) setRemarks(r *obs.Remarks) { m.rem = r }
 
 // RunOnFunction promotes every promotable alloca; the returned count is the
 // number of allocas promoted.
@@ -34,8 +40,15 @@ func (m *Mem2Reg) runOnFunctionWith(f *core.Function, am *analysis.Manager) int 
 	}
 	var promotable []*core.AllocaInst
 	for _, inst := range f.Entry().Instrs {
-		if a, ok := inst.(*core.AllocaInst); ok && isPromotable(a) {
+		a, ok := inst.(*core.AllocaInst)
+		if !ok {
+			continue
+		}
+		if reason := promotionBlocker(a); reason == "" {
 			promotable = append(promotable, a)
+		} else if m.rem.Enabled() {
+			m.rem.Missedf("mem2reg", diag.Pos{Fn: f.Name(), Block: f.Entry().Name()},
+				"%%%s not promoted: %s", a.Name(), reason)
 		}
 	}
 	if len(promotable) == 0 {
@@ -44,17 +57,25 @@ func (m *Mem2Reg) runOnFunctionWith(f *core.Function, am *analysis.Manager) int 
 	dt := am.DomTree(f)
 	df := am.DomFrontier(f)
 	for _, a := range promotable {
-		promote(f, a, dt, df)
+		name := a.Name()
+		phis := promote(f, a, dt, df)
+		if m.rem.Enabled() {
+			m.rem.Appliedf("mem2reg", diag.Pos{Fn: f.Name(), Block: f.Entry().Name()},
+				"promoted %%%s to register (%d phis)", name, phis)
+		}
 	}
 	return len(promotable)
 }
 
-// isPromotable reports whether the alloca can live in a register: a single
-// first-class element whose address is used only by loads and full-width
-// stores (and never stored itself).
-func isPromotable(a *core.AllocaInst) bool {
-	if a.NumElems() != nil || !core.IsFirstClass(a.AllocType) {
-		return false
+// promotionBlocker reports why the alloca cannot live in a register ("" =
+// promotable): it must be a single first-class element whose address is
+// used only by loads and full-width stores (and never stored itself).
+func promotionBlocker(a *core.AllocaInst) string {
+	if a.NumElems() != nil {
+		return "array allocation"
+	}
+	if !core.IsFirstClass(a.AllocType) {
+		return "aggregate type " + a.AllocType.String()
 	}
 	for _, u := range a.Uses() {
 		switch inst := u.User.(type) {
@@ -62,17 +83,21 @@ func isPromotable(a *core.AllocaInst) bool {
 			// ok
 		case *core.StoreInst:
 			if inst.Val() == core.Value(a) {
-				return false // address stored somewhere
+				return "address is stored"
 			}
 		default:
-			return false // GEP, cast, call argument, ... : address escapes
+			return "address escapes" // GEP, cast, call argument, ...
 		}
 	}
-	return true
+	return ""
 }
 
-// promote rewrites one alloca into SSA form.
-func promote(f *core.Function, a *core.AllocaInst, dt *analysis.DomTree, df analysis.DomFrontier) {
+// isPromotable reports whether the alloca can live in a register.
+func isPromotable(a *core.AllocaInst) bool { return promotionBlocker(a) == "" }
+
+// promote rewrites one alloca into SSA form, returning the number of
+// φ-functions inserted.
+func promote(f *core.Function, a *core.AllocaInst, dt *analysis.DomTree, df analysis.DomFrontier) int {
 	t := a.AllocType
 
 	// Blocks containing stores (definitions).
@@ -175,4 +200,5 @@ func promote(f *core.Function, a *core.AllocaInst, dt *analysis.DomTree, df anal
 		}
 	}
 	f.Entry().Erase(a)
+	return len(phiFor)
 }

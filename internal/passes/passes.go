@@ -10,6 +10,7 @@ package passes
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // FunctionPass transforms one function at a time.
@@ -49,6 +51,13 @@ func preservedBy(p interface{ Name() string }) analysis.Preserved {
 	return analysis.PreserveNone
 }
 
+// remarkable is implemented by passes that emit optimization remarks
+// (applied/missed/analysis, LLVM's -Rpass). The pass manager binds its
+// collector before each run; a nil collector disables emission.
+type remarkable interface {
+	setRemarks(*obs.Remarks)
+}
+
 // analysisFunctionPass is the manager-aware variant of FunctionPass: the
 // pass fetches its analyses (dominator tree, loops) from am instead of
 // constructing them. All in-tree function passes implement it; RunOnFunction
@@ -67,9 +76,16 @@ type analysisModulePass interface {
 
 // PassResult records one pass execution.
 type PassResult struct {
-	Pass     string
-	Changed  int
+	Pass    string
+	Changed int
+	// Duration is the pass's wall-clock time as the pipeline saw it.
+	// CPUTime is the work actually performed: for function passes it is the
+	// sum of per-function worker times, so under -j N it exceeds Duration
+	// when workers overlap; for module passes the two coincide. Reporting
+	// both keeps -time honest under parallel scheduling (a summed figure
+	// alone reads as if -j 8 made each pass 8x slower).
 	Duration time.Duration
+	CPUTime  time.Duration
 	// Failed marks a pass that panicked, timed out, or corrupted the
 	// module (VerifyEach); Err carries the cause.
 	Failed bool
@@ -160,6 +176,17 @@ type PassManager struct {
 	// DisableAnalysisCache makes every pass compute its analyses fresh
 	// (no manager is created), matching pre-cache behavior; for ablation.
 	DisableAnalysisCache bool
+	// Tracer records one span per pass execution and one per function on
+	// the worker tracks, exported as Chrome trace-event JSON
+	// (llvm-opt -trace-out). nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Remarks collects optimization remarks from passes that emit them
+	// (mem2reg, licm, cse, inline). nil disables collection.
+	Remarks *obs.Remarks
+	// Metrics receives per-pass counters and latency histograms plus the
+	// analysis-cache deltas, under the llvm_pass_* / llvm_analysis_* names
+	// (DESIGN.md §10). nil disables recording.
+	Metrics *obs.Registry
 	// AM is the analysis cache shared by the pipeline's passes. Run creates
 	// it lazily; callers may install their own to share across managers.
 	AM      *analysis.Manager
@@ -246,6 +273,7 @@ func (pm *PassManager) Run(m *core.Module) (int, error) {
 	total := 0
 	for _, p := range pm.passes {
 		res := pm.runOne(m, p)
+		pm.recordMetrics(res)
 		pm.Results = append(pm.Results, res)
 		total += res.Changed
 		if !res.Failed {
@@ -275,9 +303,14 @@ func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 	}
 	am := pm.manager()
 	before := am.Stats()
+	pm.Remarks.BeginPass()
+	if rp, ok := p.(remarkable); ok {
+		rp.setRemarks(pm.Remarks)
+	}
 
 	type outcome struct {
 		n   int
+		cpu time.Duration
 		err error
 	}
 	runPass := func() (out outcome) {
@@ -286,10 +319,11 @@ func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 				out.err = fmt.Errorf("pass %q panicked: %v", p.Name(), r)
 			}
 		}()
-		out.n = pm.dispatch(p, target, am)
+		out.n, out.cpu = pm.dispatch(p, target, am)
 		return
 	}
 
+	span := pm.Tracer.Begin(p.Name(), "pass", 0)
 	start := time.Now()
 	var out outcome
 	timedOut := false
@@ -308,6 +342,13 @@ func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 		out = runPass()
 	}
 	res.Duration = time.Since(start)
+	res.CPUTime = out.cpu
+	if pm.Tracer != nil {
+		span.EndArgs(map[string]string{
+			"changed": strconv.Itoa(out.n),
+			"failed":  strconv.FormatBool(out.err != nil),
+		})
+	}
 
 	if out.err == nil && pm.VerifyEach {
 		if verr := core.Verify(target); verr != nil {
@@ -356,15 +397,39 @@ func (pm *PassManager) settleAfterFailure(m *core.Module, am *analysis.Manager, 
 }
 
 // dispatch runs p over target, routing manager-aware passes through am.
-// Function-pass adapters additionally get the manager's parallelism.
-func (pm *PassManager) dispatch(p ModulePass, target *core.Module, am *analysis.Manager) int {
-	switch ap := p.(type) {
-	case *funcPassAdapter:
-		return ap.run(target, am, pm.parallelism())
-	case analysisModulePass:
-		return ap.runOnModuleWith(target, am)
+// Function-pass adapters additionally get the manager's parallelism and
+// tracer. The second result is the pass's cpu-sum: per-function worker
+// time for function passes, plain wall time for module passes.
+func (pm *PassManager) dispatch(p ModulePass, target *core.Module, am *analysis.Manager) (int, time.Duration) {
+	if ap, ok := p.(*funcPassAdapter); ok {
+		return ap.runTimed(target, am, pm.parallelism(), pm.Tracer)
 	}
-	return p.RunOnModule(target)
+	start := time.Now()
+	var n int
+	if ap, ok := p.(analysisModulePass); ok {
+		n = ap.runOnModuleWith(target, am)
+	} else {
+		n = p.RunOnModule(target)
+	}
+	return n, time.Since(start)
+}
+
+// recordMetrics publishes one pass result into the metrics registry.
+func (pm *PassManager) recordMetrics(r PassResult) {
+	reg := pm.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("llvm_pass_runs_total", "pass", r.Pass).Inc()
+	reg.Counter("llvm_pass_changes_total", "pass", r.Pass).Add(float64(r.Changed))
+	if r.Failed {
+		reg.Counter("llvm_pass_failures_total", "pass", r.Pass).Inc()
+	}
+	reg.Histogram("llvm_pass_wall_seconds", nil, "pass", r.Pass).Observe(r.Duration.Seconds())
+	reg.Counter("llvm_pass_cpu_seconds_total", "pass", r.Pass).Add(r.CPUTime.Seconds())
+	reg.Counter("llvm_analysis_cache_hits_total").Add(float64(r.AnalysisHits))
+	reg.Counter("llvm_analysis_cache_misses_total").Add(float64(r.AnalysisMisses))
+	reg.Counter("llvm_analysis_cache_invalidations_total").Add(float64(r.AnalysisInvalidations))
 }
 
 // addStatsDelta records the pass's cache activity as after-before.
@@ -395,13 +460,21 @@ func (a *funcPassAdapter) Preserves() analysis.Preserved {
 	return preservedBy(a.p) | analysis.PreserveCFG
 }
 
+// setRemarks forwards the collector to the wrapped pass.
+func (a *funcPassAdapter) setRemarks(r *obs.Remarks) {
+	if rp, ok := a.p.(remarkable); ok {
+		rp.setRemarks(r)
+	}
+}
+
 // RunOnModule runs the pass serially without an analysis cache, preserving
 // the adapter's behavior for direct callers outside a PassManager.
 func (a *funcPassAdapter) RunOnModule(m *core.Module) int {
-	return a.run(m, nil, 1)
+	n, _ := a.runTimed(m, nil, 1, nil)
+	return n
 }
 
-func (a *funcPassAdapter) run(m *core.Module, am *analysis.Manager, parallelism int) int {
+func (a *funcPassAdapter) runTimed(m *core.Module, am *analysis.Manager, parallelism int, tr *obs.Tracer) (int, time.Duration) {
 	var fns []*core.Function
 	for _, f := range m.Funcs {
 		if !f.IsDeclaration() {
@@ -409,24 +482,31 @@ func (a *funcPassAdapter) run(m *core.Module, am *analysis.Manager, parallelism 
 		}
 	}
 	counts := make([]int, len(fns))
+	durs := make([]time.Duration, len(fns))
 	if parallelism > len(fns) {
 		parallelism = len(fns)
 	}
 	if parallelism <= 1 {
 		for i, f := range fns {
+			sp := tr.Begin(f.Name(), "function", 0)
+			t0 := time.Now()
 			counts[i] = a.runOn(f, am)
+			durs[i] = time.Since(t0)
+			sp.End()
 		}
 	} else {
-		a.runParallel(fns, counts, am, parallelism)
+		a.runParallel(fns, counts, durs, am, parallelism, tr)
 	}
 	n := 0
+	var cpu time.Duration
 	for i, f := range fns {
+		cpu += durs[i]
 		if counts[i] > 0 {
 			am.InvalidateFunction(f, preservedBy(a.p))
 			n += counts[i]
 		}
 	}
-	return n
+	return n, cpu
 }
 
 // runOn transforms one function, through the manager when the pass is
@@ -443,7 +523,7 @@ func (a *funcPassAdapter) runOn(f *core.Function, am *analysis.Manager) int {
 // after all functions finish, the first panic (in module order, for
 // determinism) is re-raised and flows into the pass manager's existing
 // recover/Policy machinery like a serial pass panic would.
-func (a *funcPassAdapter) runParallel(fns []*core.Function, counts []int, am *analysis.Manager, workers int) {
+func (a *funcPassAdapter) runParallel(fns []*core.Function, counts []int, durs []time.Duration, am *analysis.Manager, workers int, tr *obs.Tracer) {
 	type funcPanic struct {
 		fn  string
 		val any
@@ -453,7 +533,7 @@ func (a *funcPassAdapter) runParallel(fns []*core.Function, counts []int, am *an
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(tid int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -461,7 +541,11 @@ func (a *funcPassAdapter) runParallel(fns []*core.Function, counts []int, am *an
 					return
 				}
 				func() {
+					sp := tr.Begin(fns[i].Name(), "function", tid)
+					t0 := time.Now()
 					defer func() {
+						durs[i] = time.Since(t0)
+						sp.End()
 						if r := recover(); r != nil {
 							panics[i] = &funcPanic{fn: fns[i].Name(), val: r}
 						}
@@ -469,7 +553,7 @@ func (a *funcPassAdapter) runParallel(fns []*core.Function, counts []int, am *an
 					counts[i] = a.runOn(fns[i], am)
 				}()
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
 	for _, pc := range panics {

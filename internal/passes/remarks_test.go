@@ -1,0 +1,94 @@
+package passes_test
+
+// Golden determinism for the optimization-remark stream: the rendered
+// remarks from a full standard-pipeline run must be byte-identical at any
+// worker count and across repeated runs. One pass execution hands each
+// function to exactly one worker, and Remarks.Sorted orders by (pass run,
+// function), so scheduling must never leak into the stream.
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/passes"
+	"repro/internal/tooling"
+	"repro/internal/workload"
+)
+
+// runStdRemarks runs the standard pipeline over m at the given parallelism
+// and returns the rendered remark stream.
+func runStdRemarks(t testing.TB, m *core.Module, parallelism int) string {
+	t.Helper()
+	pm := passes.NewPassManager()
+	pm.Parallelism = parallelism
+	pm.Remarks = obs.NewRemarks()
+	pm.AddStandardPipeline()
+	if _, err := pm.Run(m); err != nil {
+		t.Fatalf("pipeline (j=%d): %v", parallelism, err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteRemarksText(&buf, pm.Remarks.Sorted()); err != nil {
+		t.Fatalf("rendering remarks: %v", err)
+	}
+	return buf.String()
+}
+
+// TestRemarkDeterminismWorkload pins the remark stream over the synthetic
+// workload suite: byte-identical at -j1 vs -j8 and across two -j8 runs.
+func TestRemarkDeterminismWorkload(t *testing.T) {
+	for _, p := range workload.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			serial := runStdRemarks(t, buildRaw(t, p), 1)
+			par1 := runStdRemarks(t, buildRaw(t, p), 8)
+			par2 := runStdRemarks(t, buildRaw(t, p), 8)
+			if serial != par1 {
+				t.Errorf("remarks differ between -j1 and -j8 (%d vs %d bytes)",
+					len(serial), len(par1))
+			}
+			if par1 != par2 {
+				t.Errorf("remarks differ across two -j8 runs (%d vs %d bytes)",
+					len(par1), len(par2))
+			}
+			if serial == "" {
+				t.Error("standard pipeline emitted no remarks over a real workload")
+			}
+		})
+	}
+}
+
+// TestRemarkDeterminismExamples runs the same check over the checked-in
+// example modules, which exercise the allocas, loops, and redundancy the
+// remark-emitting passes report on.
+func TestRemarkDeterminismExamples(t *testing.T) {
+	files, err := filepath.Glob("../../examples/checker/*.ll")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example modules found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			t.Parallel()
+			load := func() *core.Module {
+				m, err := tooling.LoadModule(file)
+				if err != nil {
+					t.Fatalf("loading %s: %v", file, err)
+				}
+				return m
+			}
+			serial := runStdRemarks(t, load(), 1)
+			par1 := runStdRemarks(t, load(), 8)
+			par2 := runStdRemarks(t, load(), 8)
+			if serial != par1 {
+				t.Errorf("remarks differ between -j1 and -j8:\n--- j1 ---\n%s--- j8 ---\n%s", serial, par1)
+			}
+			if par1 != par2 {
+				t.Error("remarks differ across two -j8 runs")
+			}
+		})
+	}
+}
