@@ -72,6 +72,30 @@ func TestMetricsExposesAllSubsystems(t *testing.T) {
 	}
 }
 
+// TestRequestMetricLabelCardinality checks that unknown request paths do
+// not mint new histogram series: each distinct path would otherwise become
+// a permanent registry entry, letting any client grow daemon memory and
+// /metrics output without bound.
+func TestRequestMetricLabelCardinality(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableReopt: true})
+	for _, p := range []string{"/nope", "/nope/2", "/admin", "/x/y/z"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	out := scrape(t, ts.URL)
+	if !strings.Contains(out, `llvm_serve_request_seconds_count{endpoint="other"} 4`) {
+		t.Errorf("unknown paths not collapsed to endpoint=\"other\":\n%s", out)
+	}
+	for _, leaked := range []string{`endpoint="/nope"`, `endpoint="/admin"`, `endpoint="/x/y/z"`} {
+		if strings.Contains(out, leaked) {
+			t.Errorf("/metrics leaked per-path series %s", leaked)
+		}
+	}
+}
+
 // TestStatsAgreesWithMetrics drives traffic, then checks the /stats JSON
 // and the /metrics scrape report identical request and store counts —
 // the rebuilt /stats reads the registry, so disagreement is structural

@@ -213,6 +213,18 @@ type accessRecord struct {
 	Duration float64 `json:"duration_seconds"`
 }
 
+// endpointLabel maps a request path to the llvm_serve_request_seconds
+// endpoint label. Unknown paths collapse to "other": the label set is the
+// registry's series key, so labeling raw paths would let any client mint
+// a new histogram series per 404 and grow /metrics without bound.
+func endpointLabel(path string) string {
+	switch path {
+	case "/compile", "/run", "/check", "/stats", "/metrics":
+		return path
+	}
+	return "other"
+}
+
 // observe assigns each request a trace id, records its span and latency,
 // and emits the access-log line.
 func (s *Server) observe(next http.Handler) http.Handler {
@@ -234,7 +246,7 @@ func (s *Server) observe(next http.Handler) http.Handler {
 			})
 		}
 		s.metrics.Histogram("llvm_serve_request_seconds", nil,
-			"endpoint", r.URL.Path).Observe(dur.Seconds())
+			"endpoint", endpointLabel(r.URL.Path)).Observe(dur.Seconds())
 		if s.cfg.AccessLog != nil {
 			line, err := json.Marshal(accessRecord{
 				Time:     t0.UTC().Format(time.RFC3339Nano),

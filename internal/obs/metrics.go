@@ -213,7 +213,12 @@ func (r *Registry) fam(name, typ string) *family {
 	return f
 }
 
-func (f *family) series(labels string) *series {
+// series hands the (created-if-needed) series for labels to init while
+// still holding the family lock. All reads and writes of a series' handle
+// fields (c, g, h, fn) happen inside init, so two goroutines registering
+// the same series concurrently agree on one handle instead of racing to
+// install separate ones.
+func (f *family) series(labels string, init func(*series)) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := f.byLb[labels]
@@ -221,7 +226,7 @@ func (f *family) series(labels string) *series {
 		s = &series{labels: labels}
 		f.byLb[labels] = s
 	}
-	return s
+	init(s)
 }
 
 // Counter returns (creating if needed) the counter for name and the given
@@ -230,11 +235,14 @@ func (r *Registry) Counter(name string, kv ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.fam(name, "counter").series(LabelSet(kv...))
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	var c *Counter
+	r.fam(name, "counter").series(LabelSet(kv...), func(s *series) {
+		if s.c == nil {
+			s.c = &Counter{}
+		}
+		c = s.c
+	})
+	return c
 }
 
 // Gauge returns (creating if needed) the gauge for name and labels.
@@ -242,11 +250,14 @@ func (r *Registry) Gauge(name string, kv ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.fam(name, "gauge").series(LabelSet(kv...))
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
-	return s.g
+	var g *Gauge
+	r.fam(name, "gauge").series(LabelSet(kv...), func(s *series) {
+		if s.g == nil {
+			s.g = &Gauge{}
+		}
+		g = s.g
+	})
+	return g
 }
 
 // Histogram returns (creating if needed) the histogram for name and labels,
@@ -255,14 +266,18 @@ func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histo
 	if r == nil {
 		return nil
 	}
-	s := r.fam(name, "histogram").series(LabelSet(kv...))
-	if s.h == nil {
-		if bounds == nil {
-			bounds = DefaultDurationBuckets
+	var h *Histogram
+	r.fam(name, "histogram").series(LabelSet(kv...), func(s *series) {
+		if s.h == nil {
+			b := bounds
+			if b == nil {
+				b = DefaultDurationBuckets
+			}
+			s.h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
 		}
-		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
-	}
-	return s.h
+		h = s.h
+	})
+	return h
 }
 
 // CounterFunc registers a counter whose value is polled at scrape time —
@@ -272,8 +287,7 @@ func (r *Registry) CounterFunc(name string, fn func() float64, kv ...string) {
 	if r == nil {
 		return
 	}
-	s := r.fam(name, "counter").series(LabelSet(kv...))
-	s.fn = fn
+	r.fam(name, "counter").series(LabelSet(kv...), func(s *series) { s.fn = fn })
 }
 
 // GaugeFunc registers a gauge polled at scrape time.
@@ -281,8 +295,7 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, kv ...string) {
 	if r == nil {
 		return
 	}
-	s := r.fam(name, "gauge").series(LabelSet(kv...))
-	s.fn = fn
+	r.fam(name, "gauge").series(LabelSet(kv...), func(s *series) { s.fn = fn })
 }
 
 // formatValue renders a sample in the Prometheus text format.

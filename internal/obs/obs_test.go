@@ -32,6 +32,37 @@ func TestCounterGauge(t *testing.T) {
 	}
 }
 
+// TestRegistryConcurrentSameSeries hammers one series from many goroutines
+// so that, under -race, any handle initialization outside the family lock
+// is reported — and counts increments to catch a lost handle (two racing
+// creators each installing their own Counter drops one side's updates).
+func TestRegistryConcurrentSameSeries(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("llvm_race_total", "endpoint", "compile").Inc()
+				r.Gauge("llvm_race_gauge").Add(1)
+				r.Histogram("llvm_race_seconds", nil, "endpoint", "compile").Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("llvm_race_total", "endpoint", "compile").Value(); got != workers*perWorker {
+		t.Errorf("counter = %v, want %v (lost increments from racing series creation)", got, workers*perWorker)
+	}
+	if got := r.Gauge("llvm_race_gauge").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %v", got, workers*perWorker)
+	}
+	if got := r.Histogram("llvm_race_seconds", nil, "endpoint", "compile").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %v, want %v", got, workers*perWorker)
+	}
+}
+
 func TestNilHandlesAreInert(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x")
@@ -186,6 +217,33 @@ func TestTraceConcurrentSpans(t *testing.T) {
 	}
 	if !json.Valid(buf.Bytes()) {
 		t.Error("concurrent trace output is not valid JSON")
+	}
+}
+
+// TestTracerEventCap verifies the event buffer stops growing at the cap,
+// counts drops, and that the exported trace notes the truncation.
+func TestTracerEventCap(t *testing.T) {
+	tr := NewTracer()
+	tr.SetMaxEvents(10)
+	for i := 0; i < 25; i++ {
+		tr.Begin("f", "function", 1).End()
+	}
+	if tr.Len() != 10 {
+		t.Errorf("events = %d, want 10 (buffer cap)", tr.Len())
+	}
+	if tr.Dropped() != 15 {
+		t.Errorf("dropped = %d, want 15", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("truncated trace output is not valid JSON")
+	}
+	if !strings.Contains(buf.String(), "trace truncated") ||
+		!strings.Contains(buf.String(), `"dropped_events": "15"`) {
+		t.Errorf("trace output missing truncation marker:\n%s", buf.String())
 	}
 }
 

@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -16,11 +18,23 @@ import (
 // A nil *Tracer is the disabled state: Begin returns a zero Span whose End
 // is a no-op, and neither call allocates, so tracing costs nothing on the
 // pass hot path when off.
+//
+// The event buffer is capped (DefaultMaxEvents, adjustable via
+// SetMaxEvents): a long-running daemon records one span per function per
+// pass per compile, so an unbounded buffer would grow memory for the
+// process lifetime. Events past the cap are dropped and the truncation is
+// recorded in the exported trace.
 type Tracer struct {
-	epoch time.Time
-	mu    sync.Mutex
-	evs   []traceEvent
+	epoch   time.Time
+	mu      sync.Mutex
+	evs     []traceEvent
+	max     int
+	dropped uint64
 }
+
+// DefaultMaxEvents bounds a tracer's in-memory event buffer. At roughly a
+// hundred bytes per event this caps the buffer in the tens of megabytes.
+const DefaultMaxEvents = 1 << 18
 
 // traceEvent is one Chrome trace-event object. Complete events (ph "X")
 // carry a duration; instant events (ph "i") do not.
@@ -44,7 +58,40 @@ type traceFile struct {
 
 // NewTracer returns an enabled tracer whose timestamps are relative to now.
 func NewTracer() *Tracer {
-	return &Tracer{epoch: time.Now()}
+	return &Tracer{epoch: time.Now(), max: DefaultMaxEvents}
+}
+
+// SetMaxEvents adjusts the event-buffer cap (n <= 0 restores the default).
+// Events already recorded are kept even if they exceed the new cap.
+func (t *Tracer) SetMaxEvents(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxEvents
+	}
+	t.mu.Lock()
+	t.max = n
+	t.mu.Unlock()
+}
+
+// Dropped returns how many events were discarded at the buffer cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// record appends ev unless the buffer is at its cap. Callers hold t.mu.
+func (t *Tracer) record(ev traceEvent) {
+	if len(t.evs) >= t.max {
+		t.dropped++
+		return
+	}
+	t.evs = append(t.evs, ev)
 }
 
 // Span is one in-flight timed region. The zero Span (from a nil tracer)
@@ -78,7 +125,7 @@ func (s Span) EndArgs(args map[string]string) {
 	}
 	end := time.Now()
 	s.tr.mu.Lock()
-	s.tr.evs = append(s.tr.evs, traceEvent{
+	s.tr.record(traceEvent{
 		Name:  s.name,
 		Cat:   s.cat,
 		Phase: "X",
@@ -99,7 +146,7 @@ func (t *Tracer) Instant(name, cat string, tid int, args map[string]string) {
 	}
 	now := time.Now()
 	t.mu.Lock()
-	t.evs = append(t.evs, traceEvent{
+	t.record(traceEvent{
 		Name:  name,
 		Cat:   cat,
 		Phase: "i",
@@ -124,14 +171,33 @@ func (t *Tracer) Len() int {
 
 // WriteJSON exports the recorded events in the Chrome trace-event JSON
 // Object format. Events are sorted by (ts, tid) so the output is stable
-// for a given set of spans. Safe on a nil tracer (writes an empty trace).
+// for a given set of spans. If events were dropped at the buffer cap, a
+// final instant event notes how many. Safe on a nil tracer (writes an
+// empty trace).
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	var dropped uint64
 	if t != nil {
 		t.mu.Lock()
 		f.TraceEvents = append(f.TraceEvents, t.evs...)
+		dropped = t.dropped
 		t.mu.Unlock()
 		sortEvents(f.TraceEvents)
+		if dropped > 0 {
+			var last int64
+			if n := len(f.TraceEvents); n > 0 {
+				last = f.TraceEvents[n-1].TS
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name:  "trace truncated",
+				Cat:   "obs",
+				Phase: "i",
+				TS:    last,
+				PID:   1,
+				Scope: "g",
+				Args:  map[string]string{"dropped_events": strconv.FormatUint(dropped, 10)},
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "\t")
@@ -139,13 +205,11 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 }
 
 func sortEvents(evs []traceEvent) {
-	// Insertion-stable ordering by timestamp then track: spans begun at the
-	// same microsecond keep their recording order.
-	for i := 1; i < len(evs); i++ {
-		for j := i; j > 0 && less(evs[j], evs[j-1]); j-- {
-			evs[j], evs[j-1] = evs[j-1], evs[j]
-		}
-	}
+	// Stable ordering by timestamp then track: spans begun at the same
+	// microsecond keep their recording order. Events arrive in end-time
+	// order but are keyed by start time, so the input is not guaranteed
+	// nearly-sorted — use O(n log n) stable sort, not insertion sort.
+	sort.SliceStable(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
 }
 
 func less(a, b traceEvent) bool {
