@@ -4,9 +4,13 @@
 // Figure 5 (executable sizes: LLVM bytecode vs CISC vs RISC images).
 //
 // Usage: llvm-bench [-table1] [-table2] [-fig5] [-checker] [-obs]
-// [-store DIR] [-v] [-json path] (no table flags = all tables; -obs and
-// -store are opt-in). -obs times the standard pipeline with observability
-// (tracing, remarks, metrics) off vs on, reporting the overhead percent.
+// [-validate] [-store DIR] [-v] [-json path] (no table flags = all tables;
+// -obs, -validate, and -store are opt-in). -obs times the standard
+// pipeline with observability (tracing, remarks, metrics) off vs on,
+// reporting the overhead percent. -validate does the same for the
+// translation-validation oracle, reporting the per-benchmark verdict
+// tallies alongside the overhead — a confirmed miscompile of a real pass
+// aborts the benchmark, so the table doubles as a soundness check.
 // -checker runs the static memory-safety checker over each optimized
 // benchmark; since the synthetic programs are well-formed, any error it
 // reports is a checker false positive. -store DIR compiles each benchmark
@@ -32,6 +36,7 @@ func main() {
 	f5 := flag.Bool("fig5", false, "Figure 5: executable sizes")
 	ck := flag.Bool("checker", false, "Checker: static memory-safety diagnostics per benchmark")
 	obsFlag := flag.Bool("obs", false, "Obs: pipeline latency with observability off vs on")
+	validateFlag := flag.Bool("validate", false, "Validate: pipeline latency with the translation-validation oracle off vs on")
 	storeDir := flag.String("store", "", "Store: cold-vs-warm compile latency through a lifelong store at this dir")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
@@ -87,6 +92,16 @@ func main() {
 		os.Stdout.WriteString("\n")
 		experiments.PrintObsTable(os.Stdout, rowsO)
 	}
+	var rowsV []experiments.ValidateRow
+	if *validateFlag {
+		var err error
+		rowsV, err = experiments.ValidateTable()
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		os.Stdout.WriteString("\n")
+		experiments.PrintValidateTable(os.Stdout, rowsV)
+	}
 	var rowsS []experiments.StoreRow
 	if *storeDir != "" {
 		var err error
@@ -100,6 +115,7 @@ func main() {
 	if *jsonPath != "" {
 		report := experiments.NewReport(rows1, rows2, rows5, rowsC)
 		report.AddObs(rowsO)
+		report.AddValidate(rowsV)
 		report.AddStore(rowsS)
 		out := os.Stdout
 		if *jsonPath != "-" {

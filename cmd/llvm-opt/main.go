@@ -25,6 +25,16 @@
 // missed / analysis, per pass and position) to stderr, and -remarks-json
 // FILE writes the same stream as JSON. The remark stream is byte-identical
 // at any -j.
+//
+// Translation validation (DESIGN.md §11): -validate runs the semantic
+// equivalence oracle after every changed pass and prints one verdict line
+// per pass run. A confirmed miscompile discards the pass's changes (like
+// any pass failure under -policy) and the process exits with status 2 —
+// distinct from status 1, which covers usage and infrastructure errors —
+// so scripts can tell "the optimizer is buggy" from "the invocation is".
+// Validation shares the scratch clone isolation already takes: -check,
+// -validate, and rollback together still cost one snapshot per pass run
+// (see the snapshots line under -time).
 package main
 
 import (
@@ -41,7 +51,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/tooling"
+	"repro/internal/validate"
 )
+
+// exitMiscompile is the exit status for a confirmed miscompile: the tool
+// worked, the optimizer did not.
+const exitMiscompile = 2
 
 func main() {
 	defer tooling.ExitOnPanic("llvm-opt")
@@ -52,6 +67,7 @@ func main() {
 	passTimeout := flag.Duration("pass-timeout", 0, "per-pass wall-clock budget (0 = none), e.g. 30s")
 	timing := flag.Bool("time", false, "report per-pass timings, change counts, and analysis cache activity")
 	check := flag.Bool("check", false, "run the static checker before and after the pipeline and diff the diagnostics")
+	doValidate := flag.Bool("validate", false, "prove each changed pass run semantically equivalent; confirmed miscompiles exit 2")
 	jobs := flag.Int("j", 0, "function-pass parallelism (0 = GOMAXPROCS, 1 = serial)")
 	binary := flag.Bool("b", false, "write bytecode instead of text")
 	out := flag.String("o", "-", "output file")
@@ -90,6 +106,9 @@ func main() {
 	default:
 		tooling.Fatalf("llvm-opt: unknown policy %q (want failfast, skip, or rollback)", *policy)
 	}
+	if *doValidate {
+		pm.Validator = validate.Default()
+	}
 	if *std {
 		pm.AddStandardPipeline()
 	}
@@ -123,7 +142,15 @@ func main() {
 	}
 	_, runErr := pm.Run(m)
 	reportFailures(pm)
+	var miscompiles int
+	if *doValidate {
+		miscompiles = reportVerdicts(pm)
+	}
 	if runErr != nil {
+		if miscompiles > 0 {
+			fmt.Fprintf(os.Stderr, "llvm-opt: validate: %d confirmed miscompile(s); module left in its last known-good state\n", miscompiles)
+			os.Exit(exitMiscompile)
+		}
 		if pm.Policy == passes.Rollback {
 			tooling.Fatalf("llvm-opt: pipeline aborted; module left in last known-good state")
 		}
@@ -137,6 +164,17 @@ func main() {
 		s := pm.AnalysisStats()
 		fmt.Fprintf(os.Stderr, "%-16s analysis cache: %d hits, %d misses, %d invalidations\n",
 			"total", s.Hits, s.Misses, s.Invalidations)
+		fmt.Fprintf(os.Stderr, "%-16s %d scratch clones (isolation, -check, and -validate share one per pass run)\n",
+			"snapshots", pm.Snapshots)
+		if *doValidate {
+			var oracle time.Duration
+			for _, r := range pm.Results {
+				if r.Validation != nil {
+					oracle += r.Validation.Duration
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%-16s %v total oracle time\n", "validate", oracle)
+		}
 	}
 	if *check {
 		postRep, err := chk.Check(m)
@@ -182,6 +220,36 @@ func main() {
 	if err := tooling.SaveModule(*out, m, *binary); err != nil {
 		tooling.Fatalf("llvm-opt: %v", err)
 	}
+	if miscompiles > 0 {
+		// Under -policy skip the output module is sound (the miscompiling
+		// pass's changes were discarded), but the run still found a
+		// compiler bug; say so in the exit status.
+		os.Exit(exitMiscompile)
+	}
+}
+
+// reportVerdicts prints the per-pass verdict table and returns the number
+// of confirmed miscompiles. Passes that made no changes were not validated
+// (there is nothing to prove); that is reported rather than hidden so a
+// clean table can be told apart from a table that never ran.
+func reportVerdicts(pm *passes.PassManager) int {
+	miscompiles := 0
+	for _, r := range pm.Results {
+		v := r.Validation
+		if v == nil {
+			why := "no changes; nothing to prove"
+			if r.Failed {
+				why = "pass failed before validation"
+			}
+			fmt.Fprintf(os.Stderr, "llvm-opt: validate: %-16s %s\n", r.Pass, why)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "llvm-opt: validate: %-16s %s\n", r.Pass, v.Summary())
+		if v.Verdict == validate.Miscompile {
+			miscompiles++
+		}
+	}
+	return miscompiles
 }
 
 // reportCheckDiff compares the checker reports from before and after the

@@ -12,6 +12,13 @@
 // once (building current-epoch artifacts for every profiled module) and
 // exits — the offline half of the lifelong loop, for cron-style use.
 //
+// Every reoptimized artifact is proved against its pre-reopt module by the
+// translation-validation oracle (DESIGN.md §11) before it is stored. A
+// confirmed miscompile is quarantined: the poisoned bytes are kept on disk
+// for debugging but never indexed or served, and the daemon falls back to
+// the module's epoch-0 artifact (marked stale) — a slower program beats a
+// wrong one. -no-validate disables the oracle and the quarantine with it.
+//
 // Observability (DESIGN.md §10): /metrics serves the daemon's registry in
 // Prometheus text format (request, store, interpreter, pass, and reopt
 // series); every response carries an X-Trace-Id header, and -access-log
@@ -47,6 +54,7 @@ func main() {
 	maxHeap := flag.Int64("max-heap", interp.DefaultMaxHeapBytes, "/run heap budget in bytes")
 	idleDelay := flag.Duration("idle-delay", time.Second, "quiet period before idle reoptimization kicks in")
 	noReopt := flag.Bool("no-reopt", false, "disable the idle-time reoptimizer")
+	noValidate := flag.Bool("no-validate", false, "skip translation validation of reoptimized artifacts (disables quarantine)")
 	reoptNow := flag.Bool("reopt-now", false, "drain the reoptimization queue and exit instead of serving")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to FILE on shutdown")
 	accessLog := flag.String("access-log", "", "append one JSON access-log line per request to FILE")
@@ -68,6 +76,7 @@ func main() {
 		MaxHeapBytes:    *maxHeap,
 		IdleDelay:       *idleDelay,
 		DisableReopt:    *noReopt || *reoptNow,
+		DisableValidate: *noValidate,
 	}
 	if *traceOut != "" {
 		cfg.Tracer = obs.NewTracer()

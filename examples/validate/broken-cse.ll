@@ -1,0 +1,15 @@
+; Seeded miscompile for broken-cse: the unsound load-CSE merges the second
+; load of %p with the first across the clobbering "store int 42", so %y
+; sees the stale 7 and main returns 14 instead of 49. The oracle must flag
+; the broken-cse run and stay silent on the real std pipeline.
+
+int %main() {
+entry:
+	%p = alloca int
+	store int 7, int* %p
+	%x = load int* %p
+	store int 42, int* %p
+	%y = load int* %p
+	%s = add int %x, %y
+	ret int %s
+}

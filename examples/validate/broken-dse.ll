@@ -1,0 +1,16 @@
+; Seeded miscompile for broken-dse: the unsound dead-store elimination
+; deletes "store int 1" because a later store to %p exists, ignoring the
+; load in between; %x then reads the zero-initialized cell and main
+; returns 2 instead of 12.
+
+int %main() {
+entry:
+	%p = alloca int
+	store int 1, int* %p
+	%x = load int* %p
+	store int 2, int* %p
+	%y = load int* %p
+	%s1 = mul int %x, 10
+	%s = add int %s1, %y
+	ret int %s
+}

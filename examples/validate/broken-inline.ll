@@ -1,0 +1,25 @@
+; Seeded miscompile for broken-inline: the unsound inliner replaces each
+; %bump() call with its constant return value and drops the body — and
+; with it the increments of %counter. main returns 10 instead of 12, and
+; the final bytes of %counter differ (0 instead of 2), so both the return
+; value and the shared-global comparison expose it.
+
+%counter = global int 0
+
+internal int %bump() {
+entry:
+	%v = load int* %counter
+	%v1 = add int %v, 1
+	store int %v1, int* %counter
+	ret int 5
+}
+
+int %main() {
+entry:
+	%a = call int %bump()
+	%b = call int %bump()
+	%c = load int* %counter
+	%s0 = add int %a, %b
+	%s = add int %s0, %c
+	ret int %s
+}

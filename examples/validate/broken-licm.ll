@@ -1,0 +1,22 @@
+; Seeded miscompile for broken-licm: the unsound hoist moves the guarded
+; division into the entry block, so the %b == 0 path that used to return 0
+; now traps with divide-by-zero. main pins the miscompiling input (10, 0).
+
+internal int %guarded_div(int %a, int %b) {
+entry:
+	%c = setne int %b, 0
+	br bool %c, label %divide, label %zero
+
+divide:
+	%q = div int %a, %b
+	ret int %q
+
+zero:
+	ret int 0
+}
+
+int %main() {
+entry:
+	%r = call int %guarded_div(int 10, int 0)
+	ret int %r
+}

@@ -1,0 +1,15 @@
+; Seeded miscompile for broken-reassoc: the unsound canonicalization swaps
+; subtraction operands as if sub commuted; %sub2(9, 3) returns -6 instead
+; of 6.
+
+internal int %sub2(int %a, int %b) {
+entry:
+	%d = sub int %a, %b
+	ret int %d
+}
+
+int %main() {
+entry:
+	%r = call int %sub2(int 9, int 3)
+	ret int %r
+}

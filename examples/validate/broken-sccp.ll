@@ -1,0 +1,16 @@
+; Seeded miscompile for broken-sccp: the unsound strength reduction turns
+; a signed division by two into an arithmetic shift right. The two differ
+; on negative odd inputs: -7 / 2 truncates to -3, but -7 >> 1 floors to
+; -4. main pins the miscompiling input.
+
+internal int %halve(int %x) {
+entry:
+	%h = div int %x, 2
+	ret int %h
+}
+
+int %main() {
+entry:
+	%r = call int %halve(int -7)
+	ret int %r
+}

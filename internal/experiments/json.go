@@ -10,12 +10,13 @@ import (
 // shape is stable so successive BENCH_*.json files can be diffed to track
 // the perf trajectory across revisions.
 type Report struct {
-	Table1  []Table1JSON  `json:"table1,omitempty"`
-	Table2  []Table2JSON  `json:"table2,omitempty"`
-	Figure5 []Figure5JSON `json:"figure5,omitempty"`
-	Checker []CheckerJSON `json:"checker,omitempty"`
-	Store   []StoreJSON   `json:"store,omitempty"`
-	Obs     []ObsJSON     `json:"obs,omitempty"`
+	Table1   []Table1JSON   `json:"table1,omitempty"`
+	Table2   []Table2JSON   `json:"table2,omitempty"`
+	Figure5  []Figure5JSON  `json:"figure5,omitempty"`
+	Checker  []CheckerJSON  `json:"checker,omitempty"`
+	Store    []StoreJSON    `json:"store,omitempty"`
+	Obs      []ObsJSON      `json:"obs,omitempty"`
+	Validate []ValidateJSON `json:"validate,omitempty"`
 }
 
 // Table1JSON is Table1Row with stable JSON field names.
@@ -131,6 +132,30 @@ func (r *Report) AddStore(rows []StoreRow) {
 			Bench: row.Bench, ArtifactBytes: row.Bytes,
 			ColdMs: ms(row.Cold), WarmMs: ms(row.Warm),
 			Speedup: row.Speedup(), ColdHit: row.ColdHit,
+		})
+	}
+}
+
+// ValidateJSON is ValidateRow in Table2's millisecond convention.
+type ValidateJSON struct {
+	Bench           string  `json:"bench"`
+	OffMs           float64 `json:"off_ms"`
+	OnMs            float64 `json:"on_ms"`
+	OverheadPercent float64 `json:"overhead_percent"`
+	Equivalent      int     `json:"equivalent"`
+	Inconclusive    int     `json:"inconclusive"`
+	Probes          int     `json:"probes"`
+}
+
+// AddValidate appends the translation-validation overhead rows to the
+// report.
+func (r *Report) AddValidate(rows []ValidateRow) {
+	for _, row := range rows {
+		r.Validate = append(r.Validate, ValidateJSON{
+			Bench: row.Bench, OffMs: ms(row.Off), OnMs: ms(row.On),
+			OverheadPercent: row.OverheadPercent(),
+			Equivalent:      row.Equivalent, Inconclusive: row.Inconclusive,
+			Probes: row.Probes,
 		})
 	}
 }

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/passes"
+	"repro/internal/validate"
+	"repro/internal/workload"
+)
+
+// ValidateRow is one benchmark's translation-validation overhead
+// measurement: the standard pipeline over the same module with the oracle
+// off (the plain FailFast path, no snapshots) and on (per-pass snapshot
+// isolation plus the equivalence check). The verdict tallies ground the
+// overhead number in the proof work bought — and double as a standing
+// soundness check: a confirmed miscompile of a real pass on a real
+// workload would surface here as a benchmark error.
+type ValidateRow struct {
+	Bench string
+	Off   time.Duration
+	On    time.Duration
+	// Equivalent and Inconclusive count validated pass runs by verdict;
+	// passes that made no changes are not validated and appear in neither.
+	Equivalent   int
+	Inconclusive int
+	// Probes is the total number of differential test vectors executed.
+	Probes int
+}
+
+// OverheadPercent is the validated run's slowdown relative to the
+// unvalidated one.
+func (r ValidateRow) OverheadPercent() float64 {
+	if r.Off <= 0 {
+		return 0
+	}
+	return (float64(r.On)/float64(r.Off) - 1) * 100
+}
+
+// validateRuns is how many times each arm runs; the row reports the
+// fastest, matching the obs table's convention.
+const validateRuns = 3
+
+// ValidateTable measures oracle-off vs oracle-on pipeline latency per
+// benchmark. Both arms see identical inputs (the raw module is cloned
+// before each run), each arm reports the best of validateRuns runs, and
+// the unvalidated arm goes first so warm-up favors the validated side —
+// the overhead estimate is conservative. A Miscompile verdict on any real
+// pass is a hard error: the oracle's zero-false-confirms discipline is
+// part of what this table certifies.
+func ValidateTable() ([]ValidateRow, error) {
+	var rows []ValidateRow
+	for _, p := range workload.Suite() {
+		raw, err := buildRaw(p)
+		if err != nil {
+			return nil, err
+		}
+
+		var offDur, onDur time.Duration
+		var equivalent, inconclusive, probes int
+		for i := 0; i < validateRuns; i++ {
+			off := core.CloneModule(raw)
+			pmOff := passes.NewPassManager().AddStandardPipeline()
+			t0 := time.Now()
+			if _, err := pmOff.Run(off); err != nil {
+				return nil, fmt.Errorf("%s off: %w", p.Name, err)
+			}
+			if d := time.Since(t0); i == 0 || d < offDur {
+				offDur = d
+			}
+		}
+		for i := 0; i < validateRuns; i++ {
+			on := core.CloneModule(raw)
+			pmOn := passes.NewPassManager().AddStandardPipeline()
+			pmOn.Validator = validate.Default()
+			t1 := time.Now()
+			if _, err := pmOn.Run(on); err != nil {
+				return nil, fmt.Errorf("%s on: %w", p.Name, err)
+			}
+			if d := time.Since(t1); i == 0 || d < onDur {
+				onDur = d
+			}
+			equivalent, inconclusive, probes = 0, 0, 0
+			for _, r := range pmOn.Results {
+				v := r.Validation
+				if v == nil {
+					continue
+				}
+				probes += v.Probes
+				switch v.Verdict {
+				case validate.Equivalent:
+					equivalent++
+				case validate.Inconclusive:
+					inconclusive++
+				case validate.Miscompile:
+					return nil, fmt.Errorf("%s: oracle confirmed a miscompile of real pass %q: %s",
+						p.Name, r.Pass, v.Summary())
+				}
+			}
+		}
+
+		rows = append(rows, ValidateRow{
+			Bench: p.Name, Off: offDur, On: onDur,
+			Equivalent: equivalent, Inconclusive: inconclusive, Probes: probes,
+		})
+	}
+	return rows, nil
+}
+
+// PrintValidateTable renders rows alongside the other evaluation tables.
+func PrintValidateTable(w io.Writer, rows []ValidateRow) {
+	fmt.Fprintf(w, "Validate: standard-pipeline latency with the translation-validation oracle off vs on\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %10s %6s %8s %7s\n",
+		"Benchmark", "Off", "On", "Overhead", "Equiv", "Inconcl", "Probes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %11.3fms %11.3fms %9.1f%% %6d %8d %7d\n",
+			r.Bench, ms(r.Off), ms(r.On), r.OverheadPercent(),
+			r.Equivalent, r.Inconclusive, r.Probes)
+	}
+}

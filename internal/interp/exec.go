@@ -619,3 +619,31 @@ func (mc *Machine) ReadCString(addr uint64) (string, error) {
 func (mc *Machine) ReadWord(addr uint64) (uint64, error) {
 	return mc.loadBits(addr, core.LongType)
 }
+
+// ReadBytes copies n bytes of program memory starting at addr, for host
+// harnesses that compare observable memory state (the translation-validation
+// oracle reads final global images through this).
+func (mc *Machine) ReadBytes(addr uint64, n int) ([]byte, error) {
+	b, err := mc.mem(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// WriteBytes copies b into program memory at addr, for host harnesses that
+// prepare argument buffers before a run.
+func (mc *Machine) WriteBytes(addr uint64, b []byte) error {
+	dst, err := mc.mem(addr, len(b))
+	if err != nil {
+		return err
+	}
+	copy(dst, b)
+	return nil
+}
+
+// TrapKind classifies an execution error by its sentinel: "max-steps",
+// "divide-by-zero", "null-deref", ... ("other" for internal faults). It is
+// the stable vocabulary the llvm_interp_traps_total metric labels use, and
+// the translation-validation oracle compares trap kinds through it.
+func TrapKind(err error) string { return trapKindOf(err) }

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
-	"repro/internal/passes"
 )
 
 func run(t *testing.T, src string, args ...uint64) (uint64, *Machine, string) {
@@ -562,62 +561,6 @@ entry:
 	}
 	if mc.Steps != 5 {
 		t.Errorf("steps = %d, want 5", mc.Steps)
-	}
-}
-
-// TestOptimizationPreservesSemantics runs a program before and after the
-// full optimization pipeline and checks identical results — the
-// interpreter serving as the oracle for the optimizer.
-func TestOptimizationPreservesSemantics(t *testing.T) {
-	src := `
-internal int %mix(int %a, int %b) {
-entry:
-	%p = alloca int
-	store int %a, int* %p
-	%v = load int* %p
-	%m = mul int %v, %b
-	%n = add int %m, %a
-	ret int %n
-}
-
-int %main(int %x) {
-entry:
-	br label %loop
-loop:
-	%i = phi int [ 0, %entry ], [ %i2, %loop ]
-	%acc = phi int [ 0, %entry ], [ %acc2, %loop ]
-	%t = call int %mix(int %i, int %x)
-	%acc2 = add int %acc, %t
-	%i2 = add int %i, 1
-	%c = setlt int %i2, 50
-	br bool %c, label %loop, label %done
-done:
-	ret int %acc2
-}
-`
-	m1, _ := asm.ParseModule("before", src)
-	m2, _ := asm.ParseModule("after", src)
-	pm := passes.NewPassManager()
-	pm.VerifyEach = true
-	pm.AddLinkTimePipeline()
-	if _, err := pm.Run(m2); err != nil {
-		t.Fatal(err)
-	}
-
-	for _, arg := range []uint64{0, 1, 7, 1 << 20} {
-		mc1, _ := NewMachine(m1, nil)
-		mc2, _ := NewMachine(m2, nil)
-		v1, err1 := mc1.RunFunction(m1.Func("main"), arg)
-		v2, err2 := mc2.RunFunction(m2.Func("main"), arg)
-		if err1 != nil || err2 != nil {
-			t.Fatalf("errors: %v / %v", err1, err2)
-		}
-		if int32(v1) != int32(v2) {
-			t.Fatalf("optimization changed result for %d: %d vs %d", arg, int32(v1), int32(v2))
-		}
-		if mc2.Steps >= mc1.Steps {
-			t.Errorf("optimized code not faster: %d vs %d steps", mc2.Steps, mc1.Steps)
-		}
 	}
 }
 

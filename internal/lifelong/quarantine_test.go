@@ -1,0 +1,201 @@
+package lifelong
+
+// End-to-end quarantine: when the idle reoptimizer produces a miscompiled
+// artifact, the translation-validation oracle must catch it, the poisoned
+// bytes must go to quarantine (never the serving path), and /compile must
+// keep serving the prior-epoch artifact. The corrupting "reoptimizer" is
+// injected through the reoptTransform hook; everything else — store,
+// oracle, daemon, HTTP surface — is the real code.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// getText GETs a URL and returns the body as text.
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// getStats GETs /stats and decodes it.
+func getStats(t *testing.T, url string, out *statsResponse) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(getText(t, url)), out); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+}
+
+// corruptReopt performs the real profile-guided rebuild, then sabotages
+// the first external function's return value — the kind of semantic
+// damage a buggy optimizer inflicts while still producing verifier-valid
+// IR.
+func corruptReopt(m *core.Module, d *profile.Data, opts profile.ReoptOptions) profile.ReoptResult {
+	res := profile.Reoptimize(m, d, opts)
+	for _, f := range m.Funcs {
+		if f.IsDeclaration() || f.Linkage == core.InternalLinkage {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, inst := range b.Instrs {
+				r, ok := inst.(*core.RetInst)
+				if !ok || r.NumOperands() == 0 || !core.IsInteger(r.Operand(0).Type()) {
+					continue
+				}
+				r.SetOperand(0, core.NewInt(r.Operand(0).Type(), 987654))
+				return res
+			}
+		}
+	}
+	return res
+}
+
+func TestQuarantineBlocksMiscompiledArtifact(t *testing.T) {
+	orig := reoptTransform
+	reoptTransform = corruptReopt
+	defer func() { reoptTransform = orig }()
+
+	s, ts := newTestServer(t, Config{DisableReopt: true})
+	mod := hotModuleText(t)
+
+	// Epoch 0: the honest pipeline artifact.
+	_, epoch0 := post(t, ts.URL+"/compile?raw=1", mod)
+
+	// Profiled runs advance the epoch so the reoptimizer has work.
+	var rr runResponse
+	postJSON(t, ts.URL+"/run", mod, &rr)
+	postJSON(t, ts.URL+"/run", mod, &rr)
+	if rr.ProfileEpoch == 0 {
+		t.Fatalf("no profile accumulated: %+v", rr)
+	}
+
+	// The reoptimizer rebuilds — and the oracle must condemn the rebuild.
+	built, err := s.ReoptimizeAll()
+	if err != nil {
+		t.Fatalf("reoptimize: %v", err)
+	}
+	if built != 0 {
+		t.Fatalf("miscompiled artifact was counted as built (%d)", built)
+	}
+
+	// The poisoned artifact is on disk for post-mortem, with the verdict.
+	if !s.store.IsQuarantined(rr.ModuleHash, "std", rr.ProfileEpoch) {
+		t.Fatal("artifact not quarantined")
+	}
+	if reason, ok := s.store.QuarantineReason(rr.ModuleHash, "std", rr.ProfileEpoch); !ok || !strings.Contains(reason, "MISCOMPILE") {
+		t.Fatalf("quarantine reason missing or wrong: %q", reason)
+	}
+	// ...but never in the serving path.
+	if _, ok := s.store.GetArtifact(rr.ModuleHash, "std", rr.ProfileEpoch); ok {
+		t.Fatal("poisoned artifact is retrievable from the artifact store")
+	}
+
+	// /compile falls back to the epoch-0 artifact, marked stale — the
+	// client gets a slower program, never a wrong one.
+	var cr compileResponse
+	postJSON(t, ts.URL+"/compile", mod, &cr)
+	if !cr.Hit || !cr.Stale || cr.Reoptimized {
+		t.Fatalf("post-quarantine compile: %+v", cr.CompileResult)
+	}
+	r2, served := post(t, ts.URL+"/compile?raw=1", mod)
+	if r2.Header.Get("X-Cache") != "hit" || r2.Header.Get("X-Artifact-Epoch") != "0" {
+		t.Fatalf("post-quarantine headers: cache=%q epoch=%q",
+			r2.Header.Get("X-Cache"), r2.Header.Get("X-Artifact-Epoch"))
+	}
+	if !bytes.Equal(served, epoch0) {
+		t.Fatal("served bytes differ from the epoch-0 artifact")
+	}
+
+	// A second drain is a no-op: the quarantined epoch is skipped, not
+	// rebuilt forever.
+	if built, err := s.ReoptimizeAll(); err != nil || built != 0 {
+		t.Fatalf("re-drain after quarantine: built=%d err=%v", built, err)
+	}
+
+	// /stats and /metrics expose the event.
+	var st statsResponse
+	getStats(t, ts.URL+"/stats", &st)
+	if !st.Validate.Enabled || st.Validate.Runs == 0 || st.Validate.Miscompiles == 0 || st.Validate.Quarantined == 0 {
+		t.Fatalf("stats validate block: %+v", st.Validate)
+	}
+	if st.Store.Quarantined != 1 {
+		t.Fatalf("stats store quarantined = %d, want 1", st.Store.Quarantined)
+	}
+	metrics := getText(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`llvm_validate_runs_total{pass="reoptimize"}`,
+		`llvm_validate_confirmed_miscompiles_total{pass="reoptimize"}`,
+		"llvm_reopt_quarantined_total 1",
+		"llvm_store_quarantines_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestHonestReoptValidatesClean: with the real reoptimizer, validation
+// runs and the artifact ships — the oracle never quarantines a correct
+// rebuild of the hot module.
+func TestHonestReoptValidatesClean(t *testing.T) {
+	s, ts := newTestServer(t, Config{DisableReopt: true})
+	mod := hotModuleText(t)
+
+	var rr runResponse
+	postJSON(t, ts.URL+"/run", mod, &rr)
+	postJSON(t, ts.URL+"/run", mod, &rr)
+	built, err := s.ReoptimizeAll()
+	if err != nil || built != 1 {
+		t.Fatalf("reoptimize: built=%d err=%v", built, err)
+	}
+	if s.store.IsQuarantined(rr.ModuleHash, "std", rr.ProfileEpoch) {
+		t.Fatal("honest rebuild quarantined")
+	}
+	var st statsResponse
+	getStats(t, ts.URL+"/stats", &st)
+	if st.Validate.Runs == 0 || st.Validate.Miscompiles != 0 {
+		t.Fatalf("stats validate block: %+v", st.Validate)
+	}
+}
+
+// TestDisableValidateSkipsOracle: -no-validate turns the oracle off; the
+// corrupt artifact ships (the pre-PR behavior, now opt-in).
+func TestDisableValidateSkipsOracle(t *testing.T) {
+	orig := reoptTransform
+	reoptTransform = corruptReopt
+	defer func() { reoptTransform = orig }()
+
+	s, ts := newTestServer(t, Config{DisableReopt: true, DisableValidate: true})
+	mod := hotModuleText(t)
+	var rr runResponse
+	postJSON(t, ts.URL+"/run", mod, &rr)
+	postJSON(t, ts.URL+"/run", mod, &rr)
+	built, err := s.ReoptimizeAll()
+	if err != nil || built != 1 {
+		t.Fatalf("reoptimize: built=%d err=%v", built, err)
+	}
+	if s.store.IsQuarantined(rr.ModuleHash, "std", rr.ProfileEpoch) {
+		t.Fatal("quarantine ran despite DisableValidate")
+	}
+	var st statsResponse
+	getStats(t, ts.URL+"/stats", &st)
+	if st.Validate.Enabled || st.Validate.Runs != 0 {
+		t.Fatalf("stats validate block should be off: %+v", st.Validate)
+	}
+}

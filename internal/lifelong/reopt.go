@@ -4,7 +4,14 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/validate"
 )
+
+// reoptTransform is the profile-guided rebuild step, indirected so tests
+// can inject a corrupting transform and exercise the quarantine path.
+var reoptTransform = func(m *core.Module, d *profile.Data, opts profile.ReoptOptions) profile.ReoptResult {
+	return profile.Reoptimize(m, d, opts)
+}
 
 // ReoptResult reports one stored-module reoptimization.
 type ReoptResult struct {
@@ -13,24 +20,45 @@ type ReoptResult struct {
 	// HotInlined and Reordered are the reoptimizer's work counts.
 	HotInlined int
 	Reordered  int
+	// Verdict is the translation-validation oracle's result for the
+	// rebuild (nil when validation was disabled).
+	Verdict *validate.Result
+	// Quarantined reports the rebuilt artifact was a confirmed miscompile
+	// and went to quarantine instead of the store's serving path.
+	Quarantined bool
 }
 
 // ReoptimizeStored builds the profile-guided artifact for a stored module
-// at its current profile epoch — the §3.6 offline reoptimizer run against
-// the store instead of a single process: the canonical module is decoded,
-// the accumulated cross-run counts bound onto its blocks, and
+// at its current profile epoch, with the rebuild checked by the default
+// translation-validation oracle — see ReoptimizeStoredWith.
+func ReoptimizeStored(st *Store, modHash, spec string) (*ReoptResult, error) {
+	return ReoptimizeStoredWith(st, modHash, spec, validate.Default())
+}
+
+// ReoptimizeStoredWith is the §3.6 offline reoptimizer run against the
+// store instead of a single process: the canonical module is decoded, the
+// accumulated cross-run counts bound onto its blocks, and
 // profile.Reoptimize applies hot-call inlining, scalar clean-up, and
 // hottest-first block layout. Returns (nil, nil) when there is nothing to
-// do: no profile yet, or the artifact for the current epoch already
-// exists. Epoch>0 artifacts are the reoptimizer's output for every spec;
-// the spec still keys the artifact so distinct serving pipelines never
-// collide.
-func ReoptimizeStored(st *Store, modHash, spec string) (*ReoptResult, error) {
+// do: no profile yet, the artifact for the current epoch already exists,
+// or that epoch is quarantined.
+//
+// When oracle is non-nil the rebuild is treated as one big pass run: the
+// oracle compares the pre-reopt module with the transformed one, and a
+// confirmed Miscompile sends the artifact to quarantine — preserved for
+// debugging, never stored, never served. The daemon keeps serving the
+// epoch-0 artifact for the module (marked stale), which is the correct
+// degraded behavior: a slower program beats a wrong one. An Inconclusive
+// verdict ships the artifact — inconclusive means "could not re-prove",
+// not "found a bug", and refusing to ship on it would disable
+// profile-guided reoptimization for any module with an input-dependent
+// hot path.
+func ReoptimizeStoredWith(st *Store, modHash, spec string, oracle *validate.Oracle) (*ReoptResult, error) {
 	f, ok := st.GetProfile(modHash)
 	if !ok || f.Epoch == 0 {
 		return nil, nil
 	}
-	if st.HasArtifact(modHash, spec, f.Epoch) {
+	if st.HasArtifact(modHash, spec, f.Epoch) || st.IsQuarantined(modHash, spec, f.Epoch) {
 		return nil, nil
 	}
 	m, err := st.GetModule(modHash)
@@ -41,35 +69,54 @@ func ReoptimizeStored(st *Store, modHash, spec string) (*ReoptResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := profile.Reoptimize(m, d, profile.DefaultReoptOptions())
+	var before *core.Module
+	if oracle != nil {
+		before = core.CloneModule(m)
+	}
+	res := reoptTransform(m, d, profile.DefaultReoptOptions())
 	if err := core.Verify(m); err != nil {
 		return nil, err
+	}
+	out := &ReoptResult{
+		ModHash:    modHash,
+		Epoch:      f.Epoch,
+		HotInlined: res.HotInlined,
+		Reordered:  res.Reordered,
 	}
 	data, err := bytecode.Encode(m)
 	if err != nil {
 		return nil, err
 	}
+	if oracle != nil {
+		v := oracle.ValidatePass("reoptimize", before, m)
+		out.Verdict = v
+		if v.Verdict == validate.Miscompile {
+			out.Quarantined = true
+			if err := st.QuarantineArtifact(modHash, spec, f.Epoch, data, v.Summary()); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
 	if err := st.PutArtifact(modHash, spec, f.Epoch, data); err != nil {
 		return nil, err
 	}
-	return &ReoptResult{
-		ModHash:    modHash,
-		Epoch:      f.Epoch,
-		HotInlined: res.HotInlined,
-		Reordered:  res.Reordered,
-	}, nil
+	return out, nil
 }
 
 // nextReoptTarget returns the hottest stored profile whose current-epoch
-// artifact is missing, or "" when the store is fully reoptimized.
+// artifact is missing and not quarantined, or "" when the store is fully
+// reoptimized. Skipping quarantined epochs keeps the idle loop from
+// rebuilding the same confirmed miscompile every tick.
 func nextReoptTarget(st *Store, spec string) string {
 	for _, info := range st.Profiles() {
 		if info.Epoch == 0 {
 			continue
 		}
-		if !st.HasArtifact(info.ModHash, spec, info.Epoch) {
-			return info.ModHash
+		if st.HasArtifact(info.ModHash, spec, info.Epoch) || st.IsQuarantined(info.ModHash, spec, info.Epoch) {
+			continue
 		}
+		return info.ModHash
 	}
 	return ""
 }

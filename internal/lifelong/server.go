@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/tooling"
+	"repro/internal/validate"
 )
 
 // Config parameterizes the lifelong compilation daemon.
@@ -46,6 +47,11 @@ type Config struct {
 	IdleDelay time.Duration
 	// DisableReopt turns the idle-time reoptimizer off.
 	DisableReopt bool
+	// DisableValidate turns off translation validation of reoptimized
+	// artifacts (llvm-serve -no-validate). Validation is on by default:
+	// a reoptimized artifact the oracle confirms miscompiled goes to
+	// quarantine and the daemon keeps serving the prior-epoch artifact.
+	DisableValidate bool
 	// Metrics is the registry /metrics exposes and /stats reads (nil = the
 	// server creates its own). Request, store, reopt, and interpreter
 	// counters all live here, so the two endpoints can never disagree.
@@ -108,6 +114,13 @@ type Server struct {
 	// views are two renderings of one set of counters.
 	cCompile, cRun, cCheck, cRejected *obs.Counter
 	cReoptBuilt, cReoptErrors         *obs.Counter
+	// Validation counters share the llvm_validate_* names the pass
+	// manager uses, labeled pass="reoptimize", plus the quarantine total.
+	cValidateRuns, cValidateMiscompiles, cValidateInconclusive *obs.Counter
+	cQuarantined                                               *obs.Counter
+
+	// oracle checks reoptimized artifacts (nil when DisableValidate).
+	oracle *validate.Oracle
 
 	reoptMu    sync.Mutex
 	reoptLast  string
@@ -137,6 +150,13 @@ func NewServer(cfg Config) *Server {
 	s.cRejected = s.metrics.Counter("llvm_serve_rejected_total")
 	s.cReoptBuilt = s.metrics.Counter("llvm_reopt_builds_total")
 	s.cReoptErrors = s.metrics.Counter("llvm_reopt_errors_total")
+	s.cValidateRuns = s.metrics.Counter("llvm_validate_runs_total", "pass", "reoptimize")
+	s.cValidateMiscompiles = s.metrics.Counter("llvm_validate_confirmed_miscompiles_total", "pass", "reoptimize")
+	s.cValidateInconclusive = s.metrics.Counter("llvm_validate_inconclusive_total", "pass", "reoptimize")
+	s.cQuarantined = s.metrics.Counter("llvm_reopt_quarantined_total")
+	if !s.cfg.DisableValidate {
+		s.oracle = validate.Default()
+	}
 	s.metrics.GaugeFunc("llvm_serve_inflight", func() float64 { return float64(s.inflight.Load()) })
 	s.metrics.GaugeFunc("llvm_serve_uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
 	s.store.RegisterMetrics(s.metrics)
@@ -488,6 +508,13 @@ type statsResponse struct {
 		LastModule     string `json:"last_module,omitempty"`
 		LastEpoch      int64  `json:"last_epoch,omitempty"`
 	} `json:"reopt"`
+	Validate struct {
+		Enabled      bool   `json:"enabled"`
+		Runs         uint64 `json:"runs"`
+		Miscompiles  uint64 `json:"confirmed_miscompiles"`
+		Inconclusive uint64 `json:"inconclusive"`
+		Quarantined  uint64 `json:"quarantined"`
+	} `json:"validate"`
 }
 
 // handleStats renders the JSON view of the same counters /metrics scrapes:
@@ -506,6 +533,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Reopt.Enabled = !s.cfg.DisableReopt
 	resp.Reopt.ArtifactsBuilt = uint64(s.cReoptBuilt.Value())
 	resp.Reopt.Errors = uint64(s.cReoptErrors.Value())
+	resp.Validate.Enabled = s.oracle != nil
+	resp.Validate.Runs = uint64(s.cValidateRuns.Value())
+	resp.Validate.Miscompiles = uint64(s.cValidateMiscompiles.Value())
+	resp.Validate.Inconclusive = uint64(s.cValidateInconclusive.Value())
+	resp.Validate.Quarantined = uint64(s.cQuarantined.Value())
 	s.reoptMu.Lock()
 	resp.Reopt.LastModule = s.reoptLast
 	resp.Reopt.LastEpoch = s.reoptEpoch
@@ -539,15 +571,11 @@ func (s *Server) idleLoop() {
 			continue
 		}
 		sp := s.cfg.Tracer.Begin("reoptimize", "reopt", 0)
-		res, err := ReoptimizeStored(s.store, target, s.cfg.DefaultPipeline)
+		res, err := ReoptimizeStoredWith(s.store, target, s.cfg.DefaultPipeline, s.oracle)
 		if err != nil {
 			s.cReoptErrors.Inc()
 		} else if res != nil {
-			s.cReoptBuilt.Inc()
-			s.reoptMu.Lock()
-			s.reoptLast = res.ModHash
-			s.reoptEpoch = res.Epoch
-			s.reoptMu.Unlock()
+			s.recordReopt(res)
 		}
 		if s.cfg.Tracer != nil {
 			args := map[string]string{"module": shortHash(target)}
@@ -559,28 +587,50 @@ func (s *Server) idleLoop() {
 	}
 }
 
+// recordReopt folds one reoptimization's outcome into the daemon's
+// counters: build vs quarantine, plus the oracle's verdict tallies.
+func (s *Server) recordReopt(res *ReoptResult) {
+	if v := res.Verdict; v != nil {
+		s.cValidateRuns.Inc()
+		switch v.Verdict {
+		case validate.Miscompile:
+			s.cValidateMiscompiles.Inc()
+		case validate.Inconclusive:
+			s.cValidateInconclusive.Inc()
+		}
+	}
+	if res.Quarantined {
+		s.cQuarantined.Inc()
+		return
+	}
+	s.cReoptBuilt.Inc()
+	s.reoptMu.Lock()
+	s.reoptLast = res.ModHash
+	s.reoptEpoch = res.Epoch
+	s.reoptMu.Unlock()
+}
+
 // ReoptimizeAll drains the reopt queue synchronously: every profiled
-// module is brought up to its current epoch. Used by tests and by
-// llvm-serve's -reopt-now flag; the daemon path is idleLoop.
+// module is brought up to its current epoch (or quarantined when the
+// oracle condemns the rebuild). Used by tests and by llvm-serve's
+// -reopt-now flag; the daemon path is idleLoop.
 func (s *Server) ReoptimizeAll() (built int, err error) {
 	for {
 		target := nextReoptTarget(s.store, s.cfg.DefaultPipeline)
 		if target == "" {
 			return built, nil
 		}
-		res, rerr := ReoptimizeStored(s.store, target, s.cfg.DefaultPipeline)
+		res, rerr := ReoptimizeStoredWith(s.store, target, s.cfg.DefaultPipeline, s.oracle)
 		if rerr != nil {
 			return built, rerr
 		}
 		if res == nil {
 			return built, nil
 		}
-		s.cReoptBuilt.Inc()
-		s.reoptMu.Lock()
-		s.reoptLast = res.ModHash
-		s.reoptEpoch = res.Epoch
-		s.reoptMu.Unlock()
-		built++
+		s.recordReopt(res)
+		if !res.Quarantined {
+			built++
+		}
 	}
 }
 

@@ -47,6 +47,7 @@ type Store struct {
 	moduleHits, moduleMisses     atomic.Uint64
 	artifactHits, artifactMisses atomic.Uint64
 	evictions, corruptions       atomic.Uint64
+	quarantines                  atomic.Uint64
 }
 
 // RegisterMetrics bridges the store's atomic counters and size gauges into
@@ -62,6 +63,7 @@ func (s *Store) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("llvm_store_artifact_misses_total", func() float64 { return float64(s.artifactMisses.Load()) })
 	reg.CounterFunc("llvm_store_evictions_total", func() float64 { return float64(s.evictions.Load()) })
 	reg.CounterFunc("llvm_store_corruptions_total", func() float64 { return float64(s.corruptions.Load()) })
+	reg.CounterFunc("llvm_store_quarantines_total", func() float64 { return float64(s.quarantines.Load()) })
 	reg.GaugeFunc("llvm_store_bytes", func() float64 { return float64(s.Stats().Bytes) })
 	reg.GaugeFunc("llvm_store_blobs", func() float64 {
 		st := s.Stats()
@@ -90,7 +92,12 @@ const (
 	modulesDir   = "modules"
 	artifactsDir = "artifacts"
 	profilesDir  = "profiles"
-	indexFile    = "index.json"
+	// quarantineDir holds poisoned-artifact markers: artifacts the
+	// translation-validation oracle confirmed miscompiled. Quarantine
+	// blobs live outside the index — they are never served, never count
+	// as cache hits, and never compete with real blobs for the LRU cap.
+	quarantineDir = "quarantine"
+	indexFile     = "index.json"
 )
 
 // DefaultMaxBytes caps the store at 256 MiB unless configured otherwise.
@@ -105,7 +112,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	if maxBytes == 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	for _, sub := range []string{modulesDir, artifactsDir, profilesDir} {
+	for _, sub := range []string{modulesDir, artifactsDir, profilesDir, quarantineDir} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
@@ -357,6 +364,65 @@ func (s *Store) GetArtifact(modHash, spec string, epoch int64) ([]byte, bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Quarantine
+
+// quarantinePath mirrors artifactPath's key under quarantineDir with the
+// .poisoned suffix; the blob next to it (.reason) records why.
+func quarantinePath(modHash, spec string, epoch int64) string {
+	base := filepath.Base(artifactPath(modHash, spec, epoch))
+	return filepath.Join(quarantineDir, base+".poisoned")
+}
+
+// QuarantineArtifact records that the artifact for (modHash, spec, epoch)
+// is a confirmed miscompile: the poisoned bytes are preserved for
+// post-mortem debugging (as the .poisoned blob) together with the
+// oracle's verdict (.reason), and any previously stored artifact under
+// the same key is removed so the serving path can never hand it out. A
+// quarantined key stays quarantined until the store directory is cleaned
+// by hand — the reoptimizer skips it instead of rebuilding the same
+// miscompile every idle tick.
+func (s *Store) QuarantineArtifact(modHash, spec string, epoch int64, data []byte, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rel := quarantinePath(modHash, spec, epoch)
+	if err := tooling.AtomicWriteFile(filepath.Join(s.dir, rel), data, 0o644); err != nil {
+		return err
+	}
+	if err := tooling.AtomicWriteFile(filepath.Join(s.dir, rel+".reason"), []byte(reason+"\n"), 0o644); err != nil {
+		return err
+	}
+	// Evict any live artifact under the same key: quarantine wins.
+	art := artifactPath(modHash, spec, epoch)
+	if _, ok := s.idx.Entries[art]; ok {
+		os.Remove(filepath.Join(s.dir, art))
+		delete(s.idx.Entries, art)
+		if err := s.flushIndexLocked(); err != nil {
+			return err
+		}
+	}
+	s.quarantines.Add(1)
+	s.Tracer.Instant("quarantine", "store", 0, map[string]string{
+		"hash": shortHash(modHash), "epoch": fmt.Sprint(epoch),
+	})
+	return nil
+}
+
+// IsQuarantined reports whether (modHash, spec, epoch) has been condemned.
+func (s *Store) IsQuarantined(modHash, spec string, epoch int64) bool {
+	_, err := os.Stat(filepath.Join(s.dir, quarantinePath(modHash, spec, epoch)))
+	return err == nil
+}
+
+// QuarantineReason returns the recorded verdict for a quarantined key.
+func (s *Store) QuarantineReason(modHash, spec string, epoch int64) (string, bool) {
+	data, err := os.ReadFile(filepath.Join(s.dir, quarantinePath(modHash, spec, epoch)+".reason"))
+	if err != nil {
+		return "", false
+	}
+	return string(data), true
+}
+
+// ---------------------------------------------------------------------------
 // Profiles
 
 func profilePath(modHash string) string { return filepath.Join(profilesDir, modHash+".json") }
@@ -446,11 +512,14 @@ func (s *Store) Profiles() []ProfileInfo {
 // StoreStats is a point-in-time snapshot of the store for /stats and
 // llvm-bench.
 type StoreStats struct {
-	Modules   int   `json:"modules"`
-	Artifacts int   `json:"artifacts"`
-	Profiles  int   `json:"profiles"`
-	Bytes     int64 `json:"bytes"`
-	MaxBytes  int64 `json:"max_bytes"`
+	Modules   int `json:"modules"`
+	Artifacts int `json:"artifacts"`
+	Profiles  int `json:"profiles"`
+	// Quarantined counts poisoned artifacts on disk (confirmed
+	// miscompiles the serving path refuses to touch).
+	Quarantined int   `json:"quarantined"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
 
 	ModuleHits     uint64 `json:"module_hits"`
 	ModuleMisses   uint64 `json:"module_misses"`
@@ -470,6 +539,13 @@ func (s *Store) Stats() StoreStats {
 		ArtifactMisses: s.artifactMisses.Load(),
 		Evictions:      s.evictions.Load(),
 		Corruptions:    s.corruptions.Load(),
+	}
+	if entries, err := os.ReadDir(filepath.Join(s.dir, quarantineDir)); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".poisoned" {
+				st.Quarantined++
+			}
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

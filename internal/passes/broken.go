@@ -1,0 +1,257 @@
+package passes
+
+// Deliberately miscompiling pass variants, the seeded corpus the
+// translation-validation oracle is tested against (examples/validate/,
+// DESIGN.md §11). Each takes a classic optimization and removes exactly
+// the safety check that makes it sound, so the output is verifier-valid
+// IR that is semantically wrong on some input. They are reachable from
+// the tools only through BrokenPassByName behind the LLVM_BROKEN_PASSES=1
+// environment gate; nothing in the real pipelines constructs them.
+
+import (
+	"repro/internal/core"
+)
+
+// BrokenCSE merges repeated loads from the same pointer within a block
+// while ignoring clobbering stores in between, so a reload after a store
+// yields the stale pre-store value.
+type BrokenCSE struct{}
+
+// NewBrokenCSE returns the unsound load-CSE variant.
+func NewBrokenCSE() *BrokenCSE { return &BrokenCSE{} }
+
+// Name identifies the pass; it matches its corpus file in examples/validate.
+func (p *BrokenCSE) Name() string { return "broken-cse" }
+
+// RunOnFunction performs the unsound merge.
+func (p *BrokenCSE) RunOnFunction(f *core.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		first := map[core.Value]*core.LoadInst{}
+		for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+			ld, ok := inst.(*core.LoadInst)
+			if !ok {
+				continue
+			}
+			if prev, seen := first[ld.Ptr()]; seen {
+				core.ReplaceAllUses(ld, prev)
+				b.Erase(ld)
+				n++
+			} else {
+				first[ld.Ptr()] = ld
+			}
+		}
+	}
+	return n
+}
+
+// BrokenLICM hoists a division out of its guarding block into the entry
+// block without proving the divisor nonzero on the hoisted path, turning
+// a guarded division into an unconditional trap when the guard would have
+// skipped it.
+type BrokenLICM struct{}
+
+// NewBrokenLICM returns the unsound hoisting variant.
+func NewBrokenLICM() *BrokenLICM { return &BrokenLICM{} }
+
+// Name identifies the pass; it matches its corpus file in examples/validate.
+func (p *BrokenLICM) Name() string { return "broken-licm" }
+
+// RunOnFunction performs the unsound hoist.
+func (p *BrokenLICM) RunOnFunction(f *core.Function) int {
+	if len(f.Blocks) < 2 {
+		return 0
+	}
+	entry := f.Blocks[0]
+	term := entry.Terminator()
+	if term == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range f.Blocks[1:] {
+		for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+			bin, ok := inst.(*core.BinaryInst)
+			if !ok || (bin.Opcode() != core.OpDiv && bin.Opcode() != core.OpRem) {
+				continue
+			}
+			// Only operands that trivially dominate the entry terminator.
+			if !hoistableOperand(bin.LHS()) || !hoistableOperand(bin.RHS()) {
+				continue
+			}
+			b.Remove(bin)
+			entry.InsertBefore(bin, term)
+			n++
+		}
+	}
+	return n
+}
+
+func hoistableOperand(v core.Value) bool {
+	switch v.(type) {
+	case *core.Argument, core.Constant:
+		return true
+	}
+	return false
+}
+
+// BrokenDSE deletes a store when a later store to the same pointer exists
+// in the same block, ignoring loads in between, so the intervening load
+// observes the pre-store memory instead of the stored value.
+type BrokenDSE struct{}
+
+// NewBrokenDSE returns the unsound dead-store-elimination variant.
+func NewBrokenDSE() *BrokenDSE { return &BrokenDSE{} }
+
+// Name identifies the pass; it matches its corpus file in examples/validate.
+func (p *BrokenDSE) Name() string { return "broken-dse" }
+
+// RunOnFunction performs the unsound store deletion.
+func (p *BrokenDSE) RunOnFunction(f *core.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		insts := append([]core.Instruction(nil), b.Instrs...)
+		for i, inst := range insts {
+			st, ok := inst.(*core.StoreInst)
+			if !ok {
+				continue
+			}
+			for _, later := range insts[i+1:] {
+				st2, ok := later.(*core.StoreInst)
+				if ok && st2.Ptr() == st.Ptr() && st2 != st {
+					b.Erase(st)
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
+// BrokenInline replaces a call to a constant-returning callee with the
+// constant while dropping the callee body entirely — including its side
+// effects on global state.
+type BrokenInline struct{}
+
+// NewBrokenInline returns the unsound inlining variant.
+func NewBrokenInline() *BrokenInline { return &BrokenInline{} }
+
+// Name identifies the pass; it matches its corpus file in examples/validate.
+func (p *BrokenInline) Name() string { return "broken-inline" }
+
+// RunOnModule performs the unsound call elimination.
+func (p *BrokenInline) RunOnModule(m *core.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+				call, ok := inst.(*core.CallInst)
+				if !ok {
+					continue
+				}
+				callee := call.CalledFunction()
+				if callee == nil || callee.IsDeclaration() || len(callee.Blocks) != 1 || callee == f {
+					continue
+				}
+				ret, ok := callee.Blocks[0].Terminator().(*core.RetInst)
+				if !ok || ret.Value() == nil {
+					continue
+				}
+				c, ok := ret.Value().(core.Constant)
+				if !ok {
+					continue
+				}
+				core.ReplaceAllUses(call, c)
+				b.Erase(call)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BrokenReassoc "canonicalizes" subtractions by swapping their operands,
+// as if subtraction commuted.
+type BrokenReassoc struct{}
+
+// NewBrokenReassoc returns the unsound reassociation variant.
+func NewBrokenReassoc() *BrokenReassoc { return &BrokenReassoc{} }
+
+// Name identifies the pass; it matches its corpus file in examples/validate.
+func (p *BrokenReassoc) Name() string { return "broken-reassoc" }
+
+// RunOnFunction performs the unsound operand swap.
+func (p *BrokenReassoc) RunOnFunction(f *core.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, inst := range b.Instrs {
+			bin, ok := inst.(*core.BinaryInst)
+			if !ok || bin.Opcode() != core.OpSub || !core.IsInteger(bin.Type()) {
+				continue
+			}
+			lhs, rhs := bin.LHS(), bin.RHS()
+			if lhs == rhs {
+				continue
+			}
+			bin.SetOperand(0, rhs)
+			bin.SetOperand(1, lhs)
+			n++
+		}
+	}
+	return n
+}
+
+// BrokenSCCP strength-reduces a signed division by two into an arithmetic
+// shift right. The two disagree on negative odd operands: division
+// truncates toward zero (-7/2 = -3) while the shift floors (-7>>1 = -4).
+type BrokenSCCP struct{}
+
+// NewBrokenSCCP returns the unsound strength-reduction variant.
+func NewBrokenSCCP() *BrokenSCCP { return &BrokenSCCP{} }
+
+// Name identifies the pass; it matches its corpus file in examples/validate.
+func (p *BrokenSCCP) Name() string { return "broken-sccp" }
+
+// RunOnFunction performs the unsound strength reduction.
+func (p *BrokenSCCP) RunOnFunction(f *core.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+			bin, ok := inst.(*core.BinaryInst)
+			if !ok || bin.Opcode() != core.OpDiv || !core.IsSigned(bin.Type()) {
+				continue
+			}
+			c, ok := bin.RHS().(*core.ConstantInt)
+			if !ok || c.Val != 2 {
+				continue
+			}
+			shr := core.NewBinary(core.OpShr, bin.LHS(), core.NewInt(core.UByteType, 1))
+			b.InsertBefore(shr, bin)
+			core.ReplaceAllUses(bin, shr)
+			b.Erase(bin)
+			n++
+		}
+	}
+	return n
+}
+
+// BrokenPassByName constructs a deliberately miscompiling pass by its
+// corpus name. Tools expose these only when the LLVM_BROKEN_PASSES=1
+// environment gate is set (see tooling.PassByName).
+func BrokenPassByName(name string) (ModulePass, bool) {
+	switch name {
+	case "broken-cse":
+		return AdaptFunctionPass(NewBrokenCSE()), true
+	case "broken-licm":
+		return AdaptFunctionPass(NewBrokenLICM()), true
+	case "broken-dse":
+		return AdaptFunctionPass(NewBrokenDSE()), true
+	case "broken-inline":
+		return NewBrokenInline(), true
+	case "broken-reassoc":
+		return AdaptFunctionPass(NewBrokenReassoc()), true
+	case "broken-sccp":
+		return AdaptFunctionPass(NewBrokenSCCP()), true
+	}
+	return nil, false
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/validate"
 )
 
 // FunctionPass transforms one function at a time.
@@ -93,6 +94,11 @@ type PassResult struct {
 	// RolledBack reports that the failed pass's changes were discarded and
 	// the module is in its pre-pass state.
 	RolledBack bool
+	// Validation is the translation-validation verdict for this pass run
+	// (nil when no Validator is installed or the pass made no changes). A
+	// Miscompile verdict also sets Failed, with the pass's changes
+	// discarded exactly like a verifier rejection.
+	Validation *validate.Result
 	// AnalysisHits/Misses/Invalidations are this pass's deltas against the
 	// manager's analysis cache: requests served from cache, requests that
 	// had to compute, and cached results dropped by the pass's invalidation.
@@ -187,6 +193,19 @@ type PassManager struct {
 	// analysis-cache deltas, under the llvm_pass_* / llvm_analysis_* names
 	// (DESIGN.md §10). nil disables recording.
 	Metrics *obs.Registry
+	// Validator, when set, checks every changed pass run for semantic
+	// equivalence (DESIGN.md §11). It forces pass isolation: each pass runs
+	// against a scratch clone, and the oracle compares the caller's module
+	// (the before state) with the clone before it is committed, so
+	// validation shares the snapshot isolation already pays for instead of
+	// cloning again. A Miscompile verdict is handled like a pass failure
+	// under Policy: the clone is discarded (the caller's module was never
+	// touched), and the pipeline aborts or continues per the policy.
+	Validator *validate.Oracle
+	// Snapshots counts scratch clones taken across the run, surfaced by
+	// llvm-opt -time: with -check and -validate both active it stays at one
+	// clone per pass run, not two.
+	Snapshots int
 	// AM is the analysis cache shared by the pipeline's passes. Run creates
 	// it lazily; callers may install their own to share across managers.
 	AM      *analysis.Manager
@@ -296,10 +315,11 @@ func (pm *PassManager) Run(m *core.Module) (int, error) {
 // success; m itself is never exposed to a failing or runaway pass.
 func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 	res := PassResult{Pass: p.Name()}
-	isolated := pm.Policy != FailFast || pm.Timeout > 0
+	isolated := pm.Policy != FailFast || pm.Timeout > 0 || pm.Validator != nil
 	target := m
 	if isolated {
 		target = core.CloneModule(m)
+		pm.Snapshots++
 	}
 	am := pm.manager()
 	before := am.Stats()
@@ -368,6 +388,22 @@ func (pm *PassManager) runOne(m *core.Module, p ModulePass) PassResult {
 		}
 		return res
 	}
+	if pm.Validator != nil && out.n > 0 {
+		// The pre-pass module is still intact in m (validation forces
+		// isolation), so the oracle reuses it as the before snapshot.
+		v := pm.Validator.ValidatePass(p.Name(), m, target)
+		res.Validation = v
+		pm.Remarks.Analysisf("validate", v.Pos(), "%s: %s", p.Name(), v.Summary())
+		if v.Verdict == validate.Miscompile {
+			res.Failed = true
+			res.Err = fmt.Errorf("pass %q miscompiled %%%s (counterexample %v): %s",
+				p.Name(), v.Function, v.Counterexample, v.Detail)
+			res.RolledBack = true
+			pm.settleAfterFailure(m, am, true, false)
+			res.addStatsDelta(am.Stats(), before)
+			return res
+		}
+	}
 	res.Changed = out.n
 	if isolated {
 		m.AdoptFrom(target)
@@ -430,6 +466,15 @@ func (pm *PassManager) recordMetrics(r PassResult) {
 	reg.Counter("llvm_analysis_cache_hits_total").Add(float64(r.AnalysisHits))
 	reg.Counter("llvm_analysis_cache_misses_total").Add(float64(r.AnalysisMisses))
 	reg.Counter("llvm_analysis_cache_invalidations_total").Add(float64(r.AnalysisInvalidations))
+	if v := r.Validation; v != nil {
+		reg.Counter("llvm_validate_runs_total", "pass", r.Pass).Inc()
+		switch v.Verdict {
+		case validate.Miscompile:
+			reg.Counter("llvm_validate_confirmed_miscompiles_total", "pass", r.Pass).Inc()
+		case validate.Inconclusive:
+			reg.Counter("llvm_validate_inconclusive_total", "pass", r.Pass).Inc()
+		}
+	}
 }
 
 // addStatsDelta records the pass's cache activity as after-before.

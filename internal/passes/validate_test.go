@@ -1,0 +1,189 @@
+package passes_test
+
+// Interplay between the translation-validation oracle and the pass
+// manager's failure policies: a confirmed miscompile must behave exactly
+// like a pass failure — rolled back under Rollback, skipped under
+// SkipAndContinue, aborting under FailFast — and never leak the broken
+// pass's changes into the caller's module. The remarks golden pins the
+// validate stream's determinism across worker counts.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/passes"
+	"repro/internal/tooling"
+	"repro/internal/validate"
+	"repro/internal/workload"
+)
+
+// loadCorpus loads a seeded-miscompile corpus module and the broken pass
+// named after it.
+func loadCorpus(t *testing.T, name string) (*core.Module, passes.ModulePass) {
+	t.Helper()
+	m, err := tooling.LoadModule("../../examples/validate/" + name + ".ll")
+	if err != nil {
+		t.Fatalf("loading corpus module: %v", err)
+	}
+	p, ok := passes.BrokenPassByName(name)
+	if !ok {
+		t.Fatalf("no broken pass %q", name)
+	}
+	return m, p
+}
+
+// runMain interprets %main and returns its value.
+func runMain(t *testing.T, m *core.Module) uint64 {
+	t.Helper()
+	mc, err := interp.NewMachine(m, nil)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	f := m.Func("main")
+	if f == nil {
+		t.Fatal("no main")
+	}
+	v, err := mc.RunFunction(f)
+	if err != nil {
+		t.Fatalf("running main: %v", err)
+	}
+	return v
+}
+
+// TestValidateRollbackRestoresModule: under Rollback, a confirmed
+// miscompile discards the pass's changes and aborts with the module
+// byte-identical to its pre-pass state.
+func TestValidateRollbackRestoresModule(t *testing.T) {
+	m, p := loadCorpus(t, "broken-cse")
+	before := m.String()
+	pm := passes.NewPassManager()
+	pm.Policy = passes.Rollback
+	pm.Validator = validate.Default()
+	pm.Add(p)
+	if _, err := pm.Run(m); err == nil {
+		t.Fatal("pipeline with a miscompiling pass must fail under Rollback")
+	}
+	if got := m.String(); got != before {
+		t.Errorf("module not restored byte-identically after rollback:\n--- before ---\n%s\n--- after ---\n%s", before, got)
+	}
+	if len(pm.Results) != 1 || !pm.Results[0].RolledBack {
+		t.Error("result must record the rollback")
+	}
+	if v := pm.Results[0].Validation; v == nil || v.Verdict != validate.Miscompile {
+		t.Error("result must carry the miscompile verdict")
+	}
+}
+
+// TestValidateSkipAndContinue: under SkipAndContinue the broken pass's
+// changes are discarded, the rest of the pipeline still runs, and the
+// final module preserves the program's semantics.
+func TestValidateSkipAndContinue(t *testing.T) {
+	m, p := loadCorpus(t, "broken-dse")
+	want := runMain(t, core.CloneModule(m))
+	pm := passes.NewPassManager()
+	pm.Policy = passes.SkipAndContinue
+	pm.VerifyEach = true
+	pm.Validator = validate.Default()
+	pm.Add(p)
+	pm.AddStandardPipeline()
+	if _, err := pm.Run(m); err != nil {
+		t.Fatalf("SkipAndContinue must not abort: %v", err)
+	}
+	if len(pm.Results) < 2 {
+		t.Fatalf("later passes must still run, got %d results", len(pm.Results))
+	}
+	if !pm.Results[0].Failed || !pm.Results[0].RolledBack {
+		t.Error("broken pass must be recorded as failed and rolled back")
+	}
+	if got := runMain(t, m); got != want {
+		t.Errorf("optimized main returns %d, want %d — broken pass leaked through", got, want)
+	}
+}
+
+// TestValidateFailFastPositionedError: FailFast plus a validator still
+// isolates the pass (validation needs the pre-pass module), and the
+// failure names the pass, the function, and the counterexample.
+func TestValidateFailFastPositionedError(t *testing.T) {
+	m, p := loadCorpus(t, "broken-sccp")
+	before := m.String()
+	pm := passes.NewPassManager()
+	pm.Policy = passes.FailFast
+	pm.Validator = validate.Default()
+	pm.Add(p)
+	_, err := pm.Run(m)
+	if err == nil {
+		t.Fatal("FailFast must surface the miscompile as an error")
+	}
+	for _, frag := range []string{"broken-sccp", "miscompiled", "%main"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+	if m.String() != before {
+		t.Error("validator-forced isolation must keep the module intact even under FailFast")
+	}
+}
+
+// TestValidateParallelWorkload: a validated pipeline with a seeded broken
+// pass stays correct (and race-clean under -race) at Parallelism 8.
+func TestValidateParallelWorkload(t *testing.T) {
+	p := workload.Suite()[0]
+	m := buildRaw(t, p)
+	want := runMain(t, core.CloneModule(m))
+	broken, _ := passes.BrokenPassByName("broken-cse")
+	pm := passes.NewPassManager()
+	pm.Policy = passes.SkipAndContinue
+	pm.Parallelism = 8
+	pm.Validator = validate.New(validate.Options{
+		MaxVectors: 2, MaxSteps: 100_000, MaxFunctions: 8,
+	})
+	pm.Add(broken)
+	pm.AddStandardPipeline()
+	if _, err := pm.Run(m); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if got := runMain(t, m); got != want {
+		t.Errorf("optimized main returns %d, want %d", got, want)
+	}
+}
+
+// runValidatedRemarks renders the remark stream of a validated standard
+// pipeline (with one broken pass in front) at the given parallelism.
+func runValidatedRemarks(t *testing.T, m *core.Module, parallelism int) string {
+	t.Helper()
+	broken, _ := passes.BrokenPassByName("broken-cse")
+	pm := passes.NewPassManager()
+	pm.Policy = passes.SkipAndContinue
+	pm.Parallelism = parallelism
+	pm.Remarks = obs.NewRemarks()
+	pm.Validator = validate.Default()
+	pm.Add(broken)
+	pm.AddStandardPipeline()
+	if _, err := pm.Run(m); err != nil {
+		t.Fatalf("pipeline (j=%d): %v", parallelism, err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteRemarksText(&buf, pm.Remarks.Sorted()); err != nil {
+		t.Fatalf("rendering remarks: %v", err)
+	}
+	return buf.String()
+}
+
+// TestValidateRemarkDeterminism: the validate remark stream — verdict
+// lines included — is byte-identical at -j1 vs -j8, because the oracle's
+// vectors are deterministic and remarks sort by (pass run, function).
+func TestValidateRemarkDeterminism(t *testing.T) {
+	m, _ := loadCorpus(t, "broken-cse")
+	serial := runValidatedRemarks(t, core.CloneModule(m), 1)
+	parallel := runValidatedRemarks(t, core.CloneModule(m), 8)
+	if serial != parallel {
+		t.Errorf("validate remarks differ between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "validate") || !strings.Contains(serial, "MISCOMPILE") {
+		t.Errorf("remark stream missing validate verdicts:\n%s", serial)
+	}
+}

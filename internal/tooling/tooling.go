@@ -158,6 +158,13 @@ func PassByName(name string) (passes.ModulePass, bool) {
 	case "check":
 		return checker.NewPass(nil), true
 	}
+	// The deliberately miscompiling corpus passes exist to exercise the
+	// translation-validation oracle; they are reachable only behind an
+	// explicit environment gate so no production pipeline spec can name one
+	// by accident.
+	if os.Getenv("LLVM_BROKEN_PASSES") == "1" {
+		return passes.BrokenPassByName(name)
+	}
 	return nil, false
 }
 

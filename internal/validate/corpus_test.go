@@ -1,0 +1,159 @@
+package validate_test
+
+// The seeded-miscompile corpus test: every deliberately broken pass in
+// examples/validate must be flagged by the oracle, and the real pipelines
+// must never draw a confirmed-miscompile verdict over any example or
+// workload module (the zero-false-confirms contract).
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend/minic"
+	"repro/internal/linker"
+	"repro/internal/passes"
+	"repro/internal/tooling"
+	"repro/internal/validate"
+	"repro/internal/workload"
+)
+
+// corpusFiles returns the seeded corpus; each file is named after the
+// broken pass it exposes.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("../../examples/validate/*.ll")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus modules found: %v", err)
+	}
+	return files
+}
+
+// TestOracleCatchesSeededMiscompiles runs each broken pass over its corpus
+// module and requires a confirmed Miscompile verdict. It also pins the
+// property that makes the corpus meaningful: the broken output still
+// passes the verifier, so only semantic validation can reject it.
+func TestOracleCatchesSeededMiscompiles(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		name := strings.TrimSuffix(filepath.Base(file), ".ll")
+		t.Run(name, func(t *testing.T) {
+			p, ok := passes.BrokenPassByName(name)
+			if !ok {
+				t.Fatalf("no broken pass registered for corpus file %s", file)
+			}
+			before, err := tooling.LoadModule(file)
+			if err != nil {
+				t.Fatalf("loading %s: %v", file, err)
+			}
+			after := core.CloneModule(before)
+			if n := p.RunOnModule(after); n == 0 {
+				t.Fatalf("%s made no changes on its own corpus module", name)
+			}
+			if err := core.Verify(after); err != nil {
+				t.Fatalf("broken output must be verifier-valid (only the oracle may reject it): %v", err)
+			}
+			res := validate.Default().ValidatePass(name, before, after)
+			if res.Verdict != validate.Miscompile {
+				t.Fatalf("oracle verdict = %s, want MISCOMPILE (%s)", res.Verdict, res.Summary())
+			}
+			if res.Function == "" {
+				t.Error("miscompile verdict carries no function")
+			}
+			t.Logf("caught: %s", res.Summary())
+		})
+	}
+}
+
+// runValidated runs a pipeline with the oracle installed and fails the
+// test on any confirmed miscompile among the results.
+func runValidated(t *testing.T, m *core.Module, linktime bool, oracle *validate.Oracle) {
+	t.Helper()
+	pm := passes.NewPassManager()
+	pm.Policy = passes.SkipAndContinue
+	pm.VerifyEach = true
+	pm.Validator = oracle
+	if linktime {
+		pm.AddLinkTimePipeline()
+	} else {
+		pm.AddStandardPipeline()
+	}
+	if _, err := pm.Run(m); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	for _, r := range pm.Results {
+		if v := r.Validation; v != nil && v.Verdict == validate.Miscompile {
+			t.Errorf("false confirmed miscompile from real pass %q: %s", r.Pass, v.Summary())
+		}
+	}
+}
+
+// TestNoFalseConfirmsExamples runs the full std pipeline with validation
+// over every checked-in example module, including the corpus modules
+// themselves (the seeded bugs live in the passes, not the modules).
+func TestNoFalseConfirmsExamples(t *testing.T) {
+	var files []string
+	for _, dir := range []string{"validate", "checker", "linktime"} {
+		fs, _ := filepath.Glob("../../examples/" + dir + "/*.ll")
+		files = append(files, fs...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example modules found")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(filepath.Dir(file))+"/"+filepath.Base(file), func(t *testing.T) {
+			t.Parallel()
+			m, err := tooling.LoadModule(file)
+			if err != nil {
+				t.Fatalf("loading %s: %v", file, err)
+			}
+			runValidated(t, m, false, validate.Default())
+		})
+	}
+}
+
+// buildRaw links a workload program from unoptimized front-end output, so
+// the validated pipeline transforms realistic modules.
+func buildRaw(t testing.TB, p workload.Profile) *core.Module {
+	t.Helper()
+	prog := workload.Generate(p)
+	mods := make([]*core.Module, 0, len(prog.Units))
+	for i, src := range prog.Units {
+		m, err := minic.Compile(fmt.Sprintf("%s.u%d", p.Name, i), src)
+		if err != nil {
+			t.Fatalf("%s unit %d: %v", p.Name, i, err)
+		}
+		mods = append(mods, m)
+	}
+	m, err := linker.Link(p.Name, mods...)
+	if err != nil {
+		t.Fatalf("link %s: %v", p.Name, err)
+	}
+	return m
+}
+
+// TestNoFalseConfirmsWorkload runs validated std and linktime pipelines
+// over the synthetic workload suite. The oracle gets reduced budgets to
+// bound test time — reduced budgets can only add Inconclusive results,
+// never a false Miscompile, which is exactly the property under test.
+func TestNoFalseConfirmsWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep is slow")
+	}
+	oracle := validate.New(validate.Options{
+		MaxVectors:   3,
+		MaxSteps:     100_000,
+		MaxHeapBytes: 8 << 20,
+		MaxFunctions: 12,
+	})
+	for _, p := range workload.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			runValidated(t, buildRaw(t, p), false, oracle)
+			runValidated(t, buildRaw(t, p), true, oracle)
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package validate_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/passes"
+	"repro/internal/validate"
+)
+
+// FuzzValidate drives the zero-false-confirms contract with hostile IR:
+// for any verifier-valid module the parser accepts, running the standard
+// pipeline under the oracle must never yield a confirmed Miscompile — the
+// real passes are correct, so every confirmation on them is a false one.
+// Small budgets are deliberate: they can only push verdicts toward
+// Inconclusive, never toward a wrong confirmation, and they keep each
+// fuzz iteration cheap. The oracle itself must never panic (ValidatePass
+// recovers internally and degrades to Inconclusive).
+func FuzzValidate(f *testing.F) {
+	f.Add(`
+int %main() {
+entry:
+	%r = add int 40, 2
+	ret int %r
+}
+`)
+	f.Add(`
+%g = global int 7
+internal int %inc(int %a) {
+entry:
+	%v = load int* %g
+	%s = add int %v, %a
+	store int %s, int* %g
+	ret int %s
+}
+int %main() {
+entry:
+	%a = call int %inc(int 1)
+	%b = call int %inc(int 2)
+	%r = add int %a, %b
+	ret int %r
+}
+`)
+	f.Add(`
+int %loopy(int %n) {
+entry:
+	br label %head
+head:
+	%i = phi int [ 0, %entry ], [ %next, %head ]
+	%next = add int %i, 1
+	%done = setge int %next, %n
+	br bool %done, label %out, label %head
+out:
+	ret int %i
+}
+`)
+	f.Add(`
+long %pun(int* %p) {
+entry:
+	%v = cast int* %p to long
+	ret long %v
+}
+`)
+	f.Add("int %m(int %a, int %b) {\nentry:\n\t%d = div int %a, %b\n\tret int %d\n}\n")
+	oracle := validate.New(validate.Options{
+		MaxVectors:   2,
+		MaxSteps:     20_000,
+		MaxHeapBytes: 4 << 20,
+		MaxFunctions: 6,
+	})
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := asm.ParseModule("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := core.Verify(m); err != nil {
+			return
+		}
+		pm := passes.NewPassManager()
+		pm.Policy = passes.SkipAndContinue
+		pm.VerifyEach = true
+		pm.Validator = oracle
+		pm.AddStandardPipeline()
+		if _, err := pm.Run(m); err != nil {
+			t.Fatalf("pipeline: %v", err)
+		}
+		for _, r := range pm.Results {
+			if v := r.Validation; v != nil && v.Verdict == validate.Miscompile {
+				t.Fatalf("false confirmed miscompile from %q: %s\nmodule:\n%s", r.Pass, v.Summary(), src)
+			}
+		}
+	})
+}
