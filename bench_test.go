@@ -500,6 +500,33 @@ func BenchmarkExecutionEngine(b *testing.B) {
 			}
 		}
 	})
+	// The optimizing tier and the auto policy share one translation
+	// cache across iterations, like a warm llvm-serve daemon would.
+	prog := interp.NewProgram(m)
+	b.Run("tier2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mc, _ := interp.NewMachine(m, nil)
+			mc.SetTier(interp.TierOpt)
+			if err := mc.AttachProgram(prog); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mc.RunMain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mc, _ := interp.NewMachine(m, nil)
+			mc.SetTier(interp.TierAuto)
+			if err := mc.AttachProgram(prog); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mc.RunMain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationInlineThreshold sweeps the inliner's size threshold —

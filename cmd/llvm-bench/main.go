@@ -4,8 +4,9 @@
 // Figure 5 (executable sizes: LLVM bytecode vs CISC vs RISC images).
 //
 // Usage: llvm-bench [-table1] [-table2] [-fig5] [-checker] [-obs]
-// [-validate] [-store DIR] [-v] [-json path] (no table flags = all tables;
-// -obs, -validate, and -store are opt-in). -obs times the standard
+// [-validate] [-tiers] [-store DIR] [-v] [-json path] (no flags = the
+// default tables; any explicit selection runs only what was asked). -obs
+// times the standard
 // pipeline with observability (tracing, remarks, metrics) off vs on,
 // reporting the overhead percent. -validate does the same for the
 // translation-validation oracle, reporting the per-benchmark verdict
@@ -13,7 +14,10 @@
 // aborts the benchmark, so the table doubles as a soundness check.
 // -checker runs the static memory-safety checker over each optimized
 // benchmark; since the synthetic programs are well-formed, any error it
-// reports is a checker false positive. -store DIR compiles each benchmark
+// reports is a checker false positive. -tiers runs each benchmark to
+// completion at every execution tier (interpreter, baseline, optimizing,
+// and auto seeded with a prior run's profile) and reports per-tier
+// latency with tier-2 speedups. -store DIR compiles each benchmark
 // twice through a lifelong store rooted at DIR and reports cold-vs-warm
 // latency (DIR persists, so successive runs measure a warm daemon).
 // -json additionally writes the selected tables as machine-readable JSON
@@ -37,11 +41,15 @@ func main() {
 	ck := flag.Bool("checker", false, "Checker: static memory-safety diagnostics per benchmark")
 	obsFlag := flag.Bool("obs", false, "Obs: pipeline latency with observability off vs on")
 	validateFlag := flag.Bool("validate", false, "Validate: pipeline latency with the translation-validation oracle off vs on")
+	tiersFlag := flag.Bool("tiers", false, "Tiers: execution latency per engine tier (interp/tier-1/tier-2/auto+profile)")
 	storeDir := flag.String("store", "", "Store: cold-vs-warm compile latency through a lifelong store at this dir")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
 	flag.Parse()
-	all := !*t1 && !*t2 && !*f5 && !*ck
+	// No section flags at all = the paper's default tables. Any explicit
+	// selection (including the opt-in sections) runs only what was asked.
+	all := !*t1 && !*t2 && !*f5 && !*ck &&
+		!*obsFlag && !*validateFlag && !*tiersFlag && *storeDir == ""
 
 	var rows1 []experiments.Table1Row
 	var rows2 []experiments.Table2Row
@@ -102,6 +110,16 @@ func main() {
 		os.Stdout.WriteString("\n")
 		experiments.PrintValidateTable(os.Stdout, rowsV)
 	}
+	var rowsT []experiments.TiersRow
+	if *tiersFlag {
+		var err error
+		rowsT, err = experiments.TiersTable()
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		os.Stdout.WriteString("\n")
+		experiments.PrintTiersTable(os.Stdout, rowsT)
+	}
 	var rowsS []experiments.StoreRow
 	if *storeDir != "" {
 		var err error
@@ -116,6 +134,7 @@ func main() {
 		report := experiments.NewReport(rows1, rows2, rows5, rowsC)
 		report.AddObs(rowsO)
 		report.AddValidate(rowsV)
+		report.AddTiers(rowsT)
 		report.AddStore(rowsS)
 		out := os.Stdout
 		if *jsonPath != "-" {

@@ -1,16 +1,20 @@
-// llvm-run executes a module's main function in the execution engine
-// (§3.4's portable interpreter), optionally printing execution statistics.
-// Execution is sandboxed: instruction, heap, call-depth, and wall-clock
-// budgets all turn runaway or hostile programs into diagnostics, never
-// crashes.
+// llvm-run executes a module's main function in the tiered execution
+// engine (§3.4): -tier selects the interpreter (0), the baseline
+// translation (1), the optimizing register-allocated tier (2), or
+// profile-driven tier-up between them (auto, the default). Execution is
+// sandboxed: instruction, heap, call-depth, and wall-clock budgets all
+// turn runaway or hostile programs into diagnostics, never crashes.
 //
-// With -profile-out the run is instrumented and its block counts are
-// written as a persistent profile (§3.6's gathering of end-user profile
-// information across runs); -profile-in merges a prior profile file in
-// first, so repeated `-profile-in p -profile-out p` runs accumulate.
+// With -profile-out the engine's own per-block counters are written as a
+// persistent profile (§3.6's gathering of end-user profile information
+// across runs, with no instrumentation probes); -profile-in merges a
+// prior profile file in first, so repeated `-profile-in p -profile-out p`
+// runs accumulate — and under -tier=auto the incoming profile seeds
+// functions hot at start, so warm code skips the baseline tier.
 //
-// Usage: llvm-run [-stats] [-max-steps N] [-max-heap N] [-timeout D]
+// Usage: llvm-run [-tier {0,1,2,auto}] [-tier-stats] [-stats]
 //
+//	[-max-steps N] [-max-heap N] [-timeout D]
 //	[-profile-in FILE] [-profile-out FILE] input
 package main
 
@@ -33,8 +37,10 @@ func main() {
 	maxSteps := flag.Int64("max-steps", interp.DefaultMaxSteps, "instruction budget")
 	maxHeap := flag.Int64("max-heap", interp.DefaultMaxHeapBytes, "heap budget in bytes (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none), e.g. 5s")
-	profileIn := flag.String("profile-in", "", "merge an existing profile file before writing -profile-out")
-	profileOut := flag.String("profile-out", "", "instrument the run and write accumulated block counts to this file")
+	tier := flag.String("tier", "auto", "execution tier: 0 (interpreter), 1 (baseline), 2 (optimizing), auto (profile-driven tier-up)")
+	tierStats := flag.Bool("tier-stats", false, "print per-function tier decisions and compile times to stderr")
+	profileIn := flag.String("profile-in", "", "merge an existing profile file and seed tier-up from it")
+	profileOut := flag.String("profile-out", "", "record the engine's block counts and write the accumulated profile to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		tooling.Fatalf("usage: llvm-run [flags] input")
@@ -46,19 +52,31 @@ func main() {
 	if err := core.Verify(m); err != nil {
 		tooling.Fatalf("llvm-run: module invalid: %v", err)
 	}
-	if *profileIn != "" && *profileOut == "" {
-		tooling.Fatalf("llvm-run: -profile-in requires -profile-out")
-	}
-	var ins *profile.Instrumentation
-	if *profileOut != "" {
-		ins = profile.Instrument(m)
+	policy, ok := interp.ParseTierPolicy(*tier)
+	if !ok {
+		tooling.Fatalf("llvm-run: bad -tier %q (want 0, 1, 2, or auto)", *tier)
 	}
 	mc, err := interp.NewMachine(m, os.Stdout)
 	if err != nil {
 		tooling.Fatalf("llvm-run: %v", err)
 	}
+	mc.SetTier(policy)
 	mc.MaxSteps = *maxSteps
 	mc.MaxHeapBytes = *maxHeap
+	if *profileOut != "" {
+		mc.EnableProfile()
+	}
+	var seed *profile.File
+	if *profileIn != "" {
+		data, err := os.ReadFile(*profileIn)
+		if err != nil {
+			tooling.Fatalf("llvm-run: reading -profile-in: %v", err)
+		}
+		if seed, err = profile.DecodeFile(data); err != nil {
+			tooling.Fatalf("llvm-run: decoding -profile-in %s: %v", *profileIn, err)
+		}
+		mc.SeedProfile(seed.Counts.Funcs)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -79,10 +97,13 @@ func main() {
 			tooling.Fatalf("llvm-run: trap: %v", err)
 		}
 	}
-	if ins != nil {
-		if err := writeProfile(ins, mc, m, *profileIn, *profileOut); err != nil {
+	if *profileOut != "" {
+		if err := writeProfile(mc, seed, *profileOut); err != nil {
 			tooling.Fatalf("llvm-run: %v", err)
 		}
+	}
+	if *tierStats {
+		printTierStats(mc.TierStats())
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "steps: %d\n", mc.Steps)
@@ -96,30 +117,35 @@ func main() {
 	os.Exit(int(code & 0xFF))
 }
 
-// writeProfile folds this run's block counts into the profile file:
-// counts from -profile-in (if any) are merged first, then the file is
-// written atomically so a crash mid-save never corrupts the accumulated
-// history.
-func writeProfile(ins *profile.Instrumentation, mc *interp.Machine, m *core.Module, in, out string) error {
-	d, err := ins.ReadCounts(mc)
-	if err != nil {
-		return fmt.Errorf("reading profile counts: %v", err)
+// writeProfile folds this run's engine block counts into the profile
+// file: counts from -profile-in (if any) accumulate first, then the file
+// is written atomically so a crash mid-save never corrupts the
+// accumulated history.
+func writeProfile(mc *interp.Machine, seed *profile.File, out string) error {
+	f := seed
+	if f == nil {
+		f = &profile.File{}
 	}
-	ins.Strip()
-	f := &profile.File{}
-	if in != "" {
-		data, err := os.ReadFile(in)
-		if err != nil {
-			return fmt.Errorf("reading -profile-in: %v", err)
-		}
-		if f, err = profile.DecodeFile(data); err != nil {
-			return fmt.Errorf("decoding -profile-in %s: %v", in, err)
-		}
-	}
-	f.Merge(d.ToCounts(m))
+	f.Merge(profile.CountsFromBlocks(mc.BlockCounts()))
 	data, err := profile.EncodeFile(f)
 	if err != nil {
 		return err
 	}
 	return tooling.AtomicWriteFile(out, data, 0o644)
+}
+
+// printTierStats renders the engine's tiering decisions.
+func printTierStats(st interp.TierStats) {
+	fmt.Fprintf(os.Stderr, "tier policy: %s\n", st.Policy)
+	for t := 0; t < 3; t++ {
+		if st.Calls[t] == 0 && st.Compiles[t] == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "tier %d: %d calls, %d compiles (%v compile time)\n",
+			t, st.Calls[t], st.Compiles[t], st.CompileTime[t])
+	}
+	fmt.Fprintf(os.Stderr, "tier-ups: %d\n", st.TierUps)
+	for _, f := range st.Funcs {
+		fmt.Fprintf(os.Stderr, "  %-24s tier %d, %d calls\n", "%"+f.Name, f.Tier, f.Calls)
+	}
 }

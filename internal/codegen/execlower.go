@@ -1,0 +1,923 @@
+package codegen
+
+// Tier-2 execution lowering: the optimizing tier of the execution engine
+// (§3.4, "invokes the appropriate code generator at runtime, translating
+// one function at a time"). Where the baseline JIT tier keeps the CFG and
+// dispatches per-block with map-resolved φ edges, this lowering produces a
+// flat, linearized form the dispatch loop can run with nothing but array
+// indexing:
+//
+//   - the whole function is one []EInstr; branch targets are instruction
+//     indices (pcs), resolved at lowering time;
+//   - φ-functions are folded into explicit parallel-copy sequences on the
+//     incoming edges (small trampolines the branches route through), so
+//     block entry does no φ evaluation at all;
+//   - every SSA value lives in a dense word register file assigned by the
+//     allocator in regalloc.go, reusing the native allocator's
+//     block-locality discipline (cross-block values get dedicated
+//     registers, block-local values share a scratch pool);
+//   - opcodes are specialized by width and signedness at lowering time
+//     (EAdd64 vs masked EAddM, shifted signed compares, sized loads), so
+//     the executor does no per-instruction type dispatch.
+//
+// The lowering is machine-independent: constants (including global and
+// function addresses) are kept symbolically in a pool and resolved to raw
+// bits per Machine, so one EFunction is shareable across every machine
+// executing the same module.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// EOp enumerates tier-2 executable opcodes. The first three are synthetic
+// (no IR counterpart): ECount/EPhiMov/EJmp implement profiling and φ edges
+// and must not count as executed instructions, so the executor's step
+// accounting is gated on op > EJmp. Every other op corresponds to exactly
+// one IR instruction.
+type EOp uint8
+
+const (
+	ECount  EOp = iota // block-entry profile counter; Imm = block index
+	EPhiMov            // Dst <- reg A (φ edge copy)
+	EJmp               // pc <- Imm (edge trampoline exit)
+
+	// Integer arithmetic. The 64-bit forms skip masking; the M forms mask
+	// the result with Imm (truncToWidth semantics).
+	EMov   // Dst <- A
+	EAdd64 // Dst <- A + B
+	EAddM  // Dst <- (A + B) & Imm
+	ESub64
+	ESubM
+	EMul64
+	EMulM
+	EAnd // logic masks with Imm too: operands may be non-canonical (a 1-byte
+	EOr  // load can yield 0xFF for a bool), and bool logic is just mask 1
+	EXor
+	EShl  // Imm = result mask, Aux = bit width (shift >= width yields 0)
+	EShrU // Imm = result mask, Aux = bit width
+	EShrS // Imm = result mask, Aux = 64-width sext shift
+	EDivU // Imm = result mask; traps on B == 0
+	EDivS // Imm = result mask, B(field) unused, Aux = 64-width sext shift
+	ERemU
+	ERemS
+
+	// Comparisons produce bool bits. Unsigned/equality forms mask with
+	// Imm; signed forms sign-extend via the Imm shift (64-width).
+	ECmpEq
+	ECmpNe
+	ECmpULt
+	ECmpUGt
+	ECmpULe
+	ECmpUGe
+	ECmpSLt
+	ECmpSGt
+	ECmpSLe
+	ECmpSGe
+
+	// Floats delegate to core's evaluation helpers: Imm = core.Opcode,
+	// Aux = index into Types (float32 rounds per step there).
+	EFBin
+	EFCmp
+
+	// Casts. ECastTrunc masks with Imm; ECastSext sign-extends by the B
+	// shift then masks with Imm (EvalIntCast semantics); ECastBool is
+	// v != 0; ECastGen (float conversions) evaluates Casts[Aux] exactly
+	// like the interpreter's castBits.
+	ECastTrunc
+	ECastSext
+	ECastBool
+	ECastGen
+
+	// Sized memory ops (A = address for loads; A = value, B = address for
+	// stores).
+	ELoad1
+	ELoad2
+	ELoad4
+	ELoad8
+	EStore1
+	EStore2
+	EStore4
+	EStore8
+
+	// Address arithmetic: Dst <- A + Imm (+ scaled terms of Geps[Aux]).
+	EGepC
+	EGep
+
+	// Allocation: Imm = (element) size; A = element count for the V forms.
+	EMallocF
+	EMallocV
+	EAllocaF
+	EAllocaV
+	EFree
+
+	EVAArg
+	ECall // Aux = index into Calls (covers call and invoke, direct and indirect)
+
+	ERet // return reg A
+	ERetVoid
+	EBr     // pc <- Imm
+	ECondBr // pc <- A != 0 ? Imm : Aux
+	ESwitch // Switches[Aux] on reg A; Imm = default pc
+	EUnwind
+)
+
+// EInstr is one flat tier-2 instruction. All operand fields are register
+// indices into the activation frame; Imm/Aux carry immediates, masks, pcs,
+// and side-table indices as each opcode requires.
+type EInstr struct {
+	Imm int64
+	Dst int32
+	A   int32
+	B   int32
+	Aux int32
+	Op  EOp
+}
+
+// EGepTerm is one variable term of an address plan: reg's value,
+// sign-extended by Shift, times Scale.
+type EGepTerm struct {
+	Reg   int32
+	Scale int64
+	Shift uint8
+}
+
+// ECallSite is the side table entry for a call or invoke.
+type ECallSite struct {
+	Target *core.Function // nil for indirect calls (callee address in Callee)
+	Callee int32          // register holding the callee address (indirect only)
+	Args   []int32        // argument registers
+	Invoke bool
+	Normal int32 // resume pc (invoke only)
+	Unwind int32 // unwind-edge pc (invoke only)
+}
+
+// ESwitchTable is a sorted jump table: Vals ascending, Pcs parallel.
+// Duplicate case values keep the first occurrence (interpreter order).
+type ESwitchTable struct {
+	Vals []uint64
+	Pcs  []int32
+}
+
+// ECastPair is the (from, to) type pair of a general cast.
+type ECastPair struct {
+	From, To core.Type
+}
+
+// EFunction is a lowered tier-2 function. It is machine-independent and
+// immutable after lowering: Consts holds unresolved constants the executor
+// resolves to raw bits once per machine, so one translation is shared by
+// every machine running the same module.
+type EFunction struct {
+	Fn        *core.Function
+	Code      []EInstr
+	NumRegs   int // total frame words: [args|values|temp|consts]
+	NumArgs   int
+	TempReg   int32 // parallel-copy scratch register
+	ConstBase int   // first constant register
+	Variadic  bool
+	NumBlocks int
+
+	Consts   []core.Constant
+	Calls    []ECallSite
+	Geps     [][]EGepTerm
+	Switches []ESwitchTable
+	Casts    []ECastPair
+	Types    []core.Type // float operation types (EFBin/EFCmp)
+
+	// Per-pc source positions for trap reports: the IR instruction a pc
+	// lowers (nil for synthetic ops) and its block index. Consulted only
+	// on the error path.
+	SrcOf   []core.Instruction
+	BlockOf []int32
+}
+
+// GEPPath folds a getelementptr index path into a constant byte offset
+// plus scaled variable terms, reported through term. It is the single
+// source of address arithmetic shared by the MIR lowering (lowerGEPPath),
+// the baseline JIT's address plans, and the tier-2 exec lowering, so all
+// engines and code generators agree by construction.
+func GEPPath(baseType core.Type, indices []core.Value, term func(idx core.Value, scale int64)) (int64, error) {
+	pt, ok := baseType.(*core.PointerType)
+	if !ok {
+		return 0, fmt.Errorf("codegen: GEP base is not a pointer")
+	}
+	cur := core.Type(pt.Elem)
+	var constOff int64
+	for k, idx := range indices {
+		if k == 0 {
+			sz := int64(core.SizeOf(cur))
+			if ci, ok := idx.(*core.ConstantInt); ok {
+				constOff += ci.SExt() * sz
+			} else {
+				term(idx, sz)
+			}
+			continue
+		}
+		switch ct := cur.(type) {
+		case *core.StructType:
+			ci, ok := idx.(*core.ConstantInt)
+			if !ok {
+				return constOff, fmt.Errorf("codegen: non-constant struct field index")
+			}
+			f := int(ci.SExt())
+			if f < 0 || f >= len(ct.Fields) {
+				return constOff, fmt.Errorf("codegen: GEP field index %d out of range", f)
+			}
+			constOff += int64(core.FieldOffset(ct, f))
+			cur = ct.Fields[f]
+		case *core.ArrayType:
+			sz := int64(core.SizeOf(ct.Elem))
+			if ci, ok := idx.(*core.ConstantInt); ok {
+				constOff += ci.SExt() * sz
+			} else {
+				term(idx, sz)
+			}
+			cur = ct.Elem
+		default:
+			return constOff, fmt.Errorf("codegen: GEP into non-aggregate %s", cur)
+		}
+	}
+	return constOff, nil
+}
+
+// patch kinds: where an unresolved CFG edge target gets written once edge
+// trampolines are placed.
+type epatchKind uint8
+
+const (
+	pImm        epatchKind = iota // Code[idx].Imm
+	pAux                          // Code[idx].Aux
+	pCallNormal                   // Calls[idx].Normal
+	pCallUnwind                   // Calls[idx].Unwind
+	pSwCase                       // Switches[idx].Pcs[n]
+)
+
+type epatch struct {
+	kind     epatchKind
+	idx, n   int32
+	from, to int32 // CFG edge (block indices)
+}
+
+type execLowerer struct {
+	f  *core.Function
+	ef *EFunction
+	fr *execFrame
+
+	blockIdx   map[*core.BasicBlock]int32
+	blockStart []int32
+	constReg   map[core.Constant]int32
+	typeIdx    map[core.Type]int32
+	patches    []epatch
+	// edgePC maps (pred<<32|succ) to a trampoline pc for edges carrying φ
+	// copies; absent edges branch straight to the block start.
+	edgePC map[uint64]int32
+}
+
+// LowerExec translates f to its flat tier-2 form. It fails (cleanly, no
+// panic) on constructs the translation cannot represent — placeholder
+// operands, malformed GEPs — exactly the cases the baseline JIT also
+// rejects; callers fall back to a lower tier.
+//
+// counts selects the profiling variant: an ECount at every block entry.
+// Non-profiling executions get code with no counter instructions at all —
+// one fewer dispatch per block, which matters in tight loops. The two
+// variants are otherwise identical (ECount is synthetic and unstepped),
+// so results and positions cannot differ between them.
+func LowerExec(f *core.Function, counts bool) (*EFunction, error) {
+	if f.IsDeclaration() {
+		return nil, fmt.Errorf("codegen: cannot lower declaration %%%s", f.Name())
+	}
+	fr := assignExecRegs(f)
+	lo := &execLowerer{
+		f:  f,
+		fr: fr,
+		ef: &EFunction{
+			Fn:        f,
+			NumArgs:   len(f.Args),
+			Variadic:  f.Sig.Variadic,
+			NumBlocks: len(f.Blocks),
+			TempReg:   fr.numVals,
+			ConstBase: int(fr.numVals) + 1,
+		},
+		blockIdx: map[*core.BasicBlock]int32{},
+		constReg: map[core.Constant]int32{},
+		typeIdx:  map[core.Type]int32{},
+		edgePC:   map[uint64]int32{},
+	}
+	for i, b := range f.Blocks {
+		lo.blockIdx[b] = int32(i)
+	}
+	lo.blockStart = make([]int32, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		if len(b.Instrs) == 0 || !b.Instrs[len(b.Instrs)-1].IsTerminator() {
+			return nil, fmt.Errorf("codegen: block %%%s in %%%s lacks a terminator", b.Name(), f.Name())
+		}
+		lo.blockStart[bi] = int32(len(lo.ef.Code))
+		if counts {
+			lo.emit(EInstr{Op: ECount, Imm: int64(bi)}, nil, int32(bi))
+		}
+		for _, inst := range b.Instrs[b.FirstNonPhi():] {
+			if err := lo.lowerInst(inst, int32(bi)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := lo.emitEdges(); err != nil {
+		return nil, err
+	}
+	lo.applyPatches()
+	lo.ef.NumRegs = lo.ef.ConstBase + len(lo.ef.Consts)
+	return lo.ef, nil
+}
+
+func (lo *execLowerer) emit(in EInstr, src core.Instruction, block int32) {
+	lo.ef.Code = append(lo.ef.Code, in)
+	lo.ef.SrcOf = append(lo.ef.SrcOf, src)
+	lo.ef.BlockOf = append(lo.ef.BlockOf, block)
+}
+
+// reg resolves an operand to its frame register, pooling constants.
+func (lo *execLowerer) reg(v core.Value) (int32, error) {
+	if c, ok := v.(core.Constant); ok {
+		if _, bad := c.(*core.Placeholder); bad {
+			return 0, fmt.Errorf("codegen: placeholder operand in %%%s", lo.f.Name())
+		}
+		if r, ok := lo.constReg[c]; ok {
+			return r, nil
+		}
+		r := int32(lo.ef.ConstBase + len(lo.ef.Consts))
+		lo.ef.Consts = append(lo.ef.Consts, c)
+		lo.constReg[c] = r
+		return r, nil
+	}
+	r, ok := lo.fr.reg[v]
+	if !ok {
+		return 0, fmt.Errorf("codegen: unassigned operand %T in %%%s", v, lo.f.Name())
+	}
+	return r, nil
+}
+
+func (lo *execLowerer) typeOf(t core.Type) int32 {
+	if i, ok := lo.typeIdx[t]; ok {
+		return i
+	}
+	i := int32(len(lo.ef.Types))
+	lo.ef.Types = append(lo.ef.Types, t)
+	lo.typeIdx[t] = i
+	return i
+}
+
+// maskOf is truncToWidth's mask for a bit width.
+func maskOf(bits int) int64 {
+	if bits >= 64 {
+		return -1
+	}
+	return int64(uint64(1)<<uint(bits) - 1)
+}
+
+func (lo *execLowerer) lowerInst(inst core.Instruction, bi int32) error {
+	emit := func(in EInstr) { lo.emit(in, inst, bi) }
+	dst := int32(-1)
+	if inst.Type() != core.VoidType {
+		r, err := lo.reg(inst)
+		if err != nil {
+			return err
+		}
+		dst = r
+	}
+
+	switch i := inst.(type) {
+	case *core.RetInst:
+		if i.Value() == nil {
+			emit(EInstr{Op: ERetVoid})
+			return nil
+		}
+		a, err := lo.reg(i.Value())
+		if err != nil {
+			return err
+		}
+		emit(EInstr{Op: ERet, A: a})
+		return nil
+
+	case *core.BranchInst:
+		if !i.IsConditional() {
+			lo.patches = append(lo.patches, epatch{kind: pImm, idx: int32(len(lo.ef.Code)), from: bi, to: lo.blockIdx[i.TrueDest()]})
+			emit(EInstr{Op: EBr})
+			return nil
+		}
+		a, err := lo.reg(i.Cond())
+		if err != nil {
+			return err
+		}
+		pc := int32(len(lo.ef.Code))
+		lo.patches = append(lo.patches,
+			epatch{kind: pImm, idx: pc, from: bi, to: lo.blockIdx[i.TrueDest()]},
+			epatch{kind: pAux, idx: pc, from: bi, to: lo.blockIdx[i.FalseDest()]})
+		emit(EInstr{Op: ECondBr, A: a})
+		return nil
+
+	case *core.SwitchInst:
+		a, err := lo.reg(i.Value())
+		if err != nil {
+			return err
+		}
+		// Keep the first destination for duplicate case values (the
+		// interpreter scans cases in order), then sort for binary search.
+		type swCase struct {
+			val  uint64
+			dest int32
+		}
+		var cases []swCase
+		seen := map[uint64]bool{}
+		for n := 0; n < i.NumCases(); n++ {
+			cv, dest := i.Case(n)
+			if seen[cv.Val] {
+				continue
+			}
+			seen[cv.Val] = true
+			cases = append(cases, swCase{cv.Val, lo.blockIdx[dest]})
+		}
+		sort.Slice(cases, func(x, y int) bool { return cases[x].val < cases[y].val })
+		tab := ESwitchTable{Vals: make([]uint64, len(cases)), Pcs: make([]int32, len(cases))}
+		ti := int32(len(lo.ef.Switches))
+		pc := int32(len(lo.ef.Code))
+		for n, c := range cases {
+			tab.Vals[n] = c.val
+			lo.patches = append(lo.patches, epatch{kind: pSwCase, idx: ti, n: int32(n), from: bi, to: c.dest})
+		}
+		lo.ef.Switches = append(lo.ef.Switches, tab)
+		lo.patches = append(lo.patches, epatch{kind: pImm, idx: pc, from: bi, to: lo.blockIdx[i.Default()]})
+		emit(EInstr{Op: ESwitch, A: a, Aux: ti})
+		return nil
+
+	case *core.UnwindInst:
+		emit(EInstr{Op: EUnwind})
+		return nil
+
+	case *core.BinaryInst:
+		a, err := lo.reg(i.LHS())
+		if err != nil {
+			return err
+		}
+		b, err := lo.reg(i.RHS())
+		if err != nil {
+			return err
+		}
+		return lo.lowerBinary(i, dst, a, b, emit)
+
+	case *core.MallocInst:
+		esz := uint64(core.SizeOf(i.AllocType))
+		if n := i.NumElems(); n != nil {
+			a, err := lo.reg(n)
+			if err != nil {
+				return err
+			}
+			emit(EInstr{Op: EMallocV, Dst: dst, A: a, Imm: int64(esz)})
+			return nil
+		}
+		emit(EInstr{Op: EMallocF, Dst: dst, Imm: int64(esz)})
+		return nil
+
+	case *core.AllocaInst:
+		esz := uint64(core.SizeOf(i.AllocType))
+		if n := i.NumElems(); n != nil {
+			a, err := lo.reg(n)
+			if err != nil {
+				return err
+			}
+			emit(EInstr{Op: EAllocaV, Dst: dst, A: a, Imm: int64(esz)})
+			return nil
+		}
+		emit(EInstr{Op: EAllocaF, Dst: dst, Imm: int64(esz)})
+		return nil
+
+	case *core.FreeInst:
+		a, err := lo.reg(i.Ptr())
+		if err != nil {
+			return err
+		}
+		emit(EInstr{Op: EFree, A: a})
+		return nil
+
+	case *core.LoadInst:
+		a, err := lo.reg(i.Ptr())
+		if err != nil {
+			return err
+		}
+		op, err := sizedOp(ELoad1, ELoad2, ELoad4, ELoad8, i.Type())
+		if err != nil {
+			return err
+		}
+		emit(EInstr{Op: op, Dst: dst, A: a})
+		return nil
+
+	case *core.StoreInst:
+		a, err := lo.reg(i.Val())
+		if err != nil {
+			return err
+		}
+		b, err := lo.reg(i.Ptr())
+		if err != nil {
+			return err
+		}
+		op, err := sizedOp(EStore1, EStore2, EStore4, EStore8, i.Val().Type())
+		if err != nil {
+			return err
+		}
+		emit(EInstr{Op: op, A: a, B: b})
+		return nil
+
+	case *core.GetElementPtrInst:
+		a, err := lo.reg(i.Base())
+		if err != nil {
+			return err
+		}
+		var terms []EGepTerm
+		var termErr error
+		off, err := GEPPath(i.Base().Type(), i.Indices(), func(idx core.Value, scale int64) {
+			r, e := lo.reg(idx)
+			if e != nil {
+				termErr = e
+				return
+			}
+			var shift uint8
+			if t := idx.Type(); core.IsSigned(t) {
+				if bits := core.BitWidth(t); bits < 64 {
+					shift = uint8(64 - bits)
+				}
+			}
+			terms = append(terms, EGepTerm{Reg: r, Scale: scale, Shift: shift})
+		})
+		if err != nil {
+			return err
+		}
+		if termErr != nil {
+			return termErr
+		}
+		if len(terms) == 0 {
+			emit(EInstr{Op: EGepC, Dst: dst, A: a, Imm: off})
+			return nil
+		}
+		gi := int32(len(lo.ef.Geps))
+		lo.ef.Geps = append(lo.ef.Geps, terms)
+		emit(EInstr{Op: EGep, Dst: dst, A: a, Imm: off, Aux: gi})
+		return nil
+
+	case *core.CastInst:
+		a, err := lo.reg(i.Val())
+		if err != nil {
+			return err
+		}
+		lo.lowerCast(i.Val().Type(), i.Type(), dst, a, emit)
+		return nil
+
+	case *core.CallInst:
+		return lo.lowerCall(i, dst, i.Callee(), i.Args(), nil, nil, bi, emit)
+
+	case *core.InvokeInst:
+		return lo.lowerCall(i, dst, i.Callee(), i.Args(), i.NormalDest(), i.UnwindDest(), bi, emit)
+
+	case *core.VAArgInst:
+		emit(EInstr{Op: EVAArg, Dst: dst})
+		return nil
+	}
+	return fmt.Errorf("codegen: cannot lower %s for execution", inst.Opcode())
+}
+
+// sizedOp picks the 1/2/4/8-byte variant for a first-class type.
+func sizedOp(b1, b2, b4, b8 EOp, t core.Type) (EOp, error) {
+	switch core.SizeOf(t) {
+	case 1:
+		return b1, nil
+	case 2:
+		return b2, nil
+	case 4:
+		return b4, nil
+	case 8:
+		return b8, nil
+	}
+	return 0, fmt.Errorf("codegen: memory op on %d-byte type %s", core.SizeOf(t), t)
+}
+
+// lowerBinary specializes one arithmetic/logic/comparison instruction by
+// operand type, replicating the interpreter's execBinary semantics
+// (core/arith.go: operate raw, then truncate to width; signed operations
+// sign-extend through shifts).
+func (lo *execLowerer) lowerBinary(i *core.BinaryInst, dst, a, b int32, emit func(EInstr)) error {
+	t := i.LHS().Type()
+	op := i.Opcode()
+
+	if core.IsFloatingPoint(t) {
+		ti := lo.typeOf(t)
+		k := EFBin
+		if core.IsComparisonOp(op) {
+			k = EFCmp
+		}
+		emit(EInstr{Op: k, Dst: dst, A: a, B: b, Imm: int64(op), Aux: ti})
+		return nil
+	}
+
+	// bool and pointer comparisons / arithmetic use unsigned 64-bit
+	// semantics, exactly like the interpreter.
+	et := t
+	if !core.IsInteger(et) {
+		et = core.ULongType
+	}
+	bits := core.BitWidth(et)
+	signed := core.IsSigned(et)
+
+	if core.IsComparisonOp(op) {
+		if signed {
+			shift := int64(0)
+			if bits < 64 {
+				shift = int64(64 - bits)
+			}
+			var k EOp
+			switch op {
+			case core.OpSetEQ:
+				k = ECmpEq
+			case core.OpSetNE:
+				k = ECmpNe
+			case core.OpSetLT:
+				k = ECmpSLt
+			case core.OpSetGT:
+				k = ECmpSGt
+			case core.OpSetLE:
+				k = ECmpSLe
+			case core.OpSetGE:
+				k = ECmpSGe
+			}
+			imm := shift
+			if k == ECmpEq || k == ECmpNe {
+				imm = maskOf(bits)
+			}
+			emit(EInstr{Op: k, Dst: dst, A: a, B: b, Imm: imm})
+			return nil
+		}
+		var k EOp
+		switch op {
+		case core.OpSetEQ:
+			k = ECmpEq
+		case core.OpSetNE:
+			k = ECmpNe
+		case core.OpSetLT:
+			k = ECmpULt
+		case core.OpSetGT:
+			k = ECmpUGt
+		case core.OpSetLE:
+			k = ECmpULe
+		case core.OpSetGE:
+			k = ECmpUGe
+		}
+		emit(EInstr{Op: k, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+		return nil
+	}
+
+	if t.Kind() == core.BoolKind {
+		var k EOp
+		switch op {
+		case core.OpAnd:
+			k = EAnd
+		case core.OpOr:
+			k = EOr
+		case core.OpXor:
+			k = EXor
+		default:
+			return fmt.Errorf("codegen: bad bool op %s", op)
+		}
+		emit(EInstr{Op: k, Dst: dst, A: a, B: b, Imm: 1})
+		return nil
+	}
+
+	switch op {
+	case core.OpAdd:
+		if bits >= 64 {
+			emit(EInstr{Op: EAdd64, Dst: dst, A: a, B: b})
+		} else {
+			emit(EInstr{Op: EAddM, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+		}
+	case core.OpSub:
+		if bits >= 64 {
+			emit(EInstr{Op: ESub64, Dst: dst, A: a, B: b})
+		} else {
+			emit(EInstr{Op: ESubM, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+		}
+	case core.OpMul:
+		if bits >= 64 {
+			emit(EInstr{Op: EMul64, Dst: dst, A: a, B: b})
+		} else {
+			emit(EInstr{Op: EMulM, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+		}
+	case core.OpAnd:
+		emit(EInstr{Op: EAnd, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+	case core.OpOr:
+		emit(EInstr{Op: EOr, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+	case core.OpXor:
+		emit(EInstr{Op: EXor, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+	case core.OpShl:
+		emit(EInstr{Op: EShl, Dst: dst, A: a, B: b, Imm: maskOf(bits), Aux: int32(bits)})
+	case core.OpShr:
+		if signed {
+			emit(EInstr{Op: EShrS, Dst: dst, A: a, B: b, Imm: maskOf(bits), Aux: int32(64 - bits)})
+		} else {
+			emit(EInstr{Op: EShrU, Dst: dst, A: a, B: b, Imm: maskOf(bits), Aux: int32(bits)})
+		}
+	case core.OpDiv:
+		if signed {
+			emit(EInstr{Op: EDivS, Dst: dst, A: a, B: b, Imm: maskOf(bits), Aux: int32(64 - bits)})
+		} else {
+			emit(EInstr{Op: EDivU, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+		}
+	case core.OpRem:
+		if signed {
+			emit(EInstr{Op: ERemS, Dst: dst, A: a, B: b, Imm: maskOf(bits), Aux: int32(64 - bits)})
+		} else {
+			emit(EInstr{Op: ERemU, Dst: dst, A: a, B: b, Imm: maskOf(bits)})
+		}
+	default:
+		return fmt.Errorf("codegen: bad int op %s", op)
+	}
+	return nil
+}
+
+// lowerCast specializes the interpreter's castBits decision tree at
+// lowering time. Only conversions involving floats stay generic.
+func (lo *execLowerer) lowerCast(from, to core.Type, dst, a int32, emit func(EInstr)) {
+	switch {
+	case core.IsFloatingPoint(from) || core.IsFloatingPoint(to):
+		ci := int32(len(lo.ef.Casts))
+		lo.ef.Casts = append(lo.ef.Casts, ECastPair{From: from, To: to})
+		emit(EInstr{Op: ECastGen, Dst: dst, A: a, Aux: ci})
+	case from.Kind() == core.PointerKind || to.Kind() == core.PointerKind:
+		// Pointer-integer conversions keep the bit pattern (truncated to
+		// the integer width when the destination is an integer).
+		if core.IsInteger(to) {
+			emit(EInstr{Op: ECastTrunc, Dst: dst, A: a, Imm: maskOf(core.BitWidth(to))})
+		} else {
+			emit(EInstr{Op: EMov, Dst: dst, A: a})
+		}
+	case to.Kind() == core.BoolKind:
+		emit(EInstr{Op: ECastBool, Dst: dst, A: a})
+	default:
+		// Integer-to-integer: EvalIntCast. Sign-extend from the source
+		// width when the source is signed, then truncate to the target.
+		fb, tb := core.BitWidth(from), core.BitWidth(to)
+		if core.IsSigned(from) && fb < 64 {
+			emit(EInstr{Op: ECastSext, Dst: dst, A: a, B: int32(64 - fb), Imm: maskOf(tb)})
+		} else {
+			m := fb
+			if tb < m {
+				m = tb
+			}
+			emit(EInstr{Op: ECastTrunc, Dst: dst, A: a, Imm: maskOf(m)})
+		}
+	}
+}
+
+func (lo *execLowerer) lowerCall(inst core.Instruction, dst int32, callee core.Value,
+	args []core.Value, normal, unwind *core.BasicBlock, bi int32, emit func(EInstr)) error {
+
+	cs := ECallSite{Callee: -1}
+	for _, a := range args {
+		r, err := lo.reg(a)
+		if err != nil {
+			return err
+		}
+		cs.Args = append(cs.Args, r)
+	}
+	if f, ok := callee.(*core.Function); ok {
+		cs.Target = f
+	} else {
+		r, err := lo.reg(callee)
+		if err != nil {
+			return err
+		}
+		cs.Callee = r
+	}
+	ci := int32(len(lo.ef.Calls))
+	if normal != nil {
+		cs.Invoke = true
+		lo.patches = append(lo.patches,
+			epatch{kind: pCallNormal, idx: ci, from: bi, to: lo.blockIdx[normal]},
+			epatch{kind: pCallUnwind, idx: ci, from: bi, to: lo.blockIdx[unwind]})
+	}
+	lo.ef.Calls = append(lo.ef.Calls, cs)
+	emit(EInstr{Op: ECall, Dst: dst, Aux: ci})
+	return nil
+}
+
+// emitEdges places the φ parallel-copy trampolines. Each CFG edge into a
+// block with φs gets a copy sequence (sequentialized with the temp
+// register, so simultaneous-assignment semantics are preserved) followed
+// by a jump to the block start; branches along that edge are patched to
+// enter through the trampoline.
+func (lo *execLowerer) emitEdges() error {
+	for bi, b := range lo.f.Blocks {
+		phis := b.Phis()
+		if len(phis) == 0 {
+			continue
+		}
+		for _, pred := range b.Preds() {
+			var dsts, srcs []int32
+			for _, phi := range phis {
+				v := phi.IncomingFor(pred)
+				if v == nil {
+					return fmt.Errorf("codegen: phi %%%s has no entry for predecessor %%%s", phi.Name(), pred.Name())
+				}
+				d, err := lo.reg(phi)
+				if err != nil {
+					return err
+				}
+				s, err := lo.reg(v)
+				if err != nil {
+					return err
+				}
+				dsts = append(dsts, d)
+				srcs = append(srcs, s)
+			}
+			pc := int32(len(lo.ef.Code))
+			n := 0
+			seqCopies(dsts, srcs, lo.ef.TempReg, func(d, s int32) {
+				lo.emit(EInstr{Op: EPhiMov, Dst: d, A: s}, nil, int32(bi))
+				n++
+			})
+			if n == 0 {
+				continue // every copy was a no-op: branch straight in
+			}
+			lo.emit(EInstr{Op: EJmp, Imm: int64(lo.blockStart[bi])}, nil, int32(bi))
+			pi := lo.blockIdx[pred]
+			lo.edgePC[uint64(pi)<<32|uint64(uint32(bi))] = pc
+		}
+	}
+	return nil
+}
+
+// seqCopies sequentializes a parallel copy: emit dst<-src moves in an
+// order where no source is clobbered before it is read, breaking cycles
+// (swaps) through the temp register.
+func seqCopies(dsts, srcs []int32, temp int32, emit func(d, s int32)) {
+	type cp struct{ d, s int32 }
+	var pending []cp
+	for i := range dsts {
+		if dsts[i] != srcs[i] {
+			pending = append(pending, cp{dsts[i], srcs[i]})
+		}
+	}
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); i++ {
+			blocked := false
+			for j := range pending {
+				if j != i && pending[j].s == pending[i].d {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				emit(pending[i].d, pending[i].s)
+				pending = append(pending[:i], pending[i+1:]...)
+				i--
+				progress = true
+			}
+		}
+		if !progress {
+			// Pure cycle: park one source in temp, redirect its readers.
+			s := pending[0].s
+			emit(temp, s)
+			for j := range pending {
+				if pending[j].s == s {
+					pending[j].s = temp
+				}
+			}
+		}
+	}
+}
+
+// applyPatches resolves every recorded CFG target to a pc, routing edges
+// with φ copies through their trampolines.
+func (lo *execLowerer) applyPatches() {
+	target := func(from, to int32) int32 {
+		if pc, ok := lo.edgePC[uint64(from)<<32|uint64(uint32(to))]; ok {
+			return pc
+		}
+		return lo.blockStart[to]
+	}
+	for _, p := range lo.patches {
+		pc := target(p.from, p.to)
+		switch p.kind {
+		case pImm:
+			lo.ef.Code[p.idx].Imm = int64(pc)
+		case pAux:
+			lo.ef.Code[p.idx].Aux = pc
+		case pCallNormal:
+			lo.ef.Calls[p.idx].Normal = pc
+		case pCallUnwind:
+			lo.ef.Calls[p.idx].Unwind = pc
+		case pSwCase:
+			lo.ef.Switches[p.idx].Pcs[p.n] = pc
+		}
+	}
+}

@@ -144,13 +144,14 @@ func (lo *lowerer) lowerConstExpr(c *core.ConstantExpr) VReg {
 	return r
 }
 
-// lowerGEPPath emits address arithmetic for a GEP index path.
+// lowerGEPPath emits address arithmetic for a GEP index path. The path
+// folding itself (constant offsets, field offsets, scaled terms) lives in
+// GEPPath, shared with the tier-2 execution lowering so every backend
+// agrees on address arithmetic by construction; MIR lowering is
+// best-effort and keeps whatever constant prefix a malformed path yields.
 func (lo *lowerer) lowerGEPPath(base VReg, baseType core.Type, indices []core.Value) VReg {
-	cur := baseType.(*core.PointerType).Elem
 	addr := base
-	constOff := int64(0)
-	addConst := func(n int64) { constOff += n }
-	addScaled := func(idx core.Value, scale int64) {
+	constOff, _ := GEPPath(baseType, indices, func(idx core.Value, scale int64) {
 		iv := lo.useValue(idx)
 		sc := lo.newVReg()
 		lo.emit(MInstr{Op: MImm, Dst: sc, Imm: scale})
@@ -159,32 +160,7 @@ func (lo *lowerer) lowerGEPPath(base VReg, baseType core.Type, indices []core.Va
 		next := lo.newVReg()
 		lo.emit(MInstr{Op: MALU, Dst: next, Src1: addr, Src2: prod, ALU: AAdd})
 		addr = next
-	}
-	for k, idx := range indices {
-		if k == 0 {
-			sz := int64(core.SizeOf(cur))
-			if ci, ok := idx.(*core.ConstantInt); ok {
-				addConst(ci.SExt() * sz)
-			} else {
-				addScaled(idx, sz)
-			}
-			continue
-		}
-		switch ct := cur.(type) {
-		case *core.StructType:
-			f := int(idx.(*core.ConstantInt).SExt())
-			addConst(int64(core.FieldOffset(ct, f)))
-			cur = ct.Fields[f]
-		case *core.ArrayType:
-			sz := int64(core.SizeOf(ct.Elem))
-			if ci, ok := idx.(*core.ConstantInt); ok {
-				addConst(ci.SExt() * sz)
-			} else {
-				addScaled(idx, sz)
-			}
-			cur = ct.Elem
-		}
-	}
+	})
 	if constOff != 0 {
 		co := lo.newVReg()
 		lo.emit(MInstr{Op: MImm, Dst: co, Imm: constOff})

@@ -1,5 +1,7 @@
 package codegen
 
+import "repro/internal/core"
+
 // Local (per-block) register allocation with LRU eviction. Every virtual
 // register owns an 8-byte frame slot assigned lazily; values live in
 // physical registers inside a block and are flushed to their slots at block
@@ -238,6 +240,132 @@ func (a *allocator) runBlock(b *MBlock) {
 	// Blocks that end without an explicit terminator (cannot happen for
 	// verified IR) would still flush here.
 	b.Instrs = a.out
+}
+
+// --- Dense register assignment for the tier-2 execution engine ---
+//
+// assignExecRegs maps a function's SSA values onto a dense word frame for
+// the flat tier-2 form (execlower.go), applying the same block-locality
+// discipline Allocate uses above: a value whose uses all sit after its
+// definition in the defining block is "local" and can share a scratch
+// register that is recycled at its last use; everything visible across
+// blocks (including every φ, whose writes happen on predecessor edges,
+// and every φ-incoming, which is read on an edge after the source block's
+// scratch pool has been recycled) gets a dedicated register. The layout
+// is [args | dedicated | scratch] with the scratch high-water mark shared
+// across blocks.
+
+type execFrame struct {
+	reg     map[core.Value]int32
+	numArgs int32
+	numVals int32 // args + dedicated + scratch watermark
+}
+
+func assignExecRegs(f *core.Function) *execFrame {
+	fr := &execFrame{reg: map[core.Value]int32{}}
+	next := int32(0)
+	for _, a := range f.Args {
+		fr.reg[a] = next
+		next++
+	}
+	fr.numArgs = next
+
+	// Classify each value-producing instruction. Demote to non-local on:
+	// φ (edge-written), φ-incoming (edge-read), any use in another block,
+	// or a use at/before the definition point (unverified SSA must read
+	// a zeroed dedicated register, like the interpreter's absent-entry 0).
+	defBlock := map[core.Value]int{}
+	defPos := map[core.Value]int{}
+	local := map[core.Value]bool{}
+	lastUse := map[core.Value]int{}
+	for bi, b := range f.Blocks {
+		for ii, inst := range b.Instrs {
+			if inst.Type() == core.VoidType {
+				continue
+			}
+			defBlock[inst] = bi
+			defPos[inst] = ii
+			_, isPhi := inst.(*core.PhiInst)
+			local[inst] = !isPhi
+		}
+	}
+	for bi, b := range f.Blocks {
+		for ii, inst := range b.Instrs {
+			if phi, ok := inst.(*core.PhiInst); ok {
+				for n := 0; n < phi.NumIncoming(); n++ {
+					v, _ := phi.Incoming(n)
+					if _, def := defBlock[v]; def {
+						local[v] = false
+					}
+				}
+				continue
+			}
+			for _, op := range inst.Operands() {
+				if _, isBlock := op.(*core.BasicBlock); isBlock {
+					continue
+				}
+				if _, def := defBlock[op]; !def {
+					continue // arguments and constants
+				}
+				if defBlock[op] != bi || ii <= defPos[op] {
+					local[op] = false
+				} else if ii > lastUse[op] {
+					lastUse[op] = ii
+				}
+			}
+		}
+	}
+
+	// Dedicated registers for cross-block values, in layout order.
+	for _, b := range f.Blocks {
+		for _, inst := range b.Instrs {
+			if inst.Type() == core.VoidType {
+				continue
+			}
+			if !local[inst] {
+				fr.reg[inst] = next
+				next++
+			}
+		}
+	}
+
+	// Scratch pool: per block, recycle a local's register at its last use
+	// (safe because every executor op reads its operands before writing
+	// its destination). LIFO free list keeps the assignment deterministic.
+	scratchBase := next
+	high := scratchBase
+	for _, b := range f.Blocks {
+		var free []int32
+		nextScratch := scratchBase
+		released := map[core.Value]bool{}
+		for ii, inst := range b.Instrs {
+			if _, isPhi := inst.(*core.PhiInst); isPhi {
+				continue
+			}
+			for _, op := range inst.Operands() {
+				if local[op] && lastUse[op] == ii && !released[op] {
+					released[op] = true
+					free = append(free, fr.reg[op])
+				}
+			}
+			if inst.Type() != core.VoidType && local[inst] {
+				var r int32
+				if n := len(free); n > 0 {
+					r = free[n-1]
+					free = free[:n-1]
+				} else {
+					r = nextScratch
+					nextScratch++
+				}
+				fr.reg[inst] = r
+			}
+		}
+		if nextScratch > high {
+			high = nextScratch
+		}
+	}
+	fr.numVals = high
+	return fr
 }
 
 func usesSrc1(op MOp) bool {

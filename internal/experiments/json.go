@@ -17,6 +17,7 @@ type Report struct {
 	Store    []StoreJSON    `json:"store,omitempty"`
 	Obs      []ObsJSON      `json:"obs,omitempty"`
 	Validate []ValidateJSON `json:"validate,omitempty"`
+	Tiers    []TiersJSON    `json:"tiers,omitempty"`
 }
 
 // Table1JSON is Table1Row with stable JSON field names.
@@ -156,6 +157,29 @@ func (r *Report) AddValidate(rows []ValidateRow) {
 			OverheadPercent: row.OverheadPercent(),
 			Equivalent:      row.Equivalent, Inconclusive: row.Inconclusive,
 			Probes: row.Probes,
+		})
+	}
+}
+
+// TiersJSON is TiersRow in Table2's millisecond convention, plus the
+// derived tier-2-over-tier-1 speedup the perf bar tracks.
+type TiersJSON struct {
+	Bench    string  `json:"bench"`
+	InterpMs float64 `json:"interp_ms"`
+	Tier1Ms  float64 `json:"tier1_ms"`
+	Tier2Ms  float64 `json:"tier2_ms"`
+	AutoMs   float64 `json:"auto_profiled_ms"`
+	T2OverT1 float64 `json:"t2_over_t1"`
+	Steps    int64   `json:"steps"`
+}
+
+// AddTiers appends the execution-tier ablation rows to the report.
+func (r *Report) AddTiers(rows []TiersRow) {
+	for _, row := range rows {
+		r.Tiers = append(r.Tiers, TiersJSON{
+			Bench: row.Bench, InterpMs: ms(row.Interp), Tier1Ms: ms(row.T1),
+			Tier2Ms: ms(row.T2), AutoMs: ms(row.Auto),
+			T2OverT1: row.T2OverT1(), Steps: row.Steps,
 		})
 	}
 }

@@ -24,6 +24,8 @@ type frame struct {
 	vaCur  int
 	// stackMark is the stack-arena watermark to restore on return.
 	stackMark uint64
+	// fs carries per-function profile counters when profiling is on.
+	fs *funcState
 }
 
 // RunFunction executes f with the given raw arguments and returns the raw
@@ -45,6 +47,9 @@ func (mc *Machine) RunContext(ctx context.Context, f *core.Function, args ...uin
 	}
 	mc.runDepth++
 	steps0 := mc.Steps
+	tc0 := mc.tierCalls
+	tcp0 := mc.tierCompiles
+	ups0 := mc.tierUps
 	defer func() {
 		mc.ctx = prevCtx
 		if r := recover(); r != nil {
@@ -62,6 +67,17 @@ func (mc *Machine) RunContext(ctx context.Context, f *core.Function, args ...uin
 				if !errors.As(err, &ee) {
 					mc.Metrics.Counter("llvm_interp_traps_total", "kind", trapKindOf(err)).Inc()
 				}
+			}
+			for t, name := range tierNames {
+				if d := mc.tierCalls[t] - tc0[t]; d > 0 {
+					mc.Metrics.Counter("llvm_interp_tier_calls_total", "tier", name).Add(float64(d))
+				}
+				if d := mc.tierCompiles[t] - tcp0[t]; d > 0 {
+					mc.Metrics.Counter("llvm_interp_tier_compiles_total", "tier", name).Add(float64(d))
+				}
+			}
+			if d := mc.tierUps - ups0; d > 0 {
+				mc.Metrics.Counter("llvm_interp_tier_ups_total").Add(float64(d))
 			}
 		}
 	}()
@@ -153,47 +169,70 @@ func (mc *Machine) RunMainContext(ctx context.Context) (int64, error) {
 	return int64(signExtend(f.Sig.Ret, v)), nil
 }
 
-// call runs one activation of f.
+// tierNames labels the tier dimension of the engine metrics.
+var tierNames = [3]string{"0", "1", "2"}
+
+// call dispatches one activation of f to the machine's execution tier.
+// Builtin and translation errors return unpositioned; every executor
+// positions faults itself (the interpreter via trapErr at the fault site,
+// the translated tiers via their pc side tables), so the position a trap
+// reports is identical at every tier.
 func (mc *Machine) call(f *core.Function, args []uint64) (uint64, execResult, error) {
 	if f.IsDeclaration() {
 		if b, ok := mc.builtins[f.Name()]; ok {
+			// Errors position at the caller's call site; each executor's
+			// error path stamps its own current instruction.
 			v, err := b(mc, args)
-			if err != nil {
-				// Position is the caller's call site: curFn/curInst are
-				// still the frame that invoked the builtin.
-				err = mc.trapErr(err)
-			}
 			return v, resReturn, err
 		}
-		return 0, resReturn, mc.trapErr(fmt.Errorf("interp: call to undefined external %%%s", f.Name()))
+		return 0, resReturn, fmt.Errorf("interp: call to undefined external %%%s", f.Name())
 	}
-	if mc.useJIT {
-		jf := mc.jitCache[f]
-		if jf == nil {
-			var err error
-			jf, err = mc.jitCompile(f)
-			if err != nil {
-				return 0, resReturn, err
-			}
-			if mc.jitCache == nil {
-				mc.jitCache = map[*core.Function]*jitFunc{}
-			}
-			mc.jitCache[f] = jf
+	switch mc.tier {
+	case TierBaseline:
+		fs := mc.fstate(f)
+		fs.calls++
+		if err := mc.ensureT1(fs); err != nil {
+			return 0, resReturn, err
 		}
-		return mc.jitExec(jf, args)
+		mc.tierCalls[1]++
+		return mc.execTier1(fs, args)
+	case TierOpt:
+		fs := mc.fstate(f)
+		fs.calls++
+		if err := mc.ensureT2(fs); err != nil {
+			return 0, resReturn, err
+		}
+		mc.tierCalls[2]++
+		return mc.execTier2(fs, args)
+	case TierAuto:
+		return mc.autoCall(f, args)
 	}
+	mc.tierCalls[0]++
+	var fs *funcState
+	if mc.profiling {
+		fs = mc.fstate(f)
+		fs.calls++
+	}
+	return mc.interpCall(f, fs, args)
+}
+
+// interpCall runs one tier-0 (tree-walking) activation of f.
+func (mc *Machine) interpCall(f *core.Function, fs *funcState, args []uint64) (uint64, execResult, error) {
 	if mc.depth >= mc.MaxDepth {
 		return 0, resReturn, ErrStackOverflow
 	}
 	mc.depth++
-	prevFn := mc.curFn
+	prevFn, prevBlock := mc.curFn, mc.curBlock
 	mc.curFn = f
-	defer func() { mc.depth--; mc.curFn = prevFn }()
+	// Restore the caller's block too: without this, a trap in the caller
+	// after this call returns would report the callee's last block.
+	defer func() { mc.depth--; mc.curFn = prevFn; mc.curBlock = prevBlock }()
 
 	fr := &frame{
 		fn:        f,
 		vals:      make(map[core.Value]uint64, f.NumInstructions()+len(f.Args)),
 		stackMark: mc.stackTop,
+		fs:        fs,
 	}
 	defer func() { mc.stackTop = fr.stackMark }()
 	for i, a := range f.Args {
@@ -245,6 +284,9 @@ func (mc *Machine) operand(fr *frame, v core.Value) (uint64, error) {
 // progress.
 func (mc *Machine) execBlock(fr *frame, b, prev *core.BasicBlock) (*core.BasicBlock, uint64, execResult, error) {
 	mc.curBlock = b
+	if fr.fs != nil && fr.fs.counts != nil {
+		fr.fs.counts[fr.fs.blockIdx[b]]++
+	}
 	// Phis evaluate simultaneously from the edge's values.
 	phis := b.Phis()
 	if len(phis) > 0 {
@@ -266,6 +308,10 @@ func (mc *Machine) execBlock(fr *frame, b, prev *core.BasicBlock) (*core.BasicBl
 	}
 
 	for _, inst := range b.Instrs[b.FirstNonPhi():] {
+		// Attribute budget/cancellation traps to the instruction that was
+		// about to execute, exactly like the translated tiers do — the
+		// trap position is part of the cross-tier identity contract.
+		mc.curInst = inst
 		mc.Steps++
 		if mc.Steps > mc.MaxSteps {
 			return nil, 0, resReturn, ErrMaxSteps
@@ -275,7 +321,6 @@ func (mc *Machine) execBlock(fr *frame, b, prev *core.BasicBlock) (*core.BasicBl
 				return nil, 0, resReturn, fmt.Errorf("%w: %v", ErrCancelled, cerr)
 			}
 		}
-		mc.curInst = inst
 		mc.OpCounts[inst.Opcode()]++
 
 		switch i := inst.(type) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/diag"
@@ -116,8 +117,22 @@ type Machine struct {
 	builtins  map[string]Builtin
 	depth     int
 	runDepth  int // nesting of RunContext; metrics record at the outermost
-	useJIT    bool
-	jitCache  map[*core.Function]*jitFunc
+
+	// Tiered execution (DESIGN.md §12). tier selects the policy; fstates
+	// carries per-function translations, hotness counters, and profile
+	// counts; prog, when attached, shares translations across machines.
+	tier      TierPolicy
+	HotCalls  int64 // TierAuto: promote after this many calls
+	HotTicks  int64 // TierAuto: promote after this many steps inside the function
+	fstates   map[*core.Function]*funcState
+	prog      *Program
+	profiling bool
+	argBuf    []uint64 // shared call-argument arena (watermark discipline)
+
+	tierCalls     [3]int64
+	tierCompiles  [3]int64
+	tierCompileNs [3]int64
+	tierUps       int64
 
 	// ctx enables cooperative cancellation while a RunContext call is
 	// active; cur* record the execution position for trap reports.
@@ -140,6 +155,8 @@ func NewMachine(m *core.Module, out io.Writer) (*Machine, error) {
 		MaxSteps:     DefaultMaxSteps,
 		MaxDepth:     DefaultMaxDepth,
 		MaxHeapBytes: DefaultMaxHeapBytes,
+		HotCalls:     DefaultHotCalls,
+		HotTicks:     DefaultHotTicks,
 		heap:         make([]byte, 8), // address 0 reserved (null)
 		stack:        make([]byte, stackSize),
 		stackTop:     8,
@@ -148,6 +165,13 @@ func NewMachine(m *core.Module, out io.Writer) (*Machine, error) {
 		funcAddrs:    map[*core.Function]uint64{},
 		funcAt:       map[uint64]*core.Function{},
 		builtins:     map[string]Builtin{},
+	}
+	// LLVM_INTERP_TIER forces an execution tier for every machine in the
+	// process (the CI matrix runs the whole test suite at each tier).
+	if s := os.Getenv("LLVM_INTERP_TIER"); s != "" {
+		if p, ok := ParseTierPolicy(s); ok {
+			mc.tier = p
+		}
 	}
 	registerStdBuiltins(mc)
 

@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 
+	"repro/internal/codegen"
 	"repro/internal/core"
 )
 
@@ -20,8 +21,10 @@ import (
 // tree-walking interpreter's per-instruction type dispatch and map lookups.
 // Results are bit-identical to the interpreter (tested), just faster.
 
-// EnableJIT turns on function-at-a-time translation for this machine.
-func (mc *Machine) EnableJIT() { mc.useJIT = true }
+// EnableJIT turns on function-at-a-time baseline translation for this
+// machine. Equivalent to SetTier(TierBaseline); kept as the historical
+// entry point.
+func (mc *Machine) EnableJIT() { mc.tier = TierBaseline }
 
 // joperand is a pre-resolved operand: either constant bits or a slot.
 type joperand struct {
@@ -94,6 +97,9 @@ type jinstr struct {
 
 	// Fixed allocation size.
 	size uint64
+
+	// src is the IR instruction this one translates, for trap positions.
+	src core.Instruction
 }
 
 // jedge is the φ-copy list for one CFG edge.
@@ -173,6 +179,7 @@ func (mc *Machine) jitCompile(f *core.Function) (*jitFunc, error) {
 			if err != nil {
 				return nil, err
 			}
+			ji.src = inst
 			jb.instrs = append(jb.instrs, ji)
 		}
 	}
@@ -323,42 +330,25 @@ func (mc *Machine) jitInstr(inst core.Instruction,
 		if err := ops(i.Base()); err != nil {
 			return ji, err
 		}
-		// Compile the index path: constant indices fold into constOff,
-		// variable ones become scaled terms.
-		cur := i.Base().Type().(*core.PointerType).Elem
-		for k, idx := range i.Indices() {
-			if k == 0 {
-				sz := int64(core.SizeOf(cur))
-				if ci, ok := idx.(*core.ConstantInt); ok {
-					ji.constOff += ci.SExt() * sz
-				} else {
-					op, err := operand(idx)
-					if err != nil {
-						return ji, err
-					}
-					ji.terms = append(ji.terms, jscaled{idx: op, signed: idx.Type(), scale: sz})
-				}
-				continue
+		// Compile the index path with the shared address-arithmetic folder:
+		// constant indices fold into constOff, variable ones become scaled
+		// terms.
+		var termErr error
+		off, err := codegen.GEPPath(i.Base().Type(), i.Indices(), func(idx core.Value, scale int64) {
+			op, e := operand(idx)
+			if e != nil {
+				termErr = e
+				return
 			}
-			switch ct := cur.(type) {
-			case *core.StructType:
-				fi := int(idx.(*core.ConstantInt).SExt())
-				ji.constOff += int64(core.FieldOffset(ct, fi))
-				cur = ct.Fields[fi]
-			case *core.ArrayType:
-				sz := int64(core.SizeOf(ct.Elem))
-				if ci, ok := idx.(*core.ConstantInt); ok {
-					ji.constOff += ci.SExt() * sz
-				} else {
-					op, err := operand(idx)
-					if err != nil {
-						return ji, err
-					}
-					ji.terms = append(ji.terms, jscaled{idx: op, signed: idx.Type(), scale: sz})
-				}
-				cur = ct.Elem
-			}
+			ji.terms = append(ji.terms, jscaled{idx: op, signed: idx.Type(), scale: scale})
+		})
+		if err != nil {
+			return ji, err
 		}
+		if termErr != nil {
+			return ji, termErr
+		}
+		ji.constOff = off
 		return ji, nil
 
 	case *core.CastInst:

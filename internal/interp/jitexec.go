@@ -6,25 +6,32 @@ import (
 	"repro/internal/core"
 )
 
-// jitExec runs one activation of a translated function.
-func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (rv uint64, res execResult, err error) {
+// execTier1 runs one activation of the baseline translation fs.t1.
+func (mc *Machine) execTier1(fs *funcState, args []uint64) (rv uint64, res execResult, err error) {
+	jf := fs.t1
 	if mc.depth >= mc.MaxDepth {
-		return 0, resReturn, mc.trapErr(ErrStackOverflow)
+		// Plain sentinel: the caller positions it at its call site.
+		return 0, resReturn, ErrStackOverflow
 	}
 	mc.depth++
 	prevFn := mc.curFn
 	mc.curFn = jf.fn
-	defer func() { mc.depth--; mc.curFn = prevFn }()
-	// Runs before the curFn restore above (defers are LIFO), so faults are
-	// stamped with this activation's function while it is still current.
+	stackMark := mc.stackTop
+
+	cur := int32(0)
+	var ci *jinstr // instruction being executed, for trap positions
 	defer func() {
+		mc.stackTop = stackMark
+		mc.curFn = prevFn
+		mc.depth--
 		if err != nil {
-			err = mc.trapErr(err)
+			var src core.Instruction
+			if ci != nil {
+				src = ci.src
+			}
+			err = positionErr(err, jf.fn, jf.fn.Blocks[cur], src)
 		}
 	}()
-
-	stackMark := mc.stackTop
-	defer func() { mc.stackTop = stackMark }()
 
 	regs := make([]uint64, jf.nSlots)
 	copy(regs, args)
@@ -41,7 +48,7 @@ func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (rv uint64, res execResul
 		return regs[op.slot]
 	}
 
-	cur := int32(0)
+	counts := fs.counts
 	prev := int32(-1)
 	var phiTmp []uint64
 	for {
@@ -61,9 +68,13 @@ func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (rv uint64, res execResul
 				}
 			}
 		}
+		if counts != nil {
+			counts[cur]++
+		}
 
 		for k := range blk.instrs {
 			ji := &blk.instrs[k]
+			ci = ji
 			mc.Steps++
 			if mc.Steps > mc.MaxSteps {
 				return 0, resReturn, ErrMaxSteps
@@ -163,19 +174,21 @@ func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (rv uint64, res execResul
 				}
 
 			case jCallDirect, jCallIndirect, jInvokeDirect, jInvokeIndirect:
-				callArgs := make([]uint64, len(ji.args))
-				for i, a := range ji.args {
-					callArgs[i] = rd(a)
+				mark := len(mc.argBuf)
+				for _, a := range ji.args {
+					mc.argBuf = append(mc.argBuf, rd(a))
 				}
 				target := ji.target
 				if ji.kind == jCallIndirect || ji.kind == jInvokeIndirect {
 					f, ok := mc.funcAt[rd(ji.a)]
 					if !ok {
+						mc.argBuf = mc.argBuf[:mark]
 						return 0, resReturn, ErrBadIndirectCall
 					}
 					target = f
 				}
-				v, res, err := mc.call(target, callArgs)
+				v, res, err := mc.call(target, mc.argBuf[mark:])
+				mc.argBuf = mc.argBuf[:mark]
 				if err != nil {
 					return 0, resReturn, err
 				}
@@ -217,6 +230,10 @@ func (mc *Machine) jitExec(jf *jitFunc, args []uint64) (rv uint64, res execResul
 				}
 				goto nextBlock
 			case jUnwind:
+				// Stamp the position for a possible ErrUncaughtUnwind at the
+				// top level, matching the interpreter's cursor.
+				mc.curBlock = jf.fn.Blocks[cur]
+				mc.curInst = ji.src
 				return 0, resUnwind, nil
 			default:
 				return 0, resReturn, fmt.Errorf("interp: bad JIT instruction kind %d", ji.kind)

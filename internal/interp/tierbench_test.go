@@ -1,0 +1,81 @@
+package interp_test
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend/minic"
+	"repro/internal/interp"
+	"repro/internal/linker"
+	"repro/internal/passes"
+	"repro/internal/workload"
+)
+
+// benchModule compiles and links one mid-sized suite benchmark for the
+// tier microbenchmarks.
+func benchModule(b *testing.B) *core.Module {
+	b.Helper()
+	var p workload.Profile
+	for _, q := range workload.Suite() {
+		if q.Name == "254.gap" {
+			p = q
+		}
+	}
+	prog := workload.Generate(p)
+	var mods []*core.Module
+	for i, src := range prog.Units {
+		m, err := minic.Compile(fmt.Sprintf("%s.u%d", p.Name, i), src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	m, err := linker.Link(p.Name, mods...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Optimize like the evaluation does, so the loop measures the tiers
+	// on the code shape they actually execute in the reported numbers.
+	pm := passes.NewPassManager()
+	pm.Add(passes.NewInternalize())
+	pm.AddLinkTimePipeline()
+	if _, err := pm.Run(m); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// benchTier runs main to completion once per iteration at the given
+// policy, sharing one translation cache across iterations so the loop
+// measures steady-state execution, not translation.
+func benchTier(b *testing.B, policy interp.TierPolicy) {
+	m := benchModule(b)
+	prog := interp.NewProgram(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Machine setup allocates the whole 4MB stack; pay its GC debt
+		// outside the timed region so the loop measures execution.
+		b.StopTimer()
+		mc, err := interp.NewMachine(m, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc.SetTier(policy)
+		mc.MaxSteps = 1 << 40
+		if err := mc.AttachProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		runtime.GC()
+		b.StartTimer()
+		if _, err := mc.RunMain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTierInterp(b *testing.B)   { benchTier(b, interp.TierInterp) }
+func BenchmarkTierBaseline(b *testing.B) { benchTier(b, interp.TierBaseline) }
+func BenchmarkTierOpt(b *testing.B)      { benchTier(b, interp.TierOpt) }

@@ -103,6 +103,9 @@ type Server struct {
 	store   *Store
 	sem     chan struct{}
 	metrics *obs.Registry
+	// progs keeps hot modules resident with their shared translation
+	// caches, so repeated /run requests never retranslate a function.
+	progs *progCache
 
 	inflight     atomic.Int64
 	lastActivity atomic.Int64 // UnixNano of the last request start/finish
@@ -157,6 +160,26 @@ func NewServer(cfg Config) *Server {
 	if !s.cfg.DisableValidate {
 		s.oracle = validate.Default()
 	}
+	s.progs = newProgCache(defaultProgCacheSize)
+	for _, b := range []struct {
+		name, tier string
+		get        func(interp.ProgramStats) int64
+	}{
+		{"llvm_interp_translation_compiles_total", "1", func(st interp.ProgramStats) int64 { return st.T1Compiles }},
+		{"llvm_interp_translation_compiles_total", "2", func(st interp.ProgramStats) int64 { return st.T2Compiles }},
+		{"llvm_interp_translation_reuses_total", "1", func(st interp.ProgramStats) int64 { return st.T1Reused }},
+		{"llvm_interp_translation_reuses_total", "2", func(st interp.ProgramStats) int64 { return st.T2Reused }},
+	} {
+		b := b
+		s.metrics.CounterFunc(b.name, func() float64 {
+			st, _ := s.progs.stats()
+			return float64(b.get(st))
+		}, "tier", b.tier)
+	}
+	s.metrics.GaugeFunc("llvm_serve_resident_programs", func() float64 {
+		_, n := s.progs.stats()
+		return float64(n)
+	})
 	s.metrics.GaugeFunc("llvm_serve_inflight", func() float64 { return float64(s.inflight.Load()) })
 	s.metrics.GaugeFunc("llvm_serve_uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
 	s.store.RegisterMetrics(s.metrics)
@@ -415,12 +438,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "storing module: %v", err)
 		return
 	}
-	var ins *profile.Instrumentation
-	if profiled {
-		ins = profile.Instrument(m)
-	}
+	// Run the resident module object so the shared translation cache
+	// applies; the freshly parsed copy is only used on first sight.
+	mod, prog, _ := s.progs.fetch(hash, m)
 	var out bytes.Buffer
-	mc, err := interp.NewMachine(m, &out)
+	mc, err := interp.NewMachine(mod, &out)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "preparing machine: %v", err)
 		return
@@ -428,6 +450,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	mc.MaxSteps = s.cfg.MaxSteps
 	mc.MaxHeapBytes = s.cfg.MaxHeapBytes
 	mc.Metrics = s.metrics
+	mc.SetTier(interp.TierAuto)
+	if err := mc.AttachProgram(prog); err != nil {
+		httpError(w, http.StatusInternalServerError, "attaching program: %v", err)
+		return
+	}
+	if profiled {
+		// The engine counts blocks itself — no instrumentation probes, so
+		// the resident module is never mutated and stays shareable.
+		mc.EnableProfile()
+	}
+	// Lifelong seeding: the store's accumulated cross-run profile marks
+	// warm functions hot at start, skipping the baseline tier.
+	if pf, ok := s.store.GetProfile(hash); ok {
+		mc.SeedProfile(pf.Counts.Funcs)
+	}
 
 	resp := runResponse{ModuleHash: hash}
 	code, runErr := mc.RunMainContext(r.Context())
@@ -446,10 +483,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	// A trapped or cancelled run still profiled the blocks it executed;
 	// partial profiles are real end-user evidence, so merge them too.
-	if ins != nil {
-		if d, err := ins.ReadCounts(mc); err == nil && d.Total > 0 {
-			ins.Strip()
-			f, bumped, err := s.store.MergeProfile(hash, d.ToCounts(m))
+	if profiled {
+		if c := profile.CountsFromBlocks(mc.BlockCounts()); c.Total > 0 {
+			f, bumped, err := s.store.MergeProfile(hash, c)
 			if err == nil {
 				resp.Profiled = true
 				resp.ProfileEpoch = f.Epoch
@@ -515,6 +551,13 @@ type statsResponse struct {
 		Inconclusive uint64 `json:"inconclusive"`
 		Quarantined  uint64 `json:"quarantined"`
 	} `json:"validate"`
+	Engine struct {
+		ResidentPrograms int   `json:"resident_programs"`
+		T1Compiles       int64 `json:"t1_compiles"`
+		T1Reused         int64 `json:"t1_reused"`
+		T2Compiles       int64 `json:"t2_compiles"`
+		T2Reused         int64 `json:"t2_reused"`
+	} `json:"engine"`
 }
 
 // handleStats renders the JSON view of the same counters /metrics scrapes:
@@ -538,6 +581,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Validate.Miscompiles = uint64(s.cValidateMiscompiles.Value())
 	resp.Validate.Inconclusive = uint64(s.cValidateInconclusive.Value())
 	resp.Validate.Quarantined = uint64(s.cQuarantined.Value())
+	est, n := s.progs.stats()
+	resp.Engine.ResidentPrograms = n
+	resp.Engine.T1Compiles = est.T1Compiles
+	resp.Engine.T1Reused = est.T1Reused
+	resp.Engine.T2Compiles = est.T2Compiles
+	resp.Engine.T2Reused = est.T2Reused
 	s.reoptMu.Lock()
 	resp.Reopt.LastModule = s.reoptLast
 	resp.Reopt.LastEpoch = s.reoptEpoch

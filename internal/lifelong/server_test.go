@@ -176,6 +176,52 @@ func TestRunAccumulatesProfileAndEpochs(t *testing.T) {
 	}
 }
 
+// TestRunReusesTranslations: repeated /run requests for the same module
+// execute against one resident module object and one shared translation
+// cache, so the second request reuses the first's tier translations
+// instead of recompiling them per machine.
+func TestRunReusesTranslations(t *testing.T) {
+	s, ts := newTestServer(t, Config{DisableReopt: true})
+	mod := hotModuleText(t)
+
+	var r1, r2 runResponse
+	postJSON(t, ts.URL+"/run", mod, &r1)
+	st1, n1 := s.progs.stats()
+	postJSON(t, ts.URL+"/run", mod, &r2)
+	st2, n2 := s.progs.stats()
+
+	if r1.Trap != "" || r2.Trap != "" || r1.ExitCode != r2.ExitCode {
+		t.Fatalf("runs disagree: %+v vs %+v", r1, r2)
+	}
+	if n1 != 1 || n2 != 1 {
+		t.Fatalf("resident programs: %d then %d, want 1", n1, n2)
+	}
+	compiles1 := st1.T1Compiles + st1.T2Compiles
+	compiles2 := st2.T1Compiles + st2.T2Compiles
+	if compiles1 == 0 {
+		t.Fatal("first run compiled nothing")
+	}
+	if compiles2 != compiles1 {
+		t.Fatalf("second run retranslated: %d compiles then %d", compiles1, compiles2)
+	}
+	if reuses := st2.T1Reused + st2.T2Reused; reuses == 0 {
+		t.Fatal("second run reused no translations")
+	}
+
+	// The reuse counters surface on /stats for operators.
+	var stats statsResponse
+	resp, body := post(t, ts.URL+"/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.ResidentPrograms != 1 || stats.Engine.T1Reused+stats.Engine.T2Reused == 0 {
+		t.Fatalf("stats engine block: %+v", stats.Engine)
+	}
+}
+
 // TestRunOutputAndTrap: program output is captured, and traps surface as
 // diagnostics, not failures.
 func TestRunOutputAndTrap(t *testing.T) {

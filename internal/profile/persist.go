@@ -45,6 +45,24 @@ func (d *Data) ToCounts(m *core.Module) *Counts {
 	return c
 }
 
+// CountsFromBlocks wraps the execution engine's own per-block counters
+// (interp.Machine.BlockCounts: function name -> counts in block layout
+// order) as a persistable profile. The engine counts every tier without
+// instrumenting the module, so this is the zero-probe path into the same
+// lifelong store ToCounts feeds; the shapes match slot for slot, and
+// Machine.SeedProfile consumes the Funcs map on the way back in.
+func CountsFromBlocks(funcs map[string][]int64) *Counts {
+	c := &Counts{Funcs: map[string][]int64{}}
+	for fn, per := range funcs {
+		cp := append([]int64(nil), per...)
+		c.Funcs[fn] = cp
+		for _, n := range cp {
+			c.Total += n
+		}
+	}
+	return c
+}
+
 // Bind resolves persisted counts against a module with the same block
 // structure, producing a Data usable by HotRegions/Reoptimize. Functions
 // missing from the module are skipped (the profile may predate a rename);
@@ -119,7 +137,7 @@ type File struct {
 	Epoch int64 `json:"epoch"`
 	// EpochTotal is Counts.Total at the last epoch advance; the baseline
 	// the materiality test compares against.
-	EpochTotal int64 `json:"epoch_total"`
+	EpochTotal int64  `json:"epoch_total"`
 	Counts     Counts `json:"counts"`
 }
 
