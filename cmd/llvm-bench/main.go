@@ -42,6 +42,7 @@ func main() {
 	obsFlag := flag.Bool("obs", false, "Obs: pipeline latency with observability off vs on")
 	validateFlag := flag.Bool("validate", false, "Validate: pipeline latency with the translation-validation oracle off vs on")
 	tiersFlag := flag.Bool("tiers", false, "Tiers: execution latency per engine tier (interp/tier-1/tier-2/auto+profile)")
+	aliasFlag := flag.Bool("alias", false, "Alias: memory-pass optimization work and pipeline cost, points-to analysis off vs on")
 	storeDir := flag.String("store", "", "Store: cold-vs-warm compile latency through a lifelong store at this dir")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
@@ -49,7 +50,7 @@ func main() {
 	// No section flags at all = the paper's default tables. Any explicit
 	// selection (including the opt-in sections) runs only what was asked.
 	all := !*t1 && !*t2 && !*f5 && !*ck &&
-		!*obsFlag && !*validateFlag && !*tiersFlag && *storeDir == ""
+		!*obsFlag && !*validateFlag && !*tiersFlag && !*aliasFlag && *storeDir == ""
 
 	var rows1 []experiments.Table1Row
 	var rows2 []experiments.Table2Row
@@ -120,6 +121,16 @@ func main() {
 		os.Stdout.WriteString("\n")
 		experiments.PrintTiersTable(os.Stdout, rowsT)
 	}
+	var rowsA []experiments.AliasRow
+	if *aliasFlag {
+		var err error
+		rowsA, err = experiments.AliasTable()
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		os.Stdout.WriteString("\n")
+		experiments.PrintAliasTable(os.Stdout, rowsA)
+	}
 	var rowsS []experiments.StoreRow
 	if *storeDir != "" {
 		var err error
@@ -135,6 +146,7 @@ func main() {
 		report.AddObs(rowsO)
 		report.AddValidate(rowsV)
 		report.AddTiers(rowsT)
+		report.AddAlias(rowsA)
 		report.AddStore(rowsS)
 		out := os.Stdout
 		if *jsonPath != "-" {

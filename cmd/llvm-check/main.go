@@ -17,10 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/dsa"
 	"repro/internal/tooling"
 )
 
@@ -38,6 +41,7 @@ func main() {
 	noLint := flag.Bool("no-lint", false, "suppress lint kinds (unreachable-code, dead-store)")
 	jobs := flag.Int("j", 0, "per-function analysis parallelism (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print per-file checker statistics to stderr")
+	aliasRep := flag.Bool("alias", false, "print the whole-program points-to report (object classes, typed-access table, function summaries, query tallies)")
 	noVerify := flag.Bool("no-verify", false, "check even modules the verifier rejects")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -69,6 +73,11 @@ func main() {
 		c.Parallelism = *jobs
 		c.MinSeverity = min
 		c.NoLint = *noLint
+		if *aliasRep {
+			// Share an analysis cache so the report reads the same
+			// points-to result the checker consulted.
+			c.AM = analysis.NewManager()
+		}
 		rep, err := c.Check(m)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "llvm-check: %s: %v\n", path, err)
@@ -84,6 +93,9 @@ func main() {
 			for _, d := range rep.Diags {
 				fmt.Printf("%s: %s\n", path, d)
 			}
+		}
+		if *aliasRep {
+			printAliasReport(path, m, dsa.Of(c.AM, m))
 		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "%s: %d functions, %d diagnostics (%d errors) in %v; analyses: %d hit / %d miss\n",
@@ -102,4 +114,44 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// printAliasReport renders the points-to result for one module: the object
+// class count, the paper's Table-1-style typed/untyped access breakdown,
+// one summary line per defined function, and the process-wide alias query
+// tallies accumulated so far.
+func printAliasReport(path string, m *core.Module, pt *dsa.Result) {
+	fmt.Printf("%s: points-to: %d object classes\n", path, pt.NumClasses())
+	fmt.Printf("  typed accesses: %d loads + %d stores; untyped: %d loads + %d stores (%.1f%% typed)\n",
+		pt.TypedLoads, pt.TypedStores, pt.UntypedLoads, pt.UntypedStores, pt.TypedPercent())
+	names := make([]string, 0, len(pt.PerFunction))
+	for name := range pt.PerFunction {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := pt.PerFunction[name]
+		line := fmt.Sprintf("  %%%s: %d typed / %d untyped", name, c.TypedAccesses, c.UntypedAccesses)
+		if sum := pt.Summary(name); sum != nil {
+			esc, mod, ref := 0, 0, 0
+			for i := range sum.ArgEscapes {
+				if sum.ArgEscapes[i] {
+					esc++
+				}
+				if sum.ArgMod[i] {
+					mod++
+				}
+				if sum.ArgRef[i] {
+					ref++
+				}
+			}
+			line += fmt.Sprintf("; args: %d escape, %d mod, %d ref", esc, mod, ref)
+			if sum.ReturnsFresh {
+				line += "; returns fresh"
+			}
+		}
+		fmt.Println(line)
+	}
+	qs := dsa.Stats()
+	fmt.Printf("  alias queries: %d no, %d may, %d must (%d total)\n", qs.No, qs.May, qs.Must, qs.Total())
 }

@@ -48,6 +48,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/dsa"
 	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/tooling"
@@ -166,6 +167,9 @@ func main() {
 			"total", s.Hits, s.Misses, s.Invalidations)
 		fmt.Fprintf(os.Stderr, "%-16s %d scratch clones (isolation, -check, and -validate share one per pass run)\n",
 			"snapshots", pm.Snapshots)
+		qs := dsa.Stats()
+		fmt.Fprintf(os.Stderr, "%-16s %d queries: %d no-alias, %d may-alias, %d must-alias\n",
+			"alias", qs.Total(), qs.No, qs.May, qs.Must)
 		if *doValidate {
 			var oracle time.Duration
 			for _, r := range pm.Results {

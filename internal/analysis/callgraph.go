@@ -76,8 +76,22 @@ func NewCallGraph(m *core.Module) *CallGraph {
 				addEdge(f, target)
 				return true
 			}
-			// Indirect call: add edges to compatible address-taken
-			// functions; the pointer may also have come from outside.
+			// Indirect call. When every value that can flow into the
+			// callee pointer is a known function constant (e.g. a load
+			// from a constant function-pointer table), the callee set is
+			// fully resolved: precise edges, and the call provably cannot
+			// leave the module.
+			if targets, ok := ResolveCallees(callee); ok && len(targets) > 0 {
+				for _, cand := range targets {
+					if cand.IsDeclaration() {
+						node.CallsExternal = true
+					}
+					addEdge(f, cand)
+				}
+				return true
+			}
+			// Unresolved: add edges to compatible address-taken functions;
+			// the pointer may also have come from outside.
 			ft := core.CalleeFunctionType(callee)
 			if ft != nil {
 				for _, cand := range bySig[ft.String()] {

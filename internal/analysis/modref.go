@@ -6,17 +6,25 @@ import (
 
 // ModRefInfo summarizes which memory a function may read or write — the
 // Mod/Ref analysis the paper lists among LLVM's link-time interprocedural
-// analyses (§3.3). Globals are tracked individually; everything else
-// (pointer arguments, heap objects, unknown code) collapses into the
-// ModAny/RefAny bits.
+// analyses (§3.3). Globals are tracked individually, writes and reads
+// through pointer arguments are tracked per argument, and only memory the
+// summary cannot name at all (pointers loaded out of memory, unresolved
+// indirect callees, external code) collapses into the ModAny/RefAny bits.
 type ModRefInfo struct {
 	// Mod and Ref are the global variables the function (transitively)
 	// may write / read.
 	Mod map[*core.GlobalVariable]bool
 	Ref map[*core.GlobalVariable]bool
+	// ArgMod/ArgRef report, per pointer argument, whether the function
+	// (transitively) may write/read memory addressed *directly* by that
+	// argument (through gep/cast chains). Writes through pointers loaded
+	// out of the argument's object are not argument effects; they fold
+	// into ModAny/RefAny.
+	ArgMod []bool
+	ArgRef []bool
 	// ModAny/RefAny: the function may write/read memory we cannot name
-	// (through pointer arguments, heap pointers, external callees,
-	// indirect calls).
+	// (pointers from memory, heap objects that escaped, external
+	// callees, unresolved indirect calls).
 	ModAny bool
 	RefAny bool
 }
@@ -27,9 +35,91 @@ func (i *ModRefInfo) Writes(g *core.GlobalVariable) bool { return i.ModAny || i.
 // Reads reports whether the function may read g.
 func (i *ModRefInfo) Reads(g *core.GlobalVariable) bool { return i.RefAny || i.Ref[g] }
 
+// WritesArg reports whether the function may write through argument k.
+func (i *ModRefInfo) WritesArg(k int) bool {
+	return i.ModAny || (k < len(i.ArgMod) && i.ArgMod[k])
+}
+
+// ReadsArg reports whether the function may read through argument k.
+func (i *ModRefInfo) ReadsArg(k int) bool {
+	return i.RefAny || (k < len(i.ArgRef) && i.ArgRef[k])
+}
+
 // Pure reports whether the function provably has no memory effects at all.
 func (i *ModRefInfo) Pure() bool {
-	return !i.ModAny && !i.RefAny && len(i.Mod) == 0 && len(i.Ref) == 0
+	if i.ModAny || i.RefAny || len(i.Mod) > 0 || len(i.Ref) > 0 {
+		return false
+	}
+	for k := range i.ArgMod {
+		if i.ArgMod[k] || i.ArgRef[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// BaseKind classifies what a pointer provably addresses.
+type BaseKind uint8
+
+const (
+	// BaseUnknown: the chain passed through a load, a call result, an
+	// integer cast, or another untraceable producer.
+	BaseUnknown BaseKind = iota
+	// BaseGlobal: a specific global variable (returned as base).
+	BaseGlobal
+	// BaseFrame: an alloca in the current function.
+	BaseFrame
+	// BaseHeap: a malloc instruction in the current function — memory
+	// that did not exist before the function was entered.
+	BaseHeap
+	// BaseArg: a pointer argument of the current function (returned as
+	// base).
+	BaseArg
+)
+
+// PointerBase walks gep/cast chains to the object a pointer provably
+// addresses. Loads break the chain: a pointer fetched from memory has
+// unknown base.
+func PointerBase(p core.Value) (core.Value, BaseKind) {
+	for {
+		switch v := p.(type) {
+		case *core.GlobalVariable:
+			return v, BaseGlobal
+		case *core.AllocaInst:
+			return v, BaseFrame
+		case *core.MallocInst:
+			return v, BaseHeap
+		case *core.Argument:
+			return v, BaseArg
+		case *core.GetElementPtrInst:
+			p = v.Base()
+		case *core.CastInst:
+			if v.Val().Type().Kind() != core.PointerKind {
+				return nil, BaseUnknown
+			}
+			p = v.Val()
+		case *core.ConstantExpr:
+			if v.Op == core.OpGetElementPtr || v.Op == core.OpCast {
+				op := v.Operand(0)
+				if op.Type().Kind() != core.PointerKind {
+					return nil, BaseUnknown
+				}
+				p = op
+				continue
+			}
+			return nil, BaseUnknown
+		default:
+			return nil, BaseUnknown
+		}
+	}
+}
+
+// modRefCallSite is one call whose callee set is known: a direct call, or
+// an indirect call ResolveCallees fully resolved. Argument effects of the
+// callees bind through the actuals during the fixpoint.
+type modRefCallSite struct {
+	targets []*core.Function
+	args    []core.Value
 }
 
 // ModRef computes Mod/Ref summaries for every function, bottom-up over the
@@ -37,74 +127,105 @@ func (i *ModRefInfo) Pure() bool {
 func ModRef(m *core.Module, cg *CallGraph) map[*core.Function]*ModRefInfo {
 	info := map[*core.Function]*ModRefInfo{}
 	for _, f := range m.Funcs {
-		mi := &ModRefInfo{Mod: map[*core.GlobalVariable]bool{}, Ref: map[*core.GlobalVariable]bool{}}
+		mi := &ModRefInfo{
+			Mod:    map[*core.GlobalVariable]bool{},
+			Ref:    map[*core.GlobalVariable]bool{},
+			ArgMod: make([]bool, len(f.Args)),
+			ArgRef: make([]bool, len(f.Args)),
+		}
 		if f.IsDeclaration() {
 			mi.ModAny, mi.RefAny = true, true
+			for k := range mi.ArgMod {
+				mi.ArgMod[k], mi.ArgRef[k] = true, true
+			}
 		}
 		info[f] = mi
 	}
 
-	// Local effects.
+	// Local effects, and the call sites the fixpoint will propagate
+	// through. Address-taken functions may additionally be called from
+	// outside any site we see, but that affects callers, not summaries.
+	sites := map[*core.Function][]modRefCallSite{}
 	for _, f := range m.Funcs {
 		if f.IsDeclaration() {
 			continue
 		}
 		mi := info[f]
+		recordAccess := func(p core.Value, write bool) {
+			base, kind := PointerBase(p)
+			switch kind {
+			case BaseGlobal:
+				if write {
+					mi.Mod[base.(*core.GlobalVariable)] = true
+				} else {
+					mi.Ref[base.(*core.GlobalVariable)] = true
+				}
+			case BaseFrame, BaseHeap:
+				// Invisible to callers: the frame dies with the call and
+				// heap allocated here did not exist before it.
+			case BaseArg:
+				k := base.(*core.Argument).Index()
+				if write {
+					mi.ArgMod[k] = true
+				} else {
+					mi.ArgRef[k] = true
+				}
+			default:
+				if write {
+					mi.ModAny = true
+				} else {
+					mi.RefAny = true
+				}
+			}
+		}
+		addCall := func(callee core.Value, args []core.Value) {
+			if target, ok := callee.(*core.Function); ok {
+				sites[f] = append(sites[f], modRefCallSite{targets: []*core.Function{target}, args: args})
+				return
+			}
+			if targets, ok := ResolveCallees(callee); ok && len(targets) > 0 {
+				sites[f] = append(sites[f], modRefCallSite{targets: targets, args: args})
+				return
+			}
+			mi.ModAny, mi.RefAny = true, true
+		}
 		f.ForEachInst(func(inst core.Instruction) bool {
 			switch i := inst.(type) {
 			case *core.LoadInst:
-				g, exact := TraceToGlobal(i.Ptr())
-				if exact {
-					mi.Ref[g] = true
-				} else if g == nil && !PointsToLocalFrame(i.Ptr()) {
-					mi.RefAny = true
-				}
+				recordAccess(i.Ptr(), false)
 			case *core.StoreInst:
-				g, exact := TraceToGlobal(i.Ptr())
-				if exact {
-					mi.Mod[g] = true
-				} else if g == nil && !PointsToLocalFrame(i.Ptr()) {
-					mi.ModAny = true
-				}
+				recordAccess(i.Ptr(), true)
 			case *core.FreeInst:
-				mi.ModAny = true
+				// Deallocation modifies the pointed-to memory.
+				recordAccess(i.Ptr(), true)
 			case *core.CallInst:
-				if i.CalledFunction() == nil {
-					mi.ModAny, mi.RefAny = true, true
-				}
+				addCall(i.Callee(), i.Args())
 			case *core.InvokeInst:
-				if _, direct := i.Callee().(*core.Function); !direct {
-					mi.ModAny, mi.RefAny = true, true
-				}
+				addCall(i.Callee(), i.Args())
 			}
 			return true
 		})
 	}
 
-	// Transitive closure over direct call edges.
+	// Transitive closure: callee effects flow to callers, with per-arg
+	// effects rebound through the call site's actual arguments.
 	for changed := true; changed; {
 		changed = false
 		for _, f := range m.Funcs {
 			mi := info[f]
-			for _, callee := range cg.Nodes[f].Callees {
-				ci := info[callee]
-				if ci.ModAny && !mi.ModAny {
-					mi.ModAny = true
-					changed = true
-				}
-				if ci.RefAny && !mi.RefAny {
-					mi.RefAny = true
-					changed = true
-				}
-				for g := range ci.Mod {
-					if !mi.Mod[g] {
-						mi.Mod[g] = true
-						changed = true
+			for _, cs := range sites[f] {
+				for _, callee := range cs.targets {
+					ci := info[callee]
+					if ci == nil {
+						// Callee resolved into a function outside m
+						// (possible after partial links): unknown body.
+						if !mi.ModAny || !mi.RefAny {
+							mi.ModAny, mi.RefAny = true, true
+							changed = true
+						}
+						continue
 					}
-				}
-				for g := range ci.Ref {
-					if !mi.Ref[g] {
-						mi.Ref[g] = true
+					if applyCallee(mi, ci, cs.args) {
 						changed = true
 					}
 				}
@@ -114,51 +235,144 @@ func ModRef(m *core.Module, cg *CallGraph) map[*core.Function]*ModRefInfo {
 	return info
 }
 
+// applyCallee folds one callee summary into the caller's at a call site,
+// returning whether the caller summary grew.
+func applyCallee(mi, ci *ModRefInfo, args []core.Value) bool {
+	changed := false
+	set := func(b *bool) {
+		if !*b {
+			*b = true
+			changed = true
+		}
+	}
+	if ci.ModAny && !mi.ModAny {
+		set(&mi.ModAny)
+	}
+	if ci.RefAny && !mi.RefAny {
+		set(&mi.RefAny)
+	}
+	for g := range ci.Mod {
+		if !mi.Mod[g] {
+			mi.Mod[g] = true
+			changed = true
+		}
+	}
+	for g := range ci.Ref {
+		if !mi.Ref[g] {
+			mi.Ref[g] = true
+			changed = true
+		}
+	}
+	// Rebind per-argument effects through the actuals. Actuals beyond the
+	// formal list (variadic extras) have no ArgMod slot; treat a pointer
+	// extra as both read and written.
+	bind := func(a core.Value, write bool) {
+		if a.Type().Kind() != core.PointerKind {
+			return
+		}
+		base, kind := PointerBase(a)
+		switch kind {
+		case BaseGlobal:
+			g := base.(*core.GlobalVariable)
+			if write {
+				if !mi.Mod[g] {
+					mi.Mod[g] = true
+					changed = true
+				}
+			} else if !mi.Ref[g] {
+				mi.Ref[g] = true
+				changed = true
+			}
+		case BaseFrame, BaseHeap:
+			// The callee writes this function's frame or fresh heap:
+			// invisible to this function's callers.
+		case BaseArg:
+			k := base.(*core.Argument).Index()
+			if write {
+				set(&mi.ArgMod[k])
+			} else {
+				set(&mi.ArgRef[k])
+			}
+		default:
+			if write {
+				set(&mi.ModAny)
+			} else {
+				set(&mi.RefAny)
+			}
+		}
+	}
+	for k, a := range args {
+		if k < len(ci.ArgMod) {
+			if ci.ArgMod[k] {
+				bind(a, true)
+			}
+			if ci.ArgRef[k] {
+				bind(a, false)
+			}
+		} else {
+			bind(a, true)
+			bind(a, false)
+		}
+	}
+	return changed
+}
+
+// CallTargets returns the provable callee set of a call instruction's
+// callee operand: the single function for a direct call, the resolved set
+// for a provable indirect call, and (nil, false) otherwise.
+func CallTargets(callee core.Value) ([]*core.Function, bool) {
+	if f, ok := callee.(*core.Function); ok {
+		return []*core.Function{f}, true
+	}
+	return ResolveCallees(callee)
+}
+
+// CallWritesGlobal reports whether a call with the given callee summary and
+// actual arguments may modify g: named directly in the callee's Mod set,
+// anything via ModAny, or through a pointer argument that may address g.
+func CallWritesGlobal(ci *ModRefInfo, args []core.Value, g *core.GlobalVariable) bool {
+	if ci == nil || ci.ModAny || ci.Mod[g] {
+		return true
+	}
+	for k, a := range args {
+		if a.Type().Kind() != core.PointerKind {
+			continue
+		}
+		argMod := k >= len(ci.ArgMod) || ci.ArgMod[k]
+		if !argMod {
+			continue
+		}
+		base, kind := PointerBase(a)
+		switch kind {
+		case BaseGlobal:
+			if base == g {
+				return true
+			}
+			// A distinct global's storage never overlaps g's.
+		case BaseFrame, BaseHeap:
+			// Frame and fresh heap memory are disjoint from every global.
+		default:
+			return true // could be g
+		}
+	}
+	return false
+}
+
 // TraceToGlobal walks GEP/cast chains back to the base object. It returns
 // (global, true) when the pointer provably addresses that global, and
 // (nil, false) otherwise. The second result is false also when the base is
 // a local alloca (check PointsToLocalFrame for that case).
 func TraceToGlobal(p core.Value) (*core.GlobalVariable, bool) {
-	for {
-		switch v := p.(type) {
-		case *core.GlobalVariable:
-			return v, true
-		case *core.GetElementPtrInst:
-			p = v.Base()
-		case *core.CastInst:
-			if v.Val().Type().Kind() != core.PointerKind {
-				return nil, false
-			}
-			p = v.Val()
-		case *core.ConstantExpr:
-			if v.Op == core.OpGetElementPtr || v.Op == core.OpCast {
-				p = v.Operand(0)
-				continue
-			}
-			return nil, false
-		default:
-			return nil, false
-		}
+	if base, kind := PointerBase(p); kind == BaseGlobal {
+		return base.(*core.GlobalVariable), true
 	}
+	return nil, false
 }
 
 // PointsToLocalFrame reports whether the pointer provably addresses the
 // current frame (an alloca that never escapes tracing through GEPs/casts);
 // such accesses are invisible to callers and excluded from Mod/Ref.
 func PointsToLocalFrame(p core.Value) bool {
-	for {
-		switch v := p.(type) {
-		case *core.AllocaInst:
-			return true
-		case *core.GetElementPtrInst:
-			p = v.Base()
-		case *core.CastInst:
-			if v.Val().Type().Kind() != core.PointerKind {
-				return false
-			}
-			p = v.Val()
-		default:
-			return false
-		}
-	}
+	_, kind := PointerBase(p)
+	return kind == BaseFrame
 }

@@ -87,12 +87,148 @@ entry:
 `)
 	cg := NewCallGraph(m)
 	mr := ModRef(m, cg)
-	if !mr[m.Func("throughArg")].ModAny {
-		t.Error("store through argument must set ModAny")
+	ta := mr[m.Func("throughArg")]
+	if !ta.WritesArg(0) {
+		t.Error("store through argument must set ArgMod[0]")
+	}
+	if ta.ModAny {
+		t.Error("store through a traced argument must not poison ModAny")
+	}
+	if ta.ReadsArg(0) {
+		t.Error("write-only argument reported as read")
 	}
 	ce := mr[m.Func("callsExternal")]
 	if !ce.ModAny || !ce.RefAny {
 		t.Error("external call must poison mod/ref")
+	}
+}
+
+func TestModRefPerArgBinding(t *testing.T) {
+	// Callee argument effects rebind through the caller's actuals: a
+	// global actual lands in Mod, a frame actual vanishes, an unknown
+	// actual poisons ModAny.
+	m := parse(t, `
+%g = global int 0
+
+internal void %setp(int* %p) {
+entry:
+	store int 1, int* %p
+	ret void
+}
+
+internal void %viaGlobal() {
+entry:
+	call void %setp(int* %g)
+	ret void
+}
+
+internal void %viaFrame() {
+entry:
+	%s = alloca int
+	call void %setp(int* %s)
+	ret void
+}
+
+internal void %viaFresh() {
+entry:
+	%h = malloc int
+	call void %setp(int* %h)
+	ret void
+}
+
+internal void %viaArg(int* %q) {
+entry:
+	call void %setp(int* %q)
+	ret void
+}
+
+internal void %viaLoaded(int** %pp) {
+entry:
+	%p = load int** %pp
+	call void %setp(int* %p)
+	ret void
+}
+`)
+	mr := ModRef(m, NewCallGraph(m))
+	g := m.Global("g")
+	if vg := mr[m.Func("viaGlobal")]; !vg.Writes(g) || vg.ModAny {
+		t.Errorf("global actual must land in Mod, not ModAny: %+v", vg)
+	}
+	if vf := mr[m.Func("viaFrame")]; !vf.Pure() {
+		t.Errorf("frame actual is caller-invisible, want pure: %+v", vf)
+	}
+	if vh := mr[m.Func("viaFresh")]; !vh.Pure() {
+		t.Errorf("fresh-heap actual is caller-invisible, want pure: %+v", vh)
+	}
+	if va := mr[m.Func("viaArg")]; !va.WritesArg(0) || va.ModAny {
+		t.Errorf("argument actual must rebind to ArgMod: %+v", va)
+	}
+	if vl := mr[m.Func("viaLoaded")]; !vl.ModAny {
+		t.Errorf("pointer loaded from memory must poison ModAny: %+v", vl)
+	}
+}
+
+func TestModRefResolvedIndirectCall(t *testing.T) {
+	// An indirect call through a constant function-pointer table must not
+	// hit the ModAny|RefAny cliff: the callee set is fully resolved, so
+	// the caller's summary is the join of the candidates' summaries.
+	m := parse(t, `
+%g = global int 0
+%table = constant [2 x void (int*)*] [ void (int*)* %setArg, void (int*)* %setGlobal ]
+
+internal void %setArg(int* %p) {
+entry:
+	store int 1, int* %p
+	ret void
+}
+
+internal void %setGlobal(int* %p) {
+entry:
+	store int 2, int* %g
+	ret void
+}
+
+internal void %dispatch(int %i, int* %out) {
+entry:
+	%slot = getelementptr [2 x void (int*)*]* %table, long 0, long %i
+	%fp = load void (int*)** %slot
+	call void %fp(int* %out)
+	ret void
+}
+`)
+	mr := ModRef(m, NewCallGraph(m))
+	di := mr[m.Func("dispatch")]
+	if di.ModAny || di.RefAny {
+		t.Fatalf("fully resolved indirect call must not poison Any bits: %+v", di)
+	}
+	if !di.Writes(m.Global("g")) {
+		t.Error("candidate setGlobal's Mod must propagate to dispatch")
+	}
+	if !di.WritesArg(1) {
+		t.Error("candidate setArg's ArgMod must rebind to dispatch's out argument")
+	}
+	if di.ReadsArg(1) {
+		t.Error("no candidate reads the argument; ArgRef over-approximates")
+	}
+}
+
+func TestModRefUnresolvedIndirectCallStaysConservative(t *testing.T) {
+	// A function pointer loaded from a *mutable* global is unresolvable:
+	// the worst-case bits must stay.
+	m := parse(t, `
+%fp = global void ()* null
+
+internal void %callIt() {
+entry:
+	%f = load void ()** %fp
+	call void %f()
+	ret void
+}
+`)
+	mr := ModRef(m, NewCallGraph(m))
+	ci := mr[m.Func("callIt")]
+	if !ci.ModAny || !ci.RefAny {
+		t.Errorf("unresolved indirect call must keep ModAny|RefAny: %+v", ci)
 	}
 }
 

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"repro/internal/core"
+)
+
+// ResolveCallees attempts to prove the complete set of functions an
+// indirect call through the pointer value v can reach. It returns
+// (targets, true) only when every value that can flow into v is a known
+// function constant: direct function references, loads out of *constant*
+// global function-pointer tables, phis over resolvable values, and
+// pointer casts of resolvable values. Any other source — a mutable
+// global, a pointer loaded from writable memory, an argument, an
+// integer cast — makes the set unprovable and the result is (nil, false).
+//
+// The resolved set is what lets Mod/Ref treat an indirect call like a
+// union of direct calls instead of the worst-case ModAny|RefAny cliff,
+// and the checker join candidate callee summaries instead of assuming
+// any address-taken function may run.
+func ResolveCallees(v core.Value) ([]*core.Function, bool) {
+	seen := map[core.Value]bool{}
+	set := map[*core.Function]bool{}
+	if !resolveInto(v, set, seen) {
+		return nil, false
+	}
+	out := make([]*core.Function, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	// Deterministic order for everything downstream (summaries, remarks).
+	sortFuncsByName(out)
+	return out, true
+}
+
+func sortFuncsByName(fs []*core.Function) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].Name() < fs[j-1].Name(); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// resolveInto adds every function v may evaluate to into set, returning
+// false as soon as an unprovable source appears. The seen map breaks
+// phi cycles: a value already being resolved contributes nothing new.
+func resolveInto(v core.Value, set map[*core.Function]bool, seen map[core.Value]bool) bool {
+	if seen[v] {
+		return true
+	}
+	seen[v] = true
+	switch x := v.(type) {
+	case *core.Function:
+		set[x] = true
+		return true
+	case *core.PhiInst:
+		for k := 0; k < x.NumIncoming(); k++ {
+			in, _ := x.Incoming(k)
+			if !resolveInto(in, set, seen) {
+				return false
+			}
+		}
+		return true
+	case *core.CastInst:
+		if x.Val().Type().Kind() != core.PointerKind {
+			return false // integer materialization: unknown provenance
+		}
+		return resolveInto(x.Val(), set, seen)
+	case *core.ConstantExpr:
+		if x.Op == core.OpCast && x.Operand(0).Type().Kind() == core.PointerKind {
+			return resolveInto(x.Operand(0), set, seen)
+		}
+		return false
+	case *core.LoadInst:
+		return resolveLoadedTable(x.Ptr(), set)
+	}
+	return false
+}
+
+// resolveLoadedTable handles a function pointer loaded from memory: only a
+// load out of a constant (read-only, fully initialized) global resolves.
+// A constant-index GEP selects one table entry; a variable index means any
+// entry may be selected, so all of them join the set.
+func resolveLoadedTable(ptr core.Value, set map[*core.Function]bool) bool {
+	// Peel one optional GEP to find the table and the element path.
+	var indices []core.Value
+	base := ptr
+	switch p := ptr.(type) {
+	case *core.GetElementPtrInst:
+		base, indices = p.Base(), p.Indices()
+	case *core.ConstantExpr:
+		if p.Op == core.OpGetElementPtr {
+			base = p.Operand(0)
+			ops := p.Operands()
+			indices = append([]core.Value{}, ops[1:]...)
+		}
+	}
+	g, ok := base.(*core.GlobalVariable)
+	if !ok || !g.IsConst || g.Init == nil {
+		return false
+	}
+	// Walk the initializer along the GEP path. Index 0 steps through the
+	// pointer itself; later indices select aggregate elements.
+	cur := g.Init
+	for k, idx := range indices {
+		if k == 0 {
+			ci, ok := idx.(*core.ConstantInt)
+			if !ok || ci.SExt() != 0 {
+				return false
+			}
+			continue
+		}
+		ci, isConst := idx.(*core.ConstantInt)
+		switch agg := cur.(type) {
+		case *core.ConstantArray:
+			if !isConst {
+				// Unknown element: every entry is a candidate.
+				for _, e := range agg.Elems {
+					if !constantFunc(e, set) {
+						return false
+					}
+				}
+				return true
+			}
+			i := int(ci.SExt())
+			if i < 0 || i >= len(agg.Elems) {
+				return false
+			}
+			cur = agg.Elems[i]
+		case *core.ConstantStruct:
+			if !isConst {
+				return false
+			}
+			i := int(ci.SExt())
+			if i < 0 || i >= len(agg.Fields) {
+				return false
+			}
+			cur = agg.Fields[i]
+		default:
+			return false
+		}
+	}
+	return constantFunc(cur, set)
+}
+
+// constantFunc adds a function-valued constant to set; casts of functions
+// unwrap. Anything else (null slot, integer) is unresolvable.
+func constantFunc(c core.Constant, set map[*core.Function]bool) bool {
+	switch x := c.(type) {
+	case *core.Function:
+		set[x] = true
+		return true
+	case *core.ConstantExpr:
+		if x.Op == core.OpCast {
+			if inner, ok := x.Operand(0).(core.Constant); ok {
+				return constantFunc(inner, set)
+			}
+		}
+	}
+	return false
+}

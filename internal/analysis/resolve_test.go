@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// findCallee digs the callee operand out of the first indirect call in f.
+func findCallee(t *testing.T, f *core.Function) core.Value {
+	t.Helper()
+	var callee core.Value
+	f.ForEachInst(func(inst core.Instruction) bool {
+		if c, ok := inst.(*core.CallInst); ok && c.CalledFunction() == nil {
+			callee = c.Callee()
+			return false
+		}
+		return true
+	})
+	if callee == nil {
+		t.Fatal("no indirect call in function")
+	}
+	return callee
+}
+
+func TestResolveCalleesConstTable(t *testing.T) {
+	m := parse(t, `
+%table = constant [2 x int (int)*] [ int (int)* %double, int (int)* %square ]
+
+internal int %double(int %x) {
+entry:
+	%r = add int %x, %x
+	ret int %r
+}
+
+internal int %square(int %x) {
+entry:
+	%r = mul int %x, %x
+	ret int %r
+}
+
+internal int %apply(int %i, int %x) {
+entry:
+	%slot = getelementptr [2 x int (int)*]* %table, long 0, long %i
+	%fp = load int (int)** %slot
+	%r = call int %fp(int %x)
+	ret int %r
+}
+`)
+	targets, ok := ResolveCallees(findCallee(t, m.Func("apply")))
+	if !ok {
+		t.Fatal("constant function-pointer table must resolve")
+	}
+	if len(targets) != 2 || targets[0].Name() != "double" || targets[1].Name() != "square" {
+		t.Fatalf("resolved set = %v, want [double square] in name order", targets)
+	}
+}
+
+func TestResolveCalleesConstIndexSingleTarget(t *testing.T) {
+	m := parse(t, `
+%table = constant [2 x int (int)*] [ int (int)* %double, int (int)* %square ]
+
+internal int %double(int %x) {
+entry:
+	%r = add int %x, %x
+	ret int %r
+}
+
+internal int %square(int %x) {
+entry:
+	%r = mul int %x, %x
+	ret int %r
+}
+
+internal int %applySecond(int %x) {
+entry:
+	%slot = getelementptr [2 x int (int)*]* %table, long 0, long 1
+	%fp = load int (int)** %slot
+	%r = call int %fp(int %x)
+	ret int %r
+}
+`)
+	targets, ok := ResolveCallees(findCallee(t, m.Func("applySecond")))
+	if !ok || len(targets) != 1 || targets[0].Name() != "square" {
+		t.Fatalf("constant index must resolve to the single entry, got %v ok=%v", targets, ok)
+	}
+}
+
+func TestResolveCalleesPhiOverFunctions(t *testing.T) {
+	m := parse(t, `
+internal int %a(int %x) {
+entry:
+	ret int %x
+}
+
+internal int %b(int %x) {
+entry:
+	%r = sub int 0, %x
+	ret int %r
+}
+
+internal int %pick(bool %c, int %x) {
+entry:
+	br bool %c, label %then, label %else
+then:
+	br label %join
+else:
+	br label %join
+join:
+	%fp = phi int (int)* [ %a, %then ], [ %b, %else ]
+	%r = call int %fp(int %x)
+	ret int %r
+}
+`)
+	targets, ok := ResolveCallees(findCallee(t, m.Func("pick")))
+	if !ok || len(targets) != 2 {
+		t.Fatalf("phi over function constants must resolve, got %v ok=%v", targets, ok)
+	}
+}
+
+func TestResolveCalleesMutableGlobalFails(t *testing.T) {
+	m := parse(t, `
+%fp = global void ()* null
+
+internal void %callIt() {
+entry:
+	%f = load void ()** %fp
+	call void %f()
+	ret void
+}
+`)
+	if _, ok := ResolveCallees(findCallee(t, m.Func("callIt"))); ok {
+		t.Fatal("load from mutable global must not resolve")
+	}
+}
+
+func TestCallGraphUsesResolvedTargets(t *testing.T) {
+	// The call graph must give a resolved indirect call precise edges and
+	// not mark the caller as possibly calling external code.
+	m := parse(t, `
+%table = constant [1 x void ()*] [ void ()* %only ]
+%decoy = global void ()* %other
+
+internal void %only() {
+entry:
+	ret void
+}
+
+internal void %other() {
+entry:
+	ret void
+}
+
+internal void %go() {
+entry:
+	%slot = getelementptr [1 x void ()*]* %table, long 0, long 0
+	%f = load void ()** %slot
+	call void %f()
+	ret void
+}
+`)
+	cg := NewCallGraph(m)
+	node := cg.Nodes[m.Func("go")]
+	if node.CallsExternal {
+		t.Error("resolved indirect call wrongly flagged CallsExternal")
+	}
+	if len(node.Callees) != 1 || node.Callees[0].Name() != "only" {
+		t.Errorf("callees = %v, want exactly [only]", node.Callees)
+	}
+}

@@ -43,11 +43,11 @@ const (
 // part of PreserveAll, so any transforming pass invalidates them unless it
 // names them explicitly.
 var (
-	// SummaryKey caches the bottom-up function-summary map.
+	// SummaryKey caches the bottom-up function-summary map. The points-to
+	// result the checker refines free-target classification with is cached
+	// under the shared dsa.Key, so the checker and the optimizer passes
+	// reuse one computation per module.
 	SummaryKey = analysis.NewModuleKey("checker-summaries")
-	// PointsToKey caches the dsa.Analyze result the checker refines
-	// free-target classification with.
-	PointsToKey = analysis.NewModuleKey("checker-points-to")
 )
 
 // Abstract state of one tracked object, as a *set* of possible concrete
@@ -236,13 +236,7 @@ func (c *Checker) summaries(m *core.Module, cg *analysis.CallGraph, mr map[*core
 }
 
 func (c *Checker) pointsTo(m *core.Module) *dsa.Result {
-	if c.AM != nil {
-		v := c.AM.ModuleExt(PointsToKey, m, func(m *core.Module) interface{} {
-			return dsa.Analyze(m)
-		})
-		return v.(*dsa.Result)
-	}
-	return dsa.Analyze(m)
+	return dsa.Of(c.AM, m)
 }
 
 // domTree fetches f's dominator tree, via the manager when available.
@@ -569,6 +563,14 @@ func (fc *fnCtx) transferCall(inst core.Instruction, callee core.Value, args []c
 			sum = conservativeSummary(target)
 		}
 	}
+	// For an indirect call whose function-pointer targets fully resolve,
+	// join the candidate summaries instead of assuming the worst.
+	var resolvedTargets []*core.Function
+	if !direct {
+		if ts, ok := analysis.ResolveCallees(callee); ok && len(ts) > 0 {
+			resolvedTargets = ts
+		}
+	}
 
 	for k, a := range args {
 		if a.Type().Kind() != core.PointerKind {
@@ -586,9 +588,29 @@ func (fc *fnCtx) transferCall(inst core.Instruction, callee core.Value, args []c
 			// never free it — free is a first-class instruction, so only
 			// defined functions release memory.
 			stores = true
+		case resolvedTargets != nil:
+			// Resolved indirect call: an effect is possible only if some
+			// candidate's summary has it. mustFree stays false — a
+			// definite claim needs a single known callee.
+			for _, t := range resolvedTargets {
+				if t.IsDeclaration() {
+					stores = true
+					continue
+				}
+				tsum := fc.sums[t]
+				if tsum == nil {
+					tsum = conservativeSummary(t)
+				}
+				if k < len(tsum.mayFreeArg) {
+					mayFree = mayFree || tsum.mayFreeArg[k]
+					stores = stores || tsum.storesToArg[k]
+				} else {
+					stores = true
+				}
+			}
 		default:
-			// Indirect call: could reach any address-taken defined
-			// function, so both effects are possible.
+			// Unresolvable indirect call: could reach any address-taken
+			// defined function, so both effects are possible.
 			stores, mayFree = true, true
 		}
 		strong := o.singleton()
@@ -629,13 +651,30 @@ func (fc *fnCtx) transferCall(inst core.Instruction, callee core.Value, args []c
 		}
 	case direct:
 		freesAny, modAny = false, true // external: writes maybe, frees never
+	case resolvedTargets != nil:
+		// Resolved indirect: join the candidates' unnamed-memory effects.
+		for _, t := range resolvedTargets {
+			if t.IsDeclaration() {
+				modAny = true
+				continue
+			}
+			tsum := fc.sums[t]
+			if tsum == nil {
+				tsum = conservativeSummary(t)
+			}
+			fAny, mAny := tsum.mayFreeAny, true
+			if mri := fc.mr[t]; mri != nil {
+				mAny = mri.ModAny || len(mri.Mod) > 0
+				fAny = fAny && mri.ModAny
+			}
+			freesAny = freesAny || fAny
+			modAny = modAny || mAny
+		}
 	default:
-		freesAny, modAny = true, true // indirect
+		freesAny, modAny = true, true // unresolvable indirect
 	}
-	if known {
+	if known || !direct {
 		fc.mayFreeAny = fc.mayFreeAny || freesAny
-	} else if !direct {
-		fc.mayFreeAny = true
 	}
 	if modAny || freesAny {
 		for _, s := range fc.sites {
@@ -975,5 +1014,5 @@ func (p *Pass) RunOnModule(m *core.Module) int {
 // Preserves declares the checker read-only: every cached analysis survives,
 // including the checker's own module extensions.
 func (p *Pass) Preserves() analysis.Preserved {
-	return analysis.PreserveAll | SummaryKey.Mask() | PointsToKey.Mask()
+	return analysis.PreserveAll | SummaryKey.Mask() | dsa.Key.Mask()
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/dsa"
 )
 
 func mustParse(t *testing.T, src string) *core.Module {
@@ -513,7 +514,7 @@ func TestManagerCaching(t *testing.T) {
 		t.Fatal(err)
 	}
 	h0 := am.Stats().Hits
-	am.InvalidateModule(analysis.PreserveAll | SummaryKey.Mask() | PointsToKey.Mask())
+	am.InvalidateModule(analysis.PreserveAll | SummaryKey.Mask() | dsa.Key.Mask())
 	if _, err := c.Check(m); err != nil {
 		t.Fatal(err)
 	}
@@ -535,7 +536,7 @@ func TestPassAdapter(t *testing.T) {
 	if p.Last == nil || p.Last.Stats.Diagnostics == 0 {
 		t.Fatal("pass should record its report")
 	}
-	want := analysis.PreserveAll | SummaryKey.Mask() | PointsToKey.Mask()
+	want := analysis.PreserveAll | SummaryKey.Mask() | dsa.Key.Mask()
 	if p.Preserves() != want {
 		t.Fatalf("Preserves() = %b, want %b", p.Preserves(), want)
 	}

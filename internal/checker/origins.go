@@ -9,6 +9,7 @@ package checker
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 )
 
@@ -314,20 +315,33 @@ func (fc *fnCtx) computeEscapes() {
 }
 
 func (fc *fnCtx) markCallEscapes(callee core.Value, args []core.Value, mark func(core.Value)) {
-	target, _ := callee.(*core.Function)
-	sum := fc.summaryFor(target)
+	// Direct calls give a single callee; indirect calls through constant
+	// function-pointer tables resolve to their full candidate set, so a
+	// pointer argument escapes only if some candidate's summary says so.
+	targets, resolved := analysis.CallTargets(callee)
 	for k, a := range args {
 		if a.Type().Kind() != core.PointerKind {
 			continue
 		}
-		if target != nil && !target.IsDeclaration() && sum != nil && k < len(sum.escapesArg) {
-			if sum.escapesArg[k] {
-				mark(a)
-			}
+		if resolved && !fc.argEscapesAny(targets, k) {
 			continue
 		}
-		// External declaration, indirect call, variadic extra, or a callee
-		// in our own SCC (summary not ready): assume the pointer escapes.
+		// Unresolvable callee, external declaration, variadic extra, or a
+		// callee in our own SCC (summary not ready): assume escape.
 		mark(a)
 	}
+}
+
+// argEscapesAny joins "argument k escapes" over a resolved callee set.
+func (fc *fnCtx) argEscapesAny(targets []*core.Function, k int) bool {
+	for _, t := range targets {
+		if t.IsDeclaration() {
+			return true
+		}
+		sum := fc.summaryFor(t)
+		if sum == nil || k >= len(sum.escapesArg) || sum.escapesArg[k] {
+			return true
+		}
+	}
+	return false
 }

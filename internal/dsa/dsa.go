@@ -29,12 +29,55 @@ type Node struct {
 	// information is unreliable.
 	Collapsed bool
 	// Unknown marks memory of unknown provenance (external, int casts).
+	// An Unknown class may overlap any object, so alias queries against
+	// it always answer May.
 	Unknown bool
+	// Escaped marks objects whose address is exposed to code the
+	// analysis cannot see (external callees, unresolved indirect calls,
+	// external-linkage globals): unknown code may read, write, or retain
+	// pointers into them. Propagated transitively over pointees when the
+	// analysis freezes.
+	Escaped bool
 	// Heap/Stack/Global record how the object is allocated.
 	Heap, Stack, Global bool
+	// Sites are the allocation sites merged into this class, for
+	// per-site reporting and summaries.
+	Sites []Site
 	// pointee is the object that pointers stored *inside* this object
 	// point to (one per node; cells are merged).
 	pointee *Node
+}
+
+// SiteKind classifies an allocation site.
+type SiteKind uint8
+
+// Allocation-site kinds.
+const (
+	SiteAlloca SiteKind = iota
+	SiteMalloc
+	SiteGlobal
+	SiteUnknown
+)
+
+// String names the kind.
+func (k SiteKind) String() string {
+	switch k {
+	case SiteAlloca:
+		return "alloca"
+	case SiteMalloc:
+		return "malloc"
+	case SiteGlobal:
+		return "global"
+	}
+	return "unknown"
+}
+
+// Site identifies one allocation site: an alloca or malloc instruction
+// (with its owning function) or a global variable.
+type Site struct {
+	Kind SiteKind
+	Fn   string // owning function; "" for globals
+	Name string // instruction or global name
 }
 
 // find returns the representative of the node's class.
@@ -61,6 +104,15 @@ type Result struct {
 	// is collapsed or unknown (their layout is load-bearing for untrusted
 	// code paths and must not change).
 	dirtyViews []core.Type
+	// tainted marks classes loaded out of escaped/unknown memory: unseen
+	// code may have stored any pointer there, so they may be any object.
+	tainted map[*Node]bool
+	// effects and summaries are the frozen per-function mod/ref object
+	// sets and caller-facing contracts (see alias.go).
+	effects   map[string]*FuncEffects
+	summaries map[string]*FuncSummary
+	// restored is set on results decoded from a persisted encoding.
+	restored bool
 }
 
 // Counts is a per-function tally.
@@ -110,10 +162,16 @@ func Analyze(m *core.Module) *Result {
 	// Global variables: one node each, typed by the declared value type.
 	for _, g := range m.Globals {
 		n := &Node{Ty: g.ValueType, Global: true}
+		n.Sites = []Site{{Kind: SiteGlobal, Name: g.Name()}}
 		if g.IsDeclaration() {
 			// External memory: contents unknown, but the object's own
 			// type is still declared.
 			n.Unknown = true
+			n.Escaped = true
+		}
+		if g.Linkage == core.ExternalLinkage {
+			// Other translation units may hold the global's address.
+			n.Escaped = true
 		}
 		a.nodes[g] = n
 	}
@@ -134,12 +192,13 @@ func Analyze(m *core.Module) *Result {
 				// unknown provenance.
 				if f.Linkage == core.ExternalLinkage || addrTaken[f] {
 					pn.Unknown = true
+					pn.Escaped = true
 				}
 			}
 		}
 		a.params[f] = ps
 		if f.Sig.Ret.Kind() == core.PointerKind {
-			a.retval[f] = &Node{Unknown: f.IsDeclaration()}
+			a.retval[f] = &Node{Unknown: f.IsDeclaration(), Escaped: f.IsDeclaration()}
 			if f.IsDeclaration() {
 				a.collapse(a.retval[f])
 			}
@@ -227,6 +286,7 @@ func Analyze(m *core.Module) *Result {
 			return true
 		})
 	}
+	a.freeze(res, m)
 	return res
 }
 
@@ -301,9 +361,12 @@ func (a *analyzer) unify(x, y *Node) *Node {
 	y.parent = x
 	x.Collapsed = x.Collapsed || y.Collapsed
 	x.Unknown = x.Unknown || y.Unknown
+	x.Escaped = x.Escaped || y.Escaped
 	x.Heap = x.Heap || y.Heap
 	x.Stack = x.Stack || y.Stack
 	x.Global = x.Global || y.Global
+	x.Sites = mergeSites(x.Sites, y.Sites)
+	y.Sites = nil
 	switch {
 	case x.Ty == nil:
 		x.Ty = y.Ty
@@ -325,12 +388,30 @@ func (a *analyzer) unify(x, y *Node) *Node {
 	return x
 }
 
+// mergeSites appends the sites of y not already present in x, preserving
+// first-encounter order so the merged list is deterministic.
+func mergeSites(x, y []Site) []Site {
+	for _, s := range y {
+		dup := false
+		for _, t := range x {
+			if t == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			x = append(x, s)
+		}
+	}
+	return x
+}
+
 // pointeeOf returns the node for objects pointed to by pointers stored
 // inside n.
 func (a *analyzer) pointeeOf(n *Node) *Node {
 	n = n.find()
 	if n.pointee == nil {
-		n.pointee = &Node{Unknown: n.Unknown}
+		n.pointee = &Node{Unknown: n.Unknown, Escaped: n.Escaped}
 		if n.Collapsed || n.Unknown {
 			n.pointee.Collapsed = true
 		}
@@ -354,9 +435,17 @@ func isBytePointer(t core.Type) bool {
 // castNode models "cast val to dst" for pointer results.
 func (a *analyzer) castNode(val core.Value, dst core.Type) *Node {
 	if val.Type().Kind() != core.PointerKind {
-		// Integer-to-pointer: memory of unknown identity.
-		n := &Node{Unknown: true}
+		// Integer-to-pointer: memory of unknown identity. If the integer
+		// itself is a tracked pointer round-trip (ptr→int→ptr), the
+		// materialized pointer may target the original object: unify with
+		// it so the pair can never be reported no-alias, and still mark
+		// the class Unknown — a provenance-losing cast collapses to
+		// unknown, never to a false no-alias.
+		n := &Node{Unknown: true, Escaped: true}
 		a.collapse(n)
+		if src, ok := a.nodes[val]; ok {
+			n = a.unify(src, n)
+		}
 		return n
 	}
 	n := a.nodeFor(val)
@@ -420,9 +509,11 @@ func (a *analyzer) analyzeFunction(f *core.Function) {
 		switch i := inst.(type) {
 		case *core.MallocInst:
 			t := core.Type(i.AllocType)
-			a.setNode(i, &Node{Ty: t, Heap: true})
+			a.setNode(i, &Node{Ty: t, Heap: true,
+				Sites: []Site{{Kind: SiteMalloc, Fn: f.Name(), Name: i.Name()}}})
 		case *core.AllocaInst:
-			a.setNode(i, &Node{Ty: i.AllocType, Stack: true})
+			a.setNode(i, &Node{Ty: i.AllocType, Stack: true,
+				Sites: []Site{{Kind: SiteAlloca, Fn: f.Name(), Name: i.Name()}}})
 		case *core.GetElementPtrInst:
 			a.setNode(i, a.nodeFor(i.Base()))
 		case *core.CastInst:
@@ -507,11 +598,14 @@ func (a *analyzer) modelCall(result core.Instruction, callee core.Value, args []
 		if arg.Type().Kind() == core.PointerKind {
 			n := a.nodeFor(arg)
 			a.collapse(n)
-			a.collapse(a.pointeeOf(n))
+			n.find().Escaped = true
+			p := a.pointeeOf(n)
+			a.collapse(p)
+			p.find().Escaped = true
 		}
 	}
 	if result.Type().Kind() == core.PointerKind {
-		n := &Node{Unknown: true}
+		n := &Node{Unknown: true, Escaped: true}
 		a.collapse(n)
 		a.setNode(result, n)
 	}
@@ -534,6 +628,11 @@ func (a *analyzer) isTyped(ptr core.Value) bool {
 // makes reordering unsound. This is the query behind the paper's §4.1.1
 // example transformation, "reordering two fields of a structure".
 func (r *Result) TypeReliable(t core.Type) bool {
+	if r.restored {
+		// Decoded results carry no type information; never authorize a
+		// layout change from one.
+		return false
+	}
 	seen := map[*Node]bool{}
 	for _, n := range r.nodes {
 		n = n.find()

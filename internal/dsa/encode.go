@@ -1,0 +1,430 @@
+// Binary persistence for points-to results. Summaries are stored in the
+// lifelong store keyed by module hash, so a repeat compilation of the same
+// module decodes the analysis instead of recomputing it. The format is
+// deliberately positional: values are identified by a deterministic module
+// walk (globals, then per function its arguments and instructions in body
+// order), so the encoding is only meaningful against the exact module it
+// was computed from — which the content-addressed store guarantees.
+package dsa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// encodeMagic versions the format; bump on any layout change.
+const encodeMagic = "LLPT1"
+
+// walkValues enumerates the module's node-bearing values in the canonical
+// order both Encode and Decode use.
+func walkValues(m *core.Module) []core.Value {
+	var vals []core.Value
+	for _, g := range m.Globals {
+		vals = append(vals, g)
+	}
+	for _, f := range m.Funcs {
+		for _, arg := range f.Args {
+			vals = append(vals, arg)
+		}
+		f.ForEachInst(func(inst core.Instruction) bool {
+			vals = append(vals, inst)
+			return true
+		})
+	}
+	return vals
+}
+
+type encBuf struct{ b []byte }
+
+func (e *encBuf) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *encBuf) byte(v byte)      { e.b = append(e.b, v) }
+func (e *encBuf) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type decBuf struct {
+	b   []byte
+	off int
+}
+
+func (d *decBuf) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("dsa: truncated encoding at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decBuf) byte() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, fmt.Errorf("dsa: truncated encoding at offset %d", d.off)
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decBuf) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if d.off+int(n) > len(d.b) {
+		return "", fmt.Errorf("dsa: truncated string at offset %d", d.off)
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// Node flag bits in the encoding.
+const (
+	flagCollapsed = 1 << iota
+	flagUnknown
+	flagEscaped
+	flagHeap
+	flagStack
+	flagGlobal
+	flagTainted
+)
+
+// Effects/summary flag bits.
+const (
+	effModAll = 1 << iota
+	effRefAll
+	effModEscaped
+	effRefEscaped
+	effReturnsFresh
+)
+
+// Encode serializes the frozen result for m. The output is deterministic:
+// the same module and result encode byte-identically.
+func (r *Result) Encode(m *core.Module) []byte {
+	vals := walkValues(m)
+	// Assign class ids: value classes in walk order, then pointee closure.
+	ids := map[*Node]int{}
+	var classes []*Node
+	add := func(n *Node) {
+		if n == nil {
+			return
+		}
+		if _, ok := ids[n]; !ok {
+			ids[n] = len(classes)
+			classes = append(classes, n)
+		}
+	}
+	for _, v := range vals {
+		if n := r.nodes[v]; n != nil {
+			add(n.find())
+		}
+	}
+	for i := 0; i < len(classes); i++ { // grows during iteration
+		if p := classes[i].pointee; p != nil {
+			add(p.find())
+		}
+	}
+
+	e := &encBuf{}
+	e.b = append(e.b, encodeMagic...)
+	e.uvarint(uint64(len(classes)))
+	for _, n := range classes {
+		var flags byte
+		if n.Collapsed {
+			flags |= flagCollapsed
+		}
+		if n.Unknown {
+			flags |= flagUnknown
+		}
+		if n.Escaped {
+			flags |= flagEscaped
+		}
+		if n.Heap {
+			flags |= flagHeap
+		}
+		if n.Stack {
+			flags |= flagStack
+		}
+		if n.Global {
+			flags |= flagGlobal
+		}
+		if r.tainted[n] {
+			flags |= flagTainted
+		}
+		e.byte(flags)
+		if n.pointee != nil {
+			e.uvarint(uint64(ids[n.pointee.find()] + 1))
+		} else {
+			e.uvarint(0)
+		}
+		e.uvarint(uint64(len(n.Sites)))
+		for _, s := range n.Sites {
+			e.byte(byte(s.Kind))
+			e.str(s.Fn)
+			e.str(s.Name)
+		}
+	}
+
+	e.uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		if n := r.nodes[v]; n != nil {
+			e.uvarint(uint64(ids[n.find()] + 1))
+		} else {
+			e.uvarint(0)
+		}
+	}
+
+	for _, f := range m.Funcs {
+		fe := r.effects[f.Name()]
+		s := r.summaries[f.Name()]
+		var flags byte
+		if fe != nil {
+			if fe.ModAll {
+				flags |= effModAll
+			}
+			if fe.RefAll {
+				flags |= effRefAll
+			}
+			if fe.ModEscaped {
+				flags |= effModEscaped
+			}
+			if fe.RefEscaped {
+				flags |= effRefEscaped
+			}
+		} else {
+			flags |= effModAll | effRefAll
+		}
+		if s != nil && s.ReturnsFresh {
+			flags |= effReturnsFresh
+		}
+		e.byte(flags)
+		writeSet := func(set map[*Node]bool) {
+			var idList []int
+			if fe != nil {
+				idList = sortedNodeIDs(set, ids)
+			}
+			e.uvarint(uint64(len(idList)))
+			for _, id := range idList {
+				e.uvarint(uint64(id))
+			}
+		}
+		if fe != nil {
+			writeSet(fe.Mod)
+			writeSet(fe.Ref)
+		} else {
+			e.uvarint(0)
+			e.uvarint(0)
+		}
+		e.uvarint(uint64(len(f.Args)))
+		for i := range f.Args {
+			var bits byte
+			if s != nil && i < len(s.ArgEscapes) {
+				if s.ArgEscapes[i] {
+					bits |= 1
+				}
+				if s.ArgMod[i] {
+					bits |= 2
+				}
+				if s.ArgRef[i] {
+					bits |= 4
+				}
+			} else {
+				bits = 7
+			}
+			e.byte(bits)
+		}
+	}
+
+	e.uvarint(uint64(r.TypedLoads))
+	e.uvarint(uint64(r.UntypedLoads))
+	e.uvarint(uint64(r.TypedStores))
+	e.uvarint(uint64(r.UntypedStores))
+	for _, f := range m.Funcs {
+		c := r.PerFunction[f.Name()]
+		if c == nil {
+			c = &Counts{}
+		}
+		e.uvarint(uint64(c.TypedAccesses))
+		e.uvarint(uint64(c.UntypedAccesses))
+	}
+	return e.b
+}
+
+// Decode reconstructs a result from an encoding produced for exactly this
+// module (same hash). Restored results answer alias, effect, and summary
+// queries but carry no type information.
+func Decode(data []byte, m *core.Module) (*Result, error) {
+	if len(data) < len(encodeMagic) || string(data[:len(encodeMagic)]) != encodeMagic {
+		return nil, fmt.Errorf("dsa: bad summary magic")
+	}
+	d := &decBuf{b: data, off: len(encodeMagic)}
+
+	numClasses, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	classes := make([]*Node, numClasses)
+	for i := range classes {
+		classes[i] = &Node{}
+	}
+	res := &Result{
+		PerFunction: map[string]*Counts{},
+		nodes:       map[core.Value]*Node{},
+		tainted:     map[*Node]bool{},
+		effects:     map[string]*FuncEffects{},
+		summaries:   map[string]*FuncSummary{},
+		restored:    true,
+	}
+	for _, n := range classes {
+		flags, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		n.Collapsed = flags&flagCollapsed != 0
+		n.Unknown = flags&flagUnknown != 0
+		n.Escaped = flags&flagEscaped != 0
+		n.Heap = flags&flagHeap != 0
+		n.Stack = flags&flagStack != 0
+		n.Global = flags&flagGlobal != 0
+		if flags&flagTainted != 0 {
+			res.tainted[n] = true
+		}
+		ptID, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ptID > 0 {
+			if ptID > numClasses {
+				return nil, fmt.Errorf("dsa: pointee id out of range")
+			}
+			n.pointee = classes[ptID-1]
+		}
+		numSites, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for k := uint64(0); k < numSites; k++ {
+			kind, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			fn, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			name, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			n.Sites = append(n.Sites, Site{Kind: SiteKind(kind), Fn: fn, Name: name})
+		}
+	}
+
+	vals := walkValues(m)
+	numVals, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if int(numVals) != len(vals) {
+		return nil, fmt.Errorf("dsa: encoding is for a different module (%d values, module has %d)", numVals, len(vals))
+	}
+	for _, v := range vals {
+		id, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id > 0 {
+			if id > numClasses {
+				return nil, fmt.Errorf("dsa: class id out of range")
+			}
+			res.nodes[v] = classes[id-1]
+		}
+	}
+
+	for _, f := range m.Funcs {
+		flags, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		fe := &FuncEffects{
+			Mod:        map[*Node]bool{},
+			Ref:        map[*Node]bool{},
+			ModAll:     flags&effModAll != 0,
+			RefAll:     flags&effRefAll != 0,
+			ModEscaped: flags&effModEscaped != 0,
+			RefEscaped: flags&effRefEscaped != 0,
+		}
+		readSet := func(set map[*Node]bool) error {
+			n, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			for k := uint64(0); k < n; k++ {
+				id, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				if id >= numClasses {
+					return fmt.Errorf("dsa: effect class id out of range")
+				}
+				set[classes[id]] = true
+			}
+			return nil
+		}
+		if err := readSet(fe.Mod); err != nil {
+			return nil, err
+		}
+		if err := readSet(fe.Ref); err != nil {
+			return nil, err
+		}
+		res.effects[f.Name()] = fe
+		numArgs, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if int(numArgs) != len(f.Args) {
+			return nil, fmt.Errorf("dsa: arg count mismatch for %s", f.Name())
+		}
+		s := &FuncSummary{
+			ArgEscapes:   make([]bool, numArgs),
+			ArgMod:       make([]bool, numArgs),
+			ArgRef:       make([]bool, numArgs),
+			ReturnsFresh: flags&effReturnsFresh != 0,
+		}
+		for i := uint64(0); i < numArgs; i++ {
+			bits, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			s.ArgEscapes[i] = bits&1 != 0
+			s.ArgMod[i] = bits&2 != 0
+			s.ArgRef[i] = bits&4 != 0
+		}
+		res.summaries[f.Name()] = s
+	}
+
+	for _, dst := range []*int{&res.TypedLoads, &res.UntypedLoads, &res.TypedStores, &res.UntypedStores} {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int(v)
+	}
+	for _, f := range m.Funcs {
+		tv, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		uv, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if !f.IsDeclaration() {
+			res.PerFunction[f.Name()] = &Counts{TypedAccesses: int(tv), UntypedAccesses: int(uv)}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package dsa
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// FuzzAlias: any module the parser accepts must flow through the
+// points-to analysis without panicking, and the result must uphold the
+// soundness invariants no input can be allowed to break:
+//
+//   - Alias is reflexive-safe: a pointer never No-aliases itself.
+//   - Alias is symmetric: Alias(p,q) == Alias(q,p).
+//   - The summary encoding is deterministic: analyzing a fresh parse of
+//     the same source serializes to identical bytes, and those bytes
+//     decode back against the same module (the store's reuse contract).
+func FuzzAlias(f *testing.F) {
+	f.Add(`
+int %main() {
+entry:
+	%a = alloca int
+	%b = malloc int
+	store int 1, int* %a
+	%v = load int* %b
+	free int* %b
+	ret int %v
+}
+`)
+	f.Add(`
+%g = global int 0
+internal void %w(int* %p) {
+entry:
+	store int 7, int* %p
+	ret void
+}
+void %main() {
+entry:
+	call void %w(int* %g)
+	ret void
+}
+`)
+	f.Add(`
+int %main() {
+entry:
+	%s = alloca { int, int* }
+	%f0 = getelementptr { int, int* }* %s, long 0, ubyte 0
+	%f1 = getelementptr { int, int* }* %s, long 0, ubyte 1
+	%i = cast int* %f0 to long
+	%p = cast long %i to int*
+	store int 3, int* %p
+	ret int 0
+}
+`)
+	f.Add("declare void %x()\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := asm.ParseModule("fuzz", src)
+		if err != nil {
+			return
+		}
+		r := Analyze(m)
+		if r == nil {
+			t.Fatal("Analyze returned nil")
+		}
+		var ptrs []core.Value
+		for _, fn := range m.Funcs {
+			for _, b := range fn.Blocks {
+				for _, inst := range b.Instrs {
+					if v, ok := inst.(core.Value); ok && ptrTyped(v) {
+						ptrs = append(ptrs, v)
+					}
+				}
+			}
+			if len(ptrs) > 64 {
+				break // enough pairs; keep the fuzz iteration cheap
+			}
+		}
+		for _, p := range ptrs {
+			if r.Alias(p, p) == NoAlias {
+				t.Fatalf("Alias(p,p) = NoAlias for %s", core.InstDebugString(p.(core.Instruction)))
+			}
+		}
+		for i, p := range ptrs {
+			for _, q := range ptrs[i+1:] {
+				if r.Alias(p, q) != r.Alias(q, p) {
+					t.Fatalf("Alias not symmetric for %s / %s",
+						core.InstDebugString(p.(core.Instruction)),
+						core.InstDebugString(q.(core.Instruction)))
+				}
+			}
+		}
+		enc := r.Encode(m)
+		m2, err := asm.ParseModule("fuzz", src)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if enc2 := Analyze(m2).Encode(m2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("summary encoding not deterministic (%d vs %d bytes)", len(enc), len(enc2))
+		}
+		if _, err := Decode(enc, m); err != nil {
+			t.Fatalf("round-trip decode rejected own encoding: %v", err)
+		}
+	})
+}
+
+// ptrTyped reports whether a value produces a pointer the alias oracle
+// can be queried about.
+func ptrTyped(v core.Value) bool {
+	_, ok := v.Type().(*core.PointerType)
+	return ok
+}

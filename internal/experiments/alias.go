@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsa"
+	"repro/internal/obs"
+	"repro/internal/passes"
+	"repro/internal/workload"
+)
+
+// AliasRow is one benchmark's alias-analysis precision/overhead
+// measurement: the standard pipeline with the whole-program points-to
+// analysis feeding LICM/CSE/DSE versus the ablation arm where those
+// passes run blind (NoAlias). WorkOn/WorkOff count applied optimization
+// remarks from the three memory passes — the work the analysis buys —
+// and the query tallies break down the answers the enabled arm got.
+type AliasRow struct {
+	Bench   string
+	Classes int     // points-to object classes in the linked module
+	Typed   float64 // Table-1 typed-access percent
+	Off     time.Duration
+	On      time.Duration
+	WorkOff int // memory-pass applied remarks without alias info
+	WorkOn  int // memory-pass applied remarks with alias info
+	Queries dsa.QueryStats
+}
+
+// OverheadPercent is the analysis-enabled run's slowdown relative to the
+// blind one (negative = the analysis paid for itself).
+func (r AliasRow) OverheadPercent() float64 {
+	if r.Off <= 0 {
+		return 0
+	}
+	return (float64(r.On)/float64(r.Off) - 1) * 100
+}
+
+// aliasMemPasses is the set of passes whose applied remarks the table
+// counts as alias-driven work.
+var aliasMemPasses = map[string]bool{"cse": true, "licm": true, "dse": true}
+
+// aliasPipeline builds the standard pipeline; when blind, the three
+// memory passes run with their alias information disabled (CSE falls back
+// to pure expression CSE, LICM to operand-invariance only, DSE off).
+func aliasPipeline(blind bool) *passes.PassManager {
+	pm := passes.NewPassManager()
+	if !blind {
+		return pm.AddStandardPipeline()
+	}
+	cse := passes.NewCSE()
+	cse.NoAlias = true
+	licm := passes.NewLICM()
+	licm.NoAlias = true
+	dse := passes.NewDSE()
+	dse.NoAlias = true
+	return pm.AddFunctionPass(
+		passes.NewSROA(), passes.NewMem2Reg(), passes.NewInstCombine(),
+		passes.NewSCCP(), cse, licm, dse, passes.NewADCE(), passes.NewSimplifyCFG())
+}
+
+// countMemRemarks tallies applied remarks from the memory passes.
+func countMemRemarks(r *obs.Remarks) int {
+	n := 0
+	for _, rm := range r.Sorted() {
+		if rm.Status == "applied" && aliasMemPasses[rm.Pass] {
+			n++
+		}
+	}
+	return n
+}
+
+// AliasTable measures, per benchmark, what the points-to analysis buys
+// (applied memory-optimization remarks, blind vs informed) and what it
+// costs (pipeline latency delta, best of obsRuns runs per arm). The blind
+// arm runs first so warm-up favors the informed arm, keeping the overhead
+// estimate conservative.
+func AliasTable() ([]AliasRow, error) {
+	return aliasTable(workload.Suite())
+}
+
+func aliasTable(progs []workload.Profile) ([]AliasRow, error) {
+	var rows []AliasRow
+	for _, p := range progs {
+		raw, err := buildRaw(p)
+		if err != nil {
+			return nil, err
+		}
+		row := AliasRow{Bench: p.Name}
+
+		pt := dsa.Analyze(raw)
+		row.Classes = pt.NumClasses()
+		row.Typed = pt.TypedPercent()
+
+		for i := 0; i < obsRuns; i++ {
+			m := core.CloneModule(raw)
+			pm := aliasPipeline(true)
+			pm.Remarks = obs.NewRemarks()
+			t0 := time.Now()
+			if _, err := pm.Run(m); err != nil {
+				return nil, fmt.Errorf("%s blind: %w", p.Name, err)
+			}
+			if d := time.Since(t0); i == 0 || d < row.Off {
+				row.Off = d
+			}
+			row.WorkOff = countMemRemarks(pm.Remarks)
+		}
+		for i := 0; i < obsRuns; i++ {
+			m := core.CloneModule(raw)
+			pm := aliasPipeline(false)
+			pm.Remarks = obs.NewRemarks()
+			before := dsa.Stats()
+			t0 := time.Now()
+			if _, err := pm.Run(m); err != nil {
+				return nil, fmt.Errorf("%s informed: %w", p.Name, err)
+			}
+			if d := time.Since(t0); i == 0 || d < row.On {
+				row.On = d
+			}
+			row.WorkOn = countMemRemarks(pm.Remarks)
+			after := dsa.Stats()
+			row.Queries = dsa.QueryStats{
+				No:   after.No - before.No,
+				May:  after.May - before.May,
+				Must: after.Must - before.Must,
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintAliasTable renders the alias precision/overhead table.
+func PrintAliasTable(w io.Writer, rows []AliasRow) {
+	fmt.Fprintln(w, "Alias: memory-pass work and cost, points-to analysis off vs on")
+	fmt.Fprintf(w, "%-14s %8s %8s %10s %10s %9s %22s\n",
+		"Benchmark", "classes", "typed%", "work off", "work on", "cost%", "queries no/may/must")
+	totOff, totOn := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d %7.1f%% %10d %10d %8.1f%% %22s\n",
+			r.Bench, r.Classes, r.Typed, r.WorkOff, r.WorkOn, r.OverheadPercent(),
+			fmt.Sprintf("%d/%d/%d", r.Queries.No, r.Queries.May, r.Queries.Must))
+		totOff += r.WorkOff
+		totOn += r.WorkOn
+	}
+	fmt.Fprintf(w, "%-14s %8s %8s %10d %10d\n", "total", "", "", totOff, totOn)
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestAliasBuysOptimizationWork pins the PR's acceptance criterion: with
+// the points-to analysis feeding the memory passes, the pipeline applies
+// strictly more memory optimizations across the suite subset than the
+// blind ablation, and never fewer on any individual benchmark.
+func TestAliasBuysOptimizationWork(t *testing.T) {
+	var subset []workload.Profile
+	for _, name := range []string{"176.gcc", "177.mesa", "188.ammp", "197.parser", "254.gap"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		subset = append(subset, p)
+	}
+	rows, err := aliasTable(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totOff, totOn := 0, 0
+	for _, r := range rows {
+		if r.WorkOn < r.WorkOff {
+			t.Errorf("%s: alias info lost work: %d applied blind vs %d informed", r.Bench, r.WorkOff, r.WorkOn)
+		}
+		if r.Queries.Total() == 0 {
+			t.Errorf("%s: informed arm issued no alias queries", r.Bench)
+		}
+		totOff += r.WorkOff
+		totOn += r.WorkOn
+	}
+	if totOn <= totOff {
+		t.Errorf("points-to analysis bought no extra optimization work: %d blind vs %d informed", totOff, totOn)
+	}
+}

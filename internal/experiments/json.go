@@ -18,6 +18,7 @@ type Report struct {
 	Obs      []ObsJSON      `json:"obs,omitempty"`
 	Validate []ValidateJSON `json:"validate,omitempty"`
 	Tiers    []TiersJSON    `json:"tiers,omitempty"`
+	Alias    []AliasJSON    `json:"alias,omitempty"`
 }
 
 // Table1JSON is Table1Row with stable JSON field names.
@@ -180,6 +181,36 @@ func (r *Report) AddTiers(rows []TiersRow) {
 			Bench: row.Bench, InterpMs: ms(row.Interp), Tier1Ms: ms(row.T1),
 			Tier2Ms: ms(row.T2), AutoMs: ms(row.Auto),
 			T2OverT1: row.T2OverT1(), Steps: row.Steps,
+		})
+	}
+}
+
+// AliasJSON is AliasRow in Table2's millisecond convention. WorkOn/WorkOff
+// count applied memory-pass remarks, so the trajectory records whether the
+// points-to analysis keeps buying strictly more optimization work.
+type AliasJSON struct {
+	Bench           string  `json:"bench"`
+	Classes         int     `json:"classes"`
+	TypedPercent    float64 `json:"typed_percent"`
+	OffMs           float64 `json:"off_ms"`
+	OnMs            float64 `json:"on_ms"`
+	OverheadPercent float64 `json:"overhead_percent"`
+	WorkOff         int     `json:"work_off"`
+	WorkOn          int     `json:"work_on"`
+	QueriesNo       int64   `json:"queries_no"`
+	QueriesMay      int64   `json:"queries_may"`
+	QueriesMust     int64   `json:"queries_must"`
+}
+
+// AddAlias appends the alias precision/overhead rows to the report.
+func (r *Report) AddAlias(rows []AliasRow) {
+	for _, row := range rows {
+		r.Alias = append(r.Alias, AliasJSON{
+			Bench: row.Bench, Classes: row.Classes, TypedPercent: row.Typed,
+			OffMs: ms(row.Off), OnMs: ms(row.On),
+			OverheadPercent: row.OverheadPercent(),
+			WorkOff:         row.WorkOff, WorkOn: row.WorkOn,
+			QueriesNo: row.Queries.No, QueriesMay: row.Queries.May, QueriesMust: row.Queries.Must,
 		})
 	}
 }

@@ -3,8 +3,10 @@ package lifelong
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/dsa"
 	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/tooling"
@@ -101,6 +103,17 @@ func CompileWith(st *Store, m *core.Module, spec string, opts CompileOpts) (res 
 	pm.Metrics = opts.Metrics
 	if err := tooling.AddPipelineSpec(pm, spec); err != nil {
 		return nil, err
+	}
+	// Seed the pipeline's analysis cache with persisted points-to summaries
+	// for this content address, when present: sound because `work` is a
+	// fresh decode of exactly the canonical bytes the blob was computed
+	// against, and the first transforming pass that does not preserve
+	// dsa.Key invalidates the seed like any cached analysis.
+	if data, ok := st.GetSummaries(hash); ok {
+		if pt, derr := dsa.Decode(data, work); derr == nil {
+			pm.AM = analysis.NewManager()
+			pm.AM.ModuleExt(dsa.Key, work, func(*core.Module) interface{} { return pt })
+		}
 	}
 	if _, err := pm.Run(work); err != nil {
 		return nil, fmt.Errorf("lifelong: pipeline %q on %s: %w", spec, shortHash(hash), err)

@@ -65,6 +65,13 @@ func ReoptimizeStoredWith(st *Store, modHash, spec string, oracle *validate.Orac
 	if err != nil {
 		return nil, err
 	}
+	// Idle-time analysis warming: make sure the canonical module's
+	// points-to summaries are persisted (computed here, off the serving
+	// path, if missing) so the next /check or seeded /compile of this hash
+	// reuses them. Must happen before the transform mutates m.
+	if !st.HasSummaries(modHash) {
+		SummariesFor(st, modHash, m)
+	}
 	d, err := f.Counts.Bind(m)
 	if err != nil {
 		return nil, err

@@ -14,9 +14,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/dsa"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -121,6 +123,10 @@ type Server struct {
 	// manager uses, labeled pass="reoptimize", plus the quarantine total.
 	cValidateRuns, cValidateMiscompiles, cValidateInconclusive *obs.Counter
 	cQuarantined                                               *obs.Counter
+	// Alias-summary persistence counters: reuse counts /check requests
+	// served from a stored summary blob, computed counts fresh analyses
+	// (which are then persisted for the next request).
+	cAliasReuse, cAliasComputed *obs.Counter
 
 	// oracle checks reoptimized artifacts (nil when DisableValidate).
 	oracle *validate.Oracle
@@ -157,6 +163,21 @@ func NewServer(cfg Config) *Server {
 	s.cValidateMiscompiles = s.metrics.Counter("llvm_validate_confirmed_miscompiles_total", "pass", "reoptimize")
 	s.cValidateInconclusive = s.metrics.Counter("llvm_validate_inconclusive_total", "pass", "reoptimize")
 	s.cQuarantined = s.metrics.Counter("llvm_reopt_quarantined_total")
+	s.cAliasReuse = s.metrics.Counter("llvm_alias_summary_reuse_total")
+	s.cAliasComputed = s.metrics.Counter("llvm_alias_summary_computed_total")
+	for _, b := range []struct {
+		result string
+		get    func(dsa.QueryStats) int64
+	}{
+		{"no", func(st dsa.QueryStats) int64 { return st.No }},
+		{"may", func(st dsa.QueryStats) int64 { return st.May }},
+		{"must", func(st dsa.QueryStats) int64 { return st.Must }},
+	} {
+		b := b
+		s.metrics.CounterFunc("llvm_alias_queries_total", func() float64 {
+			return float64(b.get(dsa.Stats()))
+		}, "result", b.result)
+	}
 	if !s.cfg.DisableValidate {
 		s.oracle = validate.Default()
 	}
@@ -501,6 +522,9 @@ type checkResponse struct {
 	ModuleHash  string            `json:"module_hash"`
 	Diagnostics []diag.Diagnostic `json:"diagnostics"`
 	Errors      int               `json:"errors"`
+	// SummariesReused reports the points-to / mod-ref summaries came from
+	// the store's persisted blob instead of a fresh bottom-up analysis.
+	SummariesReused bool `json:"summaries_reused"`
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -514,15 +538,29 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "storing module: %v", err)
 		return
 	}
-	rep, err := checker.New().Check(m)
+	// Lifelong summaries: reuse the persisted points-to result for this
+	// content address when one exists, and seed it into the checker's
+	// analysis cache so the run never recomputes it.
+	pt, reused := SummariesFor(s.store, hash, m)
+	if reused {
+		s.cAliasReuse.Inc()
+	} else {
+		s.cAliasComputed.Inc()
+	}
+	am := analysis.NewManager()
+	am.ModuleExt(dsa.Key, m, func(*core.Module) interface{} { return pt })
+	ck := checker.New()
+	ck.AM = am
+	rep, err := ck.Check(m)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "check: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, checkResponse{
-		ModuleHash:  hash,
-		Diagnostics: rep.Diags,
-		Errors:      diag.CountErrors(rep.Diags),
+		ModuleHash:      hash,
+		Diagnostics:     rep.Diags,
+		Errors:          diag.CountErrors(rep.Diags),
+		SummariesReused: reused,
 	})
 }
 
@@ -558,6 +596,13 @@ type statsResponse struct {
 		T2Compiles       int64 `json:"t2_compiles"`
 		T2Reused         int64 `json:"t2_reused"`
 	} `json:"engine"`
+	Alias struct {
+		SummariesReused   uint64 `json:"summaries_reused"`
+		SummariesComputed uint64 `json:"summaries_computed"`
+		QueriesNo         int64  `json:"queries_no"`
+		QueriesMay        int64  `json:"queries_may"`
+		QueriesMust       int64  `json:"queries_must"`
+	} `json:"alias"`
 }
 
 // handleStats renders the JSON view of the same counters /metrics scrapes:
@@ -587,6 +632,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Engine.T1Reused = est.T1Reused
 	resp.Engine.T2Compiles = est.T2Compiles
 	resp.Engine.T2Reused = est.T2Reused
+	resp.Alias.SummariesReused = uint64(s.cAliasReuse.Value())
+	resp.Alias.SummariesComputed = uint64(s.cAliasComputed.Value())
+	qs := dsa.Stats()
+	resp.Alias.QueriesNo = qs.No
+	resp.Alias.QueriesMay = qs.May
+	resp.Alias.QueriesMust = qs.Must
 	s.reoptMu.Lock()
 	resp.Reopt.LastModule = s.reoptLast
 	resp.Reopt.LastEpoch = s.reoptEpoch

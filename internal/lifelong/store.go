@@ -46,6 +46,7 @@ type Store struct {
 	// Counters are atomics so /stats can read them without the lock.
 	moduleHits, moduleMisses     atomic.Uint64
 	artifactHits, artifactMisses atomic.Uint64
+	summaryHits, summaryMisses   atomic.Uint64
 	evictions, corruptions       atomic.Uint64
 	quarantines                  atomic.Uint64
 }
@@ -61,6 +62,8 @@ func (s *Store) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("llvm_store_module_misses_total", func() float64 { return float64(s.moduleMisses.Load()) })
 	reg.CounterFunc("llvm_store_artifact_hits_total", func() float64 { return float64(s.artifactHits.Load()) })
 	reg.CounterFunc("llvm_store_artifact_misses_total", func() float64 { return float64(s.artifactMisses.Load()) })
+	reg.CounterFunc("llvm_store_summary_hits_total", func() float64 { return float64(s.summaryHits.Load()) })
+	reg.CounterFunc("llvm_store_summary_misses_total", func() float64 { return float64(s.summaryMisses.Load()) })
 	reg.CounterFunc("llvm_store_evictions_total", func() float64 { return float64(s.evictions.Load()) })
 	reg.CounterFunc("llvm_store_corruptions_total", func() float64 { return float64(s.corruptions.Load()) })
 	reg.CounterFunc("llvm_store_quarantines_total", func() float64 { return float64(s.quarantines.Load()) })
@@ -92,6 +95,12 @@ const (
 	modulesDir   = "modules"
 	artifactsDir = "artifacts"
 	profilesDir  = "profiles"
+	// summariesDir holds serialized whole-program points-to / mod/ref
+	// summaries (internal/dsa encoding), keyed by module hash. They are a
+	// pure cache over the module blob — evictable, rebuilt on demand — but
+	// persisting them is what lets repeat /check calls and idle-time
+	// analysis skip the bottom-up recomputation entirely.
+	summariesDir = "summaries"
 	// quarantineDir holds poisoned-artifact markers: artifacts the
 	// translation-validation oracle confirmed miscompiled. Quarantine
 	// blobs live outside the index — they are never served, never count
@@ -112,7 +121,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	if maxBytes == 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	for _, sub := range []string{modulesDir, artifactsDir, profilesDir, quarantineDir} {
+	for _, sub := range []string{modulesDir, artifactsDir, profilesDir, summariesDir, quarantineDir} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
@@ -139,7 +148,7 @@ func (s *Store) loadIndex() error {
 	// Reconcile with the blobs actually on disk: drop entries whose blob
 	// vanished, adopt blobs the index never heard of.
 	seen := map[string]bool{}
-	for _, sub := range []string{modulesDir, artifactsDir, profilesDir} {
+	for _, sub := range []string{modulesDir, artifactsDir, profilesDir, summariesDir} {
 		entries, err := os.ReadDir(filepath.Join(s.dir, sub))
 		if err != nil {
 			return err
@@ -364,6 +373,49 @@ func (s *Store) GetArtifact(modHash, spec string, epoch int64) ([]byte, bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Points-to summaries
+
+func summaryPath(modHash string) string { return filepath.Join(summariesDir, modHash+".pts") }
+
+// PutSummaries stores the serialized points-to / mod-ref summaries for the
+// module at modHash (internal/dsa encoding). The blob is keyed purely by
+// the module's content address: a changed module has a different hash, so
+// stale summaries are structurally unreachable, and the dsa decoder
+// additionally rejects any blob that does not describe the module it is
+// bound to.
+func (s *Store) PutSummaries(modHash string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putBlobLocked(summaryPath(modHash), "", data)
+}
+
+// GetSummaries returns the serialized summaries for modHash, verifying the
+// blob digest; corrupt blobs count as misses and are removed.
+func (s *Store) GetSummaries(modHash string) ([]byte, bool) {
+	s.mu.Lock()
+	data, ok := s.getBlobLocked(summaryPath(modHash))
+	s.mu.Unlock()
+	if ok {
+		s.summaryHits.Add(1)
+	} else {
+		s.summaryMisses.Add(1)
+	}
+	if s.Tracer != nil {
+		s.Tracer.Instant("summary-"+cacheWord(ok), "store", 0, map[string]string{"hash": shortHash(modHash)})
+	}
+	return data, ok
+}
+
+// HasSummaries reports whether summaries exist for modHash without touching
+// the LRU recency or hit/miss counters (the idle loop's probe).
+func (s *Store) HasSummaries(modHash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.idx.Entries[summaryPath(modHash)]
+	return ok
+}
+
+// ---------------------------------------------------------------------------
 // Quarantine
 
 // quarantinePath mirrors artifactPath's key under quarantineDir with the
@@ -515,6 +567,8 @@ type StoreStats struct {
 	Modules   int `json:"modules"`
 	Artifacts int `json:"artifacts"`
 	Profiles  int `json:"profiles"`
+	// Summaries counts persisted points-to summary blobs.
+	Summaries int `json:"summaries"`
 	// Quarantined counts poisoned artifacts on disk (confirmed
 	// miscompiles the serving path refuses to touch).
 	Quarantined int   `json:"quarantined"`
@@ -525,6 +579,8 @@ type StoreStats struct {
 	ModuleMisses   uint64 `json:"module_misses"`
 	ArtifactHits   uint64 `json:"artifact_hits"`
 	ArtifactMisses uint64 `json:"artifact_misses"`
+	SummaryHits    uint64 `json:"summary_hits"`
+	SummaryMisses  uint64 `json:"summary_misses"`
 	Evictions      uint64 `json:"evictions"`
 	Corruptions    uint64 `json:"corruptions"`
 }
@@ -537,6 +593,8 @@ func (s *Store) Stats() StoreStats {
 		ModuleMisses:   s.moduleMisses.Load(),
 		ArtifactHits:   s.artifactHits.Load(),
 		ArtifactMisses: s.artifactMisses.Load(),
+		SummaryHits:    s.summaryHits.Load(),
+		SummaryMisses:  s.summaryMisses.Load(),
 		Evictions:      s.evictions.Load(),
 		Corruptions:    s.corruptions.Load(),
 	}
@@ -558,6 +616,8 @@ func (s *Store) Stats() StoreStats {
 			st.Artifacts++
 		case profilesDir:
 			st.Profiles++
+		case summariesDir:
+			st.Summaries++
 		}
 	}
 	return st

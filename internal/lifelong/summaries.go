@@ -1,0 +1,29 @@
+package lifelong
+
+import (
+	"repro/internal/core"
+	"repro/internal/dsa"
+)
+
+// SummariesFor returns the whole-program points-to / mod-ref result for a
+// module already interned in the store under hash, reusing the persisted
+// encoding when one exists and computing (then persisting) it otherwise.
+// reused reports which path was taken.
+//
+// Safety of reuse rests on two independent checks: the key is the module's
+// content address, so a changed module looks up a different blob, and the
+// dsa decoder positionally validates the blob against the module it is
+// being bound to, so even a blob planted under the wrong hash is rejected
+// and recomputed rather than trusted.
+func SummariesFor(st *Store, hash string, m *core.Module) (res *dsa.Result, reused bool) {
+	if data, ok := st.GetSummaries(hash); ok {
+		if r, err := dsa.Decode(data, m); err == nil {
+			return r, true
+		}
+		// The blob does not describe this module (stale or foreign): fall
+		// through and overwrite it with a fresh computation.
+	}
+	r := dsa.Analyze(m)
+	st.PutSummaries(hash, r.Encode(m))
+	return r, false
+}

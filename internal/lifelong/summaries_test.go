@@ -1,0 +1,180 @@
+package lifelong
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/dsa"
+)
+
+const summarySrc = `
+%g = internal global int 0
+
+internal void %writeg(int %v) {
+entry:
+	store int %v, int* %g
+	ret void
+}
+
+int %main() {
+entry:
+	%a = alloca int
+	%b = alloca int
+	store int 1, int* %a
+	store int 2, int* %b
+	call void %writeg(int 3)
+	%v = load int* %a
+	ret int %v
+}
+`
+
+func TestSummariesPersistAndReuse(t *testing.T) {
+	st := openStore(t, 0)
+	m := parse(t, summarySrc)
+	hash, canonical, err := st.PutModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, reused := SummariesFor(st, hash, m)
+	if reused {
+		t.Fatal("first computation claimed reuse")
+	}
+	if r1.Restored() {
+		t.Fatal("fresh analysis marked restored")
+	}
+	if st.Stats().Summaries != 1 {
+		t.Fatalf("summary blob count = %d, want 1", st.Stats().Summaries)
+	}
+
+	// A second round trip through the store — fresh decode of the same
+	// canonical bytes — must reuse the persisted blob, not recompute.
+	m2, err := bytecode.Decode(canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, reused := SummariesFor(st, hash, m2)
+	if !reused {
+		t.Fatal("unchanged module did not reuse persisted summaries")
+	}
+	if !r2.Restored() {
+		t.Fatal("reused result not marked restored")
+	}
+
+	// The restored result answers the same queries: the two allocas of
+	// main are distinct, and writeg's effects are visible.
+	f := m2.Func("main")
+	entry := f.Blocks[0]
+	a, b := entry.Instrs[0], entry.Instrs[1]
+	if got := r2.Alias(a, b); got != dsa.NoAlias {
+		t.Fatalf("restored Alias(%%a, %%b) = %v, want no", got)
+	}
+	if got := r2.Alias(a, a); got != dsa.MustAlias {
+		t.Fatalf("restored Alias(%%a, %%a) = %v, want must", got)
+	}
+	fe := r2.Effects(m2.Func("writeg"))
+	if fe == nil || !fe.Mod[r2.NodeFor(m2.Global("g"))] {
+		t.Fatal("restored effects lost writeg's mod of the global")
+	}
+}
+
+func TestSummariesInvalidatedByModuleChange(t *testing.T) {
+	st := openStore(t, 0)
+	m := parse(t, summarySrc)
+	hash, _, err := st.PutModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, reused := SummariesFor(st, hash, m); reused {
+		t.Fatal("cold store claimed reuse")
+	}
+
+	// A changed module has a different content address: the lookup misses
+	// structurally, so stale summaries can never be consulted.
+	changed := parse(t, strings.Replace(summarySrc, "int 1", "int 42", 1))
+	hash2, _, err := st.PutModule(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash2 == hash {
+		t.Fatal("mutated module hashed identically")
+	}
+	if _, reused := SummariesFor(st, hash2, changed); reused {
+		t.Fatal("mutated module reused stale summaries")
+	}
+
+	// Defense in depth: even a blob planted under the right hash is
+	// rejected by the decoder when it does not describe the module, and
+	// recomputed instead of trusted.
+	bigger := parse(t, summarySrc+`
+int %extra(int %x) {
+entry:
+	ret int %x
+}
+`)
+	hash3, _, err := st.PutModule(bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, ok := st.GetSummaries(hash)
+	if !ok {
+		t.Fatal("original blob vanished")
+	}
+	if err := st.PutSummaries(hash3, foreign); err != nil {
+		t.Fatal(err)
+	}
+	r, reused := SummariesFor(st, hash3, bigger)
+	if reused {
+		t.Fatal("foreign summary blob accepted for a different module")
+	}
+	if r == nil || r.Restored() {
+		t.Fatal("fallback recomputation missing or mislabeled")
+	}
+}
+
+// TestCheckEndpointReusesSummaries pins the acceptance criterion: a warm
+// /check round trip reuses the persisted summaries (reuse counter > 0) and
+// a mutated module never does.
+func TestCheckEndpointReusesSummaries(t *testing.T) {
+	s, ts := newTestServer(t, Config{DisableReopt: true})
+
+	var cold, warm, mutated checkResponse
+	if resp := postJSON(t, ts.URL+"/check", []byte(summarySrc), &cold); resp.StatusCode != 200 {
+		t.Fatalf("cold check status %d", resp.StatusCode)
+	}
+	if cold.SummariesReused {
+		t.Fatal("cold check claimed summary reuse")
+	}
+	if resp := postJSON(t, ts.URL+"/check", []byte(summarySrc), &warm); resp.StatusCode != 200 {
+		t.Fatalf("warm check status %d", resp.StatusCode)
+	}
+	if !warm.SummariesReused {
+		t.Fatal("warm check did not reuse persisted summaries")
+	}
+	if warm.ModuleHash != cold.ModuleHash {
+		t.Fatal("module hash unstable across checks")
+	}
+	// Same module, same diagnostics, either path.
+	if len(warm.Diagnostics) != len(cold.Diagnostics) || warm.Errors != cold.Errors {
+		t.Fatalf("restored summaries changed diagnostics: %d/%d vs %d/%d",
+			len(warm.Diagnostics), warm.Errors, len(cold.Diagnostics), cold.Errors)
+	}
+	if v := s.cAliasReuse.Value(); v < 1 {
+		t.Fatalf("llvm_alias_summary_reuse_total = %v, want >= 1", v)
+	}
+
+	src2 := strings.Replace(summarySrc, "int 1", "int 42", 1)
+	if resp := postJSON(t, ts.URL+"/check", []byte(src2), &mutated); resp.StatusCode != 200 {
+		t.Fatalf("mutated check status %d", resp.StatusCode)
+	}
+	if mutated.SummariesReused {
+		t.Fatal("mutated module reused stale summaries")
+	}
+	if mutated.ModuleHash == cold.ModuleHash {
+		t.Fatal("mutated module kept the same content address")
+	}
+	if st := s.store.Stats(); st.Summaries != 2 {
+		t.Fatalf("summary blobs = %d, want 2 (one per distinct module)", st.Summaries)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/dsa"
 	"repro/internal/obs"
 )
 
@@ -15,8 +16,15 @@ import (
 // instruction computing the same expression as one that dominates it is
 // replaced by the earlier result. This is the "redundancy elimination" the
 // paper highlights getelementptr exposing for address arithmetic (§2.2).
+// With points-to information it additionally forwards block-local redundant
+// loads: a load whose address must-aliases an earlier load or store in the
+// block reuses that value, unless an intervening store, free, or call may
+// have clobbered the object.
 type CSE struct {
 	rem *obs.Remarks
+	// NoAlias disables points-to-based load forwarding (ablation baseline
+	// for llvm-bench -alias).
+	NoAlias bool
 }
 
 // NewCSE returns the pass.
@@ -25,9 +33,9 @@ func NewCSE() *CSE { return &CSE{} }
 // Name returns the pass name.
 func (*CSE) Name() string { return "cse" }
 
-// Preserves: erasing redundant pure instructions leaves the CFG and call
-// sites intact.
-func (*CSE) Preserves() analysis.Preserved { return analysis.PreserveAll }
+// Preserves: erasing redundant pure instructions and loads leaves the CFG
+// and call sites intact; removals only shrink the points-to relation.
+func (*CSE) Preserves() analysis.Preserved { return analysis.PreserveAll | dsa.Key.Mask() }
 
 func (c *CSE) setRemarks(r *obs.Remarks) { c.rem = r }
 
@@ -41,13 +49,26 @@ func (c *CSE) runOnFunctionWith(f *core.Function, am *analysis.Manager) int {
 		return 0
 	}
 	dt := am.DomTree(f)
+	var pt *dsa.Result
+	if !c.NoAlias {
+		pt = dsa.Of(am, f.Parent())
+	}
 	table := map[string]core.Instruction{}
 	changed := 0
 
 	var walk func(b *core.BasicBlock)
 	walk = func(b *core.BasicBlock) {
 		var added []string
+		// Block-local available memory values: address → value the cell
+		// holds, pruned by alias queries at each potential clobber.
+		var avail []memAvail
 		for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
+			if pt != nil {
+				if done, ate := c.memCSE(f, b, inst, pt, &avail); ate {
+					changed += done
+					continue
+				}
+			}
 			key, ok := exprKey(inst)
 			if !ok {
 				continue
@@ -103,6 +124,74 @@ func exprKey(inst core.Instruction) (string, bool) {
 		return sb.String(), true
 	}
 	return "", false
+}
+
+// memAvail records that the memory at ptr currently holds val (within the
+// current block).
+type memAvail struct {
+	ptr core.Value
+	val core.Value
+}
+
+// memCSE handles one instruction's effect on the block-local available-load
+// table. It returns (eliminated, handled): handled is true when the
+// instruction was a memory operation this table models (the caller skips
+// expression CSE for it).
+func (c *CSE) memCSE(f *core.Function, b *core.BasicBlock, inst core.Instruction,
+	pt *dsa.Result, avail *[]memAvail) (int, bool) {
+	// keep retains only entries that provably survive a write through ptr.
+	keepNoAlias := func(ptr core.Value) {
+		kept := (*avail)[:0]
+		for _, e := range *avail {
+			if pt.Alias(e.ptr, ptr) == dsa.NoAlias {
+				kept = append(kept, e)
+			}
+		}
+		*avail = kept
+	}
+	switch i := inst.(type) {
+	case *core.LoadInst:
+		for _, e := range *avail {
+			if pt.Alias(i.Ptr(), e.ptr) == dsa.MustAlias && core.TypesEqual(e.val.Type(), i.Type()) {
+				if c.rem.Enabled() {
+					c.rem.Appliedf("cse",
+						diag.Pos{Fn: f.Name(), Block: b.Name(), Inst: core.InstDebugString(inst)},
+						"forwarded available value to redundant load (must-alias, no intervening clobber)")
+				}
+				core.ReplaceAllUses(inst, e.val)
+				b.Erase(inst)
+				return 1, true
+			}
+		}
+		*avail = append(*avail, memAvail{ptr: i.Ptr(), val: i})
+		return 0, true
+	case *core.StoreInst:
+		keepNoAlias(i.Ptr())
+		*avail = append(*avail, memAvail{ptr: i.Ptr(), val: i.Val()})
+		return 0, true
+	case *core.FreeInst:
+		keepNoAlias(i.Ptr())
+		return 0, true
+	case *core.CallInst:
+		c.pruneForCall(i.Callee(), pt, avail)
+		return 0, true
+	case *core.InvokeInst:
+		c.pruneForCall(i.Callee(), pt, avail)
+		return 0, true
+	}
+	return 0, false
+}
+
+// pruneForCall drops available values the callee may overwrite, using the
+// per-function effect summaries.
+func (c *CSE) pruneForCall(callee core.Value, pt *dsa.Result, avail *[]memAvail) {
+	kept := (*avail)[:0]
+	for _, e := range *avail {
+		if !pt.CallSiteMayMod(callee, pt.NodeFor(e.ptr)) {
+			kept = append(kept, e)
+		}
+	}
+	*avail = kept
 }
 
 // valueKey identifies a value: constants structurally, others by identity.

@@ -1,0 +1,273 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDSEOverwrittenStore(t *testing.T) {
+	m := parse(t, `
+%g = global int 0
+
+int %f() {
+entry:
+	store int 1, int* %g
+	store int 2, int* %g
+	%v = load int* %g
+	ret int %v
+}
+`)
+	f := m.Func("f")
+	if n := NewDSE().RunOnFunction(f); n != 1 {
+		t.Fatalf("overwritten store not removed (%d)", n)
+	}
+	if got := countOps(f, core.OpStore); got != 1 {
+		t.Fatalf("store count = %d, want 1", got)
+	}
+	mustVerify(t, m)
+}
+
+func TestDSEKeptWhenLoadMayRead(t *testing.T) {
+	m := parse(t, `
+%g = global int 0
+
+int %f() {
+entry:
+	store int 1, int* %g
+	%v = load int* %g
+	store int 2, int* %g
+	%w = load int* %g
+	%s = add int %v, %w
+	ret int %s
+}
+`)
+	if n := NewDSE().RunOnFunction(m.Func("f")); n != 0 {
+		t.Fatalf("store with intervening reader removed (%d)", n)
+	}
+}
+
+func TestDSECallSummaryDisambiguates(t *testing.T) {
+	// readsH only reads %h, so the pending store to %g survives the call
+	// and dies at the overwrite; readsG reads %g and must block removal.
+	src := `
+%g = global int 0
+%h = global int 0
+
+internal int %readsH() {
+entry:
+	%v = load int* %h
+	ret int %v
+}
+
+internal int %readsG() {
+entry:
+	%v = load int* %g
+	ret int %v
+}
+
+int %acrossH() {
+entry:
+	store int 1, int* %g
+	%x = call int %readsH()
+	store int 2, int* %g
+	%v = load int* %g
+	%s = add int %x, %v
+	ret int %s
+}
+
+int %acrossG() {
+entry:
+	store int 1, int* %g
+	%x = call int %readsG()
+	store int 2, int* %g
+	%v = load int* %g
+	%s = add int %x, %v
+	ret int %s
+}
+`
+	m := parse(t, src)
+	if n := NewDSE().RunOnFunction(m.Func("acrossH")); n != 1 {
+		t.Errorf("store across non-reading call not removed (%d)", n)
+	}
+	if n := NewDSE().RunOnFunction(m.Func("acrossG")); n != 0 {
+		t.Errorf("store across reading call wrongly removed (%d)", n)
+	}
+	mustVerify(t, m)
+}
+
+func TestDSEFrameLocalDeadAtReturn(t *testing.T) {
+	m := parse(t, `
+internal int %f(int %x) {
+entry:
+	%a = alloca int
+	%y = add int %x, 1
+	store int %y, int* %a
+	ret int %y
+}
+`)
+	f := m.Func("f")
+	if n := NewDSE().RunOnFunction(f); n != 1 {
+		t.Fatalf("store to dead frame slot not removed (%d)", n)
+	}
+	if got := countOps(f, core.OpStore); got != 0 {
+		t.Fatalf("store count = %d, want 0", got)
+	}
+	mustVerify(t, m)
+}
+
+func TestDSEEscapedAllocaKeptAtReturn(t *testing.T) {
+	m := parse(t, `
+declare void %keep(int*)
+
+internal void %f() {
+entry:
+	%a = alloca int
+	call void %keep(int* %a)
+	store int 7, int* %a
+	ret void
+}
+`)
+	if n := NewDSE().RunOnFunction(m.Func("f")); n != 0 {
+		t.Fatalf("store to escaped alloca removed at return (%d)", n)
+	}
+}
+
+func TestDSECallerFrameKeptAtReturn(t *testing.T) {
+	// The store targets the *caller's* alloca through a parameter: live
+	// after f returns.
+	m := parse(t, `
+internal void %f(int* %p) {
+entry:
+	store int 3, int* %p
+	ret void
+}
+
+int %caller() {
+entry:
+	%a = alloca int
+	call void %f(int* %a)
+	%v = load int* %a
+	ret int %v
+}
+`)
+	if n := NewDSE().RunOnFunction(m.Func("f")); n != 0 {
+		t.Fatalf("store through parameter removed (%d)", n)
+	}
+}
+
+func TestLICMHoistsLoadWithNoAliasingStore(t *testing.T) {
+	// %n is loop-invariant and the loop's only store targets a distinct
+	// object, so the load moves to the preheader.
+	m := parse(t, `
+%n = global int 100
+%acc = global int 0
+
+internal void %f() {
+entry:
+	br label %loop
+loop:
+	%i = phi int [ 0, %entry ], [ %inc, %loop ]
+	%lim = load int* %n
+	%cur = load int* %acc
+	%next = add int %cur, %i
+	store int %next, int* %acc
+	%inc = add int %i, 1
+	%done = setge int %inc, %lim
+	br bool %done, label %exit, label %loop
+exit:
+	ret void
+}
+`)
+	f := m.Func("f")
+	if n := NewLICM().RunOnFunction(f); n == 0 {
+		t.Fatal("loop-invariant load of %n not hoisted")
+	}
+	// The load of %acc is clobbered by the loop's store and must stay.
+	loop := f.Blocks[1]
+	stays := false
+	for _, inst := range loop.Instrs {
+		if ld, ok := inst.(*core.LoadInst); ok && ld.Ptr() == core.Value(m.Global("acc")) {
+			stays = true
+		}
+	}
+	if !stays {
+		t.Fatal("load of clobbered %acc wrongly hoisted")
+	}
+	mustVerify(t, m)
+
+	// Ablation arm: with alias information off, nothing hoists.
+	m2 := parse(t, m.String())
+	l := NewLICM()
+	l.NoAlias = true
+	if n := l.RunOnFunction(m2.Func("f")); n != 0 {
+		t.Fatalf("NoAlias arm still hoisted %d", n)
+	}
+}
+
+func TestCSEForwardsLoadAcrossCall(t *testing.T) {
+	// writesH cannot touch %g, so the second load of %g forwards; the
+	// store-to-load pair forwards too.
+	m := parse(t, `
+%g = global int 0
+%h = global int 0
+
+internal void %writesH() {
+entry:
+	store int 5, int* %h
+	ret void
+}
+
+int %f() {
+entry:
+	%v1 = load int* %g
+	call void %writesH()
+	%v2 = load int* %g
+	%s = add int %v1, %v2
+	ret int %s
+}
+`)
+	f := m.Func("f")
+	if n := NewCSE().RunOnFunction(f); n != 1 {
+		t.Fatalf("redundant load across harmless call not forwarded (%d)", n)
+	}
+	if got := countOps(f, core.OpLoad); got != 1 {
+		t.Fatalf("load count = %d, want 1", got)
+	}
+	mustVerify(t, m)
+}
+
+func TestCSEStoreToLoadForwarding(t *testing.T) {
+	m := parse(t, `
+int %f(int* %p, int %x) {
+entry:
+	store int %x, int* %p
+	%v = load int* %p
+	ret int %v
+}
+`)
+	f := m.Func("f")
+	if n := NewCSE().RunOnFunction(f); n != 1 {
+		t.Fatalf("stored value not forwarded to load (%d)", n)
+	}
+	if got := countOps(f, core.OpLoad); got != 0 {
+		t.Fatalf("load count = %d, want 0", got)
+	}
+	mustVerify(t, m)
+}
+
+func TestCSELoadNotForwardedAcrossMayAliasStore(t *testing.T) {
+	m := parse(t, `
+int %f(int* %p, int* %q) {
+entry:
+	%v1 = load int* %p
+	store int 9, int* %q
+	%v2 = load int* %p
+	%s = add int %v1, %v2
+	ret int %s
+}
+`)
+	if n := NewCSE().RunOnFunction(m.Func("f")); n != 0 {
+		t.Fatalf("load forwarded across may-alias store (%d)", n)
+	}
+}

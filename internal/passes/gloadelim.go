@@ -79,10 +79,9 @@ func (p *GlobalLoadElim) runBlock(b *core.BasicBlock, mr map[*core.Function]*ana
 			}
 
 		case *core.CallInst:
-			p.applyCallEffects(i.CalledFunction(), known, mr, invalidateAll)
+			p.applyCallEffects(i.Callee(), i.Args(), known, mr, invalidateAll)
 		case *core.InvokeInst:
-			target, _ := i.Callee().(*core.Function)
-			p.applyCallEffects(target, known, mr, invalidateAll)
+			p.applyCallEffects(i.Callee(), i.Args(), known, mr, invalidateAll)
 		case *core.VAArgInst, *core.FreeInst:
 			// free cannot legally target a global; vaarg reads only.
 		}
@@ -90,20 +89,27 @@ func (p *GlobalLoadElim) runBlock(b *core.BasicBlock, mr map[*core.Function]*ana
 	return changed
 }
 
-func (p *GlobalLoadElim) applyCallEffects(target *core.Function, known map[*core.GlobalVariable]core.Value,
-	mr map[*core.Function]*analysis.ModRefInfo, invalidateAll func()) {
-	if target == nil {
+func (p *GlobalLoadElim) applyCallEffects(callee core.Value, args []core.Value,
+	known map[*core.GlobalVariable]core.Value, mr map[*core.Function]*analysis.ModRefInfo,
+	invalidateAll func()) {
+	targets, ok := analysis.CallTargets(callee)
+	if !ok {
+		// Unresolvable indirect call: anything may be written.
 		invalidateAll()
 		return
 	}
-	mi := mr[target]
-	if mi == nil || mi.ModAny {
-		invalidateAll()
-		return
-	}
+	// Per-argument summaries: a callee that writes only through pointer
+	// arguments invalidates just the globals those actuals may address,
+	// not every known global.
 	for g := range known {
-		if !g.IsConst && mi.Writes(g) {
-			delete(known, g)
+		if g.IsConst {
+			continue
+		}
+		for _, t := range targets {
+			if analysis.CallWritesGlobal(mr[t], args, g) {
+				delete(known, g)
+				break
+			}
 		}
 	}
 }

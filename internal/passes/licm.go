@@ -4,16 +4,20 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/dsa"
 	"repro/internal/obs"
 )
 
 // LICM hoists loop-invariant pure computations (arithmetic, comparisons,
 // casts, getelementptrs) into the loop preheader. Division and remainder
-// are not speculated (they can trap); memory operations are not touched
-// (no memory dependence analysis is attempted — the paper keeps memory out
-// of SSA form, §2.1, and so do we).
+// are not speculated (they can trap). Loop-invariant loads from trap-safe
+// addresses are hoisted too, when the points-to analysis proves no store,
+// free, or call in the loop can modify the loaded object.
 type LICM struct {
 	rem *obs.Remarks
+	// NoAlias disables points-to-based load hoisting (ablation baseline
+	// for llvm-bench -alias).
+	NoAlias bool
 }
 
 // NewLICM returns the pass.
@@ -23,8 +27,9 @@ func NewLICM() *LICM { return &LICM{} }
 func (*LICM) Name() string { return "licm" }
 
 // Preserves: hoisting moves instructions between existing blocks; the CFG
-// and call sites are untouched.
-func (*LICM) Preserves() analysis.Preserved { return analysis.PreserveAll }
+// and call sites are untouched, and moving instructions adds no points-to
+// edges, so the cached DSA result stays a valid over-approximation.
+func (*LICM) Preserves() analysis.Preserved { return analysis.PreserveAll | dsa.Key.Mask() }
 
 func (l *LICM) setRemarks(r *obs.Remarks) { l.rem = r }
 
@@ -40,10 +45,14 @@ func (l *LICM) runOnFunctionWith(f *core.Function, am *analysis.Manager) int {
 	}
 	li := am.LoopInfo(f)
 	loops := li.All()
+	var pt *dsa.Result
+	if !l.NoAlias {
+		pt = dsa.Of(am, f.Parent())
+	}
 	// Innermost first: reverse of outer-first order.
 	hoisted := 0
 	for i := len(loops) - 1; i >= 0; i-- {
-		hoisted += l.runLoop(loops[i])
+		hoisted += l.runLoop(loops[i], pt)
 	}
 	return hoisted
 }
@@ -66,7 +75,134 @@ func hoistable(inst core.Instruction) bool {
 	return false
 }
 
-func (l *LICM) runLoop(loop *analysis.Loop) int {
+// loopMem is the set of loop operations that can modify memory, gathered
+// once per loop for the load-hoisting legality check.
+type loopMem struct {
+	storePtrs []core.Value // store and free targets
+	calls     []core.Value // callee operands of calls/invokes
+}
+
+// collectLoopMem gathers the loop's memory writers in block order.
+func collectLoopMem(blocks []*core.BasicBlock) *loopMem {
+	mem := &loopMem{}
+	for _, b := range blocks {
+		for _, inst := range b.Instrs {
+			switch i := inst.(type) {
+			case *core.StoreInst:
+				mem.storePtrs = append(mem.storePtrs, i.Ptr())
+			case *core.FreeInst:
+				mem.storePtrs = append(mem.storePtrs, i.Ptr())
+			case *core.CallInst:
+				mem.calls = append(mem.calls, i.Callee())
+			case *core.InvokeInst:
+				mem.calls = append(mem.calls, i.Callee())
+			}
+		}
+	}
+	return mem
+}
+
+// loadHoistable reports whether a loop-invariant load may move to the
+// preheader: the address must be trap-safe to speculate (the loop may run
+// zero times), and no store, free, or call in the loop may modify the
+// loaded memory.
+func (l *LICM) loadHoistable(pt *dsa.Result, mem *loopMem, ld *core.LoadInst) bool {
+	if pt == nil {
+		return false
+	}
+	p := ld.Ptr()
+	if !trapSafeAddress(p) {
+		return false
+	}
+	for _, s := range mem.storePtrs {
+		if pt.Alias(p, s) != dsa.NoAlias {
+			return false
+		}
+	}
+	if len(mem.calls) > 0 {
+		n := pt.NodeFor(p)
+		for _, c := range mem.calls {
+			if pt.CallSiteMayMod(c, n) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// trapSafeAddress reports whether dereferencing p is safe to speculate:
+// a global or alloca base reached through constant, statically in-bounds
+// gep indices. Such an address always maps allocated storage.
+func trapSafeAddress(p core.Value) bool {
+	for {
+		switch v := p.(type) {
+		case *core.GlobalVariable:
+			return true
+		case *core.AllocaInst:
+			return v.NumElems() == nil // dynamic-size alloca: unknown extent
+		case *core.GetElementPtrInst:
+			if !gepStaticallyInBounds(v.Base().Type(), v.Indices()) {
+				return false
+			}
+			p = v.Base()
+		case *core.ConstantExpr:
+			if v.Op != core.OpGetElementPtr {
+				return false
+			}
+			idx := make([]core.Value, 0, len(v.Operands())-1)
+			for i := 1; i < len(v.Operands()); i++ {
+				idx = append(idx, v.Operand(i))
+			}
+			if !gepStaticallyInBounds(v.Operand(0).Type(), idx) {
+				return false
+			}
+			p = v.Operand(0)
+		default:
+			return false
+		}
+	}
+}
+
+// gepStaticallyInBounds checks that every index is a constant selecting a
+// real field/element of the statically known object (first index must be 0:
+// no pointer arithmetic past the object).
+func gepStaticallyInBounds(baseTy core.Type, indices []core.Value) bool {
+	pt, ok := baseTy.(*core.PointerType)
+	if !ok {
+		return false
+	}
+	cur := core.Type(pt.Elem)
+	for k, idx := range indices {
+		ci, ok := idx.(*core.ConstantInt)
+		if !ok {
+			return false
+		}
+		i := ci.SExt()
+		if k == 0 {
+			if i != 0 {
+				return false
+			}
+			continue
+		}
+		switch t := cur.(type) {
+		case *core.StructType:
+			if i < 0 || int(i) >= len(t.Fields) {
+				return false
+			}
+			cur = t.Fields[int(i)]
+		case *core.ArrayType:
+			if i < 0 || int(i) >= t.Len {
+				return false
+			}
+			cur = t.Elem
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (l *LICM) runLoop(loop *analysis.Loop, pt *dsa.Result) int {
 	pre := loop.Preheader()
 	if pre == nil {
 		return 0
@@ -97,6 +233,7 @@ func (l *LICM) runLoop(loop *analysis.Loop) int {
 		}
 		return true
 	}
+	mem := collectLoopMem(blocks)
 	hoisted := 0
 	firstRound := true
 	for changed := true; changed; {
@@ -104,6 +241,21 @@ func (l *LICM) runLoop(loop *analysis.Loop) int {
 		for _, b := range blocks {
 			for _, inst := range append([]core.Instruction(nil), b.Instrs...) {
 				if inst.Parent() != b {
+					continue
+				}
+				if ld, isLoad := inst.(*core.LoadInst); isLoad {
+					if !allInvariant(inst) || !l.loadHoistable(pt, mem, ld) {
+						continue
+					}
+					if l.rem.Enabled() {
+						l.rem.Appliedf("licm",
+							diag.Pos{Fn: f.Name(), Block: b.Name(), Inst: core.InstDebugString(inst)},
+							"hoisted loop-invariant load to preheader %%%s: no aliasing store or modifying call in loop", pre.Name())
+					}
+					b.Remove(inst)
+					pre.InsertAt(len(pre.Instrs)-1, inst)
+					hoisted++
+					changed = true
 					continue
 				}
 				if !hoistable(inst) {

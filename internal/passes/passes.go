@@ -619,6 +619,7 @@ func StandardFunctionPasses() []FunctionPass {
 		NewSCCP(),
 		NewCSE(),
 		NewLICM(),
+		NewDSE(),
 		NewADCE(),
 		NewSimplifyCFG(),
 	}

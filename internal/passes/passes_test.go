@@ -672,8 +672,10 @@ entry:
 }
 `)
 	f := m.Func("f")
-	if n := NewCSE().RunOnFunction(f); n != 1 {
-		t.Fatalf("duplicate GEP not eliminated (%d)", n)
+	// Two eliminations: the duplicate GEP, and then the second load —
+	// its address must-aliases the first load's with no clobber between.
+	if n := NewCSE().RunOnFunction(f); n != 2 {
+		t.Fatalf("duplicate GEP + redundant load not eliminated (%d)", n)
 	}
 	mustVerify(t, m)
 }

@@ -133,6 +133,8 @@ func PassByName(name string) (passes.ModulePass, bool) {
 		return passes.AdaptFunctionPass(passes.NewCSE()), true
 	case "licm":
 		return passes.AdaptFunctionPass(passes.NewLICM()), true
+	case "dse":
+		return passes.AdaptFunctionPass(passes.NewDSE()), true
 	case "simplifycfg":
 		return passes.AdaptFunctionPass(passes.NewSimplifyCFG()), true
 	case "inline":

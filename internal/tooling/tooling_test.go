@@ -172,7 +172,7 @@ func TestAddPipelineSpec(t *testing.T) {
 	// embed; pin it so a silent pipeline change invalidates consciously.
 	std := passes.NewPassManager()
 	std.AddStandardPipeline()
-	if got := std.Spec(); got != "sroa,mem2reg,instcombine,sccp,cse,licm,adce,simplifycfg" {
+	if got := std.Spec(); got != "sroa,mem2reg,instcombine,sccp,cse,licm,dse,adce,simplifycfg" {
 		t.Errorf("standard pipeline spec changed: %q", got)
 	}
 }
