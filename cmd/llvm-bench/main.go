@@ -43,6 +43,7 @@ func main() {
 	validateFlag := flag.Bool("validate", false, "Validate: pipeline latency with the translation-validation oracle off vs on")
 	tiersFlag := flag.Bool("tiers", false, "Tiers: execution latency per engine tier (interp/tier-1/tier-2/auto+profile)")
 	aliasFlag := flag.Bool("alias", false, "Alias: memory-pass optimization work and pipeline cost, points-to analysis off vs on")
+	clusterFlag := flag.Bool("cluster", false, "Cluster: cold/warm-local/remote-hit compile latency through a 3-node in-process cluster")
 	storeDir := flag.String("store", "", "Store: cold-vs-warm compile latency through a lifelong store at this dir")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
@@ -50,7 +51,8 @@ func main() {
 	// No section flags at all = the paper's default tables. Any explicit
 	// selection (including the opt-in sections) runs only what was asked.
 	all := !*t1 && !*t2 && !*f5 && !*ck &&
-		!*obsFlag && !*validateFlag && !*tiersFlag && !*aliasFlag && *storeDir == ""
+		!*obsFlag && !*validateFlag && !*tiersFlag && !*aliasFlag &&
+		!*clusterFlag && *storeDir == ""
 
 	var rows1 []experiments.Table1Row
 	var rows2 []experiments.Table2Row
@@ -131,6 +133,20 @@ func main() {
 		os.Stdout.WriteString("\n")
 		experiments.PrintAliasTable(os.Stdout, rowsA)
 	}
+	var rowsCl []experiments.ClusterRow
+	if *clusterFlag {
+		dir, err := os.MkdirTemp("", "llvm-bench-cluster-")
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		rowsCl, err = experiments.ClusterTable(dir)
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		os.Stdout.WriteString("\n")
+		experiments.PrintClusterTable(os.Stdout, rowsCl)
+	}
 	var rowsS []experiments.StoreRow
 	if *storeDir != "" {
 		var err error
@@ -147,6 +163,7 @@ func main() {
 		report.AddValidate(rowsV)
 		report.AddTiers(rowsT)
 		report.AddAlias(rowsA)
+		report.AddCluster(rowsCl)
 		report.AddStore(rowsS)
 		out := os.Stdout
 		if *jsonPath != "-" {

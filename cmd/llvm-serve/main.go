@@ -25,6 +25,14 @@
 // FILE appends one JSON line per request keyed by that id. -trace-out FILE
 // writes a Chrome trace-event JSON timeline (request spans, per-pass
 // compile spans, store cache events) on shutdown.
+//
+// Cluster mode (DESIGN.md §14): -peers lists the full membership and -self
+// names this node's own address in it; module hashes shard across the
+// peers on a consistent-hash ring, artifact misses fetch through from the
+// owning peer, and /run profile counts forward to the owner. -front turns
+// the process into a stateless router instead: it hashes each POSTed
+// module and forwards the request to the owning peer, retrying down the
+// ring on failure.
 package main
 
 import (
@@ -33,9 +41,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/interp"
 	"repro/internal/lifelong"
 	"repro/internal/obs"
@@ -58,9 +68,24 @@ func main() {
 	reoptNow := flag.Bool("reopt-now", false, "drain the reoptimization queue and exit instead of serving")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to FILE on shutdown")
 	accessLog := flag.String("access-log", "", "append one JSON access-log line per request to FILE")
+	peersFlag := flag.String("peers", "", "comma-separated cluster membership (host:port,...); enables cluster mode")
+	selfAddr := flag.String("self", "", "this node's own address in -peers (cluster node mode)")
+	front := flag.Bool("front", false, "run as a stateless cluster front-end over -peers (no store)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per peer on the hash ring (0 = default)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe period in cluster mode")
 	flag.Parse()
+	if *front {
+		if *peersFlag == "" || flag.NArg() != 0 {
+			tooling.Fatalf("usage: %s", cluster.FrontUsage)
+		}
+		runFront(*addr, splitPeers(*peersFlag), *vnodes, *probeInterval, *timeout)
+		return
+	}
 	if *storeDir == "" || flag.NArg() != 0 {
 		tooling.Fatalf("usage: llvm-serve -store DIR [flags]")
+	}
+	if (*peersFlag == "") != (*selfAddr == "") {
+		tooling.Fatalf("llvm-serve: cluster node mode needs both -peers and -self")
 	}
 
 	st, err := lifelong.Open(*storeDir, *maxStore)
@@ -89,8 +114,31 @@ func main() {
 		defer f.Close()
 		cfg.AccessLog = f
 	}
-	srv := lifelong.NewServer(cfg)
-	defer srv.Close()
+	var (
+		srv     *lifelong.Server
+		handler http.Handler
+		role    = "standalone"
+	)
+	if *peersFlag != "" {
+		node, err := cluster.NewNode(cluster.Config{
+			Self:          *selfAddr,
+			Peers:         splitPeers(*peersFlag),
+			VNodes:        *vnodes,
+			ProbeInterval: *probeInterval,
+			Lifelong:      cfg,
+		})
+		if err != nil {
+			tooling.Fatalf("llvm-serve: %v", err)
+		}
+		defer node.Close()
+		srv = node.Server()
+		handler = node.Handler()
+		role = fmt.Sprintf("cluster node %s of %d", node.Self(), len(node.Ring().Peers()))
+	} else {
+		srv = lifelong.NewServer(cfg)
+		defer srv.Close()
+		handler = srv.Handler()
+	}
 	if *traceOut != "" {
 		defer func() {
 			f, err := os.Create(*traceOut)
@@ -114,10 +162,49 @@ func main() {
 		return
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "llvm-serve: listening on %s (store %s)\n", *addr, *storeDir)
+	fmt.Fprintf(os.Stderr, "llvm-serve: listening on %s (store %s, %s)\n", *addr, *storeDir, role)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		tooling.Fatalf("llvm-serve: %v", err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "llvm-serve: %v, shutting down\n", s)
+		hs.Close()
+	}
+}
+
+// splitPeers parses the -peers flag into a peer list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runFront serves the stateless cluster front-end until interrupted.
+func runFront(addr string, peers []string, vnodes int, probe, timeout time.Duration) {
+	f, err := cluster.NewFront(cluster.FrontConfig{
+		Peers:         peers,
+		VNodes:        vnodes,
+		ProbeInterval: probe,
+		PeerTimeout:   timeout,
+	})
+	if err != nil {
+		tooling.Fatalf("llvm-serve: %v", err)
+	}
+	defer f.Close()
+	hs := &http.Server{Addr: addr, Handler: f.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "llvm-serve: front-end listening on %s, routing over %d peer(s)\n", addr, len(peers))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

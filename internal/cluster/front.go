@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/lifelong"
+	"repro/internal/obs"
+	"repro/internal/tooling"
+)
+
+// FrontConfig parameterizes the thin front-end.
+type FrontConfig struct {
+	// Peers is the cluster membership the front routes over (identical to
+	// the nodes' lists).
+	Peers []string
+	// VNodes must match the nodes' ring configuration (0 = DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the health-probe period (0 = 2s).
+	ProbeInterval time.Duration
+	// PeerTimeout bounds each forwarded request (0 = 30s — forwarded
+	// compiles do real pass work at the peer).
+	PeerTimeout time.Duration
+	// MaxBody caps request size (0 = tooling.MaxInputSize).
+	MaxBody int64
+	// Metrics is the front's registry (nil = a fresh one).
+	Metrics *obs.Registry
+}
+
+// Front is the stateless cluster front-end: it owns no store and runs no
+// passes. Each /compile, /run, or /check request is parsed just far
+// enough to compute the module's content address, routed to the peer
+// owning that hash range, and retried down the ring's successor order on
+// failure — so one front address gives clients the whole cluster, and a
+// dead peer costs a retry, not an error.
+type Front struct {
+	cfg     FrontConfig
+	ring    *Ring
+	health  *Health
+	metrics *obs.Registry
+	client  *http.Client
+	start   time.Time
+
+	cRequests map[string]*obs.Counter // by endpoint
+	cRetries  *obs.Counter
+	cFailed   *obs.Counter
+	// Per-peer outcome counters, labels bounded by the configured list.
+	peerOK, peerErr map[string]*obs.Counter
+}
+
+// NewFront builds a front over the peer list and starts its health
+// prober (callers must Close it).
+func NewFront(cfg FrontConfig) (*Front, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 30 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = tooling.MaxInputSize
+	}
+	f := &Front{
+		cfg:     cfg,
+		ring:    ring,
+		client:  &http.Client{Timeout: cfg.PeerTimeout},
+		metrics: cfg.Metrics,
+		start:   time.Now(),
+	}
+	if f.metrics == nil {
+		f.metrics = obs.NewRegistry()
+	}
+	f.cRequests = map[string]*obs.Counter{}
+	for _, ep := range []string{"compile", "run", "check"} {
+		f.cRequests[ep] = f.metrics.Counter("llvm_front_requests_total", "endpoint", ep)
+	}
+	f.cRetries = f.metrics.Counter("llvm_front_retries_total")
+	f.cFailed = f.metrics.Counter("llvm_front_failed_total")
+	f.peerOK = map[string]*obs.Counter{}
+	f.peerErr = map[string]*obs.Counter{}
+	probeClient := &http.Client{Timeout: cfg.ProbeInterval}
+	f.health = newHealth(ring.Peers(), "", cfg.ProbeInterval, httpProbe(probeClient))
+	for _, p := range ring.Peers() {
+		p := p
+		f.peerOK[p] = f.metrics.Counter("llvm_front_peer_requests_total", "peer", p, "result", "ok")
+		f.peerErr[p] = f.metrics.Counter("llvm_front_peer_requests_total", "peer", p, "result", "error")
+		f.metrics.GaugeFunc("llvm_cluster_peer_up", func() float64 {
+			if f.health.Up(p) {
+				return 1
+			}
+			return 0
+		}, "peer", p)
+	}
+	return f, nil
+}
+
+// Ring exposes the front's placement ring (tests, llvm-bench).
+func (f *Front) Ring() *Ring { return f.ring }
+
+// Metrics returns the front's registry.
+func (f *Front) Metrics() *obs.Registry { return f.metrics }
+
+// Close stops the health prober.
+func (f *Front) Close() { f.health.Close() }
+
+// Handler returns the front's HTTP surface.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", f.route("compile"))
+	mux.HandleFunc("/run", f.route("run"))
+	mux.HandleFunc("/check", f.route("check"))
+	mux.HandleFunc("/cluster/health", f.handleHealth)
+	mux.HandleFunc("/cluster/peers", f.handlePeers)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		f.metrics.WritePrometheus(w)
+	})
+	return mux
+}
+
+func (f *Front) handleHealth(w http.ResponseWriter, r *http.Request) {
+	clusterJSON(w, http.StatusOK, healthResponse{
+		Self:          "front",
+		Role:          "front",
+		Peers:         len(f.ring.Peers()),
+		UptimeSeconds: time.Since(f.start).Seconds(),
+	})
+}
+
+func (f *Front) handlePeers(w http.ResponseWriter, r *http.Request) {
+	clusterJSON(w, http.StatusOK, peersResponse{
+		Self:   "front",
+		Role:   "front",
+		VNodes: f.ring.VNodes(),
+		Peers:  f.ring.Peers(),
+		Up:     f.health.Snapshot(),
+	})
+}
+
+// route builds the handler for one proxied endpoint: parse enough to
+// hash, pick the owner, forward with retry-next-peer.
+func (f *Front) route(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			clusterError(w, http.StatusMethodNotAllowed, "POST a module (bytecode or assembly) to this endpoint")
+			return
+		}
+		f.cRequests[endpoint].Inc()
+		body, err := lifelong.ReadBody(r, f.cfg.MaxBody)
+		if err != nil {
+			if errors.Is(err, lifelong.ErrBodyTooLarge) {
+				clusterError(w, http.StatusRequestEntityTooLarge, "module exceeds the %d-byte limit", f.cfg.MaxBody)
+			} else {
+				clusterError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		m, err := tooling.LoadModuleBytes("request", body)
+		if err != nil {
+			clusterError(w, http.StatusUnprocessableEntity, "parsing module: %v", err)
+			return
+		}
+		// Forward the canonical bytecode, not the client's original bytes:
+		// the hash the peers key everything by is the canonical encoding's,
+		// and bytecode is smaller than assembly before gzip even starts.
+		canonical, err := bytecode.Encode(m)
+		if err != nil {
+			clusterError(w, http.StatusUnprocessableEntity, "encoding module: %v", err)
+			return
+		}
+		hash := bytecode.HashBytes(canonical)
+
+		var gzBody bytes.Buffer
+		gz := gzip.NewWriter(&gzBody)
+		gz.Write(canonical)
+		gz.Close()
+
+		// Owner first, then ring successors. Pass 0 tries peers believed
+		// alive; pass 1 fails open through the rest — a fully-down health
+		// view must not turn into a refused request if a peer is actually
+		// reachable.
+		order := f.ring.Ordered(hash)
+		tried := map[string]bool{}
+		attempts := 0
+		for pass := 0; pass < 2; pass++ {
+			for _, peer := range order {
+				if tried[peer] || (pass == 0 && !f.health.Up(peer)) {
+					continue
+				}
+				tried[peer] = true
+				if attempts > 0 {
+					f.cRetries.Inc()
+				}
+				attempts++
+				if f.forward(w, r, peer, endpoint, gzBody.Bytes()) {
+					return
+				}
+			}
+		}
+		f.cFailed.Inc()
+		clusterError(w, http.StatusBadGateway, "no cluster peer could serve the request (%d tried)", attempts)
+	}
+}
+
+// forward sends the request to one peer and, on success, streams the
+// response back to the client. Returns false when the next peer should be
+// tried (transport error or 5xx); 4xx responses are the client's problem
+// and are relayed as-is.
+func (f *Front) forward(w http.ResponseWriter, r *http.Request, peer, endpoint string, gzBody []byte) bool {
+	u := "http://" + peer + "/" + endpoint
+	if q := r.URL.RawQuery; q != "" {
+		u += "?" + q
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, bytes.NewReader(gzBody))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.peerErr[peer].Inc()
+		f.health.MarkDown(peer)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		f.peerErr[peer].Inc()
+		f.health.MarkDown(peer)
+		return false
+	}
+	f.peerOK[peer].Inc()
+	f.health.MarkUp(peer)
+	// Relay the peer's response: identifying headers pass through, the
+	// serving peer is named (it came from config, never request data), and
+	// the body is re-compressed when this client accepts gzip (the peer
+	// leg's gzip was already decoded by the transport).
+	for name, vals := range resp.Header {
+		if strings.HasPrefix(name, "X-") || name == "Content-Type" {
+			w.Header()[name] = vals
+		}
+	}
+	w.Header().Set("X-Cluster-Peer", peer)
+	out, finish := lifelong.Compress(w, r)
+	defer finish()
+	out.WriteHeader(resp.StatusCode)
+	io.Copy(out, io.LimitReader(resp.Body, f.cfg.MaxBody+(f.cfg.MaxBody/2)+1024))
+	return true
+}
+
+// FrontUsage is a one-line reminder for llvm-serve's flag error paths.
+const FrontUsage = "llvm-serve -front -peers host1:port,host2:port,... [-addr :8190]"

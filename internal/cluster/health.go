@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health tracks peer liveness. Peers start optimistically up (so the
+// first request tries the owner instead of waiting a probe period), a
+// background prober corrects the view every interval, and request paths
+// report failures reactively (MarkDown) so a dead peer stops receiving
+// traffic before the next probe tick. All of it is advisory: routing
+// fails open, a "down" peer is merely tried last, and a "up" peer that
+// refuses a connection is retried elsewhere.
+type Health struct {
+	mu sync.Mutex
+	up map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newHealth starts a prober over peers (excluding self — a node never
+// probes itself) with the given period. probe reports one peer's
+// liveness; it must be safe for concurrent use.
+func newHealth(peers []string, self string, interval time.Duration, probe func(peer string) bool) *Health {
+	h := &Health{
+		up:   map[string]bool{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	var probed []string
+	for _, p := range peers {
+		h.up[p] = true
+		if p != self {
+			probed = append(probed, p)
+		}
+	}
+	go func() {
+		defer close(h.done)
+		if probe == nil || len(probed) == 0 || interval <= 0 {
+			return
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-ticker.C:
+			}
+			for _, p := range probed {
+				if probe(p) {
+					h.MarkUp(p)
+				} else {
+					h.MarkDown(p)
+				}
+			}
+		}
+	}()
+	return h
+}
+
+// Close stops the prober and waits for it to exit.
+func (h *Health) Close() {
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+// Up reports whether peer is believed alive (unknown peers are down).
+func (h *Health) Up(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.up[peer]
+}
+
+// MarkUp records a successful contact with peer.
+func (h *Health) MarkUp(peer string) {
+	h.mu.Lock()
+	if _, known := h.up[peer]; known {
+		h.up[peer] = true
+	}
+	h.mu.Unlock()
+}
+
+// MarkDown records a failed contact with peer.
+func (h *Health) MarkDown(peer string) {
+	h.mu.Lock()
+	if _, known := h.up[peer]; known {
+		h.up[peer] = false
+	}
+	h.mu.Unlock()
+}
+
+// Snapshot returns the current liveness view, keyed by peer.
+func (h *Health) Snapshot() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.up))
+	for p, u := range h.up {
+		out[p] = u
+	}
+	return out
+}
+
+// httpProbe builds the standard liveness probe: GET /cluster/health with
+// a short budget; any 200 counts as alive.
+func httpProbe(client *http.Client) func(peer string) bool {
+	return func(peer string) bool {
+		resp, err := client.Get("http://" + peer + "/cluster/health")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"repro/internal/lifelong"
+)
+
+// LocalCluster is an in-process cluster: N full nodes plus one front, each
+// on its own real loopback listener. Tests and llvm-bench use it to
+// exercise the genuine wire protocol — ring routing, fetch-through, gzip,
+// retry-next-peer — without external processes. StopNode kills a peer
+// mid-flight to exercise the failure paths.
+type LocalCluster struct {
+	Nodes   []*Node
+	Servers []*http.Server
+	Front   *Front
+	FrontLn net.Listener
+
+	frontSrv  *http.Server
+	listeners []net.Listener
+	stopped   []bool
+}
+
+// LocalOptions shapes LaunchLocal.
+type LocalOptions struct {
+	// Nodes is the peer count (0 = 3).
+	Nodes int
+	// Dir is the parent directory for the per-node stores (required).
+	Dir string
+	// VNodes overrides the ring's virtual-node count (0 = DefaultVNodes).
+	VNodes int
+	// ProbeInterval overrides the health-probe period (0 = 200ms — local
+	// clusters are for tests and benchmarks, so recover fast).
+	ProbeInterval time.Duration
+	// StoreBytes caps each node's store (0 = 256 MiB).
+	StoreBytes int64
+	// Lifelong seeds every node's daemon config; Store, Metrics, and the
+	// cluster-owned hook fields are set per node by LaunchLocal.
+	Lifelong lifelong.Config
+}
+
+// LaunchLocal starts an in-process cluster. Listeners are bound first so
+// every node learns the full membership (real 127.0.0.1:port addresses)
+// before any node starts. Callers must Close the result.
+func LaunchLocal(opts LocalOptions) (*LocalCluster, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 3
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("cluster: LaunchLocal needs a store directory")
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 200 * time.Millisecond
+	}
+	if opts.StoreBytes <= 0 {
+		opts.StoreBytes = 256 << 20
+	}
+
+	lc := &LocalCluster{}
+	ok := false
+	defer func() {
+		if !ok {
+			lc.Close()
+		}
+	}()
+
+	// Bind all node listeners up front: the peer list must be complete
+	// before the first ring is built.
+	peers := make([]string, opts.Nodes)
+	for i := 0; i < opts.Nodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lc.listeners = append(lc.listeners, ln)
+		peers[i] = ln.Addr().String()
+	}
+
+	for i := 0; i < opts.Nodes; i++ {
+		store, err := lifelong.Open(filepath.Join(opts.Dir, fmt.Sprintf("node%d", i)), opts.StoreBytes)
+		if err != nil {
+			return nil, err
+		}
+		ncfg := opts.Lifelong
+		ncfg.Store = store
+		ncfg.Metrics = nil
+		node, err := NewNode(Config{
+			Self:          peers[i],
+			Peers:         peers,
+			VNodes:        opts.VNodes,
+			ProbeInterval: opts.ProbeInterval,
+			Lifelong:      ncfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lc.Nodes = append(lc.Nodes, node)
+		srv := &http.Server{Handler: node.Handler()}
+		lc.Servers = append(lc.Servers, srv)
+		lc.stopped = append(lc.stopped, false)
+		go srv.Serve(lc.listeners[i])
+	}
+
+	front, err := NewFront(FrontConfig{
+		Peers:         peers,
+		VNodes:        opts.VNodes,
+		ProbeInterval: opts.ProbeInterval,
+		MaxBody:       opts.Lifelong.MaxBody,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lc.Front = front
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	lc.FrontLn = ln
+	lc.frontSrv = &http.Server{Handler: front.Handler()}
+	go lc.frontSrv.Serve(ln)
+
+	ok = true
+	return lc, nil
+}
+
+// NodeURLs returns each node's base URL in launch order.
+func (lc *LocalCluster) NodeURLs() []string {
+	out := make([]string, len(lc.Nodes))
+	for i, n := range lc.Nodes {
+		out[i] = "http://" + n.Self()
+	}
+	return out
+}
+
+// FrontURL returns the front-end's base URL.
+func (lc *LocalCluster) FrontURL() string {
+	return "http://" + lc.FrontLn.Addr().String()
+}
+
+// StopNode kills node i's listener and daemon, simulating a peer crash.
+// The address stays in every ring (membership is static); routing must
+// absorb the loss via health marking and retry.
+func (lc *LocalCluster) StopNode(i int) {
+	if i < 0 || i >= len(lc.Nodes) || lc.stopped[i] {
+		return
+	}
+	lc.stopped[i] = true
+	lc.Servers[i].Close()
+	lc.Nodes[i].Close()
+}
+
+// Close stops the front and every still-running node.
+func (lc *LocalCluster) Close() {
+	if lc.frontSrv != nil {
+		lc.frontSrv.Close()
+	}
+	if lc.Front != nil {
+		lc.Front.Close()
+	}
+	for i := range lc.Nodes {
+		lc.StopNode(i)
+	}
+	// Listeners not yet owned by a server (partial launch) still need
+	// closing.
+	for i, ln := range lc.listeners {
+		if i >= len(lc.Servers) {
+			ln.Close()
+		}
+	}
+	if lc.FrontLn != nil && lc.frontSrv == nil {
+		lc.FrontLn.Close()
+	}
+}

@@ -1,0 +1,127 @@
+// Package cluster shards the lifelong compile service across llvm-serve
+// peers. The content-addressed store makes the substrate trivially
+// replicable — a module's SHA-256 names the same artifact on every node —
+// so distribution reduces to three mechanisms: a consistent-hash ring
+// assigning each module hash an owning peer, artifact fetch-through from
+// the owner on local miss, and profile-count forwarding to the owner so
+// epoch advancement sees cluster-wide heat. Every remote dependency fails
+// open: a down owner costs a local compile (latency), never availability.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per peer. 64 points per peer
+// keeps the ownership spread within a few percent of uniform for small
+// clusters while the ring stays tiny (N*64 points).
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over a fixed peer list. Placement is
+// deterministic: every node configured with the same peer set (in any
+// order) builds byte-identical rings, so routing decisions agree without
+// any coordination. Keys are module hashes; owners are peer addresses.
+type Ring struct {
+	points []ringPoint // sorted ascending by point hash
+	peers  []string    // sorted, deduplicated
+	vnodes int
+}
+
+type ringPoint struct {
+	h    uint64
+	peer string
+}
+
+// pointHash maps a string onto the ring's 64-bit keyspace: the first 8
+// bytes of its SHA-256, big-endian. SHA-256 keeps virtual nodes spread
+// uniformly and reuses the hash the store's content addresses are built
+// on.
+func pointHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring of vnodes virtual points per peer (0 =
+// DefaultVNodes). The peer list is sorted and deduplicated, so callers
+// may pass it in any order.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, p := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{h: pointHash(fmt.Sprintf("%s#%d", p, v)), peer: p})
+		}
+	}
+	// Ties (astronomically unlikely) break by peer name so placement
+	// stays deterministic even then.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Peers returns the ring's sorted peer list (callers must not mutate it).
+func (r *Ring) Peers() []string { return r.peers }
+
+// VNodes returns the configured virtual-node count per peer.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// succIndex finds the first ring point at or after key's hash, wrapping.
+func (r *Ring) succIndex(key string) int {
+	h := pointHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the peer owning key: the peer whose virtual point is the
+// key's clockwise successor on the ring.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.succIndex(key)].peer
+}
+
+// Ordered returns every peer in ring order starting from key's owner —
+// the retry sequence for routing: the owner first, then each distinct
+// successor. Consistent across nodes, so two fronts retrying the same key
+// walk the same peer sequence.
+func (r *Ring) Ordered(key string) []string {
+	out := make([]string, 0, len(r.peers))
+	seen := map[string]bool{}
+	start := r.succIndex(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.peers); i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

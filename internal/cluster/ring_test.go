@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicPlacement: every node must route identically, so
+// rings built from the same membership — in any order, with duplicates —
+// agree on every key.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a, err := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:3", "n1:1", "n2:2", "n1:1", " n3:3 "}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", a.VNodes(), DefaultVNodes)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("module-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owners differ across equivalent rings (%s vs %s)",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingOrderedIsOwnerFirstAndComplete: Ordered is the retry sequence —
+// it must start at the owner and visit every distinct peer exactly once.
+func TestRingOrderedIsOwnerFirstAndComplete(t *testing.T) {
+	r, err := NewRing([]string{"n1:1", "n2:2", "n3:3", "n4:4"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("module-%d", i)
+		ord := r.Ordered(key)
+		if len(ord) != 4 {
+			t.Fatalf("key %q: Ordered returned %d peers, want 4", key, len(ord))
+		}
+		if ord[0] != r.Owner(key) {
+			t.Fatalf("key %q: Ordered[0] = %s, Owner = %s", key, ord[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, p := range ord {
+			if seen[p] {
+				t.Fatalf("key %q: Ordered repeats peer %s", key, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count, ownership over a
+// large keyspace should be roughly uniform — no peer starved, none
+// dominant. The bounds are loose (hashing, not striping) but catch a
+// broken ring that funnels everything to one peer.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"n1:1", "n2:2", "n3:3"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 9000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("module-%d", i))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("peer %s owns %.1f%% of the keyspace (counts %v), outside [15%%, 55%%]",
+				p, share*100, counts)
+		}
+	}
+}
+
+// TestRingRejectsEmpty: a ring needs at least one peer.
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list should be rejected")
+	}
+	if _, err := NewRing([]string{" ", ""}, 0); err == nil {
+		t.Fatal("blank-only peer list should be rejected")
+	}
+}

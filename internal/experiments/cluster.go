@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/cluster"
+	"repro/internal/lifelong"
+	"repro/internal/workload"
+)
+
+// ClusterRow is one benchmark's compile latency through a 3-node
+// in-process cluster, requested via the front-end. Cold is the first
+// cluster-wide compile (routed to the owner, full pipeline). WarmLocal is
+// the repeat through the front (owner cache hit). RemoteHit is a direct
+// request to a NON-owning peer, which must fetch the artifact through
+// from the owner rather than recompile.
+type ClusterRow struct {
+	Bench     string
+	Bytes     int // artifact size
+	Peers     int
+	Owner     string // owning peer of the module's hash
+	Cold      time.Duration
+	WarmLocal time.Duration
+	RemoteHit time.Duration
+}
+
+// WarmSpeedup is the warm-local-over-cold latency ratio.
+func (r ClusterRow) WarmSpeedup() float64 {
+	if r.WarmLocal <= 0 {
+		return 0
+	}
+	return float64(r.Cold) / float64(r.WarmLocal)
+}
+
+// RemoteSpeedup is the remote-hit-over-cold latency ratio: what peer
+// fetch-through saves versus recompiling at the non-owner.
+func (r ClusterRow) RemoteSpeedup() float64 {
+	if r.RemoteHit <= 0 {
+		return 0
+	}
+	return float64(r.Cold) / float64(r.RemoteHit)
+}
+
+// clusterPost compiles canonical bytes at url and returns the artifact
+// bytes plus the X-Cache disposition (miss, hit, remote).
+func clusterPost(client *http.Client, url string, canonical []byte) (data []byte, xcache, peer string, err error) {
+	resp, err := client.Post(url+"/compile?raw=1", "application/octet-stream", bytes.NewReader(canonical))
+	if err != nil {
+		return nil, "", "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", "", fmt.Errorf("POST %s: %s: %s", url, resp.Status, truncate(body, 200))
+	}
+	return body, resp.Header.Get("X-Cache"), resp.Header.Get("X-Cluster-Peer"), nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+// ClusterTable launches a 3-node in-process cluster (stores under dir)
+// and measures each benchmark's cold, warm-local, and remote-hit compile
+// latency over the real wire protocol. All three responses must be
+// byte-identical — the content-addressed store's invariant extended
+// cluster-wide — and the remote request must report X-Cache: remote
+// (fetch-through, not a recompile); violations are errors, not rows.
+func ClusterTable(dir string) ([]ClusterRow, error) {
+	lc, err := cluster.LaunchLocal(cluster.LocalOptions{
+		Nodes: 3,
+		Dir:   dir,
+		Lifelong: lifelong.Config{
+			DisableReopt: true, // latency table: keep background work out
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer lc.Close()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	var rows []ClusterRow
+	for _, p := range workload.Suite() {
+		m, err := buildRaw(p)
+		if err != nil {
+			return nil, err
+		}
+		canonical, err := bytecode.Encode(m)
+		if err != nil {
+			return nil, err
+		}
+		hash := bytecode.HashBytes(canonical)
+		owner := lc.Front.Ring().Owner(hash)
+		var remoteURL string
+		for _, n := range lc.Nodes {
+			if n.Self() != owner {
+				remoteURL = "http://" + n.Self()
+				break
+			}
+		}
+
+		t0 := time.Now()
+		cold, cacheCold, peerCold, err := clusterPost(client, lc.FrontURL(), canonical)
+		if err != nil {
+			return nil, fmt.Errorf("%s cold: %w", p.Name, err)
+		}
+		coldDur := time.Since(t0)
+		if peerCold != owner {
+			return nil, fmt.Errorf("%s: front routed to %s, ring owner is %s", p.Name, peerCold, owner)
+		}
+
+		t1 := time.Now()
+		warm, cacheWarm, _, err := clusterPost(client, lc.FrontURL(), canonical)
+		if err != nil {
+			return nil, fmt.Errorf("%s warm: %w", p.Name, err)
+		}
+		warmDur := time.Since(t1)
+		if cacheWarm != "hit" {
+			return nil, fmt.Errorf("%s: warm compile was %q, want owner cache hit (cold was %q)", p.Name, cacheWarm, cacheCold)
+		}
+
+		t2 := time.Now()
+		remote, cacheRemote, _, err := clusterPost(client, remoteURL, canonical)
+		if err != nil {
+			return nil, fmt.Errorf("%s remote: %w", p.Name, err)
+		}
+		remoteDur := time.Since(t2)
+		if cacheRemote != "remote" {
+			return nil, fmt.Errorf("%s: non-owner compile was %q, want remote fetch-through", p.Name, cacheRemote)
+		}
+		if !bytes.Equal(cold, warm) || !bytes.Equal(cold, remote) {
+			return nil, fmt.Errorf("%s: cluster artifacts not byte-identical across peers", p.Name)
+		}
+
+		rows = append(rows, ClusterRow{
+			Bench: p.Name, Bytes: len(cold), Peers: len(lc.Nodes), Owner: owner,
+			Cold: coldDur, WarmLocal: warmDur, RemoteHit: remoteDur,
+		})
+	}
+	return rows, nil
+}
+
+// PrintClusterTable renders rows alongside the other evaluation tables.
+func PrintClusterTable(w io.Writer, rows []ClusterRow) {
+	fmt.Fprintf(w, "Cluster: compile latency through a 3-node sharded llvm-serve\n")
+	fmt.Fprintf(w, "%-14s %10s %12s %12s %12s %7s %7s\n",
+		"Benchmark", "Artifact", "Cold", "WarmLocal", "RemoteHit", "Warm x", "Rem x")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %9dB %11.2fms %11.3fms %11.3fms %6.0fx %6.0fx\n",
+			r.Bench, r.Bytes, ms(r.Cold), ms(r.WarmLocal), ms(r.RemoteHit),
+			r.WarmSpeedup(), r.RemoteSpeedup())
+	}
+	fmt.Fprintf(w, "(cold = owner compile via front; warm = owner cache hit; remote = non-owner peer fetch-through)\n")
+}

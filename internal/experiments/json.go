@@ -19,6 +19,7 @@ type Report struct {
 	Validate []ValidateJSON `json:"validate,omitempty"`
 	Tiers    []TiersJSON    `json:"tiers,omitempty"`
 	Alias    []AliasJSON    `json:"alias,omitempty"`
+	Cluster  []ClusterJSON  `json:"cluster,omitempty"`
 }
 
 // Table1JSON is Table1Row with stable JSON field names.
@@ -211,6 +212,32 @@ func (r *Report) AddAlias(rows []AliasRow) {
 			OverheadPercent: row.OverheadPercent(),
 			WorkOff:         row.WorkOff, WorkOn: row.WorkOn,
 			QueriesNo: row.Queries.No, QueriesMay: row.Queries.May, QueriesMust: row.Queries.Must,
+		})
+	}
+}
+
+// ClusterJSON is ClusterRow in Table2's millisecond convention: one
+// benchmark's compile latency through a 3-node sharded llvm-serve —
+// cluster-wide cold compile, owner cache hit, and non-owner peer
+// fetch-through.
+type ClusterJSON struct {
+	Bench         string  `json:"bench"`
+	ArtifactBytes int     `json:"artifact_bytes"`
+	Peers         int     `json:"peers"`
+	ColdMs        float64 `json:"cold_ms"`
+	WarmLocalMs   float64 `json:"warm_local_ms"`
+	RemoteHitMs   float64 `json:"remote_hit_ms"`
+	WarmSpeedup   float64 `json:"warm_speedup"`
+	RemoteSpeedup float64 `json:"remote_speedup"`
+}
+
+// AddCluster appends the sharded-cluster latency rows to the report.
+func (r *Report) AddCluster(rows []ClusterRow) {
+	for _, row := range rows {
+		r.Cluster = append(r.Cluster, ClusterJSON{
+			Bench: row.Bench, ArtifactBytes: row.Bytes, Peers: row.Peers,
+			ColdMs: ms(row.Cold), WarmLocalMs: ms(row.WarmLocal), RemoteHitMs: ms(row.RemoteHit),
+			WarmSpeedup: row.WarmSpeedup(), RemoteSpeedup: row.RemoteSpeedup(),
 		})
 	}
 }

@@ -28,6 +28,10 @@ type CompileResult struct {
 	// Reoptimized reports the artifact was built by the profile-guided
 	// reoptimizer rather than the plain pipeline.
 	Reoptimized bool `json:"reoptimized"`
+	// RemoteHit reports the artifact was fetched through from the cluster
+	// peer owning this module's hash range rather than found locally or
+	// compiled here (Hit is also true: no pass work happened on this node).
+	RemoteHit bool `json:"remote_hit,omitempty"`
 	// Stale reports the profile has advanced past the served artifact; the
 	// idle reoptimizer will close the gap.
 	Stale bool `json:"stale"`
@@ -35,12 +39,34 @@ type CompileResult struct {
 	Data []byte `json:"-"`
 }
 
+// RemoteFetch asks the cluster peer owning modHash's ring range for its
+// best artifact under (modHash, spec). It returns the artifact bytes and
+// the profile epoch they were built against, or ok=false on any miss,
+// unhealthy owner, or transport failure — the caller then compiles
+// locally (fail-open: a peer outage costs latency, never availability).
+type RemoteFetch func(modHash, spec string) (data []byte, epoch int64, ok bool)
+
 // CompileOpts threads observability into a store-backed compile: the
 // tracer records a span for the whole compile plus the pipeline's per-pass
 // spans on miss, and the registry receives the pass pipeline's metrics.
+// Remote, when set, is consulted between the local cache probe and the
+// pipeline (cluster fetch-through).
 type CompileOpts struct {
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
+	Remote  RemoteFetch
+}
+
+// CacheWord renders the result's cache disposition for the X-Cache header
+// and trace spans: "hit" (local), "remote" (peer fetch-through), "miss".
+func (r *CompileResult) CacheWord() string {
+	switch {
+	case r.RemoteHit:
+		return "remote"
+	case r.Hit:
+		return "hit"
+	}
+	return "miss"
 }
 
 // Compile optimizes m through the store: the module is interned at its
@@ -62,7 +88,7 @@ func CompileWith(st *Store, m *core.Module, spec string, opts CompileOpts) (res 
 			args := map[string]string{"pipeline": spec}
 			if res != nil {
 				args["hash"] = shortHash(res.ModuleHash)
-				args["cache"] = cacheWord(res.Hit)
+				args["cache"] = res.CacheWord()
 			}
 			sp.EndArgs(args)
 		}()
@@ -93,7 +119,26 @@ func CompileWith(st *Store, m *core.Module, spec string, opts CompileOpts) (res 
 		return res, nil
 	}
 
+	// Local miss: fetch through from the cluster peer owning this hash
+	// range before spending pass work. The fetched bytes are cached
+	// locally at the epoch the owner reported, so repeat requests at this
+	// node stay local as long as its profile view agrees.
+	if opts.Remote != nil {
+		if data, epoch, ok := opts.Remote(hash, spec); ok {
+			if err := st.PutArtifact(hash, spec, epoch, data); err != nil {
+				return nil, err
+			}
+			res.Hit = true
+			res.RemoteHit = true
+			res.ArtifactEpoch = epoch
+			res.Reoptimized = epoch > 0
+			res.Data = data
+			return res, nil
+		}
+	}
+
 	// Miss: run the pipeline on a private copy and store the result.
+	opts.Metrics.Counter("llvm_lifelong_compiles_total").Inc()
 	work, err := bytecode.Decode(canonical)
 	if err != nil {
 		return nil, fmt.Errorf("lifelong: re-decoding %s: %w", shortHash(hash), err)

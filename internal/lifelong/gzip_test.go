@@ -1,0 +1,128 @@
+package lifelong
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestCompileGzipRequest: a gzip-compressed request body compiles to the
+// same artifact as the identity encoding.
+func TestCompileGzipRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableReopt: true})
+	mod := hotModuleText(t)
+
+	_, plain := post(t, ts.URL+"/compile?raw=1", mod)
+
+	var gzBody bytes.Buffer
+	zw := gzip.NewWriter(&gzBody)
+	zw.Write(mod)
+	zw.Close()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/compile?raw=1", &gzBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("gzip request: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("gzip request cache %q: encodings must share one cache entry", resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, plain) {
+		t.Fatal("gzip request produced a different artifact")
+	}
+}
+
+// TestCompileGzipResponse: Accept-Encoding: gzip gets a gzip body that
+// decodes to the identity response; clients not asking get identity.
+func TestCompileGzipResponse(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableReopt: true})
+	mod := hotModuleText(t)
+
+	_, plain := post(t, ts.URL+"/compile?raw=1", mod)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/compile?raw=1", bytes.NewReader(mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	// RoundTrip (not Do) so the transport neither adds its own
+	// Accept-Encoding nor transparently decompresses the response.
+	tr := &http.Transport{DisableCompression: true}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip", resp.Header.Get("Content-Encoding"))
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded, plain) {
+		t.Fatal("gzip response does not decode to the identity artifact")
+	}
+}
+
+// TestReadBodyBombGuard: the size cap applies to DECODED bytes, so a tiny
+// gzip body expanding past the limit is rejected with 413, not buffered.
+func TestReadBodyBombGuard(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableReopt: true, MaxBody: 2048})
+
+	// ~1MB of zeros compresses to ~1KB: under the cap on the wire, far
+	// over it decoded.
+	var gzBody bytes.Buffer
+	zw := gzip.NewWriter(&gzBody)
+	zw.Write(make([]byte, 1<<20))
+	zw.Close()
+	if gzBody.Len() > 2048 {
+		t.Fatalf("test premise broken: compressed bomb is %d bytes", gzBody.Len())
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/compile", &gzBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("bomb status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestReadBodyRejectsUnknownEncoding: an unsupported Content-Encoding is
+// a 400, not silent misparsing.
+func TestReadBodyRejectsUnknownEncoding(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableReopt: true})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/compile", bytes.NewReader(hotModuleText(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "br")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown encoding status %d, want 400", resp.StatusCode)
+	}
+}

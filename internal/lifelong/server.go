@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/bytecode"
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/diag"
@@ -65,6 +66,24 @@ type Config struct {
 	// request's trace id (also returned in the X-Trace-Id header), method,
 	// path, status, and latency.
 	AccessLog io.Writer
+	// RemoteFetch, when set, is consulted on a local artifact miss before
+	// compiling: the cluster layer's fetch-through to the peer owning the
+	// module's hash range. A remote miss (or a down owner) degrades to a
+	// local compile — fail-open.
+	RemoteFetch RemoteFetch
+	// ProfileSink, when set, is offered each run's profile counts before
+	// the local store merge. Returning handled=true means the counts were
+	// routed to their cluster owner (whose epoch and advancement the /run
+	// response then reports); handled=false falls back to the local merge,
+	// so a down owner degrades to local accumulation instead of dropping
+	// end-user evidence.
+	ProfileSink func(modHash string, c *profile.Counts) (epoch int64, advanced bool, handled bool)
+	// ExtraHandlers adds endpoints to Handler()'s mux — the cluster
+	// layer's /cluster/* surface. They run under the observability
+	// middleware (trace ids, latency histogram, access log) but not the
+	// worker pool: peer health probes must answer even when every worker
+	// slot is busy.
+	ExtraHandlers map[string]http.Handler
 }
 
 func (c *Config) withDefaults() Config {
@@ -127,6 +146,10 @@ type Server struct {
 	// served from a stored summary blob, computed counts fresh analyses
 	// (which are then persisted for the next request).
 	cAliasReuse, cAliasComputed *obs.Counter
+	// flight deduplicates concurrent identical /compile requests; cDedup
+	// counts the followers that shared another request's pipeline run.
+	flight flightGroup
+	cDedup *obs.Counter
 
 	// oracle checks reoptimized artifacts (nil when DisableValidate).
 	oracle *validate.Oracle
@@ -165,6 +188,7 @@ func NewServer(cfg Config) *Server {
 	s.cQuarantined = s.metrics.Counter("llvm_reopt_quarantined_total")
 	s.cAliasReuse = s.metrics.Counter("llvm_alias_summary_reuse_total")
 	s.cAliasComputed = s.metrics.Counter("llvm_alias_summary_computed_total")
+	s.cDedup = s.metrics.Counter("llvm_serve_singleflight_shared_total")
 	for _, b := range []struct {
 		result string
 		get    func(dsa.QueryStats) int64
@@ -240,6 +264,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/check", s.withWorker(s.handleCheck))
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	for path, h := range s.cfg.ExtraHandlers {
+		mux.Handle(path, h)
+	}
 	return s.observe(mux)
 }
 
@@ -283,7 +310,8 @@ type accessRecord struct {
 // a new histogram series per 404 and grow /metrics without bound.
 func endpointLabel(path string) string {
 	switch path {
-	case "/compile", "/run", "/check", "/stats", "/metrics":
+	case "/compile", "/run", "/check", "/stats", "/metrics",
+		"/cluster/artifact", "/cluster/profile", "/cluster/health", "/cluster/peers":
 		return path
 	}
 	return "other"
@@ -366,15 +394,17 @@ func (s *Server) withWorker(h func(http.ResponseWriter, *http.Request)) http.Han
 	}
 }
 
-// readModule reads and parses the request body as a module.
+// readModule reads and parses the request body as a module, transparently
+// decoding gzipped bodies (Content-Encoding: gzip); the size cap applies
+// to the decoded bytes.
 func (s *Server) readModule(w http.ResponseWriter, r *http.Request) (*core.Module, bool) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
+	body, err := ReadBody(r, s.cfg.MaxBody)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "reading body: %v", err)
-		return nil, false
-	}
-	if int64(len(body)) > s.cfg.MaxBody {
-		httpError(w, http.StatusRequestEntityTooLarge, "module exceeds the %d-byte limit", s.cfg.MaxBody)
+		if errors.Is(err, ErrBodyTooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "module exceeds the %d-byte limit", s.cfg.MaxBody)
+		} else {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
 		return nil, false
 	}
 	m, err := tooling.LoadModuleBytes("request", body)
@@ -399,6 +429,10 @@ type compileResponse struct {
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.cCompile.Inc()
+	// /compile responses (raw bytecode or base64 JSON) compress well;
+	// honor Accept-Encoding before any body bytes are written.
+	w, finish := Compress(w, r)
+	defer finish()
 	m, ok := s.readModule(w, r)
 	if !ok {
 		return
@@ -407,7 +441,30 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if spec == "" {
 		spec = s.cfg.DefaultPipeline
 	}
-	res, err := CompileWith(s.store, m, spec, CompileOpts{Tracer: s.cfg.Tracer, Metrics: s.metrics})
+	// Single-flight: concurrent identical requests — same module content,
+	// same pipeline, same profile epoch — share one pipeline run. The key
+	// includes the epoch so a request racing an epoch advance never shares
+	// a stale-epoch result.
+	hash, err := bytecode.ModuleHash(m)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "hashing module: %v", err)
+		return
+	}
+	var epoch int64
+	if f, ok := s.store.GetProfile(hash); ok {
+		epoch = f.Epoch
+	}
+	key := fmt.Sprintf("%s\x1f%s\x1f%d", hash, spec, epoch)
+	res, shared, err := s.flight.Do(key, func() (*CompileResult, error) {
+		return CompileWith(s.store, m, spec, CompileOpts{
+			Tracer:  s.cfg.Tracer,
+			Metrics: s.metrics,
+			Remote:  s.cfg.RemoteFetch,
+		})
+	})
+	if shared {
+		s.cDedup.Inc()
+	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "compile: %v", err)
 		return
@@ -415,7 +472,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("raw") == "1" {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Module-Hash", res.ModuleHash)
-		w.Header().Set("X-Cache", cacheWord(res.Hit))
+		w.Header().Set("X-Cache", res.CacheWord())
 		w.Header().Set("X-Artifact-Epoch", fmt.Sprint(res.ArtifactEpoch))
 		w.Header().Set("X-Profile-Epoch", fmt.Sprint(res.ProfileEpoch))
 		w.Header().Set("X-Reoptimized", fmt.Sprint(res.Reoptimized))
@@ -503,14 +560,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// A trapped or cancelled run still profiled the blocks it executed;
-	// partial profiles are real end-user evidence, so merge them too.
+	// partial profiles are real end-user evidence, so merge them too. In
+	// cluster mode the sink routes counts to the peer owning this hash
+	// range, so epoch advancement sees cluster-wide heat; a down owner
+	// falls back to the local merge.
 	if profiled {
 		if c := profile.CountsFromBlocks(mc.BlockCounts()); c.Total > 0 {
-			f, bumped, err := s.store.MergeProfile(hash, c)
-			if err == nil {
-				resp.Profiled = true
-				resp.ProfileEpoch = f.Epoch
-				resp.EpochAdvanced = bumped
+			handled := false
+			if s.cfg.ProfileSink != nil {
+				if epoch, advanced, ok := s.cfg.ProfileSink(hash, c); ok {
+					resp.Profiled = true
+					resp.ProfileEpoch = epoch
+					resp.EpochAdvanced = advanced
+					handled = true
+				}
+			}
+			if !handled {
+				f, bumped, err := s.store.MergeProfile(hash, c)
+				if err == nil {
+					resp.Profiled = true
+					resp.ProfileEpoch = f.Epoch
+					resp.EpochAdvanced = bumped
+				}
 			}
 		}
 	}
@@ -574,6 +645,9 @@ type statsResponse struct {
 		Check    uint64 `json:"check"`
 		Rejected uint64 `json:"rejected"`
 		Active   int64  `json:"active"`
+		// Deduped counts /compile requests that shared another request's
+		// in-flight pipeline run (single-flight by hash/spec/epoch).
+		Deduped uint64 `json:"deduped"`
 	} `json:"requests"`
 	Reopt struct {
 		Enabled        bool   `json:"enabled"`
@@ -618,6 +692,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.Check = uint64(s.cCheck.Value())
 	resp.Requests.Rejected = uint64(s.cRejected.Value())
 	resp.Requests.Active = s.inflight.Load()
+	resp.Requests.Deduped = uint64(s.cDedup.Value())
 	resp.Reopt.Enabled = !s.cfg.DisableReopt
 	resp.Reopt.ArtifactsBuilt = uint64(s.cReoptBuilt.Value())
 	resp.Reopt.Errors = uint64(s.cReoptErrors.Value())

@@ -1,0 +1,61 @@
+package lifelong
+
+import "sync"
+
+// flightGroup is a minimal in-repo single-flight: concurrent calls that
+// share a key share one execution of fn and all receive its result. The
+// daemon keys /compile by (module hash, pipeline spec, profile epoch), so
+// a front-end fanning identical requests in — the common cluster pattern —
+// costs one pipeline run instead of N. No external dependency: the whole
+// mechanism is a map of in-flight calls and a WaitGroup per call.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg        sync.WaitGroup
+	followers int
+	res       *CompileResult
+	err       error
+}
+
+// followersOf reports how many callers are currently waiting on key's
+// in-flight call (0 when none is in flight). Test hook.
+func (g *flightGroup) followersOf(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.followers
+	}
+	return 0
+}
+
+// Do executes fn once per concurrent set of callers sharing key. The
+// second return reports whether this caller shared another caller's
+// execution (true for every follower, false for the leader). Results are
+// shared by reference, so callers must treat them as immutable.
+func (g *flightGroup) Do(key string, fn func() (*CompileResult, error)) (*CompileResult, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		c.followers++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.res, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.res, false, c.err
+}

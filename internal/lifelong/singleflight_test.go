@@ -1,0 +1,154 @@
+package lifelong
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupSharesConcurrentCalls: followers arriving while the
+// leader's fn runs share its result (and report shared=true); the fn runs
+// exactly once.
+func TestFlightGroupSharesConcurrentCalls(t *testing.T) {
+	var g flightGroup
+	ran := 0
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	want := &CompileResult{ModuleHash: "abc"}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sharedCount := 0
+	leaderShared := false
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, shared, err := g.Do("k", func() (*CompileResult, error) {
+			ran++
+			close(leaderIn)
+			<-release
+			return want, nil
+		})
+		if err != nil || res != want {
+			t.Errorf("leader: res=%v err=%v", res, err)
+		}
+		leaderShared = shared
+	}()
+
+	<-leaderIn // the leader is now inside fn; followers must share
+	const followers = 5
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, shared, err := g.Do("k", func() (*CompileResult, error) {
+				t.Error("follower executed fn")
+				return nil, nil
+			})
+			if err != nil || res != want {
+				t.Errorf("follower: res=%v err=%v", res, err)
+			}
+			if shared {
+				mu.Lock()
+				sharedCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	// Hold the leader until every follower is provably waiting on the
+	// in-flight call; releasing earlier would let a follower arrive after
+	// the key is deleted and become a second leader.
+	for g.followersOf("k") != followers {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if ran != 1 {
+		t.Fatalf("fn ran %d times, want 1", ran)
+	}
+	if leaderShared {
+		t.Fatal("leader reported shared=true")
+	}
+	if sharedCount != followers {
+		t.Fatalf("%d followers reported shared, want %d", sharedCount, followers)
+	}
+}
+
+// TestFlightGroupKeysIndependent: different keys never share, and a
+// completed flight's key is reusable (the leader removes it on exit).
+func TestFlightGroupKeysIndependent(t *testing.T) {
+	var g flightGroup
+	ran := 0
+	fn := func() (*CompileResult, error) { ran++; return &CompileResult{}, nil }
+	if _, shared, _ := g.Do("a", fn); shared {
+		t.Fatal("first call shared")
+	}
+	if _, shared, _ := g.Do("b", fn); shared {
+		t.Fatal("distinct key shared")
+	}
+	if _, shared, _ := g.Do("a", fn); shared {
+		t.Fatal("sequential reuse of a completed key shared")
+	}
+	if ran != 3 {
+		t.Fatalf("fn ran %d times, want 3", ran)
+	}
+}
+
+// TestFlightGroupPropagatesError: followers receive the leader's error.
+func TestFlightGroupPropagatesError(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	_, _, err := g.Do("k", func() (*CompileResult, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestStatsReportsDeduped: the /stats requests block and /metrics expose
+// the single-flight dedup counter.
+func TestStatsReportsDeduped(t *testing.T) {
+	s, ts := newTestServer(t, Config{DisableReopt: true})
+	getJSON := func(url string, out interface{}) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st statsResponse
+	getJSON(ts.URL+"/stats", &st)
+	if st.Requests.Deduped != 0 {
+		t.Fatalf("fresh server deduped = %d, want 0", st.Requests.Deduped)
+	}
+	s.cDedup.Inc()
+	getJSON(ts.URL+"/stats", &st)
+	if st.Requests.Deduped != 1 {
+		t.Fatalf("deduped = %d after increment, want 1", st.Requests.Deduped)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "llvm_serve_singleflight_shared_total 1") {
+		t.Fatal("/metrics does not expose the single-flight counter")
+	}
+}

@@ -1,0 +1,130 @@
+package profile
+
+import (
+	"testing"
+)
+
+// The cluster merges run counts at a module's owning peer, so the merge
+// algebra is what makes distribution invisible: counts accumulated from
+// any interleaving of node forwards must equal a single node seeing the
+// same runs. These tests pin the two layers separately — Counts.Merge is
+// a commutative monoid (order never matters for the accumulated counts),
+// while File.Merge's epoch bookkeeping is sequence-dependent by design
+// (doubling test against the running total), so cluster and single-node
+// agree when they see the same sequence — exactly what owner-forwarding
+// guarantees.
+
+func c(total ...int64) *Counts {
+	out := &Counts{Funcs: map[string][]int64{"main": append([]int64(nil), total...)}}
+	for _, n := range total {
+		out.Total += n
+	}
+	return out
+}
+
+func merged(parts ...*Counts) *Counts {
+	acc := &Counts{}
+	for _, p := range parts {
+		acc.Merge(p)
+	}
+	return acc
+}
+
+// TestCountsMergeCommutative: A+B == B+A, including when the operands
+// cover different functions and different block-vector lengths.
+func TestCountsMergeCommutative(t *testing.T) {
+	a := c(10, 5, 0)
+	b := &Counts{Funcs: map[string][]int64{"main": {1, 2, 3, 4}, "aux": {7}}, Total: 17}
+	if !merged(a, b).Equal(merged(b, a)) {
+		t.Fatalf("merge not commutative: %+v vs %+v", merged(a, b), merged(b, a))
+	}
+}
+
+// TestCountsMergeAssociative: (A+B)+C == A+(B+C) for the three-node
+// shape the cluster actually produces.
+func TestCountsMergeAssociative(t *testing.T) {
+	a := c(10, 5)
+	b := c(3, 3, 3)
+	bc := merged(b, c(1))
+	left := merged(merged(a, b), c(1))
+	right := merged(a, bc)
+	if !left.Equal(right) {
+		t.Fatalf("merge not associative: %+v vs %+v", left, right)
+	}
+}
+
+// TestCountsMergeAllPermutations: every arrival order of three nodes'
+// counts at the owner yields identical accumulated counts.
+func TestCountsMergeAllPermutations(t *testing.T) {
+	nodes := []*Counts{
+		c(10, 5, 1),
+		{Funcs: map[string][]int64{"main": {2, 2}, "helper": {9}}, Total: 13},
+		c(0, 0, 7),
+	}
+	want := merged(nodes[0], nodes[1], nodes[2])
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		got := merged(nodes[p[0]], nodes[p[1]], nodes[p[2]])
+		if !got.Equal(want) {
+			t.Fatalf("permutation %v accumulated %+v, want %+v", p, got, want)
+		}
+	}
+}
+
+// TestFileMergeClusterEqualsSingleNode: three simulated nodes forwarding
+// equal-sized runs to one owner File advance its epoch exactly as a
+// single node merging the same sequence — same epochs, same bump points,
+// same accumulated counts.
+func TestFileMergeClusterEqualsSingleNode(t *testing.T) {
+	runs := []*Counts{c(100, 50), c(100, 50), c(100, 50), c(100, 50)}
+
+	var owner File // the cluster owner receiving forwarded counts
+	var single File // a standalone node seeing the runs directly
+	wantBumps := []bool{true, true, false, true} // 150, 300, 450, 600 vs doubling thresholds
+	for i, r := range runs {
+		ob := owner.Merge(r)
+		sb := single.Merge(r)
+		if ob != sb {
+			t.Fatalf("run %d: owner bumped=%v, single-node bumped=%v", i, ob, sb)
+		}
+		if ob != wantBumps[i] {
+			t.Fatalf("run %d: bumped=%v, want %v (doubling rule)", i, ob, wantBumps[i])
+		}
+		if owner.Epoch != single.Epoch {
+			t.Fatalf("run %d: owner epoch %d != single epoch %d", i, owner.Epoch, single.Epoch)
+		}
+	}
+	if !owner.Counts.Equal(&single.Counts) {
+		t.Fatal("owner and single-node accumulated counts differ")
+	}
+	if owner.Epoch != 3 {
+		t.Fatalf("final epoch %d, want 3", owner.Epoch)
+	}
+}
+
+// TestFileMergeEpochMonotone: whatever the interleaving of forwarded
+// counts, epochs only move forward and the final accumulated counts are
+// permutation-independent (the epoch COUNT may differ across orders —
+// the doubling test is sequence-dependent — but the evidence never is).
+func TestFileMergeEpochMonotone(t *testing.T) {
+	nodes := []*Counts{c(10), c(1), c(1)}
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	want := merged(nodes[0], nodes[1], nodes[2])
+	for _, p := range perms {
+		var f File
+		last := int64(0)
+		for _, i := range p {
+			f.Merge(nodes[i])
+			if f.Epoch < last {
+				t.Fatalf("permutation %v: epoch went backwards (%d -> %d)", p, last, f.Epoch)
+			}
+			last = f.Epoch
+		}
+		if !f.Counts.Equal(want) {
+			t.Fatalf("permutation %v: accumulated %+v, want %+v", p, f.Counts, want)
+		}
+		if f.Epoch < 1 {
+			t.Fatalf("permutation %v: no epoch ever advanced", p)
+		}
+	}
+}
