@@ -475,6 +475,29 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("disabled observability allocated %v times per function, want 0", allocs)
 	}
+
+	// The distributed-tracing and flight-recorder primitives keep the same
+	// contract: a nil tracer mints no span IDs, a nil recorder drops
+	// records, and a nil request record swallows every mutator — the
+	// serving path pays nothing when the operator left them off.
+	var tr *obs.Tracer
+	var rec *obs.Recorder
+	var rr *obs.RequestRecord
+	parent := obs.SpanContext{Trace: "t-zeroalloc", Span: "s1"}
+	allocs = testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("request", "http", 0, parent)
+		if sc := sp.Context(); sc.Span != "" {
+			t.Fatal("nil tracer minted a span ID")
+		}
+		sp.End()
+		rr.SetCache("hit")
+		rr.SetDedup("follower", "t-other")
+		rr.SetError("boom")
+		rec.Add(obs.RequestRecord{})
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span/recorder primitives allocated %v times per request, want 0", allocs)
+	}
 }
 
 // BenchmarkExecutionEngine compares the portable interpreter against the

@@ -20,6 +20,11 @@
 // latency with tier-2 speedups. -store DIR compiles each benchmark
 // twice through a lifelong store rooted at DIR and reports cold-vs-warm
 // latency (DIR persists, so successive runs measure a warm daemon).
+// -serve-load drives a 3-node in-process cluster open-loop at fixed
+// arrival rates (-load-rates, -load-dur) and reports p50/p95/p99/max
+// latency, throughput, and cache/dedup mix per rate, plus a saturation
+// arm (-load-sat-rate against a 1-worker node, proving fast 503
+// refusals) and the serving-layer observability overhead at p50.
 // -json additionally writes the selected tables as machine-readable JSON
 // (see experiments.Report), the format the repo's BENCH_*.json trajectory
 // files use.
@@ -28,6 +33,9 @@ package main
 import (
 	"flag"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/tooling"
@@ -44,6 +52,10 @@ func main() {
 	tiersFlag := flag.Bool("tiers", false, "Tiers: execution latency per engine tier (interp/tier-1/tier-2/auto+profile)")
 	aliasFlag := flag.Bool("alias", false, "Alias: memory-pass optimization work and pipeline cost, points-to analysis off vs on")
 	clusterFlag := flag.Bool("cluster", false, "Cluster: cold/warm-local/remote-hit compile latency through a 3-node in-process cluster")
+	serveLoad := flag.Bool("serve-load", false, "ServeLoad: open-loop latency quantiles (p50/p95/p99) against a 3-node cluster front, plus saturation and obs-overhead arms")
+	loadRates := flag.String("load-rates", "50,200", "comma-separated arrival rates (req/s) for -serve-load")
+	loadDur := flag.Duration("load-dur", 2*time.Second, "duration of each -serve-load rate run")
+	loadSatRate := flag.Float64("load-sat-rate", 300, "arrival rate for the -serve-load saturation arm (1-worker /run)")
 	storeDir := flag.String("store", "", "Store: cold-vs-warm compile latency through a lifelong store at this dir")
 	verbose := flag.Bool("v", false, "verbose (per-pass work counts)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path (- for stdout)")
@@ -52,7 +64,7 @@ func main() {
 	// selection (including the opt-in sections) runs only what was asked.
 	all := !*t1 && !*t2 && !*f5 && !*ck &&
 		!*obsFlag && !*validateFlag && !*tiersFlag && !*aliasFlag &&
-		!*clusterFlag && *storeDir == ""
+		!*clusterFlag && !*serveLoad && *storeDir == ""
 
 	var rows1 []experiments.Table1Row
 	var rows2 []experiments.Table2Row
@@ -147,6 +159,35 @@ func main() {
 		os.Stdout.WriteString("\n")
 		experiments.PrintClusterTable(os.Stdout, rowsCl)
 	}
+	var loadRes *experiments.ServeLoadResult
+	if *serveLoad {
+		dir, err := os.MkdirTemp("", "llvm-bench-load-")
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		var rates []float64
+		for _, s := range strings.Split(*loadRates, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			r, err := strconv.ParseFloat(s, 64)
+			if err != nil || r <= 0 {
+				tooling.Fatalf("llvm-bench: bad -load-rates entry %q", s)
+			}
+			rates = append(rates, r)
+		}
+		if len(rates) == 0 {
+			tooling.Fatalf("llvm-bench: -load-rates is empty")
+		}
+		loadRes, err = experiments.ServeLoadTable(dir, rates, *loadDur, *loadSatRate)
+		if err != nil {
+			tooling.Fatalf("llvm-bench: %v", err)
+		}
+		os.Stdout.WriteString("\n")
+		experiments.PrintServeLoadTable(os.Stdout, loadRes)
+	}
 	var rowsS []experiments.StoreRow
 	if *storeDir != "" {
 		var err error
@@ -164,6 +205,7 @@ func main() {
 		report.AddTiers(rowsT)
 		report.AddAlias(rowsA)
 		report.AddCluster(rowsCl)
+		report.AddServeLoad(loadRes)
 		report.AddStore(rowsS)
 		out := os.Stdout
 		if *jsonPath != "-" {

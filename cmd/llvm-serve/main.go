@@ -68,6 +68,8 @@ func main() {
 	reoptNow := flag.Bool("reopt-now", false, "drain the reoptimization queue and exit instead of serving")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to FILE on shutdown")
 	accessLog := flag.String("access-log", "", "append one JSON access-log line per request to FILE")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	procName := flag.String("proc-name", "", "process name for trace export (cluster traces merge by process; default: role + address)")
 	peersFlag := flag.String("peers", "", "comma-separated cluster membership (host:port,...); enables cluster mode")
 	selfAddr := flag.String("self", "", "this node's own address in -peers (cluster node mode)")
 	front := flag.Bool("front", false, "run as a stateless cluster front-end over -peers (no store)")
@@ -78,7 +80,17 @@ func main() {
 		if *peersFlag == "" || flag.NArg() != 0 {
 			tooling.Fatalf("usage: %s", cluster.FrontUsage)
 		}
-		runFront(*addr, splitPeers(*peersFlag), *vnodes, *probeInterval, *timeout)
+		runFront(frontOptions{
+			addr:      *addr,
+			peers:     splitPeers(*peersFlag),
+			vnodes:    *vnodes,
+			probe:     *probeInterval,
+			timeout:   *timeout,
+			traceOut:  *traceOut,
+			accessLog: *accessLog,
+			pprof:     *pprofFlag,
+			procName:  *procName,
+		})
 		return
 	}
 	if *storeDir == "" || flag.NArg() != 0 {
@@ -102,9 +114,18 @@ func main() {
 		IdleDelay:       *idleDelay,
 		DisableReopt:    *noReopt || *reoptNow,
 		DisableValidate: *noValidate,
+		EnablePprof:     *pprofFlag,
 	}
 	if *traceOut != "" {
 		cfg.Tracer = obs.NewTracer()
+		name := *procName
+		if name == "" {
+			name = "node " + *addr
+			if *selfAddr != "" {
+				name = "node " + *selfAddr
+			}
+		}
+		cfg.Tracer.SetProcess(1, name)
 	}
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -189,22 +210,69 @@ func splitPeers(s string) []string {
 	return out
 }
 
-// runFront serves the stateless cluster front-end until interrupted.
-func runFront(addr string, peers []string, vnodes int, probe, timeout time.Duration) {
-	f, err := cluster.NewFront(cluster.FrontConfig{
-		Peers:         peers,
-		VNodes:        vnodes,
-		ProbeInterval: probe,
-		PeerTimeout:   timeout,
-	})
+// frontOptions gathers runFront's flag values.
+type frontOptions struct {
+	addr      string
+	peers     []string
+	vnodes    int
+	probe     time.Duration
+	timeout   time.Duration
+	traceOut  string
+	accessLog string
+	pprof     bool
+	procName  string
+}
+
+// runFront serves the stateless cluster front-end until interrupted. The
+// front gets the same observability surface as a node: -trace-out spans
+// (it is the edge where trace IDs are minted), -access-log lines, the
+// /debug flight recorder, and -pprof.
+func runFront(o frontOptions) {
+	fcfg := cluster.FrontConfig{
+		Peers:         o.peers,
+		VNodes:        o.vnodes,
+		ProbeInterval: o.probe,
+		PeerTimeout:   o.timeout,
+		EnablePprof:   o.pprof,
+	}
+	if o.traceOut != "" {
+		fcfg.Tracer = obs.NewTracer()
+		name := o.procName
+		if name == "" {
+			name = "front " + o.addr
+		}
+		fcfg.Tracer.SetProcess(1, name)
+	}
+	if o.accessLog != "" {
+		lf, err := os.OpenFile(o.accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			tooling.Fatalf("llvm-serve: %v", err)
+		}
+		defer lf.Close()
+		fcfg.AccessLog = lf
+	}
+	f, err := cluster.NewFront(fcfg)
 	if err != nil {
 		tooling.Fatalf("llvm-serve: %v", err)
 	}
 	defer f.Close()
-	hs := &http.Server{Addr: addr, Handler: f.Handler()}
+	if o.traceOut != "" {
+		defer func() {
+			tf, err := os.Create(o.traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "llvm-serve: %v\n", err)
+				return
+			}
+			defer tf.Close()
+			if err := fcfg.Tracer.WriteJSON(tf); err != nil {
+				fmt.Fprintf(os.Stderr, "llvm-serve: writing %s: %v\n", o.traceOut, err)
+			}
+		}()
+	}
+	hs := &http.Server{Addr: o.addr, Handler: f.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "llvm-serve: front-end listening on %s, routing over %d peer(s)\n", addr, len(peers))
+	fmt.Fprintf(os.Stderr, "llvm-serve: front-end listening on %s, routing over %d peer(s)\n", o.addr, len(o.peers))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

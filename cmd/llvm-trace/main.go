@@ -1,0 +1,59 @@
+// llvm-trace merges Chrome trace-event JSON files exported by different
+// llvm-serve processes (-trace-out) into one timeline loadable in
+// Perfetto / about:tracing. Each input carries the wall-clock epoch its
+// per-process monotonic timestamps are relative to; the merge aligns the
+// timelines on it and keeps each process on its own named track group, so
+// a request that entered at the front and compiled at its owning node
+// renders as one tree: front request span → owner request span → compile
+// span → per-pass spans.
+//
+// Usage:
+//
+//	llvm-trace -o merged.json front.json node0.json node1.json ...
+//	llvm-trace -o one-request.json -trace TRACE_ID front.json node0.json
+//
+// -trace filters to one request tree (the X-Trace-Id a response carried),
+// keeping process metadata so the tracks stay named.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/tooling"
+)
+
+func main() {
+	defer tooling.ExitOnPanic("llvm-trace")
+	out := flag.String("o", "", "output file (default stdout)")
+	traceID := flag.String("trace", "", "keep only the spans of this trace ID")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		tooling.Fatalf("usage: llvm-trace [-o merged.json] [-trace ID] trace1.json trace2.json ...")
+	}
+	var files [][]byte
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			tooling.Fatalf("llvm-trace: %v", err)
+		}
+		files = append(files, data)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			tooling.Fatalf("llvm-trace: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.MergeTraces(w, *traceID, files...); err != nil {
+		tooling.Fatalf("llvm-trace: %v", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "llvm-trace: merged %d file(s) into %s\n", len(files), *out)
+	}
+}

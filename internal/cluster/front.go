@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -31,6 +32,19 @@ type FrontConfig struct {
 	MaxBody int64
 	// Metrics is the front's registry (nil = a fresh one).
 	Metrics *obs.Registry
+	// Tracer, when set, records the front's request and routing spans. The
+	// front is the cluster's edge: requests arriving without an X-Trace-Id
+	// are assigned one here, and every forwarded hop carries it plus the
+	// front's span as X-Span-Id, so the peer's spans parent under it.
+	Tracer *obs.Tracer
+	// AccessLog, when set, receives one JSON line per request (same schema
+	// as the nodes' access logs).
+	AccessLog io.Writer
+	// Recorder is the front's flight recorder (nil = a fresh one at
+	// obs.DefaultRecorderCap; always on).
+	Recorder *obs.Recorder
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Front is the stateless cluster front-end: it owns no store and runs no
@@ -40,12 +54,14 @@ type FrontConfig struct {
 // failure — so one front address gives clients the whole cluster, and a
 // dead peer costs a retry, not an error.
 type Front struct {
-	cfg     FrontConfig
-	ring    *Ring
-	health  *Health
-	metrics *obs.Registry
-	client  *http.Client
-	start   time.Time
+	cfg      FrontConfig
+	ring     *Ring
+	health   *Health
+	metrics  *obs.Registry
+	client   *http.Client
+	start    time.Time
+	recorder *obs.Recorder
+	httpObs  *obs.HTTPObs
 
 	cRequests map[string]*obs.Counter // by endpoint
 	cRetries  *obs.Counter
@@ -86,6 +102,20 @@ func NewFront(cfg FrontConfig) (*Front, error) {
 	}
 	f.cRetries = f.metrics.Counter("llvm_front_retries_total")
 	f.cFailed = f.metrics.Counter("llvm_front_failed_total")
+	f.recorder = cfg.Recorder
+	if f.recorder == nil {
+		f.recorder = obs.NewRecorder(0)
+	}
+	f.httpObs = &obs.HTTPObs{
+		Tracer:    cfg.Tracer,
+		Recorder:  f.recorder,
+		AccessLog: cfg.AccessLog,
+		Endpoint:  frontEndpointLabel,
+		Latency: func(endpoint string) *obs.Histogram {
+			return f.metrics.Histogram("llvm_front_request_seconds",
+				obs.ServeLatencyBuckets, "endpoint", endpoint)
+		},
+	}
 	f.peerOK = map[string]*obs.Counter{}
 	f.peerErr = map[string]*obs.Counter{}
 	probeClient := &http.Client{Timeout: cfg.ProbeInterval}
@@ -113,7 +143,25 @@ func (f *Front) Metrics() *obs.Registry { return f.metrics }
 // Close stops the health prober.
 func (f *Front) Close() { f.health.Close() }
 
-// Handler returns the front's HTTP surface.
+// Recorder returns the front's flight recorder.
+func (f *Front) Recorder() *obs.Recorder { return f.recorder }
+
+// frontEndpointLabel bounds the front's per-endpoint label space the same
+// way the nodes' endpointLabel does.
+func frontEndpointLabel(path string) string {
+	switch path {
+	case "/compile", "/run", "/check", "/cluster/health", "/cluster/peers", "/metrics":
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/") {
+		return "/debug"
+	}
+	return "other"
+}
+
+// Handler returns the front's HTTP surface, wrapped in the same
+// observability middleware the nodes use — the front is where trace IDs
+// are minted for requests entering through it.
 func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", f.route("compile"))
@@ -125,7 +173,44 @@ func (f *Front) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		f.metrics.WritePrometheus(w)
 	})
-	return mux
+	mux.HandleFunc("/debug/requests", f.handleDebugRequests)
+	mux.HandleFunc("/debug/trace/", f.handleDebugTrace)
+	if f.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return f.httpObs.Middleware(mux)
+}
+
+// handleDebugRequests and handleDebugTrace mirror the nodes' /debug
+// surface over the front's own recorder.
+func (f *Front) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	recs := f.recorder.Snapshot()
+	if recs == nil {
+		recs = []obs.RequestRecord{}
+	}
+	clusterJSON(w, http.StatusOK, map[string]interface{}{
+		"capacity": f.recorder.Cap(),
+		"total":    f.recorder.Total(),
+		"requests": recs,
+	})
+}
+
+func (f *Front) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if !obs.ValidTraceID(id) {
+		clusterError(w, http.StatusBadRequest, "invalid trace id")
+		return
+	}
+	recs := f.recorder.ByTrace(id)
+	if len(recs) == 0 {
+		clusterError(w, http.StatusNotFound, "trace %s not in the flight recorder (evicted or never seen here)", id)
+		return
+	}
+	clusterJSON(w, http.StatusOK, recs)
 }
 
 func (f *Front) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -208,6 +293,7 @@ func (f *Front) route(endpoint string) http.HandlerFunc {
 			}
 		}
 		f.cFailed.Inc()
+		obs.RecordFromContext(r.Context()).SetError("no cluster peer could serve the request")
 		clusterError(w, http.StatusBadGateway, "no cluster peer could serve the request (%d tried)", attempts)
 	}
 }
@@ -221,16 +307,22 @@ func (f *Front) forward(w http.ResponseWriter, r *http.Request, peer, endpoint s
 	if q := r.URL.RawQuery; q != "" {
 		u += "?" + q
 	}
+	rec := obs.RecordFromContext(r.Context())
+	t0 := time.Now()
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, bytes.NewReader(gzBody))
 	if err != nil {
 		return false
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set("Content-Encoding", "gzip")
+	// Trace context crosses the hop: the peer adopts this trace ID and
+	// parents its request span under the front's span.
+	obs.PropagateHeaders(r.Context(), req.Header)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		f.peerErr[peer].Inc()
 		f.health.MarkDown(peer)
+		rec.AddHop(peer, "route", "down", time.Since(t0))
 		return false
 	}
 	defer resp.Body.Close()
@@ -238,10 +330,16 @@ func (f *Front) forward(w http.ResponseWriter, r *http.Request, peer, endpoint s
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		f.peerErr[peer].Inc()
 		f.health.MarkDown(peer)
+		rec.AddHop(peer, "route", "error", time.Since(t0))
 		return false
 	}
 	f.peerOK[peer].Inc()
 	f.health.MarkUp(peer)
+	rec.AddHop(peer, "route", "ok", time.Since(t0))
+	rec.SetPeer(peer)
+	if cache := resp.Header.Get("X-Cache"); cache != "" {
+		rec.SetCache(cache)
+	}
 	// Relay the peer's response: identifying headers pass through, the
 	// serving peer is named (it came from config, never request data), and
 	// the body is re-compressed when this client accepts gzip (the peer

@@ -1,13 +1,16 @@
 package cluster
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"path/filepath"
 	"time"
 
 	"repro/internal/lifelong"
+	"repro/internal/obs"
 )
 
 // LocalCluster is an in-process cluster: N full nodes plus one front, each
@@ -42,6 +45,10 @@ type LocalOptions struct {
 	// Lifelong seeds every node's daemon config; Store, Metrics, and the
 	// cluster-owned hook fields are set per node by LaunchLocal.
 	Lifelong lifelong.Config
+	// Trace gives every node and the front its own obs.Tracer, labeled
+	// with a distinct process ID and name, so MergedTrace can assemble the
+	// whole cluster's spans into one Perfetto timeline.
+	Trace bool
 }
 
 // LaunchLocal starts an in-process cluster. Listeners are bound first so
@@ -89,6 +96,11 @@ func LaunchLocal(opts LocalOptions) (*LocalCluster, error) {
 		ncfg := opts.Lifelong
 		ncfg.Store = store
 		ncfg.Metrics = nil
+		if opts.Trace {
+			tr := obs.NewTracer()
+			tr.SetProcess(i+1, fmt.Sprintf("node%d %s", i, peers[i]))
+			ncfg.Tracer = tr
+		}
 		node, err := NewNode(Config{
 			Self:          peers[i],
 			Peers:         peers,
@@ -106,12 +118,18 @@ func LaunchLocal(opts LocalOptions) (*LocalCluster, error) {
 		go srv.Serve(lc.listeners[i])
 	}
 
-	front, err := NewFront(FrontConfig{
+	fcfg := FrontConfig{
 		Peers:         peers,
 		VNodes:        opts.VNodes,
 		ProbeInterval: opts.ProbeInterval,
 		MaxBody:       opts.Lifelong.MaxBody,
-	})
+	}
+	if opts.Trace {
+		tr := obs.NewTracer()
+		tr.SetProcess(opts.Nodes+1, "front")
+		fcfg.Tracer = tr
+	}
+	front, err := NewFront(fcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +144,36 @@ func LaunchLocal(opts LocalOptions) (*LocalCluster, error) {
 
 	ok = true
 	return lc, nil
+}
+
+// MergedTrace exports every process's tracer (launched with Trace: true)
+// and merges them into one Chrome trace-event file on w — the front's
+// request span and each node's request/compile/pass spans on one aligned
+// timeline. traceID, when non-empty, filters to that one request tree.
+func (lc *LocalCluster) MergedTrace(w io.Writer, traceID string) error {
+	var files [][]byte
+	collect := func(tr *obs.Tracer) error {
+		if tr == nil {
+			return nil
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			return err
+		}
+		files = append(files, buf.Bytes())
+		return nil
+	}
+	for _, n := range lc.Nodes {
+		if err := collect(n.cfg.Lifelong.Tracer); err != nil {
+			return err
+		}
+	}
+	if lc.Front != nil {
+		if err := collect(lc.Front.cfg.Tracer); err != nil {
+			return err
+		}
+	}
+	return obs.MergeTraces(w, traceID, files...)
 }
 
 // NodeURLs returns each node's base URL in launch order.

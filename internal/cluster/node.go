@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -187,22 +188,34 @@ func (n *Node) Close() {
 // ask the peer owning this hash range for its best artifact. Only the
 // owner is asked — successors don't compile for ranges they don't own, so
 // asking them would just add misses — and every failure path returns
-// ok=false, degrading to a local compile.
-func (n *Node) fetchThrough(modHash, spec string) ([]byte, int64, bool) {
+// ok=false, degrading to a local compile. ctx carries the request's trace
+// context across the hop (the owner's /cluster/artifact span parents
+// under this node's compile span) and its flight-recorder record, which
+// gets one hop entry per attempt.
+func (n *Node) fetchThrough(ctx context.Context, modHash, spec string) ([]byte, int64, bool) {
+	rec := obs.RecordFromContext(ctx)
 	owner := n.ring.Owner(modHash)
 	if owner == n.cfg.Self {
 		return nil, 0, false
 	}
 	if !n.health.Up(owner) {
 		n.cOwnerDown.Inc()
+		rec.AddHop(owner, "fetch-through", "down", 0)
 		return nil, 0, false
 	}
+	t0 := time.Now()
 	u := fmt.Sprintf("http://%s/cluster/artifact?module=%s&spec=%s",
 		owner, url.QueryEscape(modHash), url.QueryEscape(spec))
-	resp, err := n.client.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, false
+	}
+	obs.PropagateHeaders(ctx, req.Header)
+	resp, err := n.client.Do(req)
 	if err != nil {
 		n.fetchErr[owner].Inc()
 		n.health.MarkDown(owner)
+		rec.AddHop(owner, "fetch-through", "error", time.Since(t0))
 		return nil, 0, false
 	}
 	defer resp.Body.Close()
@@ -211,22 +224,26 @@ func (n *Node) fetchThrough(modHash, spec string) ([]byte, int64, bool) {
 		data, err := readLimited(resp, n.maxBody)
 		if err != nil {
 			n.fetchErr[owner].Inc()
+			rec.AddHop(owner, "fetch-through", "error", time.Since(t0))
 			return nil, 0, false
 		}
 		epoch, _ := strconv.ParseInt(resp.Header.Get("X-Artifact-Epoch"), 10, 64)
 		n.fetchHit[owner].Inc()
 		n.health.MarkUp(owner)
+		rec.AddHop(owner, "fetch-through", "hit", time.Since(t0))
 		return data, epoch, true
 	case resp.StatusCode == http.StatusNotFound:
 		// The owner answered but has nothing yet: a healthy miss.
 		n.fetchMiss[owner].Inc()
 		n.health.MarkUp(owner)
+		rec.AddHop(owner, "fetch-through", "miss", time.Since(t0))
 		return nil, 0, false
 	default:
 		n.fetchErr[owner].Inc()
 		if resp.StatusCode >= 500 {
 			n.health.MarkDown(owner)
 		}
+		rec.AddHop(owner, "fetch-through", "error", time.Since(t0))
 		return nil, 0, false
 	}
 }
@@ -237,7 +254,8 @@ func (n *Node) fetchThrough(modHash, spec string) ([]byte, int64, bool) {
 // reoptimizer sees every run. handled=false (owner == self, owner down,
 // transport failure) falls back to the local merge — evidence is never
 // dropped.
-func (n *Node) forwardProfile(modHash string, c *profile.Counts) (int64, bool, bool) {
+func (n *Node) forwardProfile(ctx context.Context, modHash string, c *profile.Counts) (int64, bool, bool) {
+	rec := obs.RecordFromContext(ctx)
 	owner := n.ring.Owner(modHash)
 	if owner == n.cfg.Self || !n.health.Up(owner) {
 		return 0, false, false
@@ -246,21 +264,24 @@ func (n *Node) forwardProfile(modHash string, c *profile.Counts) (int64, bool, b
 	if err != nil {
 		return 0, false, false
 	}
+	t0 := time.Now()
 	var buf bytes.Buffer
 	gz := gzip.NewWriter(&buf)
 	gz.Write(payload)
 	gz.Close()
 	u := fmt.Sprintf("http://%s/cluster/profile?module=%s", owner, url.QueryEscape(modHash))
-	req, err := http.NewRequest(http.MethodPost, u, &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &buf)
 	if err != nil {
 		return 0, false, false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Content-Encoding", "gzip")
+	obs.PropagateHeaders(ctx, req.Header)
 	resp, err := n.client.Do(req)
 	if err != nil {
 		n.forwardErr[owner].Inc()
 		n.health.MarkDown(owner)
+		rec.AddHop(owner, "profile-forward", "error", time.Since(t0))
 		return 0, false, false
 	}
 	defer resp.Body.Close()
@@ -269,15 +290,18 @@ func (n *Node) forwardProfile(modHash string, c *profile.Counts) (int64, bool, b
 		if resp.StatusCode >= 500 {
 			n.health.MarkDown(owner)
 		}
+		rec.AddHop(owner, "profile-forward", "error", time.Since(t0))
 		return 0, false, false
 	}
 	var pr profileResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 		n.forwardErr[owner].Inc()
+		rec.AddHop(owner, "profile-forward", "error", time.Since(t0))
 		return 0, false, false
 	}
 	n.forwardOK[owner].Inc()
 	n.health.MarkUp(owner)
+	rec.AddHop(owner, "profile-forward", "ok", time.Since(t0))
 	return pr.ProfileEpoch, pr.EpochAdvanced, true
 }
 

@@ -1,0 +1,229 @@
+package cluster
+
+// Tests for the cluster's distributed-tracing story: one request entering
+// at the front produces spans in at least two processes under one trace
+// ID, and the merged Perfetto trace carries the full ancestry chain —
+// front request span → owner request span → compile span — via the
+// trace_id/span_id/parent_id args every distributed span exports.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/lifelong"
+)
+
+// tracedEvent is the span shape the merge emits, as the tests read it.
+type tracedEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	PID   int               `json:"pid"`
+	Args  map[string]string `json:"args"`
+}
+
+type tracedFile struct {
+	TraceEvents []tracedEvent `json:"traceEvents"`
+}
+
+// launchTraced is launch with per-process tracers installed.
+func launchTraced(t *testing.T, nodes int) *LocalCluster {
+	t.Helper()
+	lc, err := LaunchLocal(LocalOptions{
+		Nodes: nodes,
+		Dir:   t.TempDir(),
+		Trace: true,
+		Lifelong: lifelong.Config{
+			DisableReopt: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	return lc
+}
+
+// mergedSpans exports the cluster's merged trace filtered to traceID and
+// indexes the spans by span_id.
+func mergedSpans(t *testing.T, lc *LocalCluster, traceID string) (spans map[string]tracedEvent, all []tracedEvent) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := lc.MergedTrace(&buf, traceID); err != nil {
+		t.Fatal(err)
+	}
+	var f tracedFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	spans = map[string]tracedEvent{}
+	for _, ev := range f.TraceEvents {
+		if ev.Phase == "M" {
+			continue
+		}
+		if ev.Args["trace_id"] != traceID {
+			t.Fatalf("trace filter leaked a span of trace %q: %+v", ev.Args["trace_id"], ev)
+		}
+		if id := ev.Args["span_id"]; id != "" {
+			spans[id] = ev
+		}
+		all = append(all, ev)
+	}
+	return spans, all
+}
+
+// ancestorOf reports whether span a is an ancestor of span b via
+// parent_id links within the indexed spans.
+func ancestorOf(spans map[string]tracedEvent, a, b tracedEvent) bool {
+	cur := b
+	for depth := 0; depth < 32; depth++ {
+		parent := cur.Args["parent_id"]
+		if parent == "" {
+			return false
+		}
+		if parent == a.Args["span_id"] {
+			return true
+		}
+		next, ok := spans[parent]
+		if !ok {
+			return false
+		}
+		cur = next
+	}
+	return false
+}
+
+// TestClusterMergedTraceAncestry pins the tentpole acceptance criterion:
+// a cold /compile through the front yields one merged trace in which the
+// front's request span is an ancestor of the owning node's compile span,
+// with spans from at least two distinct processes under one trace ID.
+func TestClusterMergedTraceAncestry(t *testing.T) {
+	lc := launchTraced(t, 3)
+	mod, _ := hotModule(t)
+
+	resp, body := post(t, lc.FrontURL()+"/compile?raw=1", mod)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cold compile via front: %d: %s", resp.StatusCode, body)
+	}
+	trace := resp.Header.Get("X-Trace-Id")
+	if trace == "" {
+		t.Fatal("front response has no X-Trace-Id")
+	}
+
+	spans, all := mergedSpans(t, lc, trace)
+	if len(all) == 0 {
+		t.Fatal("merged trace is empty for the request's trace ID")
+	}
+
+	// Identify the chain's links: the front's request span is the only
+	// root (no parent); the owner's request span and compile span follow.
+	var front, ownerReq, compile tracedEvent
+	for _, ev := range all {
+		switch {
+		case ev.Cat == "request" && ev.Args["parent_id"] == "":
+			if front.Name != "" {
+				t.Fatalf("two root spans in one trace: %+v and %+v", front, ev)
+			}
+			front = ev
+		case ev.Cat == "request":
+			ownerReq = ev
+		case ev.Name == "compile":
+			compile = ev
+		}
+	}
+	if front.Name != "/compile" {
+		t.Fatalf("no front root span; spans: %+v", all)
+	}
+	if ownerReq.Name != "/compile" {
+		t.Fatalf("no owner request span; spans: %+v", all)
+	}
+	if compile.Name == "" {
+		t.Fatalf("no compile span; spans: %+v", all)
+	}
+
+	// The ancestry chain crosses the process boundary: front request →
+	// owner request → compile.
+	if ownerReq.Args["parent_id"] != front.Args["span_id"] {
+		t.Errorf("owner request parents under %q, want the front span %q",
+			ownerReq.Args["parent_id"], front.Args["span_id"])
+	}
+	if !ancestorOf(spans, ownerReq, compile) {
+		t.Errorf("owner request span is not an ancestor of the compile span:\nreq %+v\ncompile %+v", ownerReq, compile)
+	}
+	if !ancestorOf(spans, front, compile) {
+		t.Errorf("front span is not an ancestor of the compile span across processes")
+	}
+
+	// Spans from at least two distinct processes under one trace ID, and
+	// the merged timeline orders the front's arrival before the owner's.
+	pids := map[int]bool{}
+	for _, ev := range all {
+		pids[ev.PID] = true
+	}
+	if len(pids) < 2 {
+		t.Errorf("merged trace covers %d process(es), want >= 2", len(pids))
+	}
+	if front.PID == ownerReq.PID {
+		t.Errorf("front and owner spans share pid %d; merge lost the process split", front.PID)
+	}
+	if ownerReq.TS < front.TS {
+		t.Errorf("owner request (ts %d) precedes the front request (ts %d) after epoch alignment",
+			ownerReq.TS, front.TS)
+	}
+}
+
+// TestClusterFetchThroughTraceCrossesProcesses pins the other
+// cross-process hop: a /compile at a non-owner fetches the artifact
+// through from the owner, and the owner's /cluster/artifact request span
+// parents under the non-owner's compile span in the merged trace.
+func TestClusterFetchThroughTraceCrossesProcesses(t *testing.T) {
+	lc := launchTraced(t, 3)
+	mod, hash := hotModule(t)
+	owner := lc.Front.Ring().Owner(hash)
+	var ownerURL, otherURL string
+	for _, n := range lc.Nodes {
+		if n.Self() == owner {
+			ownerURL = "http://" + n.Self()
+		} else if otherURL == "" {
+			otherURL = "http://" + n.Self()
+		}
+	}
+
+	if r, _ := post(t, ownerURL+"/compile?raw=1", mod); r.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("owner compile: cache %q, want miss", r.Header.Get("X-Cache"))
+	}
+	r2, _ := post(t, otherURL+"/compile?raw=1", mod)
+	if r2.Header.Get("X-Cache") != "remote" {
+		t.Fatalf("non-owner compile: cache %q, want remote", r2.Header.Get("X-Cache"))
+	}
+	trace := r2.Header.Get("X-Trace-Id")
+	if trace == "" {
+		t.Fatal("fetch-through response has no X-Trace-Id")
+	}
+
+	spans, all := mergedSpans(t, lc, trace)
+	var compile, artifact tracedEvent
+	for _, ev := range all {
+		switch ev.Name {
+		case "compile":
+			compile = ev
+		case "/cluster/artifact":
+			artifact = ev
+		}
+	}
+	if compile.Name == "" || artifact.Name == "" {
+		t.Fatalf("merged trace missing compile or artifact span: %+v", all)
+	}
+	if artifact.Args["parent_id"] != compile.Args["span_id"] {
+		t.Errorf("owner artifact span parents under %q, want the compile span %q",
+			artifact.Args["parent_id"], compile.Args["span_id"])
+	}
+	if artifact.PID == compile.PID {
+		t.Errorf("artifact and compile spans share pid %d, want two processes", artifact.PID)
+	}
+	if !ancestorOf(spans, compile, artifact) {
+		t.Error("compile span is not an ancestor of the owner's artifact span")
+	}
+}

@@ -20,6 +20,9 @@ type Report struct {
 	Tiers    []TiersJSON    `json:"tiers,omitempty"`
 	Alias    []AliasJSON    `json:"alias,omitempty"`
 	Cluster  []ClusterJSON  `json:"cluster,omitempty"`
+	// ServeLoad is the open-loop load-generator section: latency quantiles
+	// per arrival rate plus the serving-layer observability overhead.
+	ServeLoad *ServeLoadSection `json:"serve_load,omitempty"`
 }
 
 // Table1JSON is Table1Row with stable JSON field names.
@@ -240,6 +243,59 @@ func (r *Report) AddCluster(rows []ClusterRow) {
 			WarmSpeedup: row.WarmSpeedup(), RemoteSpeedup: row.RemoteSpeedup(),
 		})
 	}
+}
+
+// ServeLoadJSON is ServeLoadRow in Table2's millisecond convention.
+type ServeLoadJSON struct {
+	Endpoint      string  `json:"endpoint"`
+	RateRPS       float64 `json:"rate_rps"`
+	DurationSecs  float64 `json:"duration_secs"`
+	Sent          int     `json:"sent"`
+	OK            int     `json:"ok"`
+	Rejected      int     `json:"rejected_503"`
+	Failed        int     `json:"failed"`
+	DedupFollower int     `json:"dedup_follower"`
+	CacheHit      int     `json:"cache_hit"`
+	CacheRemote   int     `json:"cache_remote"`
+	CacheMiss     int     `json:"cache_miss"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// ServeLoadSection bundles the load rows with the serving-layer
+// observability overhead measurement.
+type ServeLoadSection struct {
+	Rows               []ServeLoadJSON `json:"rows"`
+	ObsOffP50Ms        float64         `json:"obs_off_p50_ms"`
+	ObsOnP50Ms         float64         `json:"obs_on_p50_ms"`
+	ObsOverheadPercent float64         `json:"obs_overhead_percent"`
+}
+
+// AddServeLoad attaches the open-loop load-generator result to the report.
+func (r *Report) AddServeLoad(res *ServeLoadResult) {
+	if res == nil {
+		return
+	}
+	sec := &ServeLoadSection{
+		ObsOffP50Ms:        ms(res.ObsOffP50),
+		ObsOnP50Ms:         ms(res.ObsOnP50),
+		ObsOverheadPercent: res.ObsOverheadPercent,
+	}
+	for _, row := range res.Rows {
+		sec.Rows = append(sec.Rows, ServeLoadJSON{
+			Endpoint: row.Endpoint, RateRPS: row.RateRPS,
+			DurationSecs: row.Duration.Seconds(),
+			Sent:         row.Sent, OK: row.OK, Rejected: row.Rejected, Failed: row.Failed,
+			DedupFollower: row.DedupFollower,
+			CacheHit:      row.CacheHit, CacheRemote: row.CacheRemote, CacheMiss: row.CacheMiss,
+			P50Ms: ms(row.P50), P95Ms: ms(row.P95), P99Ms: ms(row.P99), MaxMs: ms(row.Max),
+			ThroughputRPS: row.Throughput,
+		})
+	}
+	r.ServeLoad = sec
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/cluster"
+	"repro/internal/lifelong"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// ServeLoadRow is one open-loop load run against the serving layer: a
+// fixed arrival rate held for a duration, with latency quantiles measured
+// from each request's *scheduled* arrival time. Open-loop is the honest
+// protocol for a server benchmark: arrivals keep coming whether or not
+// earlier requests finished, so a stalled server accumulates latency in
+// the tail instead of silently slowing the generator down (the
+// coordinated-omission trap a closed request loop falls into).
+type ServeLoadRow struct {
+	Endpoint string // "/compile" or "/run"
+	RateRPS  float64
+	Duration time.Duration
+
+	Sent     int
+	OK       int
+	Rejected int // 503: the worker pool refused under its request budget
+	Failed   int // transport errors and unexpected statuses
+
+	DedupFollower int // responses marked X-Dedup: follower
+	CacheHit      int // X-Cache: hit
+	CacheRemote   int // X-Cache: remote (fetch-through at a non-owner)
+	CacheMiss     int // X-Cache: miss
+
+	P50, P95, P99, Max time.Duration
+	Throughput         float64 // completed-OK per second of the run
+}
+
+// ServeLoadResult bundles the load rows with the serving-layer
+// observability overhead: the same open-loop run against a daemon with
+// tracing + access log + flight recorder fully on versus one with every
+// optional layer off, compared at p50.
+type ServeLoadResult struct {
+	Rows []ServeLoadRow
+
+	ObsOffP50, ObsOnP50 time.Duration
+	ObsOverheadPercent  float64
+}
+
+// loadStats accumulates one open-loop run.
+type loadStats struct {
+	mu    sync.Mutex
+	lats  []time.Duration
+	ok    int
+	rej   int
+	fail  int
+	dedup int
+	cache map[string]int
+}
+
+// openLoop drives url at a fixed arrival rate for dur, POSTing body each
+// arrival. Latency is measured from the scheduled arrival tick, so queue
+// time a saturated server imposes is charged to the server, not hidden.
+func openLoop(client *http.Client, url string, body []byte, rate float64, dur time.Duration) *loadStats {
+	st := &loadStats{cache: map[string]int{}}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		scheduled := now
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+			lat := time.Since(scheduled)
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if err != nil {
+				st.fail++
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			st.lats = append(st.lats, lat)
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				st.ok++
+				if c := resp.Header.Get("X-Cache"); c != "" {
+					st.cache[c]++
+				}
+				if resp.Header.Get("X-Dedup") == "follower" {
+					st.dedup++
+				}
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				st.rej++
+			default:
+				st.fail++
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(st.lats, func(i, j int) bool { return st.lats[i] < st.lats[j] })
+	return st
+}
+
+// quantile reads the q-th latency from a sorted sample (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (st *loadStats) row(endpoint string, rate float64, dur time.Duration) ServeLoadRow {
+	r := ServeLoadRow{
+		Endpoint: endpoint, RateRPS: rate, Duration: dur,
+		Sent: st.ok + st.rej + st.fail, OK: st.ok, Rejected: st.rej, Failed: st.fail,
+		DedupFollower: st.dedup,
+		CacheHit:      st.cache["hit"], CacheRemote: st.cache["remote"], CacheMiss: st.cache["miss"],
+		P50: quantile(st.lats, 0.50), P95: quantile(st.lats, 0.95), P99: quantile(st.lats, 0.99),
+	}
+	if n := len(st.lats); n > 0 {
+		r.Max = st.lats[n-1]
+	}
+	if secs := dur.Seconds(); secs > 0 {
+		r.Throughput = float64(st.ok) / secs
+	}
+	return r
+}
+
+// ServeLoadTable launches a 3-node in-process cluster behind its front and
+// drives it open-loop:
+//
+//   - one /compile row per arrival rate (warm path: the module is compiled
+//     once up front, so the steady state is owner cache hits through the
+//     front — the latency story the cluster sells);
+//   - one /run saturation row at satRate against a deliberately small
+//     worker pool, showing overload degrading to fast 503 refusals
+//     instead of unbounded queueing;
+//   - an off-vs-on observability arm on a standalone daemon, pricing the
+//     tracing + access-log + recorder layer at p50.
+//
+// dir hosts the per-node stores. Rates are arrivals per second; dur is
+// each row's run length.
+func ServeLoadTable(dir string, rates []float64, dur time.Duration, satRate float64) (*ServeLoadResult, error) {
+	lc, err := cluster.LaunchLocal(cluster.LocalOptions{
+		Nodes: 3,
+		Dir:   filepath.Join(dir, "load"),
+		Lifelong: lifelong.Config{
+			DisableReopt:   true,
+			Workers:        4,
+			RequestTimeout: 2 * time.Second,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer lc.Close()
+	client := loadClient()
+
+	p := workload.Suite()[0]
+	m, err := buildRaw(p)
+	if err != nil {
+		return nil, err
+	}
+	canonical, err := bytecode.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the owner once: the measured rows are the cluster's steady
+	// state, not its first-ever compile.
+	if _, _, _, err := clusterPost(client, lc.FrontURL(), canonical); err != nil {
+		return nil, fmt.Errorf("serve-load warmup: %w", err)
+	}
+
+	res := &ServeLoadResult{}
+	for _, rate := range rates {
+		st := openLoop(client, lc.FrontURL()+"/compile?raw=1", canonical, rate, dur)
+		res.Rows = append(res.Rows, st.row("/compile", rate, dur))
+	}
+
+	// Saturation arm: a 1-worker node under a tight request budget, driven
+	// past its capacity on /run (real execution work per request). The row
+	// proves the degradation mode: excess arrivals get fast 503s.
+	satLC, err := cluster.LaunchLocal(cluster.LocalOptions{
+		Nodes: 1,
+		Dir:   filepath.Join(dir, "sat"),
+		Lifelong: lifelong.Config{
+			DisableReopt:   true,
+			Workers:        1,
+			RequestTimeout: 50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer satLC.Close()
+	satDur := dur
+	if satDur > 2*time.Second {
+		satDur = 2 * time.Second
+	}
+	st := openLoop(client, satLC.NodeURLs()[0]+"/run", canonical, satRate, satDur)
+	res.Rows = append(res.Rows, st.row("/run", satRate, satDur))
+
+	// Observability overhead arm: identical standalone daemons, identical
+	// open-loop runs; one with the full new layer on (tracer + access log
+	// + flight recorder), one with everything optional off. The recorder
+	// runs in both (it is always on by design); what is priced here is the
+	// optional layer an operator can toggle.
+	offP50, onP50, err := serveObsOverhead(dir, canonical, dur)
+	if err != nil {
+		return nil, err
+	}
+	res.ObsOffP50, res.ObsOnP50 = offP50, onP50
+	if offP50 > 0 {
+		res.ObsOverheadPercent = (float64(onP50)/float64(offP50) - 1) * 100
+	}
+	return res, nil
+}
+
+// serveObsOverhead prices the serving-layer observability at p50: two
+// standalone daemons over the same warmed module, one with the optional
+// layer on (tracer + access log) and one with it off, each driven at a
+// rate well under capacity so the comparison measures per-request cost,
+// not queueing. The off/on runs alternate for several passes and each
+// side keeps its best (minimum) p50 — the standard defense against
+// one-sided warmup and scheduler noise in an A/B latency comparison.
+func serveObsOverhead(dir string, canonical []byte, dur time.Duration) (off, on time.Duration, err error) {
+	const rate = 100.0
+	const passes = 3
+	if dur > time.Second {
+		dur = time.Second
+	}
+	launch := func(name string, enable bool) (*httptest.Server, func(), error) {
+		store, err := lifelong.Open(filepath.Join(dir, name), 256<<20)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := lifelong.Config{Store: store, DisableReopt: true}
+		if enable {
+			cfg.Tracer = obs.NewTracer()
+			cfg.AccessLog = io.Discard
+		}
+		srv := lifelong.NewServer(cfg)
+		ts := httptest.NewServer(srv.Handler())
+		return ts, func() { ts.Close(); srv.Close() }, nil
+	}
+	offTS, offClose, err := launch("obs-off", false)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer offClose()
+	onTS, onClose, err := launch("obs-on", true)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer onClose()
+	client := loadClient()
+	for _, ts := range []*httptest.Server{offTS, onTS} {
+		if _, _, _, err := clusterPost(client, ts.URL, canonical); err != nil {
+			return 0, 0, err
+		}
+	}
+	best := func(cur, got time.Duration) time.Duration {
+		if cur == 0 || (got > 0 && got < cur) {
+			return got
+		}
+		return cur
+	}
+	for i := 0; i < passes; i++ {
+		st := openLoop(client, offTS.URL+"/compile?raw=1", canonical, rate, dur)
+		off = best(off, quantile(st.lats, 0.50))
+		st = openLoop(client, onTS.URL+"/compile?raw=1", canonical, rate, dur)
+		on = best(on, quantile(st.lats, 0.50))
+	}
+	return off, on, nil
+}
+
+// loadClient builds the generator's HTTP client: the default transport's
+// two idle connections per host would force connection churn at load and
+// charge TCP setup to the server's latency, so the pool is widened to
+// cover the generator's in-flight fan-out.
+func loadClient() *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &http.Client{Transport: tr, Timeout: 10 * time.Second}
+}
+
+// PrintServeLoadTable renders the open-loop load rows alongside the other
+// evaluation tables.
+func PrintServeLoadTable(w io.Writer, res *ServeLoadResult) {
+	fmt.Fprintf(w, "ServeLoad: open-loop arrival rates against the 3-node cluster front\n")
+	fmt.Fprintf(w, "%-9s %7s %6s %5s %5s %5s %9s %9s %9s %9s %7s\n",
+		"Endpoint", "Rate", "Sent", "OK", "503", "Fail", "p50", "p95", "p99", "max", "Thru")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-9s %6.0f/s %6d %5d %5d %5d %8.2fms %8.2fms %8.2fms %8.2fms %5.0f/s\n",
+			r.Endpoint, r.RateRPS, r.Sent, r.OK, r.Rejected, r.Failed,
+			ms(r.P50), ms(r.P95), ms(r.P99), ms(r.Max), r.Throughput)
+	}
+	fmt.Fprintf(w, "(warm /compile via front: owner cache hits; /run row drives a 1-worker node past capacity)\n")
+	fmt.Fprintf(w, "serving-layer observability: p50 off %.3fms, on %.3fms (%+.1f%%)\n",
+		ms(res.ObsOffP50), ms(res.ObsOnP50), res.ObsOverheadPercent)
+}

@@ -1,7 +1,9 @@
 package lifelong
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/bytecode"
@@ -44,14 +46,21 @@ type CompileResult struct {
 // the profile epoch they were built against, or ok=false on any miss,
 // unhealthy owner, or transport failure — the caller then compiles
 // locally (fail-open: a peer outage costs latency, never availability).
-type RemoteFetch func(modHash, spec string) (data []byte, epoch int64, ok bool)
+// ctx carries the request's trace context (obs.SpanFromContext) for
+// header propagation and its flight-recorder record for hop annotation.
+type RemoteFetch func(ctx context.Context, modHash, spec string) (data []byte, epoch int64, ok bool)
 
 // CompileOpts threads observability into a store-backed compile: the
 // tracer records a span for the whole compile plus the pipeline's per-pass
 // spans on miss, and the registry receives the pass pipeline's metrics.
 // Remote, when set, is consulted between the local cache probe and the
-// pipeline (cluster fetch-through).
+// pipeline (cluster fetch-through). Ctx and Parent attach the compile to
+// a distributed trace: the compile span parents under Parent (the serving
+// request's span), and Ctx — which must carry the same span context —
+// flows to the remote fetch so the cross-node hop stays in the tree.
 type CompileOpts struct {
+	Ctx     context.Context
+	Parent  obs.SpanContext
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
 	Remote  RemoteFetch
@@ -82,8 +91,18 @@ func Compile(st *Store, m *core.Module, spec string) (*CompileResult, error) {
 
 // CompileWith is Compile with observability attached.
 func CompileWith(st *Store, m *core.Module, spec string, opts CompileOpts) (res *CompileResult, err error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Tracer != nil {
-		sp := opts.Tracer.Begin("compile", "lifelong", 0)
+		// The compile span parents under the serving request's span, so in a
+		// merged cluster trace the owner's /compile request span contains
+		// this compile, which contains the pass manager's per-pass spans.
+		sp := opts.Tracer.StartSpan("compile", "lifelong", 0, opts.Parent)
+		if sc := sp.Context(); sc.Trace != "" {
+			ctx = obs.ContextWithSpan(ctx, sc)
+		}
 		defer func() {
 			args := map[string]string{"pipeline": spec}
 			if res != nil {
@@ -124,7 +143,9 @@ func CompileWith(st *Store, m *core.Module, spec string, opts CompileOpts) (res 
 	// locally at the epoch the owner reported, so repeat requests at this
 	// node stay local as long as its profile view agrees.
 	if opts.Remote != nil {
-		if data, epoch, ok := opts.Remote(hash, spec); ok {
+		t0 := time.Now()
+		if data, epoch, ok := opts.Remote(ctx, hash, spec); ok {
+			obs.RecordFromContext(ctx).AddPhase("fetch-through", time.Since(t0))
 			if err := st.PutArtifact(hash, spec, epoch, data); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,67 @@
+package lifelong
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// The /debug tree is the daemon's flight-recorder surface: always on,
+// bounded, and read-only, so "what did that slow request five minutes ago
+// actually do" is answerable on any node without pre-arranged tracing.
+//
+//	/debug/requests    recent requests, newest first (ring of Recorder.Cap)
+//	/debug/trace/<id>  the recorded requests carrying one trace ID
+//	/debug/pprof/*     net/http/pprof, only when Config.EnablePprof
+func (s *Server) addDebugHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// Recorder returns the daemon's flight recorder (for the cluster layer's
+// hop annotations and for tests).
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
+
+// debugRequestsResponse is /debug/requests' JSON shape.
+type debugRequestsResponse struct {
+	// Capacity and Total bound what the ring can say: Total - len(Requests)
+	// requests have already been evicted.
+	Capacity int                 `json:"capacity"`
+	Total    uint64              `json:"total"`
+	Requests []obs.RequestRecord `json:"requests"`
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	recs := s.recorder.Snapshot()
+	if recs == nil {
+		recs = []obs.RequestRecord{}
+	}
+	writeJSON(w, http.StatusOK, debugRequestsResponse{
+		Capacity: s.recorder.Cap(),
+		Total:    s.recorder.Total(),
+		Requests: recs,
+	})
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if !obs.ValidTraceID(id) {
+		httpError(w, http.StatusBadRequest, "invalid trace id")
+		return
+	}
+	recs := s.recorder.ByTrace(id)
+	if len(recs) == 0 {
+		httpError(w, http.StatusNotFound, "trace %s not in the flight recorder (evicted or never seen here)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, recs)
+}

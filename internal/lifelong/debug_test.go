@@ -1,0 +1,352 @@
+package lifelong
+
+// Tests for the flight recorder's /debug surface, the /stats latency
+// quantiles' agreement with the /metrics histograms, and the satellite
+// guarantees around error paths: a terminated request — 503 on
+// saturation, 413 on the body cap — still carries an X-Trace-Id and lands
+// in the access log with its real status, and a single-flight follower's
+// log line names the leader's trace.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/obs"
+	"repro/internal/tooling"
+)
+
+func TestDebugRequestsAndTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableReopt: true})
+	mod := hotModuleText(t)
+	resp, _ := post(t, ts.URL+"/compile", mod)
+	trace := resp.Header.Get("X-Trace-Id")
+	if trace == "" {
+		t.Fatal("no X-Trace-Id on /compile")
+	}
+
+	var dbg debugRequestsResponse
+	r2, err := http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Capacity != obs.DefaultRecorderCap {
+		t.Errorf("capacity = %d, want %d", dbg.Capacity, obs.DefaultRecorderCap)
+	}
+	if dbg.Total < 1 || len(dbg.Requests) < 1 {
+		t.Fatalf("debug response = %+v, want at least the /compile request", dbg)
+	}
+	var found *obs.RequestRecord
+	for i := range dbg.Requests {
+		if dbg.Requests[i].TraceID == trace {
+			found = &dbg.Requests[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("/debug/requests does not contain trace %s", trace)
+	}
+	if found.Endpoint != "/compile" || found.Status != http.StatusOK || found.Cache != "miss" {
+		t.Errorf("recorded request = %+v, want /compile 200 cache=miss", found)
+	}
+	var phases []string
+	for _, p := range found.Phases {
+		phases = append(phases, p.Name)
+	}
+	if fmt.Sprint(phases) != "[read-parse compile]" {
+		t.Errorf("recorded phases = %v, want [read-parse compile]", phases)
+	}
+
+	// /debug/trace/<id> finds the same record; unknown IDs 404, invalid 400.
+	r3, err := http.Get(ts.URL + "/debug/trace/" + trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var recs []obs.RequestRecord
+	if err := json.NewDecoder(r3.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TraceID != trace {
+		t.Errorf("/debug/trace/%s = %+v", trace, recs)
+	}
+	if r4, err := http.Get(ts.URL + "/debug/trace/never-seen-here"); err != nil {
+		t.Fatal(err)
+	} else if r4.Body.Close(); r4.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace: status %d, want 404", r4.StatusCode)
+	}
+	if r5, err := http.Get(ts.URL + `/debug/trace/bad"id`); err != nil {
+		t.Fatal(err)
+	} else if r5.Body.Close(); r5.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid trace id: status %d, want 400", r5.StatusCode)
+	}
+}
+
+// scrapeBuckets parses one endpoint's llvm_serve_request_seconds buckets
+// out of a /metrics scrape into the (bounds, cum) shape
+// obs.QuantileFromBuckets takes.
+func scrapeBuckets(t *testing.T, text, endpoint string) (bounds []float64, cum []uint64) {
+	t.Helper()
+	prefix := fmt.Sprintf(`llvm_serve_request_seconds_bucket{endpoint=%q,le="`, endpoint)
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, prefix)
+		i := strings.Index(rest, `"} `)
+		if i < 0 {
+			t.Fatalf("unparseable bucket line %q", line)
+		}
+		le, countText := rest[:i], rest[i+3:]
+		count, err := strconv.ParseFloat(countText, 64)
+		if err != nil {
+			t.Fatalf("bucket count %q: %v", countText, err)
+		}
+		cum = append(cum, uint64(count))
+		if le == "+Inf" {
+			continue // +Inf is the implicit last cum entry, not a bound
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("bucket bound %q: %v", le, err)
+		}
+		bounds = append(bounds, bound)
+	}
+	return bounds, cum
+}
+
+// TestStatsLatencyAgreesWithMetricsHistogram pins the acceptance
+// criterion: the p50/p95/p99 /stats reports for an endpoint equal a
+// recomputation from the text a /metrics scrape renders, using the same
+// exported interpolation — one histogram, two views, zero drift.
+func TestStatsLatencyAgreesWithMetricsHistogram(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableReopt: true})
+	mod := hotModuleText(t)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if resp, _ := post(t, ts.URL+"/compile", mod); resp.StatusCode != http.StatusOK {
+			t.Fatalf("/compile: %d", resp.StatusCode)
+		}
+	}
+
+	var st statsResponse
+	if resp := getJSON(t, ts.URL+"/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %d", resp.StatusCode)
+	}
+	sum, ok := st.Latency["/compile"]
+	if !ok || sum.Count != n {
+		t.Fatalf("stats latency = %+v, want /compile with count %d", st.Latency, n)
+	}
+	if sum.P50 <= 0 || sum.P50 > sum.P95 || sum.P95 > sum.P99 {
+		t.Errorf("implausible quantiles: %+v", sum)
+	}
+
+	bounds, cum := scrapeBuckets(t, scrape(t, ts.URL), "/compile")
+	if len(bounds) != len(obs.ServeLatencyBuckets) || len(cum) != len(bounds)+1 {
+		t.Fatalf("scraped %d bounds / %d buckets, want %d / %d",
+			len(bounds), len(cum), len(obs.ServeLatencyBuckets), len(obs.ServeLatencyBuckets)+1)
+	}
+	for q, want := range map[float64]float64{0.50: sum.P50, 0.95: sum.P95, 0.99: sum.P99} {
+		if got := obs.QuantileFromBuckets(bounds, cum, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p%v recomputed from /metrics = %v, /stats says %v", q*100, got, want)
+		}
+	}
+}
+
+// getJSON GETs url and decodes the JSON body.
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+	return resp
+}
+
+// lastLogRecord returns the newest access-log line matching status.
+func lastLogRecord(t *testing.T, log *syncBuffer, status int) *accessRecord {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		var rec accessRecord
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatalf("access log line %q: %v", lines[i], err)
+		}
+		if rec.Status == status {
+			return &rec
+		}
+	}
+	return nil
+}
+
+// TestSaturation503CarriesTraceID pins the error-path satellite for
+// overload: with every worker slot held, a request is refused 503 under
+// its budget — and the refusal carries an X-Trace-Id, logs with status
+// 503, and records why in the flight recorder.
+func TestSaturation503CarriesTraceID(t *testing.T) {
+	var log syncBuffer
+	s, ts := newTestServer(t, Config{
+		DisableReopt:   true,
+		Workers:        1,
+		RequestTimeout: 30 * time.Millisecond,
+		AccessLog:      &log,
+	})
+	// Occupy the only worker slot directly; the next request cannot get a
+	// slot within its 30ms budget and must be refused.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	resp, body := post(t, ts.URL+"/compile", hotModuleText(t))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	trace := resp.Header.Get("X-Trace-Id")
+	if trace == "" {
+		t.Error("503 response has no X-Trace-Id")
+	}
+	rec := lastLogRecord(t, &log, http.StatusServiceUnavailable)
+	if rec == nil {
+		t.Fatalf("no 503 line in access log:\n%s", log.String())
+	}
+	if rec.TraceID != trace || !strings.Contains(rec.Error, "saturated") {
+		t.Errorf("503 log record = %+v, want trace %s and a saturation error", rec, trace)
+	}
+	if recs := s.Recorder().ByTrace(trace); len(recs) != 1 || recs[0].Status != 503 {
+		t.Errorf("flight recorder for %s = %+v, want one 503 record", trace, recs)
+	}
+}
+
+// TestBodyCap413CarriesTraceID pins the same satellite for the gzip-bomb
+// guard: a decoded body past MaxBody is rejected 413 with a trace ID and
+// an access-log line carrying the status and the why.
+func TestBodyCap413CarriesTraceID(t *testing.T) {
+	var log syncBuffer
+	_, ts := newTestServer(t, Config{DisableReopt: true, MaxBody: 2048, AccessLog: &log})
+	var gzBody bytes.Buffer
+	zw := gzip.NewWriter(&gzBody)
+	zw.Write(bytes.Repeat([]byte{'A'}, 1<<20)) // 1MiB of air, tiny on the wire
+	zw.Close()
+	req, err := http.NewRequest("POST", ts.URL+"/compile", &gzBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	trace := resp.Header.Get("X-Trace-Id")
+	if trace == "" {
+		t.Error("413 response has no X-Trace-Id")
+	}
+	rec := lastLogRecord(t, &log, http.StatusRequestEntityTooLarge)
+	if rec == nil {
+		t.Fatalf("no 413 line in access log:\n%s", log.String())
+	}
+	if rec.TraceID != trace || rec.Error == "" {
+		t.Errorf("413 log record = %+v, want trace %s with an error detail", rec, trace)
+	}
+}
+
+// TestFollowerLogsJoinedTrace pins the single-flight satellite: a request
+// that joins another request's in-flight pipeline run is marked
+// dedup=follower in the access log and the flight recorder, with
+// joined_trace naming the leader — the shared work stays attributable. A
+// leader is installed directly in the flight group (held open on a
+// channel) so the join is deterministic, not a race.
+func TestFollowerLogsJoinedTrace(t *testing.T) {
+	var log syncBuffer
+	s, ts := newTestServer(t, Config{DisableReopt: true, AccessLog: &log})
+	mod := hotModuleText(t)
+	m, err := tooling.LoadModuleBytes("request", mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := bytecode.ModuleHash(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact key handleCompile will build: no profile yet, so epoch 0.
+	key := fmt.Sprintf("%s\x1f%s\x1f%d", hash, s.cfg.DefaultPipeline, 0)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.flight.Do(key, "trace-leader", func() (*CompileResult, error) {
+			close(started)
+			<-release
+			return CompileWith(s.store, m, s.cfg.DefaultPipeline, CompileOpts{})
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	// The HTTP request now joins the held-open leader; release it once the
+	// follower has had time to arrive (it blocks in Do until released
+	// regardless, so an early release only risks leading, not failing).
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(release)
+	}()
+	resp, body := post(t, ts.URL+"/compile", mod)
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/compile: %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Dedup") != "follower" {
+		t.Fatalf("X-Dedup = %q, want follower (response joined the held leader)", resp.Header.Get("X-Dedup"))
+	}
+	if got := resp.Header.Get("X-Dedup-Joined"); got != "trace-leader" {
+		t.Errorf("X-Dedup-Joined = %q, want trace-leader", got)
+	}
+	trace := resp.Header.Get("X-Trace-Id")
+	rec := lastLogRecord(t, &log, http.StatusOK)
+	if rec == nil {
+		t.Fatalf("no 200 line in access log:\n%s", log.String())
+	}
+	if rec.Dedup != "follower" || rec.JoinedTrace != "trace-leader" {
+		t.Errorf("follower log record = %+v, want dedup=follower joined_trace=trace-leader", rec)
+	}
+	if recs := s.Recorder().ByTrace(trace); len(recs) != 1 ||
+		recs[0].Dedup != "follower" || recs[0].JoinedTrace != "trace-leader" {
+		t.Errorf("flight recorder follower record = %+v", recs)
+	}
+}
+
+// TestPprofGatedByFlag: the pprof tree must not exist unless asked for.
+func TestPprofGatedByFlag(t *testing.T) {
+	_, off := newTestServer(t, Config{DisableReopt: true})
+	if resp, err := http.Get(off.URL + "/debug/pprof/cmdline"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode == http.StatusOK {
+		t.Error("pprof served without EnablePprof")
+	}
+	_, on := newTestServer(t, Config{DisableReopt: true, EnablePprof: true})
+	if resp, err := http.Get(on.URL + "/debug/pprof/cmdline"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with EnablePprof: status %d, want 200", resp.StatusCode)
+	}
+}

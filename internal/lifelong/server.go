@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,14 @@ type Config struct {
 	// request's trace id (also returned in the X-Trace-Id header), method,
 	// path, status, and latency.
 	AccessLog io.Writer
+	// Recorder is the flight recorder /debug/requests serves (nil = the
+	// server creates its own at obs.DefaultRecorderCap — the recorder is
+	// always on; its cost is one small struct copy per request).
+	Recorder *obs.Recorder
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (llvm-serve
+	// -pprof). Off by default: the profiling surface can stall the process
+	// and belongs behind an operator's explicit flag.
+	EnablePprof bool
 	// RemoteFetch, when set, is consulted on a local artifact miss before
 	// compiling: the cluster layer's fetch-through to the peer owning the
 	// module's hash range. A remote miss (or a down owner) degrades to a
@@ -77,7 +86,9 @@ type Config struct {
 	// response then reports); handled=false falls back to the local merge,
 	// so a down owner degrades to local accumulation instead of dropping
 	// end-user evidence.
-	ProfileSink func(modHash string, c *profile.Counts) (epoch int64, advanced bool, handled bool)
+	// ctx carries the request's trace context for header propagation and
+	// its flight-recorder record for hop annotation.
+	ProfileSink func(ctx context.Context, modHash string, c *profile.Counts) (epoch int64, advanced bool, handled bool)
 	// ExtraHandlers adds endpoints to Handler()'s mux — the cluster
 	// layer's /cluster/* surface. They run under the observability
 	// middleware (trace ids, latency histogram, access log) but not the
@@ -131,7 +142,11 @@ type Server struct {
 	inflight     atomic.Int64
 	lastActivity atomic.Int64 // UnixNano of the last request start/finish
 	start        time.Time
-	traceSeq     atomic.Uint64
+
+	// recorder is the always-on flight recorder; httpObs is the shared
+	// observability middleware wrapping Handler()'s mux.
+	recorder *obs.Recorder
+	httpObs  *obs.HTTPObs
 
 	// Request and reopt counters live in the metrics registry; /stats reads
 	// them back from there (see handleStats) so the JSON and Prometheus
@@ -231,6 +246,20 @@ func NewServer(cfg Config) *Server {
 	if s.cfg.Tracer != nil {
 		s.store.Tracer = s.cfg.Tracer
 	}
+	s.recorder = s.cfg.Recorder
+	if s.recorder == nil {
+		s.recorder = obs.NewRecorder(0)
+	}
+	s.httpObs = &obs.HTTPObs{
+		Tracer:    s.cfg.Tracer,
+		Recorder:  s.recorder,
+		AccessLog: s.cfg.AccessLog,
+		Endpoint:  endpointLabel,
+		Latency: func(endpoint string) *obs.Histogram {
+			return s.metrics.Histogram("llvm_serve_request_seconds",
+				obs.ServeLatencyBuckets, "endpoint", endpoint)
+		},
+	}
 	s.sem = make(chan struct{}, s.cfg.Workers)
 	s.lastActivity.Store(time.Now().UnixNano())
 	if s.cfg.DisableReopt {
@@ -255,8 +284,11 @@ func (s *Server) Close() {
 }
 
 // Handler returns the daemon's HTTP mux. Every request is wrapped in the
-// observability middleware: a trace id (X-Trace-Id, echoed in the access
-// log), a request span, and a latency histogram per endpoint.
+// shared observability middleware (obs.HTTPObs): a trace id — adopted
+// from a valid X-Trace-Id header or minted here, echoed back in the
+// response header and the access log — a request span parented under the
+// sender's X-Span-Id, a flight-recorder entry, and a per-endpoint latency
+// histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.withWorker(s.handleCompile))
@@ -264,96 +296,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/check", s.withWorker(s.handleCheck))
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.addDebugHandlers(mux)
 	for path, h := range s.cfg.ExtraHandlers {
 		mux.Handle(path, h)
 	}
-	return s.observe(mux)
+	return s.httpObs.Middleware(mux)
 }
 
-// statusWriter captures the response status and size for the access log.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-	bytes  int64
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusWriter) Write(p []byte) (int, error) {
-	if w.status == 0 {
-		w.status = http.StatusOK
-	}
-	n, err := w.ResponseWriter.Write(p)
-	w.bytes += int64(n)
-	return n, err
-}
-
-// accessRecord is one structured access-log line.
-type accessRecord struct {
-	Time     string  `json:"time"`
-	TraceID  string  `json:"trace_id"`
-	Method   string  `json:"method"`
-	Path     string  `json:"path"`
-	Status   int     `json:"status"`
-	Bytes    int64   `json:"bytes"`
-	Duration float64 `json:"duration_seconds"`
-}
+// accessRecord is one structured access-log line — the flight recorder's
+// request record rendered as JSON; one schema for both surfaces.
+type accessRecord = obs.RequestRecord
 
 // endpointLabel maps a request path to the llvm_serve_request_seconds
 // endpoint label. Unknown paths collapse to "other": the label set is the
 // registry's series key, so labeling raw paths would let any client mint
-// a new histogram series per 404 and grow /metrics without bound.
+// a new histogram series per 404 and grow /metrics without bound. The
+// /debug tree collapses to one label for the same reason (trace IDs in
+// /debug/trace/<id> paths are client-chosen).
 func endpointLabel(path string) string {
 	switch path {
 	case "/compile", "/run", "/check", "/stats", "/metrics",
 		"/cluster/artifact", "/cluster/profile", "/cluster/health", "/cluster/peers":
 		return path
 	}
+	if strings.HasPrefix(path, "/debug/") {
+		return "/debug"
+	}
 	return "other"
-}
-
-// observe assigns each request a trace id, records its span and latency,
-// and emits the access-log line.
-func (s *Server) observe(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := fmt.Sprintf("%x-%d", s.start.UnixNano(), s.traceSeq.Add(1))
-		w.Header().Set("X-Trace-Id", id)
-		sw := &statusWriter{ResponseWriter: w}
-		sp := s.cfg.Tracer.Begin(r.URL.Path, "request", 0)
-		t0 := time.Now()
-		next.ServeHTTP(sw, r)
-		dur := time.Since(t0)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		if s.cfg.Tracer != nil {
-			sp.EndArgs(map[string]string{
-				"trace_id": id,
-				"status":   fmt.Sprint(sw.status),
-			})
-		}
-		s.metrics.Histogram("llvm_serve_request_seconds", nil,
-			"endpoint", endpointLabel(r.URL.Path)).Observe(dur.Seconds())
-		if s.cfg.AccessLog != nil {
-			line, err := json.Marshal(accessRecord{
-				Time:     t0.UTC().Format(time.RFC3339Nano),
-				TraceID:  id,
-				Method:   r.Method,
-				Path:     r.URL.Path,
-				Status:   sw.status,
-				Bytes:    sw.bytes,
-				Duration: dur.Seconds(),
-			})
-			if err == nil {
-				s.cfg.AccessLog.Write(append(line, '\n'))
-			}
-		}
-	})
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition
@@ -380,6 +349,9 @@ func (s *Server) withWorker(h func(http.ResponseWriter, *http.Request)) http.Han
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
 			s.cRejected.Inc()
+			// The middleware already stamped X-Trace-Id on the response and
+			// will log this 503 with its status; the record keeps the why.
+			obs.RecordFromContext(r.Context()).SetError("saturated: no worker slot within the request budget")
 			httpError(w, http.StatusServiceUnavailable, "server saturated: no worker slot within the request budget")
 			return
 		}
@@ -400,6 +372,7 @@ func (s *Server) withWorker(h func(http.ResponseWriter, *http.Request)) http.Han
 func (s *Server) readModule(w http.ResponseWriter, r *http.Request) (*core.Module, bool) {
 	body, err := ReadBody(r, s.cfg.MaxBody)
 	if err != nil {
+		obs.RecordFromContext(r.Context()).SetError(err.Error())
 		if errors.Is(err, ErrBodyTooLarge) {
 			httpError(w, http.StatusRequestEntityTooLarge, "module exceeds the %d-byte limit", s.cfg.MaxBody)
 		} else {
@@ -429,14 +402,18 @@ type compileResponse struct {
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.cCompile.Inc()
+	rec := obs.RecordFromContext(r.Context())
+	sc := obs.SpanFromContext(r.Context())
 	// /compile responses (raw bytecode or base64 JSON) compress well;
 	// honor Accept-Encoding before any body bytes are written.
 	w, finish := Compress(w, r)
 	defer finish()
+	tRead := time.Now()
 	m, ok := s.readModule(w, r)
 	if !ok {
 		return
 	}
+	rec.AddPhase("read-parse", time.Since(tRead))
 	spec := r.URL.Query().Get("pipeline")
 	if spec == "" {
 		spec = s.cfg.DefaultPipeline
@@ -455,20 +432,34 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		epoch = f.Epoch
 	}
 	key := fmt.Sprintf("%s\x1f%s\x1f%d", hash, spec, epoch)
-	res, shared, err := s.flight.Do(key, func() (*CompileResult, error) {
+	tCompile := time.Now()
+	res, leaderTrace, shared, err := s.flight.Do(key, sc.Trace, func() (*CompileResult, error) {
 		return CompileWith(s.store, m, spec, CompileOpts{
+			Ctx:     r.Context(),
+			Parent:  sc,
 			Tracer:  s.cfg.Tracer,
 			Metrics: s.metrics,
 			Remote:  s.cfg.RemoteFetch,
 		})
 	})
+	rec.AddPhase("compile", time.Since(tCompile))
 	if shared {
+		// This request joined another request's in-flight pipeline run.
+		// Attribute the shared work: the follower's log line and recorder
+		// entry name the leader's trace, and the response says so too.
 		s.cDedup.Inc()
+		rec.SetDedup("follower", leaderTrace)
+		w.Header().Set("X-Dedup", "follower")
+		if leaderTrace != "" {
+			w.Header().Set("X-Dedup-Joined", leaderTrace)
+		}
 	}
 	if err != nil {
+		rec.SetError(err.Error())
 		httpError(w, http.StatusInternalServerError, "compile: %v", err)
 		return
 	}
+	rec.SetCache(res.CacheWord())
 	if r.URL.Query().Get("raw") == "1" {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Module-Hash", res.ModuleHash)
@@ -544,8 +535,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		mc.SeedProfile(pf.Counts.Funcs)
 	}
 
+	rec := obs.RecordFromContext(r.Context())
 	resp := runResponse{ModuleHash: hash}
+	tRun := time.Now()
 	code, runErr := mc.RunMainContext(r.Context())
+	rec.AddPhase("execute", time.Since(tRun))
 	resp.Steps = mc.Steps
 	resp.Output = out.String()
 	var ee *interp.ExitError
@@ -557,6 +551,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		runErr = nil
 	default:
 		resp.Trap = runErr.Error()
+		rec.SetError(runErr.Error())
 	}
 
 	// A trapped or cancelled run still profiled the blocks it executed;
@@ -568,7 +563,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if c := profile.CountsFromBlocks(mc.BlockCounts()); c.Total > 0 {
 			handled := false
 			if s.cfg.ProfileSink != nil {
-				if epoch, advanced, ok := s.cfg.ProfileSink(hash, c); ok {
+				if epoch, advanced, ok := s.cfg.ProfileSink(r.Context(), hash, c); ok {
 					resp.Profiled = true
 					resp.ProfileEpoch = epoch
 					resp.EpochAdvanced = advanced
@@ -677,6 +672,21 @@ type statsResponse struct {
 		QueriesMay        int64  `json:"queries_may"`
 		QueriesMust       int64  `json:"queries_must"`
 	} `json:"alias"`
+	// Latency summarizes the per-endpoint request-duration histograms.
+	// The quantiles are computed (obs.QuantileFromBuckets) from exactly
+	// the cumulative buckets a /metrics scrape renders for
+	// llvm_serve_request_seconds, so the two endpoints cannot disagree —
+	// a test pins this by recomputing from the scraped text.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
+}
+
+// LatencySummary is /stats' quantile view of one endpoint's
+// request-duration histogram.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
 }
 
 // handleStats renders the JSON view of the same counters /metrics scrapes:
@@ -713,6 +723,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Alias.QueriesNo = qs.No
 	resp.Alias.QueriesMay = qs.May
 	resp.Alias.QueriesMust = qs.Must
+	resp.Latency = map[string]LatencySummary{}
+	for _, ep := range []string{"/compile", "/run", "/check", "/stats", "/metrics", "other"} {
+		h := s.httpObs.Latency(ep)
+		if h.Count() == 0 {
+			continue
+		}
+		resp.Latency[ep] = LatencySummary{
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
 	s.reoptMu.Lock()
 	resp.Reopt.LastModule = s.reoptLast
 	resp.Reopt.LastEpoch = s.reoptEpoch

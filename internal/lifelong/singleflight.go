@@ -16,6 +16,7 @@ type flightGroup struct {
 type flightCall struct {
 	wg        sync.WaitGroup
 	followers int
+	trace     string // the leader's trace ID, for follower attribution
 	res       *CompileResult
 	err       error
 }
@@ -31,11 +32,13 @@ func (g *flightGroup) followersOf(key string) int {
 	return 0
 }
 
-// Do executes fn once per concurrent set of callers sharing key. The
-// second return reports whether this caller shared another caller's
-// execution (true for every follower, false for the leader). Results are
-// shared by reference, so callers must treat them as immutable.
-func (g *flightGroup) Do(key string, fn func() (*CompileResult, error)) (*CompileResult, bool, error) {
+// Do executes fn once per concurrent set of callers sharing key. trace is
+// this caller's trace ID; the leader's is remembered on the in-flight call
+// and returned to every follower as leaderTrace, so a follower's access-log
+// line and flight-recorder entry can name the request whose pipeline run it
+// joined. shared is true for every follower, false for the leader. Results
+// are shared by reference, so callers must treat them as immutable.
+func (g *flightGroup) Do(key, trace string, fn func() (*CompileResult, error)) (res *CompileResult, leaderTrace string, shared bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*flightCall{}
@@ -44,9 +47,9 @@ func (g *flightGroup) Do(key string, fn func() (*CompileResult, error)) (*Compil
 		c.followers++
 		g.mu.Unlock()
 		c.wg.Wait()
-		return c.res, true, c.err
+		return c.res, c.trace, true, c.err
 	}
-	c := &flightCall{}
+	c := &flightCall{trace: trace}
 	c.wg.Add(1)
 	g.m[key] = c
 	g.mu.Unlock()
@@ -57,5 +60,5 @@ func (g *flightGroup) Do(key string, fn func() (*CompileResult, error)) (*Compil
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
-	return c.res, false, c.err
+	return c.res, "", false, c.err
 }

@@ -29,7 +29,7 @@ func TestFlightGroupSharesConcurrentCalls(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		res, shared, err := g.Do("k", func() (*CompileResult, error) {
+		res, leaderTrace, shared, err := g.Do("k", "trace-leader", func() (*CompileResult, error) {
 			ran++
 			close(leaderIn)
 			<-release
@@ -37,6 +37,9 @@ func TestFlightGroupSharesConcurrentCalls(t *testing.T) {
 		})
 		if err != nil || res != want {
 			t.Errorf("leader: res=%v err=%v", res, err)
+		}
+		if leaderTrace != "" {
+			t.Errorf("leader got leaderTrace %q, want empty", leaderTrace)
 		}
 		leaderShared = shared
 	}()
@@ -47,12 +50,17 @@ func TestFlightGroupSharesConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, shared, err := g.Do("k", func() (*CompileResult, error) {
+			res, leaderTrace, shared, err := g.Do("k", "trace-follower", func() (*CompileResult, error) {
 				t.Error("follower executed fn")
 				return nil, nil
 			})
 			if err != nil || res != want {
 				t.Errorf("follower: res=%v err=%v", res, err)
+			}
+			// Dedup attribution: every follower learns whose pipeline run
+			// it joined.
+			if leaderTrace != "trace-leader" {
+				t.Errorf("follower got leaderTrace %q, want trace-leader", leaderTrace)
 			}
 			if shared {
 				mu.Lock()
@@ -87,13 +95,13 @@ func TestFlightGroupKeysIndependent(t *testing.T) {
 	var g flightGroup
 	ran := 0
 	fn := func() (*CompileResult, error) { ran++; return &CompileResult{}, nil }
-	if _, shared, _ := g.Do("a", fn); shared {
+	if _, _, shared, _ := g.Do("a", "t1", fn); shared {
 		t.Fatal("first call shared")
 	}
-	if _, shared, _ := g.Do("b", fn); shared {
+	if _, _, shared, _ := g.Do("b", "t2", fn); shared {
 		t.Fatal("distinct key shared")
 	}
-	if _, shared, _ := g.Do("a", fn); shared {
+	if _, _, shared, _ := g.Do("a", "t3", fn); shared {
 		t.Fatal("sequential reuse of a completed key shared")
 	}
 	if ran != 3 {
@@ -105,7 +113,7 @@ func TestFlightGroupKeysIndependent(t *testing.T) {
 func TestFlightGroupPropagatesError(t *testing.T) {
 	var g flightGroup
 	boom := errors.New("boom")
-	_, _, err := g.Do("k", func() (*CompileResult, error) { return nil, boom })
+	_, _, _, err := g.Do("k", "t", func() (*CompileResult, error) { return nil, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// StatusClientClosed is the access-log status for a request that
+// terminated without a response being written — the client went away (or
+// the per-request budget expired) mid-flight. 499 is nginx's convention;
+// logging it beats the old behavior of recording such aborts as 200.
+const StatusClientClosed = 499
+
+// HTTPObs is the serving layer's observability middleware, shared by the
+// lifelong daemon and the cluster front so every process speaks the same
+// trace-context protocol: adopt the request's X-Trace-Id (minting one at
+// the cluster's edge), parent a request span under the sender's
+// X-Span-Id, expose both to the handler through the request context,
+// and finalize one RequestRecord per request into the access log, the
+// flight recorder, and the per-endpoint latency histogram.
+//
+// Every field is optional; a zero HTTPObs still attaches trace IDs, which
+// is the invariant the satellite tests pin: no terminated request —
+// 503 on saturation, 413 on the body-size guard, timeouts — escapes
+// without an X-Trace-Id and a log line carrying its final status.
+type HTTPObs struct {
+	Tracer    *Tracer
+	Recorder  *Recorder
+	AccessLog io.Writer
+	// Endpoint maps a request path to its bounded metric/record label
+	// (nil = identity; callers that serve untrusted paths must collapse
+	// unknown ones to keep label cardinality bounded).
+	Endpoint func(path string) string
+	// Latency returns the request-duration histogram for an endpoint
+	// label (nil = no latency recording).
+	Latency func(endpoint string) *Histogram
+
+	logMu sync.Mutex
+}
+
+// statusWriter captures the response status and size.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Middleware wraps next in the observability envelope.
+func (o *HTTPObs) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get(HeaderTraceID)
+		if !ValidTraceID(trace) {
+			trace = NewTraceID()
+		}
+		endpoint := r.URL.Path
+		if o.Endpoint != nil {
+			endpoint = o.Endpoint(endpoint)
+		}
+		// The span parents under the sender's span when the request came
+		// from another cluster process; at the edge the parent is empty
+		// and this span is the trace's root.
+		parent := SpanContext{Trace: trace}
+		if p := r.Header.Get(HeaderSpanID); ValidTraceID(p) {
+			parent.Span = p
+		}
+		sp := o.Tracer.StartSpan(endpoint, "request", 0, parent)
+		sc := sp.Context()
+		if sc.Trace == "" {
+			// Tracer disabled: the trace identity still propagates so
+			// downstream processes that do trace join the same tree.
+			sc = parent
+		}
+		w.Header().Set(HeaderTraceID, trace)
+
+		t0 := time.Now()
+		rec := &RequestRecord{
+			Time:     t0.UTC(),
+			TraceID:  trace,
+			SpanID:   sc.Span,
+			Method:   r.Method,
+			Path:     r.URL.Path,
+			Endpoint: endpoint,
+		}
+		ctx := ContextWithSpan(r.Context(), sc)
+		ctx = ContextWithRecord(ctx, rec)
+		sw := &statusWriter{ResponseWriter: w}
+
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		dur := time.Since(t0)
+		if sw.status == 0 {
+			// Nothing was written. A live client would have gotten an
+			// implicit 200; a handler that bailed because the client (or
+			// the request budget) went away wrote nothing and must not be
+			// logged as success.
+			if r.Context().Err() != nil {
+				sw.status = StatusClientClosed
+			} else {
+				sw.status = http.StatusOK
+			}
+		}
+		rec.Status = sw.status
+		rec.Bytes = sw.bytes
+		rec.Duration = dur.Seconds()
+		sp.EndArgs(map[string]string{"status": strconv.Itoa(sw.status)})
+		if o.Latency != nil {
+			o.Latency(endpoint).Observe(dur.Seconds())
+		}
+		o.Recorder.Add(*rec)
+		if o.AccessLog != nil {
+			if line, err := json.Marshal(rec); err == nil {
+				o.logMu.Lock()
+				o.AccessLog.Write(append(line, '\n'))
+				o.logMu.Unlock()
+			}
+		}
+	})
+}
+
+// PropagateHeaders stamps the trace-context headers on an outbound
+// cluster hop from the span carried by ctx. No-op without a trace.
+func PropagateHeaders(ctx context.Context, h http.Header) {
+	sc := SpanFromContext(ctx)
+	if sc.Trace == "" {
+		return
+	}
+	h.Set(HeaderTraceID, sc.Trace)
+	if sc.Span != "" {
+		h.Set(HeaderSpanID, sc.Span)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MergeTraces merges trace files exported by WriteJSON in different
+// processes into one Chrome trace-event file, aligning their per-process
+// monotonic timelines on the wall-clock epoch each file carries
+// (epochMicros): the earliest epoch becomes the merged trace's zero and
+// every other file's events shift right by its offset. Files whose
+// process IDs collide are renumbered (file order) so each input keeps
+// its own track group in Perfetto.
+//
+// traceID, when non-empty, keeps only the spans of that request tree
+// (events whose trace_id arg matches) plus process metadata — the shape
+// `llvm-trace -trace ID` serves for "show me this one slow request".
+func MergeTraces(w io.Writer, traceID string, files ...[]byte) error {
+	type parsed struct {
+		file traceFile
+	}
+	var ins []parsed
+	minEpoch := int64(0)
+	for i, data := range files {
+		var f traceFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("obs: trace file %d: %w", i, err)
+		}
+		if f.EpochMicros > 0 && (minEpoch == 0 || f.EpochMicros < minEpoch) {
+			minEpoch = f.EpochMicros
+		}
+		ins = append(ins, parsed{file: f})
+	}
+
+	// Detect pid collisions across files; renumber colliding files so no
+	// two processes share a track group.
+	seen := map[int]int{} // pid -> first file index
+	collides := make([]bool, len(ins))
+	for i, in := range ins {
+		pids := map[int]bool{}
+		for _, ev := range in.file.TraceEvents {
+			pids[ev.PID] = true
+		}
+		for pid := range pids {
+			if j, ok := seen[pid]; ok && j != i {
+				collides[i] = true
+			} else {
+				seen[pid] = i
+			}
+		}
+	}
+
+	out := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms", EpochMicros: minEpoch}
+	for i, in := range ins {
+		var offset int64
+		if in.file.EpochMicros > 0 && minEpoch > 0 {
+			offset = in.file.EpochMicros - minEpoch
+		}
+		for _, ev := range in.file.TraceEvents {
+			if collides[i] {
+				ev.PID = 1000*(i+1) + ev.PID
+			}
+			if ev.Phase != "M" {
+				ev.TS += offset
+			}
+			if traceID != "" && ev.Phase != "M" && ev.Args["trace_id"] != traceID {
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	sortMerged(out.TraceEvents)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// sortMerged orders merged events: metadata first, then (ts, pid, tid) —
+// stable so same-microsecond events keep file order.
+func sortMerged(evs []traceEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		am, bm := a.Phase == "M", b.Phase == "M"
+		if am != bm {
+			return am
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		return a.TID < b.TID
+	})
+}

@@ -96,6 +96,17 @@ var DefaultDurationBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// ServeLatencyBuckets are the request-duration bounds (seconds) for the
+// daemon's per-endpoint histograms. They must resolve both tails the
+// serving layer actually has: warm cache hits complete in tens of
+// microseconds (three sub-100µs bounds), cold compiles and saturated
+// queues run to multi-second (bounds to 30s, past the default request
+// timeout, so a timed-out request still lands in a finite bucket).
+var ServeLatencyBuckets = []float64{
+	0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
 // Histogram counts observations into cumulative buckets, Prometheus-style.
 // A nil *Histogram discards observations.
 type Histogram struct {
@@ -128,6 +139,71 @@ func (h *Histogram) Count() uint64 {
 
 // Sum returns the sum of observed values (0 on nil).
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Cumulative returns the histogram's upper bounds and cumulative bucket
+// counts (the +Inf bucket last), exactly the numbers a /metrics scrape
+// renders — so a quantile computed here and one recomputed from the
+// scraped text cannot disagree.
+func (h *Histogram) Cumulative() (bounds []float64, cum []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = h.bounds
+	cum = make([]uint64, len(h.counts))
+	var c uint64
+	for i := range h.counts {
+		c += h.counts[i].Load()
+		cum[i] = c
+	}
+	return bounds, cum
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the recorded
+// buckets, Prometheus histogram_quantile-style: find the bucket the rank
+// falls in and interpolate linearly inside it. Observations in the +Inf
+// bucket clamp to the highest finite bound. Returns 0 on nil or empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum := h.Cumulative()
+	return QuantileFromBuckets(bounds, cum, q)
+}
+
+// QuantileFromBuckets is Quantile over explicit cumulative bucket counts
+// (len(cum) == len(bounds)+1, +Inf last). It is exported so tests can
+// recompute quantiles from a parsed /metrics scrape with bit-identical
+// arithmetic to the /stats summary.
+func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
+	if len(cum) == 0 || len(cum) != len(bounds)+1 {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	i := 0
+	for i < len(bounds) && float64(cum[i]) < rank {
+		i++
+	}
+	if i == len(bounds) {
+		// Rank lands in the +Inf bucket: the best finite statement is the
+		// largest finite bound.
+		return bounds[len(bounds)-1]
+	}
+	lower := 0.0
+	prev := uint64(0)
+	if i > 0 {
+		lower = bounds[i-1]
+		prev = cum[i-1]
+	}
+	inBucket := float64(cum[i] - prev)
+	if inBucket == 0 {
+		return bounds[i]
+	}
+	return lower + (bounds[i]-lower)*(rank-float64(prev))/inBucket
+}
 
 // series is one labeled instance of a metric family.
 type series struct {

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Distributed request tracing (DESIGN.md §15). A request entering the
+// cluster is assigned a trace ID at the first process that sees it (the
+// front, or a node hit directly); every hop forwards the pair of headers
+//
+//	X-Trace-Id: the request's cluster-wide identity
+//	X-Span-Id:  the sender's span, which the receiver parents under
+//
+// so each process records its spans against the same trace ID with parent
+// links crossing process boundaries. Clocks are per-process monotonic
+// (each Tracer timestamps against its own epoch); the exported trace
+// carries the epoch's wall-clock microseconds, and MergeTraces aligns the
+// per-process timelines on it, producing one Perfetto tree: the front's
+// request span parenting the owner's request span parenting its compile
+// span parenting the per-pass spans.
+
+// HeaderTraceID and HeaderSpanID are the trace-context propagation
+// headers every cluster hop forwards.
+const (
+	HeaderTraceID = "X-Trace-Id"
+	HeaderSpanID  = "X-Span-Id"
+)
+
+// SpanContext names a position in a distributed trace: the trace the
+// request belongs to and one span inside it. The zero SpanContext means
+// "no trace" (and, as a parent, "root span").
+type SpanContext struct {
+	Trace string
+	Span  string
+}
+
+// idPrefix makes this process's trace and span IDs globally unique
+// without coordination: wall-clock nanoseconds XOR the PID, so two
+// processes started the same nanosecond still differ.
+var idPrefix = fmt.Sprintf("%x", uint64(time.Now().UnixNano())^uint64(os.Getpid())<<40)
+
+var idSeq atomic.Uint64
+
+// NewTraceID mints a process-unique trace identifier. Trace IDs are
+// minted at the cluster's edge — the first process that sees a request
+// without an X-Trace-Id header — and adopted verbatim everywhere else.
+func NewTraceID() string {
+	return idPrefix + "-" + strconv.FormatUint(idSeq.Add(1), 10)
+}
+
+// newSpanID mints a process-unique span identifier (same pool as trace
+// IDs; spans and traces never compare against each other).
+func newSpanID() string {
+	return idPrefix + "." + strconv.FormatUint(idSeq.Add(1), 10)
+}
+
+// ValidTraceID bounds what an incoming X-Trace-Id header is allowed to
+// look like before the daemon adopts it: short, printable, and free of
+// JSON/log-breaking characters. Anything else is replaced with a fresh
+// ID — a client must not be able to forge log-injection payloads or
+// unbounded recorder keys.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '-' || c == '.' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// StartSpan opens a span that participates in a distributed trace: it
+// inherits the parent's trace ID, mints its own span ID, and records the
+// parent link in the exported event's args (trace_id / span_id /
+// parent_id), which is what MergeTraces and the trace tools key on. A
+// zero parent starts a root span with no trace identity. Safe and
+// allocation-free on a nil tracer.
+func (t *Tracer) StartSpan(name, cat string, tid int, parent SpanContext) Span {
+	if t == nil {
+		return Span{}
+	}
+	s := Span{tr: t, name: name, cat: cat, tid: tid, start: time.Now(), parent: parent.Span}
+	if parent.Trace != "" {
+		s.ctx = SpanContext{Trace: parent.Trace, Span: newSpanID()}
+	}
+	return s
+}
+
+// Context returns the span's own position in the trace, for parenting
+// child spans and for the X-Span-Id header on outbound hops. Zero for
+// spans begun on a nil tracer or without a trace identity.
+func (s Span) Context() SpanContext { return s.ctx }
+
+// ---------------------------------------------------------------------------
+// Context plumbing: the serving layer threads the active span and the
+// active request record through context.Context so cluster hops
+// (fetch-through, profile forwarding) deep inside the compile path can
+// propagate headers and annotate the flight recorder without new
+// parameters on every function in between.
+
+type ctxKey int
+
+const (
+	spanCtxKey ctxKey = iota
+	recordCtxKey
+)
+
+// ContextWithSpan returns ctx carrying sc as the current span.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey, sc)
+}
+
+// SpanFromContext returns the current span context (zero when absent).
+func SpanFromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(spanCtxKey).(SpanContext)
+	return sc
+}
+
+// ContextWithRecord returns ctx carrying the active request record.
+func ContextWithRecord(ctx context.Context, rec *RequestRecord) context.Context {
+	return context.WithValue(ctx, recordCtxKey, rec)
+}
+
+// RecordFromContext returns the active request record, or nil when the
+// request is not being recorded — every *RequestRecord mutator is
+// nil-safe, so call sites never branch.
+func RecordFromContext(ctx context.Context) *RequestRecord {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(recordCtxKey).(*RequestRecord)
+	return rec
+}

@@ -26,6 +26,8 @@ import (
 // recorded in the exported trace.
 type Tracer struct {
 	epoch   time.Time
+	pid     int
+	proc    string
 	mu      sync.Mutex
 	evs     []traceEvent
 	max     int
@@ -50,15 +52,33 @@ type traceEvent struct {
 	Args  map[string]string `json:"args,omitempty"`
 }
 
-// traceFile is the JSON Object format wrapper.
+// traceFile is the JSON Object format wrapper. EpochMicros is the
+// wall-clock time (microseconds since the Unix epoch) that ts 0 refers
+// to; MergeTraces uses it to align traces exported by different
+// processes, whose span timestamps are each relative to their own
+// tracer's monotonic epoch.
 type traceFile struct {
 	TraceEvents     []traceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	EpochMicros     int64        `json:"epochMicros,omitempty"`
 }
 
 // NewTracer returns an enabled tracer whose timestamps are relative to now.
 func NewTracer() *Tracer {
-	return &Tracer{epoch: time.Now(), max: DefaultMaxEvents}
+	return &Tracer{epoch: time.Now(), pid: 1, max: DefaultMaxEvents}
+}
+
+// SetProcess labels this tracer's events with a process ID and name, so a
+// merged multi-process trace renders each process as its own named track
+// group in Perfetto. Defaults: pid 1, no name.
+func (t *Tracer) SetProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.pid = pid
+	t.proc = name
+	t.mu.Unlock()
 }
 
 // SetMaxEvents adjusts the event-buffer cap (n <= 0 restores the default).
@@ -97,11 +117,13 @@ func (t *Tracer) record(ev traceEvent) {
 // Span is one in-flight timed region. The zero Span (from a nil tracer)
 // is inert.
 type Span struct {
-	tr    *Tracer
-	name  string
-	cat   string
-	tid   int
-	start time.Time
+	tr     *Tracer
+	name   string
+	cat    string
+	tid    int
+	start  time.Time
+	ctx    SpanContext // distributed-trace identity (StartSpan only)
+	parent string      // parent span id, "" for root spans
 }
 
 // Begin opens a span on track tid (0 = the main pipeline track; the
@@ -124,6 +146,20 @@ func (s Span) EndArgs(args map[string]string) {
 		return
 	}
 	end := time.Now()
+	if s.ctx.Trace != "" {
+		// Distributed spans carry their trace identity in args; the
+		// merge step and the ancestor tests key on these three.
+		merged := make(map[string]string, len(args)+3)
+		for k, v := range args {
+			merged[k] = v
+		}
+		merged["trace_id"] = s.ctx.Trace
+		merged["span_id"] = s.ctx.Span
+		if s.parent != "" {
+			merged["parent_id"] = s.parent
+		}
+		args = merged
+	}
 	s.tr.mu.Lock()
 	s.tr.record(traceEvent{
 		Name:  s.name,
@@ -131,7 +167,7 @@ func (s Span) EndArgs(args map[string]string) {
 		Phase: "X",
 		TS:    s.start.Sub(s.tr.epoch).Microseconds(),
 		Dur:   end.Sub(s.start).Microseconds(),
-		PID:   1,
+		PID:   s.tr.pid,
 		TID:   s.tid,
 		Args:  args,
 	})
@@ -151,7 +187,7 @@ func (t *Tracer) Instant(name, cat string, tid int, args map[string]string) {
 		Cat:   cat,
 		Phase: "i",
 		TS:    now.Sub(t.epoch).Microseconds(),
-		PID:   1,
+		PID:   t.pid,
 		TID:   tid,
 		Scope: "t",
 		Args:  args,
@@ -179,10 +215,21 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	var dropped uint64
 	if t != nil {
 		t.mu.Lock()
+		pid, proc := t.pid, t.proc
+		f.EpochMicros = t.epoch.UnixMicro()
 		f.TraceEvents = append(f.TraceEvents, t.evs...)
 		dropped = t.dropped
 		t.mu.Unlock()
 		sortEvents(f.TraceEvents)
+		if proc != "" {
+			// Metadata first: Perfetto names the process's track group.
+			f.TraceEvents = append([]traceEvent{{
+				Name:  "process_name",
+				Phase: "M",
+				PID:   pid,
+				Args:  map[string]string{"name": proc},
+			}}, f.TraceEvents...)
+		}
 		if dropped > 0 {
 			var last int64
 			if n := len(f.TraceEvents); n > 0 {
@@ -193,7 +240,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 				Cat:   "obs",
 				Phase: "i",
 				TS:    last,
-				PID:   1,
+				PID:   pid,
 				Scope: "g",
 				Args:  map[string]string{"dropped_events": strconv.FormatUint(dropped, 10)},
 			})

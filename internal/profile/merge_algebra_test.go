@@ -78,8 +78,8 @@ func TestCountsMergeAllPermutations(t *testing.T) {
 func TestFileMergeClusterEqualsSingleNode(t *testing.T) {
 	runs := []*Counts{c(100, 50), c(100, 50), c(100, 50), c(100, 50)}
 
-	var owner File // the cluster owner receiving forwarded counts
-	var single File // a standalone node seeing the runs directly
+	var owner File                               // the cluster owner receiving forwarded counts
+	var single File                              // a standalone node seeing the runs directly
 	wantBumps := []bool{true, true, false, true} // 150, 300, 450, 600 vs doubling thresholds
 	for i, r := range runs {
 		ob := owner.Merge(r)
